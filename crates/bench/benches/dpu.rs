@@ -1,0 +1,114 @@
+//! Criterion benchmarks of the DPU toolchain: compilation, the cost model,
+//! functional INT8 execution, and the DES throughput simulation — one
+//! throughput bench per Table II model (the Table IV regeneration path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use seneca_dpu::arch::DpuArch;
+use seneca_dpu::executor::{DpuCore, ExecMode};
+use seneca_dpu::perf::frame_cost;
+use seneca_dpu::runtime::{DpuRunner, RuntimeConfig};
+use seneca_dpu::XModel;
+use seneca_nn::graph::Graph;
+use seneca_nn::unet::{ModelSize, UNet, UNetConfig};
+use seneca_quant::{fuse, quantize_post_training, PtqConfig, QuantizedGraph};
+use seneca_tensor::{Shape4, Tensor};
+use std::sync::Arc;
+
+fn quantized_model(size: ModelSize) -> QuantizedGraph {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let net = UNet::from_size(size, &mut rng);
+    let fg = fuse(&Graph::from_unet(&net, size.label()));
+    let calib = vec![Tensor::he_normal(Shape4::new(1, 1, 32, 32), &mut rng)];
+    quantize_post_training(&fg, &calib, &PtqConfig::default()).0
+}
+
+fn tiny_xmodel() -> XModel {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let cfg = UNetConfig { depth: 2, base_filters: 4, in_channels: 1, num_classes: 6, dropout: 0.0 };
+    let net = UNet::new(cfg, &mut rng);
+    let fg = fuse(&Graph::from_unet(&net, "tiny"));
+    let calib = vec![Tensor::he_normal(Shape4::new(1, 1, 32, 32), &mut rng)];
+    let (qg, _) = quantize_post_training(&fg, &calib, &PtqConfig::default());
+    seneca_dpu::compile(&qg, Shape4::new(1, 1, 32, 32), DpuArch::b4096_zcu104())
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    let qg = quantized_model(ModelSize::M1);
+    let input = Shape4::new(1, 1, 256, 256);
+    c.bench_function("vai_c/compile-1M@256", |b| {
+        b.iter(|| seneca_dpu::compile(&qg, input, DpuArch::b4096_zcu104()))
+    });
+}
+
+fn bench_cost_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frame_cost");
+    for size in ModelSize::ALL {
+        let qg = quantized_model(size);
+        let xm = seneca_dpu::compile(&qg, Shape4::new(1, 1, 256, 256), DpuArch::b4096_zcu104());
+        g.bench_with_input(BenchmarkId::from_parameter(size.label()), &xm, |b, xm| {
+            b.iter(|| frame_cost(xm, &xm.arch))
+        });
+    }
+    g.finish();
+}
+
+fn bench_functional(c: &mut Criterion) {
+    let xm = tiny_xmodel();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let img = Tensor::he_normal(Shape4::new(1, 1, 32, 32), &mut rng);
+    let input = xm.quantize_input(&img);
+    let core = DpuCore::new(ExecMode::Functional);
+    c.bench_function("dpu_core/functional-tiny@32", |b| b.iter(|| core.run(&xm, &input)));
+}
+
+/// The Table IV / Fig. 3 regeneration path: simulated 2000-frame runs.
+fn bench_throughput_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("throughput_sim_2000f");
+    g.sample_size(10);
+    for size in ModelSize::ALL {
+        let qg = quantized_model(size);
+        let xm = Arc::new(seneca_dpu::compile(
+            &qg,
+            Shape4::new(1, 1, 256, 256),
+            DpuArch::b4096_zcu104(),
+        ));
+        let runner =
+            DpuRunner::new(Arc::clone(&xm), RuntimeConfig { threads: 4, ..Default::default() });
+        g.bench_with_input(BenchmarkId::from_parameter(size.label()), &runner, |b, r| {
+            b.iter(|| r.run_throughput(2000, 1))
+        });
+    }
+    g.finish();
+}
+
+fn bench_thread_sweep(c: &mut Criterion) {
+    let qg = quantized_model(ModelSize::M1);
+    let xm = Arc::new(seneca_dpu::compile(
+        &qg,
+        Shape4::new(1, 1, 256, 256),
+        DpuArch::b4096_zcu104(),
+    ));
+    let mut g = c.benchmark_group("thread_sweep_1M");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let runner = DpuRunner::new(
+            Arc::clone(&xm),
+            RuntimeConfig { threads, ..Default::default() },
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &runner, |b, r| {
+            b.iter(|| r.run_throughput(2000, 1))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compiler,
+    bench_cost_model,
+    bench_functional,
+    bench_throughput_sim,
+    bench_thread_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion micro-benchmarks of the compute kernels underlying both
+//! execution targets (the training path and the INT8 DPU path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{Rng, SeedableRng};
+use seneca_tensor::conv::{conv2d, conv2d_backward, Conv2dParams};
+use seneca_tensor::gemm::{igemm, sgemm};
+use seneca_tensor::im2col::{im2col, ConvGeom};
+use seneca_tensor::pool::maxpool2x2;
+use seneca_tensor::activation::softmax_channels;
+use seneca_tensor::{Shape4, Tensor};
+
+fn rand_tensor(shape: Shape4, seed: u64) -> Tensor {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Tensor::from_vec(shape, (0..shape.len()).map(|_| rng.gen_range(-1.0..1.0)).collect())
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    for &(m, k, n) in &[(64usize, 576usize, 4096usize), (128, 1152, 1024), (256, 2304, 256)] {
+        let a = rand_tensor(Shape4::new(1, 1, m, k), 1).into_vec();
+        let b = rand_tensor(Shape4::new(1, 1, k, n), 2).into_vec();
+        let mut out = vec![0.0f32; m * n];
+        g.throughput(Throughput::Elements((2 * m * k * n) as u64));
+        g.bench_with_input(BenchmarkId::new("sgemm", format!("{m}x{k}x{n}")), &(), |bch, _| {
+            bch.iter(|| sgemm(m, k, n, &a, &b, &mut out));
+        });
+        let ai: Vec<i8> = a.iter().map(|v| (v * 100.0) as i8).collect();
+        let bi: Vec<i8> = b.iter().map(|v| (v * 100.0) as i8).collect();
+        let mut oi = vec![0i32; m * n];
+        g.bench_with_input(BenchmarkId::new("igemm", format!("{m}x{k}x{n}")), &(), |bch, _| {
+            bch.iter(|| igemm(m, k, n, &ai, &bi, &mut oi));
+        });
+    }
+    g.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conv2d");
+    g.sample_size(20);
+    for &(ch, hw) in &[(16usize, 128usize), (32, 64), (64, 32)] {
+        let x = rand_tensor(Shape4::new(1, ch, hw, hw), 3);
+        let w = rand_tensor(Shape4::new(ch, ch, 3, 3), 4);
+        let b = vec![0.0f32; ch];
+        let macs = (hw * hw * ch * ch * 9) as u64;
+        g.throughput(Throughput::Elements(macs));
+        g.bench_with_input(BenchmarkId::new("forward", format!("c{ch}@{hw}")), &(), |bch, _| {
+            bch.iter(|| conv2d(&x, &w, &b, Conv2dParams::SAME_3X3));
+        });
+        let dy = rand_tensor(Shape4::new(1, ch, hw, hw), 5);
+        g.bench_with_input(BenchmarkId::new("backward", format!("c{ch}@{hw}")), &(), |bch, _| {
+            bch.iter(|| conv2d_backward(&x, &w, &dy, Conv2dParams::SAME_3X3));
+        });
+    }
+    g.finish();
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    let geom = ConvGeom { c_in: 32, h: 128, w: 128, k: 3, pad: 1, stride: 1 };
+    let x = rand_tensor(Shape4::new(1, 32, 128, 128), 6).into_vec();
+    let mut col = vec![0.0f32; geom.col_rows() * geom.col_cols()];
+    c.bench_function("im2col/c32@128", |b| b.iter(|| im2col(&geom, &x, &mut col)));
+}
+
+fn bench_misc(c: &mut Criterion) {
+    let x = rand_tensor(Shape4::new(1, 32, 128, 128), 7);
+    c.bench_function("maxpool2x2/c32@128", |b| b.iter(|| maxpool2x2(&x)));
+    let logits = rand_tensor(Shape4::new(1, 6, 256, 256), 8);
+    c.bench_function("softmax/c6@256", |b| b.iter(|| softmax_channels(&logits)));
+}
+
+criterion_group!(benches, bench_gemm, bench_conv, bench_im2col, bench_misc);
+criterion_main!(benches);

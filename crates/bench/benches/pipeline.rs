@@ -1,0 +1,85 @@
+//! Criterion benchmarks of the end-to-end workflow stages: phantom
+//! generation, preprocessing, training step, PTQ, and FP32-vs-INT8
+//! inference on the same network.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use seneca_data::anatomy::Anatomy;
+use seneca_data::phantom::{rasterize, RasterConfig};
+use seneca_data::preprocess::preprocess;
+use seneca_nn::graph::Graph;
+use seneca_nn::loss::FocalTverskyLoss;
+use seneca_nn::optim::{Adam, Optimizer};
+use seneca_nn::unet::{UNet, UNetConfig};
+use seneca_quant::{fuse, quantize_post_training, PtqConfig};
+use seneca_tensor::{Shape4, Tensor};
+
+fn bench_phantom(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let anatomy = Anatomy::sample(&mut rng);
+    let cfg = RasterConfig { size: 256, z_range: (0.0, 1.0), slices: 8, blur: true };
+    c.bench_function("phantom/8slices@256", |b| b.iter(|| rasterize(&anatomy, &cfg, 1, 0)));
+}
+
+fn bench_preprocess(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let anatomy = Anatomy::sample(&mut rng);
+    let cfg = RasterConfig { size: 512, z_range: (0.3, 0.35), slices: 1, blur: true };
+    let vol = rasterize(&anatomy, &cfg, 2, 0);
+    let slice = vol.slice(0);
+    c.bench_function("preprocess/512to256", |b| b.iter(|| preprocess(&slice, 2)));
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let cfg = UNetConfig { depth: 2, base_filters: 8, in_channels: 1, num_classes: 6, dropout: 0.1 };
+    let mut net = UNet::new(cfg, &mut rng);
+    let x = Tensor::he_normal(Shape4::new(2, 1, 64, 64), &mut rng);
+    let labels: Vec<u8> = (0..2 * 64 * 64).map(|i| (i % 6) as u8).collect();
+    let loss = FocalTverskyLoss::paper_defaults(vec![1.0; 6]);
+    let mut opt = Adam::new(1e-3);
+    c.bench_function("train_step/d2f8@64x2", |b| {
+        b.iter(|| {
+            let (probs, cache) = net.forward(&x, &mut rng);
+            let (_, dprobs) = loss.forward_backward(&probs, &labels);
+            net.zero_grad();
+            net.backward(&cache, &dprobs);
+            opt.step(&mut net);
+        })
+    });
+}
+
+fn bench_quantization(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let cfg = UNetConfig { depth: 2, base_filters: 4, in_channels: 1, num_classes: 6, dropout: 0.0 };
+    let net = UNet::new(cfg, &mut rng);
+    let fg = fuse(&Graph::from_unet(&net, "t"));
+    let calib: Vec<Tensor> =
+        (0..16).map(|_| Tensor::he_normal(Shape4::new(1, 1, 32, 32), &mut rng)).collect();
+    c.bench_function("ptq/16imgs@32", |b| {
+        b.iter(|| quantize_post_training(&fg, &calib, &PtqConfig::default()))
+    });
+}
+
+fn bench_fp32_vs_int8_inference(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let cfg = UNetConfig { depth: 2, base_filters: 8, in_channels: 1, num_classes: 6, dropout: 0.0 };
+    let net = UNet::new(cfg, &mut rng);
+    let graph = Graph::from_unet(&net, "t");
+    let fg = fuse(&graph);
+    let img = Tensor::he_normal(Shape4::new(1, 1, 64, 64), &mut rng);
+    let (qg, _) = quantize_post_training(&fg, std::slice::from_ref(&img), &PtqConfig::default());
+    let qin = qg.quantize_input(&img);
+    c.bench_function("infer_fp32/d2f8@64", |b| b.iter(|| graph.execute(&img)));
+    c.bench_function("infer_int8/d2f8@64", |b| b.iter(|| qg.execute(&qin)));
+}
+
+criterion_group!(
+    benches,
+    bench_phantom,
+    bench_preprocess,
+    bench_training_step,
+    bench_quantization,
+    bench_fp32_vs_int8_inference
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Fig. 6: per-organ DSC box plots for SENECA on the test cohort.
+
+use crate::ctx::ExperimentCtx;
+use crate::fmt::{emit, Table};
+use seneca_data::volume::Organ;
+use seneca_nn::unet::ModelSize;
+
+/// Regenerates Fig. 6 as quartile tables plus ASCII box plots.
+pub fn run(ctx: &mut ExperimentCtx) {
+    let rep = ctx.accuracy_int8(ModelSize::M1);
+    let mut t = Table::new(vec!["Organ", "n", "Q1", "Median", "Q3", "Whiskers", "Outliers"]);
+    let mut chart = String::new();
+    let (lo, hi) = (50.0, 100.0);
+    chart.push_str(&format!("{:>8} {:>5}                      (scale {lo:.0}..{hi:.0}%)\n", "", ""));
+
+    for organ in Organ::TARGETS {
+        match rep.organ_boxplot(organ) {
+            Some(b) => {
+                let samples = rep.per_organ_pct[organ.label() as usize - 1].len();
+                t.row(vec![
+                    organ.name().to_string(),
+                    samples.to_string(),
+                    format!("{:.2}", b.q1),
+                    format!("{:.2}", b.median),
+                    format!("{:.2}", b.q3),
+                    format!("[{:.2}, {:.2}]", b.whisker_lo, b.whisker_hi),
+                    b.outliers.len().to_string(),
+                ]);
+                chart.push_str(&format!("{:>8} {}\n", organ.name(), b.ascii_row(lo, hi, 60)));
+            }
+            None => {
+                t.row(vec![
+                    organ.name().to_string(),
+                    "0".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+            }
+        }
+    }
+
+    let body = format!(
+        "{}\n```text\n{chart}```\n\
+         Paper shape: lungs highest (~96%), bones ~94%, liver ~92%, kidneys ~81%, bladder ~79%; \
+         lungs/bladder DSC ratio ≈ 1.21 despite a 13.6x frequency gap.\n",
+        t.markdown()
+    );
+    emit(&ctx.out_dir(), "fig6-per-organ-boxplots", &body);
+}

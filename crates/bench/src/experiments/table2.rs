@@ -1,0 +1,34 @@
+//! Table II: layers / filters / parameters of the five configurations.
+
+use crate::ctx::ExperimentCtx;
+use crate::fmt::{emit, Table};
+use rand::SeedableRng;
+use seneca_nn::unet::{ModelSize, UNet};
+
+/// Regenerates Table II from the model builder.
+pub fn run(ctx: &mut ExperimentCtx) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut t = Table::new(vec![
+        "Configuration",
+        "Layers",
+        "Filters",
+        "Params (ours)",
+        "Params (paper)",
+        "Error",
+    ]);
+    for size in ModelSize::ALL {
+        let cfg = size.config();
+        let net = UNet::new(cfg, &mut rng);
+        let ours = net.param_count() as f64 / 1e6;
+        let paper = size.paper_params_m();
+        t.row(vec![
+            size.label().to_string(),
+            cfg.layers().to_string(),
+            cfg.base_filters.to_string(),
+            format!("{ours:.3}M"),
+            format!("{paper:.3}M"),
+            format!("{:+.1}%", (ours / paper - 1.0) * 100.0),
+        ]);
+    }
+    emit(&ctx.out_dir(), "table2-model-configurations", &t.markdown());
+}

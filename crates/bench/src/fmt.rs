@@ -1,0 +1,111 @@
+//! Markdown table formatting for experiment output.
+
+/// A simple markdown table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self { header: header.into_iter().map(Into::into).collect(), rows: vec![] }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders as GitHub-flavoured markdown.
+    pub fn markdown(&self) -> String {
+        let ncol = self.header.len();
+        let mut width = vec![0usize; ncol];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let body: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = width[i]))
+                .collect();
+            format!("| {} |", body.join(" | "))
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        let sep: Vec<String> = width.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("|-{}-|", sep.join("-|-")));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// "μ ± σ" cell.
+pub fn pm(mean: f64, std: f64, prec: usize) -> String {
+    format!("{:.p$} ± {:.p$}", mean, std, p = prec)
+}
+
+/// Ratio cell like "4.65x".
+pub fn ratio(a: f64, b: f64) -> String {
+    if b == 0.0 {
+        "n/a".to_string()
+    } else {
+        format!("{:.2}x", a / b)
+    }
+}
+
+/// Writes a named experiment section to disk and stdout.
+pub fn emit(out_dir: &std::path::Path, name: &str, body: &str) {
+    println!("\n## {name}\n\n{body}");
+    let path = out_dir.join(format!("{name}.md"));
+    if let Err(e) = std::fs::write(&path, format!("## {name}\n\n{body}")) {
+        eprintln!("could not write {}: {e}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_layout() {
+        let mut t = Table::new(vec!["Model", "FPS"]);
+        t.row(vec!["1M", "335.4"]);
+        t.row(vec!["16M", "98.1"]);
+        let md = t.markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Model"));
+        assert!(lines[1].starts_with("|-"));
+        assert!(lines[2].contains("335.4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn pm_and_ratio_format() {
+        assert_eq!(pm(335.4, 0.34, 2), "335.40 ± 0.34");
+        assert_eq!(ratio(335.4, 72.2), "4.65x");
+        assert_eq!(ratio(1.0, 0.0), "n/a");
+    }
+}

@@ -1,0 +1,181 @@
+//! Accuracy evaluation drivers (Tables IV–V, Fig. 6).
+//!
+//! Predictions are evaluated *per test patient*: each volume contributes one
+//! per-organ Dice sample, which is what the paper's boxplots (Fig. 6) and
+//! mean±std columns (Table V) are built from.
+
+use crate::workflow::PreparedData;
+use seneca_metrics::agg::{BoxplotStats, MeanStd};
+use seneca_metrics::seg::{global_weighted_dice, Confusion};
+use seneca_data::volume::Organ;
+use seneca_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A segmentation predictor: preprocessed image in, label map out.
+pub type Predictor<'a> = dyn Fn(&Tensor) -> Vec<u8> + Sync + 'a;
+
+/// Accuracy evaluation results over the test split.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AccuracyReport {
+    /// Per-organ Dice samples, one per test patient where the organ occurs
+    /// (percent). Index = organ label − 1 (liver..bones).
+    pub per_organ_pct: Vec<Vec<f64>>,
+    /// Global weighted Dice per patient (percent).
+    pub global_pct: Vec<f64>,
+    /// Global TPR per patient (percent).
+    pub tpr_pct: Vec<f64>,
+    /// Global TNR per patient (percent).
+    pub tnr_pct: Vec<f64>,
+}
+
+impl AccuracyReport {
+    /// Mean±std of the global Dice.
+    pub fn global(&self) -> MeanStd {
+        MeanStd::of(&self.global_pct)
+    }
+
+    /// Mean±std of one organ's Dice.
+    pub fn organ(&self, organ: Organ) -> MeanStd {
+        MeanStd::of(&self.per_organ_pct[organ.label() as usize - 1])
+    }
+
+    /// Boxplot stats of one organ's Dice (Fig. 6).
+    pub fn organ_boxplot(&self, organ: Organ) -> Option<BoxplotStats> {
+        let xs = &self.per_organ_pct[organ.label() as usize - 1];
+        if xs.is_empty() {
+            None
+        } else {
+            Some(BoxplotStats::of(xs))
+        }
+    }
+
+    /// Mean±std global TPR (sensitivity, §IV-D).
+    pub fn global_tpr(&self) -> MeanStd {
+        MeanStd::of(&self.tpr_pct)
+    }
+
+    /// Mean±std global TNR (specificity, §IV-D).
+    pub fn global_tnr(&self) -> MeanStd {
+        MeanStd::of(&self.tnr_pct)
+    }
+}
+
+/// Evaluates a predictor over the prepared test split.
+pub fn evaluate_accuracy(predict: &Predictor<'_>, data: &PreparedData) -> AccuracyReport {
+    let mut per_organ_pct: Vec<Vec<f64>> = vec![Vec::new(); 5];
+    let mut global_pct = Vec::new();
+    let mut tpr_pct = Vec::new();
+    let mut tnr_pct = Vec::new();
+
+    for (_patient, samples) in &data.test_by_patient {
+        // Accumulate confusion counts across the patient's slices.
+        let mut organ_conf = [Confusion::default(); 5];
+        let mut pred_all: Vec<u8> = Vec::new();
+        let mut truth_all: Vec<u8> = Vec::new();
+        for s in samples {
+            let pred = predict(&s.image);
+            assert_eq!(pred.len(), s.labels.len(), "predictor output length");
+            for (k, conf) in organ_conf.iter_mut().enumerate() {
+                conf.merge(&seneca_metrics::seg::confusion(&pred, &s.labels, k as u8 + 1));
+            }
+            pred_all.extend_from_slice(&pred);
+            truth_all.extend_from_slice(&s.labels);
+        }
+        for (k, conf) in organ_conf.iter().enumerate() {
+            // Only count organs present in the patient's ground truth.
+            if conf.tp + conf.fn_ > 0 {
+                if let Some(d) = conf.dice() {
+                    per_organ_pct[k].push(100.0 * d);
+                }
+            }
+        }
+        if let Some(g) = global_weighted_dice(&pred_all, &truth_all, 5) {
+            global_pct.push(100.0 * g);
+        }
+        // Global TPR/TNR: frequency-weighted over organs present.
+        let (mut tpr_num, mut tpr_den) = (0.0f64, 0.0f64);
+        let (mut tnr_num, mut tnr_den) = (0.0f64, 0.0f64);
+        for conf in &organ_conf {
+            let w = (conf.tp + conf.fn_) as f64;
+            if w > 0.0 {
+                if let Some(t) = conf.tpr() {
+                    tpr_num += w * t;
+                    tpr_den += w;
+                }
+                if let Some(t) = conf.tnr() {
+                    tnr_num += w * t;
+                    tnr_den += w;
+                }
+            }
+        }
+        if tpr_den > 0.0 {
+            tpr_pct.push(100.0 * tpr_num / tpr_den);
+        }
+        if tnr_den > 0.0 {
+            tnr_pct.push(100.0 * tnr_num / tnr_den);
+        }
+    }
+
+    AccuracyReport { per_organ_pct, global_pct, tpr_pct, tnr_pct }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SenecaConfig;
+    use crate::workflow::Workflow;
+
+    fn data() -> PreparedData {
+        Workflow::new(SenecaConfig::fast()).prepare_data()
+    }
+
+    #[test]
+    fn oracle_predictor_scores_100() {
+        let data = data();
+        // The oracle reads the ground truth through a side channel: map each
+        // image pointer to its labels.
+        let lookup: std::collections::HashMap<usize, Vec<u8>> = data
+            .test_by_patient
+            .iter()
+            .flat_map(|(_, ss)| ss.iter())
+            .map(|s| (s.image.data().as_ptr() as usize, s.labels.clone()))
+            .collect();
+        let oracle = move |img: &Tensor| -> Vec<u8> {
+            lookup[&(img.data().as_ptr() as usize)].clone()
+        };
+        let rep = evaluate_accuracy(&oracle, &data);
+        assert!((rep.global().mean - 100.0).abs() < 1e-9);
+        assert!((rep.global_tpr().mean - 100.0).abs() < 1e-9);
+        assert!((rep.global_tnr().mean - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn background_predictor_scores_0_dice_100_tnr_is_undefined() {
+        let data = data();
+        let bg = |img: &Tensor| -> Vec<u8> { vec![0u8; img.shape().hw()] };
+        let rep = evaluate_accuracy(&bg, &data);
+        assert!(rep.global().mean < 1e-9);
+        // Predicting nothing: TPR 0, TNR 100 (no false positives).
+        assert!(rep.global_tpr().mean < 1e-9);
+        assert!((rep.global_tnr().mean - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn organ_samples_respect_presence() {
+        let data = data();
+        let bg = |img: &Tensor| -> Vec<u8> { vec![0u8; img.shape().hw()] };
+        let rep = evaluate_accuracy(&bg, &data);
+        // Lungs occur in every scan kind; samples == number of test patients
+        // that contain lungs (> 0). Brain is not among the 5 targets at all.
+        assert!(!rep.per_organ_pct[Organ::Lungs.label() as usize - 1].is_empty());
+        assert_eq!(rep.per_organ_pct.len(), 5);
+    }
+
+    #[test]
+    fn boxplot_available_for_present_organs() {
+        let data = data();
+        let bg = |img: &Tensor| -> Vec<u8> { vec![0u8; img.shape().hw()] };
+        let rep = evaluate_accuracy(&bg, &data);
+        assert!(rep.organ_boxplot(Organ::Lungs).is_some());
+    }
+}

@@ -1,0 +1,147 @@
+//! Qualitative rendering (Fig. 5): CT slice, ground truth, INT8 and FP32
+//! segmentations as PPM images with the paper's colour code — liver red,
+//! bladder green, lungs blue, kidneys yellow, bones white.
+
+use seneca_tensor::Tensor;
+use std::io::Write;
+use std::path::Path;
+
+/// RGB colour per label (0 = background stays on the CT underlay).
+pub fn organ_color(label: u8) -> Option<[u8; 3]> {
+    match label {
+        1 => Some([220, 40, 40]),   // liver: red
+        2 => Some([40, 200, 60]),   // bladder: green
+        3 => Some([60, 90, 230]),   // lungs: blue
+        4 => Some([235, 220, 50]),  // kidneys: yellow
+        5 => Some([245, 245, 245]), // bones: white
+        6 => Some([200, 120, 220]), // brain (only in raw volumes)
+        _ => None,
+    }
+}
+
+/// Grayscale pixel from a preprocessed `[-1, 1]` intensity.
+fn gray(v: f32) -> u8 {
+    (((v.clamp(-1.0, 1.0) + 1.0) / 2.0) * 255.0) as u8
+}
+
+/// Renders a CT slice as grayscale RGB rows.
+pub fn render_ct(image: &Tensor) -> (usize, usize, Vec<u8>) {
+    let s = image.shape();
+    assert_eq!(s.n * s.c, 1, "expected a single-channel slice");
+    let mut rgb = Vec::with_capacity(s.hw() * 3);
+    for &v in image.data() {
+        let g = gray(v);
+        rgb.extend_from_slice(&[g, g, g]);
+    }
+    (s.w, s.h, rgb)
+}
+
+/// Renders labels over a CT underlay (alpha-blended overlays).
+pub fn render_overlay(image: &Tensor, labels: &[u8]) -> (usize, usize, Vec<u8>) {
+    let s = image.shape();
+    assert_eq!(labels.len(), s.hw(), "label map size");
+    let mut rgb = Vec::with_capacity(s.hw() * 3);
+    for (&v, &l) in image.data().iter().zip(labels) {
+        let g = gray(v) as u16;
+        match organ_color(l) {
+            Some(c) => {
+                // 65% organ colour, 35% underlay.
+                for ch in 0..3 {
+                    rgb.push(((c[ch] as u16 * 65 + g * 35) / 100) as u8);
+                }
+            }
+            None => rgb.extend_from_slice(&[g as u8, g as u8, g as u8]),
+        }
+    }
+    (s.w, s.h, rgb)
+}
+
+/// Concatenates panels horizontally with a separator column (the Fig. 5 row
+/// layout: CT | GT | INT8 | FP32).
+pub fn hstack(panels: &[(usize, usize, Vec<u8>)]) -> (usize, usize, Vec<u8>) {
+    assert!(!panels.is_empty());
+    let h = panels[0].1;
+    assert!(panels.iter().all(|p| p.1 == h), "panel heights must match");
+    let sep = 2usize;
+    let total_w: usize = panels.iter().map(|p| p.0).sum::<usize>() + sep * (panels.len() - 1);
+    let mut rgb = vec![30u8; total_w * h * 3];
+    let mut x0 = 0usize;
+    for (w, _, data) in panels {
+        for y in 0..h {
+            let dst = (y * total_w + x0) * 3;
+            let src = y * w * 3;
+            rgb[dst..dst + w * 3].copy_from_slice(&data[src..src + w * 3]);
+        }
+        x0 += w + sep;
+    }
+    (total_w, h, rgb)
+}
+
+/// Writes a binary PPM (P6).
+pub fn write_ppm(path: &Path, width: usize, height: usize, rgb: &[u8]) -> std::io::Result<()> {
+    assert_eq!(rgb.len(), width * height * 3, "pixel buffer size");
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    write!(f, "P6\n{width} {height}\n255\n")?;
+    f.write_all(rgb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seneca_tensor::Shape4;
+
+    fn slice() -> Tensor {
+        Tensor::from_vec(
+            Shape4::new(1, 1, 2, 2),
+            vec![-1.0, 0.0, 0.5, 1.0],
+        )
+    }
+
+    #[test]
+    fn ct_render_is_grayscale() {
+        let (w, h, rgb) = render_ct(&slice());
+        assert_eq!((w, h), (2, 2));
+        assert_eq!(rgb.len(), 12);
+        assert_eq!(&rgb[0..3], &[0, 0, 0]);
+        assert_eq!(&rgb[9..12], &[255, 255, 255]);
+        for px in rgb.chunks(3) {
+            assert!(px[0] == px[1] && px[1] == px[2]);
+        }
+    }
+
+    #[test]
+    fn overlay_colours_organs_only() {
+        let labels = vec![0u8, 1, 3, 0];
+        let (_, _, rgb) = render_overlay(&slice(), &labels);
+        // Pixel 0: background stays gray.
+        assert!(rgb[0] == rgb[1] && rgb[1] == rgb[2]);
+        // Pixel 1: liver-tinted (red channel dominates).
+        assert!(rgb[3] > rgb[4] && rgb[3] > rgb[5]);
+        // Pixel 2: lungs-tinted (blue dominates).
+        assert!(rgb[8] > rgb[6]);
+    }
+
+    #[test]
+    fn hstack_geometry() {
+        let a = render_ct(&slice());
+        let b = render_ct(&slice());
+        let (w, h, rgb) = hstack(&[a, b]);
+        assert_eq!((w, h), (2 + 2 + 2, 2));
+        assert_eq!(rgb.len(), w * h * 3);
+    }
+
+    #[test]
+    fn ppm_file_roundtrip_header() {
+        let dir = std::env::temp_dir().join(format!("seneca-ppm-{}", std::process::id()));
+        let path = dir.join("t.ppm");
+        let (w, h, rgb) = render_ct(&slice());
+        write_ppm(&path, w, h, &rgb).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P6\n2 2\n255\n"));
+        assert_eq!(bytes.len(), 11 + 12);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,127 @@
+//! Trained-model cache ("model zoo").
+//!
+//! Training five U-Nets on CPU is the slow part of reproducing the paper;
+//! the zoo caches trained weights on disk (JSON via serde) keyed by model
+//! size and the configuration fingerprint, so benches and the `reproduce`
+//! harness can share one training run.
+
+use crate::config::SenecaConfig;
+use crate::workflow::{PreparedData, Workflow};
+use seneca_nn::unet::{ModelSize, UNet};
+use std::path::{Path, PathBuf};
+
+/// Where artifacts live: `$SENECA_ARTIFACTS` or `target/seneca-artifacts`.
+pub fn artifacts_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("SENECA_ARTIFACTS") {
+        return PathBuf::from(dir);
+    }
+    PathBuf::from("target/seneca-artifacts")
+}
+
+/// A stable fingerprint of everything that affects trained weights.
+pub fn config_fingerprint(cfg: &SenecaConfig) -> String {
+    let c = &cfg.cohort;
+    format!(
+        "p{}s{}z{}i{}ts{}e{}b{}lr{}sd{:x}",
+        c.n_patients,
+        c.slice_size,
+        c.slices_per_unit_z as u32,
+        cfg.input_size,
+        cfg.train_stride,
+        cfg.train.epochs,
+        cfg.train.batch_size,
+        (cfg.learning_rate * 1e6) as u64,
+        cfg.seed ^ cfg.train.seed,
+    )
+}
+
+/// Cache path for one trained model.
+pub fn model_path(cfg: &SenecaConfig, size: ModelSize) -> PathBuf {
+    artifacts_dir().join(format!("unet-{}-{}.json", size.label(), config_fingerprint(cfg)))
+}
+
+/// Loads a cached model if present.
+pub fn load_model(path: &Path) -> Option<UNet> {
+    let bytes = std::fs::read(path).ok()?;
+    serde_json::from_slice(&bytes).ok()
+}
+
+/// Saves a trained model (best effort; failures only warn).
+pub fn save_model(path: &Path, net: &UNet) {
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match serde_json::to_vec(net) {
+        Ok(bytes) => {
+            if let Err(e) = std::fs::write(path, bytes) {
+                eprintln!("zoo: could not cache model at {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("zoo: serialisation failed: {e}"),
+    }
+}
+
+/// Returns the trained model for `size`, training (and caching) on a miss.
+pub fn get_or_train(wf: &Workflow, size: ModelSize, data: &PreparedData) -> UNet {
+    let path = model_path(&wf.config, size);
+    if let Some(net) = load_model(&path) {
+        if net.config == size.config() {
+            return net;
+        }
+    }
+    let net = wf.train_model(size, data);
+    save_model(&path, &net);
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SenecaConfig;
+
+    #[test]
+    fn fingerprint_changes_with_config() {
+        let a = SenecaConfig::fast();
+        let mut b = SenecaConfig::fast();
+        b.train.epochs += 1;
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&b));
+        assert_eq!(config_fingerprint(&a), config_fingerprint(&SenecaConfig::fast()));
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        use rand::SeedableRng;
+        let dir = std::env::temp_dir().join(format!("seneca-zoo-test-{}", std::process::id()));
+        let path = dir.join("m.json");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let net = UNet::from_size(ModelSize::M1, &mut rng);
+        save_model(&path, &net);
+        let loaded = load_model(&path).expect("model loads");
+        assert_eq!(loaded.param_count(), net.param_count());
+        assert_eq!(loaded.config, net.config);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_none() {
+        assert!(load_model(Path::new("/nonexistent/seneca/model.json")).is_none());
+    }
+
+    #[test]
+    fn get_or_train_caches() {
+        let dir = std::env::temp_dir().join(format!("seneca-zoo-cache-{}", std::process::id()));
+        std::env::set_var("SENECA_ARTIFACTS", &dir);
+        let wf = crate::Workflow::new(SenecaConfig::fast());
+        let data = wf.prepare_data();
+        let t0 = std::time::Instant::now();
+        let a = get_or_train(&wf, ModelSize::M1, &data);
+        let first = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let b = get_or_train(&wf, ModelSize::M1, &data);
+        let second = t1.elapsed();
+        assert_eq!(a.param_count(), b.param_count());
+        assert!(second < first, "cache hit must be faster: {second:?} vs {first:?}");
+        std::env::remove_var("SENECA_ARTIFACTS");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,305 @@
+//! Parametric patient anatomy.
+//!
+//! Coordinates: axial slices live in a normalized body frame with
+//! `nx ∈ [-1, 1]` (patient right → left), `ny ∈ [-1, 1]` (anterior → posterior,
+//! i.e. image top → bottom), and a longitudinal coordinate `z` running from
+//! the top of the scan range downward: the head occupies `z < 0`, the chest
+//! roughly `z ∈ [0, 0.5]`, the abdomen `z ∈ [0.4, 0.8]`, the pelvis
+//! `z ∈ [0.8, 1]`.
+//!
+//! Every patient draws its own geometry jitter from a seeded RNG, so the
+//! cohort has realistic inter-patient variability while remaining fully
+//! deterministic.
+
+use crate::volume::Organ;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Nominal Hounsfield units per tissue (before noise / partial-volume blur).
+pub mod hu {
+    /// Outside the body.
+    pub const AIR: f32 = -1000.0;
+    /// Generic soft tissue / muscle.
+    pub const TISSUE: f32 = 45.0;
+    /// Subcutaneous fat ring.
+    pub const FAT: f32 = -90.0;
+    /// Aerated lung parenchyma.
+    pub const LUNG: f32 = -740.0;
+    /// Liver parenchyma.
+    pub const LIVER: f32 = 62.0;
+    /// Renal tissue (deliberately close to [`TISSUE`]: low contrast).
+    pub const KIDNEY: f32 = 42.0;
+    /// Urine-filled bladder.
+    pub const BLADDER: f32 = 18.0;
+    /// Cortical/trabecular bone mix.
+    pub const BONE: f32 = 380.0;
+    /// Brain parenchyma.
+    pub const BRAIN: f32 = 36.0;
+}
+
+/// Per-patient anatomy: global scale/jitter factors drawn once per patient.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Anatomy {
+    /// Body half-width (ellipse x radius in normalized units).
+    pub body_rx: f32,
+    /// Body half-height (ellipse y radius).
+    pub body_ry: f32,
+    /// Global organ size multiplier.
+    pub organ_scale: f32,
+    /// Organ centre jitter (dx, dy) applied to all organs.
+    pub jitter: (f32, f32),
+    /// Longitudinal stretch of organ z-ranges.
+    pub z_stretch: f32,
+    /// Rib periodicity phase.
+    pub rib_phase: f32,
+    /// Gaussian HU noise sigma.
+    pub noise_sigma: f32,
+}
+
+impl Anatomy {
+    /// Samples a patient anatomy.
+    pub fn sample<R: Rng>(rng: &mut R) -> Self {
+        Self {
+            body_rx: 0.86 * rng.gen_range(0.94..1.06),
+            body_ry: 0.68 * rng.gen_range(0.94..1.06),
+            organ_scale: rng.gen_range(0.92..1.08),
+            jitter: (rng.gen_range(-0.03..0.03), rng.gen_range(-0.03..0.03)),
+            z_stretch: rng.gen_range(0.96..1.04),
+            rib_phase: rng.gen_range(0.0..std::f32::consts::TAU),
+            noise_sigma: rng.gen_range(9.0..14.0),
+        }
+    }
+
+    /// True if `(nx, ny)` lies inside the body ellipse at longitudinal `z`.
+    /// The trunk tapers slightly toward the pelvis; the head is narrower.
+    pub fn inside_body(&self, nx: f32, ny: f32, z: f32) -> bool {
+        let (rx, ry) = self.body_radii(z);
+        ellipse(nx, ny, 0.0, 0.0, rx, ry) <= 1.0
+    }
+
+    /// Body ellipse radii at `z`.
+    pub fn body_radii(&self, z: f32) -> (f32, f32) {
+        if z < -0.02 {
+            // Head.
+            (self.body_rx * 0.52, self.body_ry * 0.78)
+        } else {
+            let taper = 1.0 - 0.08 * (z.clamp(0.0, 1.0));
+            (self.body_rx * taper, self.body_ry * taper)
+        }
+    }
+
+    /// Classifies a voxel: returns `(label, nominal HU)`.
+    ///
+    /// Priority order (first match wins): bones, lungs, liver, kidneys,
+    /// bladder, brain, fat ring, soft tissue.
+    pub fn classify(&self, nx: f32, ny: f32, z: f32) -> (u8, f32) {
+        if !self.inside_body(nx, ny, z) {
+            return (0, hu::AIR);
+        }
+        let zs = z / self.z_stretch;
+        let (jx, jy) = self.jitter;
+        let s = self.organ_scale;
+        let (brx, bry) = self.body_radii(z);
+
+        if self.in_bones(nx, ny, zs, brx, bry) {
+            return (Organ::Bones.label(), hu::BONE);
+        }
+        if zs < -0.02 {
+            // Head interior: brain fills most of the skull.
+            if ellipse(nx, ny, jx, jy * 0.5, brx * 0.74, bry * 0.74) <= 1.0 {
+                return (Organ::Brain.label(), hu::BRAIN);
+            }
+            return (0, hu::TISSUE);
+        }
+        if self.in_lungs(nx, ny, zs, jx, jy, s) {
+            return (Organ::Lungs.label(), hu::LUNG);
+        }
+        if self.in_liver(nx, ny, zs, jx, jy, s) {
+            return (Organ::Liver.label(), hu::LIVER);
+        }
+        if self.in_kidneys(nx, ny, zs, jx, jy, s) {
+            return (Organ::Kidneys.label(), hu::KIDNEY);
+        }
+        if self.in_bladder(nx, ny, zs, jx, jy, s) {
+            return (Organ::Bladder.label(), hu::BLADDER);
+        }
+        // Subcutaneous fat ring just inside the skin.
+        let r = ellipse(nx, ny, 0.0, 0.0, brx, bry);
+        if r > 0.90 {
+            return (0, hu::FAT);
+        }
+        (0, hu::TISSUE)
+    }
+
+    fn in_bones(&self, nx: f32, ny: f32, z: f32, brx: f32, bry: f32) -> bool {
+        if z < -0.02 {
+            // Skull: shell of the head ellipse.
+            let r = ellipse(nx, ny, 0.0, 0.0, brx, bry);
+            return (0.80..=0.97).contains(&r);
+        }
+        // Spine: posterior midline column, present along the whole trunk.
+        if ellipse(nx, ny, 0.0, 0.42, 0.125, 0.135) <= 1.0 {
+            return true;
+        }
+        // Ribs: periodic thin shells at the chest periphery.
+        if (0.0..=0.55).contains(&z) {
+            let r = ellipse(nx, ny, 0.0, 0.0, brx * 0.88, bry * 0.88);
+            let band = (z * 52.0 + self.rib_phase).sin();
+            if (0.86..=1.05).contains(&r) && band > 0.02 {
+                return true;
+            }
+        }
+        // Pelvis: posterior/lateral arcs near the bottom of the scan.
+        if (0.76..=1.0).contains(&z) {
+            let r = ellipse(nx, ny, 0.0, 0.12, brx * 0.78, bry * 0.82);
+            if (0.72..=1.04).contains(&r) && ny > -0.35 {
+                return true;
+            }
+        }
+        // Shoulder girdle hint at the very top of the trunk.
+        if (-0.02..=0.06).contains(&z) && nx.abs() > brx * 0.62 && ny < 0.15 {
+            return true;
+        }
+        false
+    }
+
+    fn in_lungs(&self, nx: f32, ny: f32, z: f32, jx: f32, jy: f32, s: f32) -> bool {
+        let (z0, z1) = (0.05, 0.46);
+        if !(z0..=z1).contains(&z) {
+            return false;
+        }
+        // Longitudinal taper: lungs are widest mid-chest.
+        let t = ((z - z0) / (z1 - z0) * std::f32::consts::PI).sin().max(0.0).sqrt();
+        let (rx, ry) = (0.27 * s * t, 0.35 * s * t);
+        ellipse(nx, ny, -0.40 + jx, -0.08 + jy, rx, ry) <= 1.0
+            || ellipse(nx, ny, 0.40 + jx, -0.08 + jy, rx, ry) <= 1.0
+    }
+
+    fn in_liver(&self, nx: f32, ny: f32, z: f32, jx: f32, jy: f32, s: f32) -> bool {
+        let (z0, z1) = (0.40, 0.74);
+        if !(z0..=z1).contains(&z) {
+            return false;
+        }
+        let t = ((z - z0) / (z1 - z0) * std::f32::consts::PI).sin().max(0.0).sqrt();
+        // Patient-right lobe (image left) with a medial extension.
+        ellipse(nx, ny, -0.30 + jx, 0.02 + jy, 0.47 * s * t, 0.40 * s * t) <= 1.0
+            || ellipse(nx, ny, 0.02 + jx, -0.10 + jy, 0.22 * s * t, 0.18 * s * t) <= 1.0
+    }
+
+    fn in_kidneys(&self, nx: f32, ny: f32, z: f32, jx: f32, jy: f32, s: f32) -> bool {
+        let (z0, z1) = (0.52, 0.82);
+        if !(z0..=z1).contains(&z) {
+            return false;
+        }
+        let t = ((z - z0) / (z1 - z0) * std::f32::consts::PI).sin().max(0.0).sqrt();
+        let (rx, ry) = (0.215 * s * t, 0.18 * s * t);
+        ellipse(nx, ny, -0.34 + jx, 0.26 + jy, rx, ry) <= 1.0
+            || ellipse(nx, ny, 0.34 + jx, 0.26 + jy, rx, ry) <= 1.0
+    }
+
+    fn in_bladder(&self, nx: f32, ny: f32, z: f32, jx: f32, jy: f32, s: f32) -> bool {
+        let (z0, z1) = (0.83, 1.0);
+        if !(z0..=z1).contains(&z) {
+            return false;
+        }
+        let t = ((z - z0) / (z1 - z0) * std::f32::consts::PI).sin().max(0.0).sqrt();
+        ellipse(nx, ny, jx, 0.10 + jy, 0.27 * s * t, 0.23 * s * t) <= 1.0
+    }
+}
+
+/// Normalized ellipse metric: `<= 1` inside.
+#[inline]
+fn ellipse(x: f32, y: f32, cx: f32, cy: f32, rx: f32, ry: f32) -> f32 {
+    if rx <= 0.0 || ry <= 0.0 {
+        return f32::INFINITY;
+    }
+    let dx = (x - cx) / rx;
+    let dy = (y - cy) / ry;
+    dx * dx + dy * dy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn anatomy(seed: u64) -> Anatomy {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Anatomy::sample(&mut rng)
+    }
+
+    #[test]
+    fn outside_body_is_air() {
+        let a = anatomy(1);
+        let (l, h) = a.classify(0.99, 0.99, 0.3);
+        assert_eq!(l, 0);
+        assert_eq!(h, hu::AIR);
+    }
+
+    #[test]
+    fn organs_appear_in_their_z_ranges() {
+        let a = anatomy(2);
+        // Lung voxel mid-chest.
+        let (l, _) = a.classify(-0.40, -0.08, 0.25);
+        assert_eq!(l, Organ::Lungs.label());
+        // Liver voxel upper abdomen (patient right).
+        let (l, _) = a.classify(-0.30, 0.02, 0.57);
+        assert_eq!(l, Organ::Liver.label());
+        // Kidney voxel.
+        let (l, _) = a.classify(0.34, 0.26, 0.67);
+        assert_eq!(l, Organ::Kidneys.label());
+        // Bladder voxel.
+        let (l, _) = a.classify(0.0, 0.10, 0.93);
+        assert_eq!(l, Organ::Bladder.label());
+        // Spine voxel anywhere along the trunk.
+        let (l, _) = a.classify(0.0, 0.42, 0.5);
+        assert_eq!(l, Organ::Bones.label());
+        // Brain voxel in the head.
+        let (l, _) = a.classify(0.0, 0.0, -0.15);
+        assert_eq!(l, Organ::Brain.label());
+    }
+
+    #[test]
+    fn organs_absent_outside_their_z_ranges() {
+        let a = anatomy(3);
+        assert_ne!(a.classify(-0.40, -0.08, 0.9).0, Organ::Lungs.label());
+        assert_ne!(a.classify(0.0, 0.10, 0.3).0, Organ::Bladder.label());
+        assert_ne!(a.classify(0.34, 0.26, 0.1).0, Organ::Kidneys.label());
+    }
+
+    #[test]
+    fn kidney_contrast_is_low() {
+        // The kidney/soft-tissue HU gap must stay small — the paper's "low
+        // contrast among semantically different areas".
+        assert!((hu::KIDNEY - hu::TISSUE).abs() < 10.0);
+        assert!((hu::BRAIN - hu::TISSUE).abs() < 15.0);
+    }
+
+    #[test]
+    fn anatomies_differ_between_patients() {
+        let a = anatomy(10);
+        let b = anatomy(11);
+        assert_ne!(a.body_rx, b.body_rx);
+        assert_ne!(a.rib_phase, b.rib_phase);
+    }
+
+    #[test]
+    fn skull_surrounds_brain() {
+        let a = anatomy(4);
+        // Moving outward from the head centre along +x we must cross brain,
+        // then bone (skull), then air.
+        let mut seen = vec![];
+        for i in 0..60 {
+            let nx = i as f32 / 60.0;
+            let (l, _) = a.classify(nx, 0.0, -0.15);
+            seen.push(l);
+        }
+        let brain = Organ::Brain.label();
+        let bone = Organ::Bones.label();
+        let first_bone = seen.iter().position(|&l| l == bone);
+        let last_brain = seen.iter().rposition(|&l| l == brain);
+        assert!(first_bone.is_some(), "no skull found");
+        assert!(last_brain.is_some(), "no brain found");
+        assert!(last_brain.unwrap() < first_bone.unwrap(), "brain outside skull");
+    }
+}

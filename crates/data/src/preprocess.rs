@@ -1,0 +1,186 @@
+//! Stage A of the SENECA workflow (paper §III-A):
+//!
+//! 1. down-size slices (512→256 in the paper; any integer factor here),
+//! 2. contrast adjustment by saturating the upper/lower 1% of pixels,
+//! 3. rescale intensities into `[-1, 1]`,
+//! 4. remove the brain label (under-represented, paper drops it).
+
+use crate::volume::{Organ, Slice2d};
+
+/// Integer-factor area downsampling of intensities plus centre-sample label
+/// downsampling. `factor` must divide both dimensions.
+pub fn downsample(slice: &Slice2d, factor: usize) -> Slice2d {
+    assert!(factor >= 1, "factor must be >= 1");
+    if factor == 1 {
+        return slice.clone();
+    }
+    assert!(
+        slice.width % factor == 0 && slice.height % factor == 0,
+        "factor {factor} must divide {}x{}",
+        slice.width,
+        slice.height
+    );
+    let (w, h) = (slice.width / factor, slice.height / factor);
+    let mut pixels = vec![0.0f32; w * h];
+    let mut labels = vec![0u8; w * h];
+    let inv = 1.0 / (factor * factor) as f32;
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = 0.0;
+            for dy in 0..factor {
+                for dx in 0..factor {
+                    acc += slice.pixels[(y * factor + dy) * slice.width + x * factor + dx];
+                }
+            }
+            pixels[y * w + x] = acc * inv;
+            // Majority label in the window (ties: lowest label wins).
+            let mut counts = [0u16; 7];
+            for dy in 0..factor {
+                for dx in 0..factor {
+                    let l = slice.labels[(y * factor + dy) * slice.width + x * factor + dx];
+                    counts[(l as usize).min(6)] += 1;
+                }
+            }
+            let best = counts
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &c)| c)
+                .map(|(i, _)| i as u8)
+                .unwrap_or(0);
+            labels[y * w + x] = best;
+        }
+    }
+    Slice2d {
+        width: w,
+        height: h,
+        pixels,
+        labels,
+        patient_id: slice.patient_id,
+        slice_index: slice.slice_index,
+    }
+}
+
+/// Returns the p-th percentile (0..=100) of `values` (nearest-rank).
+pub fn percentile(values: &[f32], p: f64) -> f32 {
+    assert!(!values.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p));
+    let mut sorted: Vec<f32> = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank]
+}
+
+/// Saturates the lowest and highest `pct`% of pixels (paper uses 1%) and
+/// linearly rescales the result into `[-1, 1]`. Operates in place.
+pub fn saturate_and_rescale(slice: &mut Slice2d, pct: f64) {
+    let lo = percentile(&slice.pixels, pct);
+    let hi = percentile(&slice.pixels, 100.0 - pct);
+    let span = (hi - lo).max(1e-3);
+    for v in &mut slice.pixels {
+        let clamped = v.clamp(lo, hi);
+        *v = (clamped - lo) / span * 2.0 - 1.0;
+    }
+}
+
+/// Replaces brain labels with background (paper §III-A: the brain is removed
+/// from the target organs).
+pub fn remove_brain_label(slice: &mut Slice2d) {
+    let brain = Organ::Brain.label();
+    for l in &mut slice.labels {
+        if *l == brain {
+            *l = 0;
+        }
+    }
+}
+
+/// Full stage-A pipeline: downsample by `factor`, remove brain, saturate at
+/// 1% and rescale to `[-1, 1]`.
+pub fn preprocess(slice: &Slice2d, factor: usize) -> Slice2d {
+    let mut s = downsample(slice, factor);
+    remove_brain_label(&mut s);
+    saturate_and_rescale(&mut s, 1.0);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_slice(w: usize, h: usize) -> Slice2d {
+        let pixels = (0..w * h).map(|i| i as f32).collect();
+        let labels = (0..w * h).map(|i| (i % 7) as u8).collect();
+        Slice2d { width: w, height: h, pixels, labels, patient_id: 0, slice_index: 0 }
+    }
+
+    #[test]
+    fn downsample_halves_dimensions_and_averages() {
+        let s = Slice2d {
+            width: 4,
+            height: 2,
+            pixels: vec![1.0, 3.0, 10.0, 20.0, 5.0, 7.0, 30.0, 40.0],
+            labels: vec![0, 1, 3, 3, 1, 1, 3, 5],
+            patient_id: 1,
+            slice_index: 2,
+        };
+        let d = downsample(&s, 2);
+        assert_eq!((d.width, d.height), (2, 1));
+        assert_eq!(d.pixels, vec![4.0, 25.0]);
+        // Majority labels: window0 = {0,1,1,1} -> 1; window1 = {3,3,3,5} -> 3.
+        assert_eq!(d.labels, vec![1, 3]);
+        assert_eq!(d.patient_id, 1);
+    }
+
+    #[test]
+    fn downsample_512_to_256_like_paper() {
+        let s = test_slice(512, 512);
+        let d = downsample(&s, 2);
+        assert_eq!((d.width, d.height), (256, 256));
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn downsample_requires_divisible_factor() {
+        let s = test_slice(10, 10);
+        let _ = downsample(&s, 3);
+    }
+
+    #[test]
+    fn percentile_basics() {
+        let v: Vec<f32> = (0..101).map(|i| i as f32).collect();
+        assert_eq!(percentile(&v, 0.0), 0.0);
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert_eq!(percentile(&v, 1.0), 1.0);
+    }
+
+    #[test]
+    fn rescale_maps_to_unit_interval_and_saturates() {
+        let mut s = test_slice(16, 16);
+        // Insert extreme outliers that the 1% saturation must clip.
+        s.pixels[0] = 1e6;
+        s.pixels[1] = -1e6;
+        saturate_and_rescale(&mut s, 1.0);
+        for v in &s.pixels {
+            assert!((-1.0..=1.0).contains(v), "{v}");
+        }
+        // The outliers hit the extremes exactly.
+        assert_eq!(s.pixels[0], 1.0);
+        assert_eq!(s.pixels[1], -1.0);
+    }
+
+    #[test]
+    fn brain_removal_only_touches_brain() {
+        let mut s = test_slice(7, 1);
+        remove_brain_label(&mut s);
+        assert_eq!(s.labels, vec![0, 1, 2, 3, 4, 5, 0]);
+    }
+
+    #[test]
+    fn full_pipeline_output_ranges() {
+        let s = test_slice(32, 32);
+        let p = preprocess(&s, 2);
+        assert_eq!((p.width, p.height), (16, 16));
+        assert!(p.pixels.iter().all(|v| (-1.0..=1.0).contains(v)));
+        assert!(p.labels.iter().all(|&l| l <= 5));
+    }
+}

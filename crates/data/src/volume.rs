@@ -1,0 +1,226 @@
+//! CT volumes: Hounsfield-unit voxels plus per-voxel organ labels.
+
+use serde::{Deserialize, Serialize};
+
+/// The six labeled organs of CT-ORG (label values match the dataset
+/// convention used throughout this reproduction; 0 is background).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Organ {
+    /// Liver (label 1).
+    Liver = 1,
+    /// Bladder (label 2).
+    Bladder = 2,
+    /// Lungs (label 3).
+    Lungs = 3,
+    /// Kidneys (label 4).
+    Kidneys = 4,
+    /// Bones (label 5).
+    Bones = 5,
+    /// Brain (label 6) — removed from the training targets (paper §III-A).
+    Brain = 6,
+}
+
+impl Organ {
+    /// All organs in Table I column order.
+    pub const ALL: [Organ; 6] =
+        [Organ::Liver, Organ::Bladder, Organ::Lungs, Organ::Kidneys, Organ::Bones, Organ::Brain];
+
+    /// The five organs SENECA is trained on (brain excluded).
+    pub const TARGETS: [Organ; 5] =
+        [Organ::Liver, Organ::Bladder, Organ::Lungs, Organ::Kidneys, Organ::Bones];
+
+    /// Label value.
+    pub const fn label(self) -> u8 {
+        self as u8
+    }
+
+    /// Organ from a label value (None for background / unknown).
+    pub fn from_label(l: u8) -> Option<Organ> {
+        match l {
+            1 => Some(Organ::Liver),
+            2 => Some(Organ::Bladder),
+            3 => Some(Organ::Lungs),
+            4 => Some(Organ::Kidneys),
+            5 => Some(Organ::Bones),
+            6 => Some(Organ::Brain),
+            _ => None,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Organ::Liver => "Liver",
+            Organ::Bladder => "Bladder",
+            Organ::Lungs => "Lungs",
+            Organ::Kidneys => "Kidneys",
+            Organ::Bones => "Bones",
+            Organ::Brain => "Brain",
+        }
+    }
+
+    /// Paper Table I frequency (percent of labeled pixels in CT-ORG).
+    pub fn paper_frequency_pct(self) -> f64 {
+        match self {
+            Organ::Liver => 22.18,
+            Organ::Bladder => 2.51,
+            Organ::Lungs => 34.17,
+            Organ::Kidneys => 4.70,
+            Organ::Bones => 36.26,
+            Organ::Brain => 0.18,
+        }
+    }
+}
+
+impl std::fmt::Display for Organ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A 3-D CT acquisition: `depth` axial slices of `height x width` voxels.
+/// `hu` holds Hounsfield units, `labels` the organ label (0 = background).
+/// Slice-major layout: voxel `(z, y, x)` is at `(z*H + y)*W + x`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Volume {
+    /// Slice width in voxels.
+    pub width: usize,
+    /// Slice height in voxels.
+    pub height: usize,
+    /// Number of axial slices.
+    pub depth: usize,
+    /// Hounsfield units.
+    pub hu: Vec<f32>,
+    /// Organ labels.
+    pub labels: Vec<u8>,
+    /// Patient identifier within the synthetic cohort.
+    pub patient_id: usize,
+}
+
+/// One axial slice extracted from a volume.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Slice2d {
+    /// Slice width.
+    pub width: usize,
+    /// Slice height.
+    pub height: usize,
+    /// Intensity values (HU before preprocessing, `[-1, 1]` after).
+    pub pixels: Vec<f32>,
+    /// Per-pixel organ labels.
+    pub labels: Vec<u8>,
+    /// Source patient.
+    pub patient_id: usize,
+    /// Source slice index.
+    pub slice_index: usize,
+}
+
+impl Volume {
+    /// Allocates an air-filled (−1000 HU), unlabeled volume.
+    pub fn air(width: usize, height: usize, depth: usize, patient_id: usize) -> Self {
+        Self {
+            width,
+            height,
+            depth,
+            hu: vec![-1000.0; width * height * depth],
+            labels: vec![0; width * height * depth],
+            patient_id,
+        }
+    }
+
+    /// Number of voxels per slice.
+    pub fn slice_len(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Extracts slice `z`.
+    pub fn slice(&self, z: usize) -> Slice2d {
+        assert!(z < self.depth, "slice {z} out of {}", self.depth);
+        let n = self.slice_len();
+        Slice2d {
+            width: self.width,
+            height: self.height,
+            pixels: self.hu[z * n..(z + 1) * n].to_vec(),
+            labels: self.labels[z * n..(z + 1) * n].to_vec(),
+            patient_id: self.patient_id,
+            slice_index: z,
+        }
+    }
+
+    /// Counts labeled voxels per organ (index = label value, 0..=6).
+    pub fn label_histogram(&self) -> [u64; 7] {
+        let mut h = [0u64; 7];
+        for &l in &self.labels {
+            h[(l as usize).min(6)] += 1;
+        }
+        h
+    }
+}
+
+impl Slice2d {
+    /// Counts labeled pixels per organ (index = label value, 0..=6).
+    pub fn label_histogram(&self) -> [u64; 7] {
+        let mut h = [0u64; 7];
+        for &l in &self.labels {
+            h[(l as usize).min(6)] += 1;
+        }
+        h
+    }
+
+    /// True when the slice contains at least one labeled pixel of `organ`.
+    pub fn contains(&self, organ: Organ) -> bool {
+        self.labels.iter().any(|&l| l == organ.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn organ_labels_roundtrip() {
+        for o in Organ::ALL {
+            assert_eq!(Organ::from_label(o.label()), Some(o));
+        }
+        assert_eq!(Organ::from_label(0), None);
+        assert_eq!(Organ::from_label(9), None);
+    }
+
+    #[test]
+    fn paper_frequencies_sum_to_100() {
+        let sum: f64 = Organ::ALL.iter().map(|o| o.paper_frequency_pct()).sum();
+        assert!((sum - 100.0).abs() < 0.1, "{sum}");
+    }
+
+    #[test]
+    fn air_volume_and_slices() {
+        let mut v = Volume::air(4, 3, 2, 7);
+        assert_eq!(v.hu.len(), 24);
+        v.labels[4 * 3 + 5] = Organ::Liver.label(); // slice 1, y=1, x=2... index math below
+        let s0 = v.slice(0);
+        let s1 = v.slice(1);
+        assert_eq!(s0.labels.iter().filter(|&&l| l != 0).count(), 0);
+        assert_eq!(s1.labels.iter().filter(|&&l| l != 0).count(), 1);
+        assert!(s1.contains(Organ::Liver));
+        assert!(!s1.contains(Organ::Bladder));
+        assert_eq!(s1.patient_id, 7);
+        assert_eq!(s1.slice_index, 1);
+    }
+
+    #[test]
+    fn histograms_count_labels() {
+        let mut v = Volume::air(2, 2, 1, 0);
+        v.labels = vec![0, 1, 5, 5];
+        let h = v.label_histogram();
+        assert_eq!(h[0], 1);
+        assert_eq!(h[1], 1);
+        assert_eq!(h[5], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn slice_bounds_checked() {
+        let v = Volume::air(2, 2, 1, 0);
+        let _ = v.slice(1);
+    }
+}

@@ -1,0 +1,141 @@
+//! DPU microarchitecture parameters.
+//!
+//! The DPUCZDX8G family is parameterised by three parallelism degrees —
+//! pixel parallelism (PP), input-channel parallelism (ICP) and
+//! output-channel parallelism (OCP). Peak INT8 operations per cycle is
+//! `2 * PP * ICP * OCP` (multiply + add). The B4096 used by SENECA has
+//! PP=8, ICP=16, OCP=16 → 4096 ops/cycle, and the default ZCU104 image
+//! instantiates two cores.
+
+use serde::{Deserialize, Serialize};
+
+/// Architecture description of one DPU configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DpuArch {
+    /// Configuration name (e.g. "DPUCZDX8G-B4096").
+    pub name: String,
+    /// Pixel parallelism (output pixels per cycle).
+    pub pixel_parallel: usize,
+    /// Input-channel parallelism.
+    pub icp: usize,
+    /// Output-channel parallelism.
+    pub ocp: usize,
+    /// Number of DPU cores on the fabric.
+    pub cores: usize,
+    /// Core clock in MHz (the ZCU104 reference design runs 300 MHz general
+    /// logic / 600 MHz DSP double-pumped).
+    pub clock_mhz: f64,
+    /// Effective DDR bandwidth available to one core (GB/s). The ZCU104 has
+    /// a single 64-bit DDR4-2400 channel (~19 GB/s peak) shared with the
+    /// ARM host; sustained per-core DMA achieves a fraction of that.
+    pub ddr_gbps: f64,
+    /// Fixed per-instruction overhead (fetch, decode, DMA descriptor setup,
+    /// pipeline fill/drain) in nanoseconds.
+    pub instr_overhead_ns: u64,
+    /// Fixed per-frame overhead (VART job dispatch, interrupt latency,
+    /// input/output cache maintenance on the host side) in nanoseconds.
+    pub frame_overhead_ns: u64,
+    /// Multiplier on DDR traffic for feature maps whose channel count is not
+    /// a multiple of ICP (read-modify-write on partially filled channel
+    /// groups).
+    pub misalign_penalty: f64,
+    /// Multiplier on conv compute cycles when a channel count is misaligned
+    /// (img-buffer bank conflicts partially stall the array).
+    pub compute_misalign_penalty: f64,
+    /// On-chip feature-map memory per core in KiB (B4096: weights + img
+    /// buffers; feature maps above this spill to DDR every layer).
+    pub onchip_kib: usize,
+}
+
+impl DpuArch {
+    /// The dual-core B4096 on the ZCU104 (SENECA's target).
+    pub fn b4096_zcu104() -> Self {
+        Self {
+            name: "DPUCZDX8G-B4096".into(),
+            pixel_parallel: 8,
+            icp: 16,
+            ocp: 16,
+            cores: 2,
+            clock_mhz: 300.0,
+            ddr_gbps: 9.5,
+            instr_overhead_ns: 22_000,
+            frame_overhead_ns: 1_100_000,
+            misalign_penalty: 2.6,
+            compute_misalign_penalty: 1.35,
+            onchip_kib: 1024,
+        }
+    }
+
+    /// A smaller configuration (B1152: 4x12x12) used by ablations.
+    pub fn b1152() -> Self {
+        Self {
+            name: "DPUCZDX8G-B1152".into(),
+            pixel_parallel: 4,
+            icp: 12,
+            ocp: 12,
+            cores: 2,
+            clock_mhz: 300.0,
+            ddr_gbps: 9.5,
+            instr_overhead_ns: 22_000,
+            frame_overhead_ns: 1_100_000,
+            misalign_penalty: 2.6,
+            compute_misalign_penalty: 1.35,
+            onchip_kib: 768,
+        }
+    }
+
+    /// Peak INT8 ops per cycle (`2 * PP * ICP * OCP`).
+    pub fn peak_ops_per_cycle(&self) -> usize {
+        2 * self.pixel_parallel * self.icp * self.ocp
+    }
+
+    /// Peak INT8 TOPS of the whole fabric.
+    pub fn peak_tops(&self) -> f64 {
+        self.peak_ops_per_cycle() as f64 * self.clock_mhz * 1e6 * self.cores as f64 / 1e12
+    }
+
+    /// Nanoseconds per core clock cycle.
+    pub fn ns_per_cycle(&self) -> f64 {
+        1e3 / self.clock_mhz
+    }
+
+    /// Channel count padded up to the ICP boundary (feature-map storage
+    /// granularity in DDR and on-chip RAM).
+    pub fn pad_channels(&self, c: usize) -> usize {
+        c.div_ceil(self.icp) * self.icp
+    }
+
+    /// True if a channel count needs read-modify-write handling.
+    pub fn is_misaligned(&self, c: usize) -> bool {
+        c % self.icp != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn b4096_peaks_at_4096_ops() {
+        let a = DpuArch::b4096_zcu104();
+        assert_eq!(a.peak_ops_per_cycle(), 4096);
+        // 4096 ops * 300 MHz * 2 cores ≈ 2.46 TOPS.
+        assert!((a.peak_tops() - 2.4576).abs() < 1e-3);
+    }
+
+    #[test]
+    fn channel_padding() {
+        let a = DpuArch::b4096_zcu104();
+        assert_eq!(a.pad_channels(1), 16);
+        assert_eq!(a.pad_channels(16), 16);
+        assert_eq!(a.pad_channels(17), 32);
+        assert_eq!(a.pad_channels(48), 48);
+        assert!(a.is_misaligned(6));
+        assert!(!a.is_misaligned(32));
+    }
+
+    #[test]
+    fn b1152_is_smaller() {
+        assert!(DpuArch::b1152().peak_ops_per_cycle() < DpuArch::b4096_zcu104().peak_ops_per_cycle());
+    }
+}

@@ -1,0 +1,163 @@
+//! Functional and timing execution of an xmodel on one DPU core.
+//!
+//! Functional mode actually runs the INT8 maths (dispatching each CONV /
+//! POOL / ELEW instruction to the shared quantized kernels), producing the
+//! same bits as [`seneca_quant::QuantizedGraph::execute`]. Timing-only mode
+//! skips the maths and just evaluates the cost model — used by the
+//! throughput sweeps where 2000-frame batches would make functional
+//! execution needlessly slow.
+
+use crate::isa::DpuInstr;
+use crate::perf::{frame_cost, FrameCost};
+use crate::xmodel::XModel;
+use seneca_quant::qgraph::{qconcat, qconv3x3, qmaxpool, qtconv2x2};
+use seneca_quant::QOp;
+use seneca_tensor::QTensor;
+
+/// Execution mode of a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Run the INT8 maths and the cost model.
+    Functional,
+    /// Cost model only.
+    TimingOnly,
+}
+
+/// Result of one job on a core.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// INT8 output logits (None in timing-only mode).
+    pub output: Option<QTensor>,
+    /// Frame cost on this core.
+    pub cost: FrameCost,
+}
+
+/// One simulated DPU core.
+#[derive(Debug, Clone)]
+pub struct DpuCore {
+    /// Execution mode.
+    pub mode: ExecMode,
+}
+
+impl DpuCore {
+    /// Creates a core in the given mode.
+    pub fn new(mode: ExecMode) -> Self {
+        Self { mode }
+    }
+
+    /// Runs one frame through the xmodel.
+    pub fn run(&self, xm: &XModel, input: &QTensor) -> JobResult {
+        let cost = frame_cost(xm, &xm.arch);
+        let output = match self.mode {
+            ExecMode::TimingOnly => None,
+            ExecMode::Functional => Some(self.run_functional(xm, input)),
+        };
+        JobResult { output, cost }
+    }
+
+    /// Instruction-driven functional execution.
+    fn run_functional(&self, xm: &XModel, input: &QTensor) -> QTensor {
+        assert_eq!(input.fix_pos(), xm.qgraph.input_fp, "input fix position");
+        assert_eq!(input.shape().with_n(1), xm.input_shape, "input geometry");
+        let n_nodes = xm.qgraph.nodes.len();
+        let mut vals: Vec<Option<QTensor>> = vec![None; n_nodes];
+        vals[0] = Some(input.clone());
+
+        for instr in &xm.instrs {
+            match instr {
+                DpuInstr::Load { .. } | DpuInstr::Save { .. } | DpuInstr::End => {}
+                DpuInstr::Conv { node, .. } => {
+                    let qnode = &xm.qgraph.nodes[*node];
+                    let x = vals[qnode.inputs[0]].as_ref().expect("scheduled before use");
+                    let out = match &qnode.op {
+                        QOp::Conv(p) => qconv3x3(x, p),
+                        QOp::TConv(p) => qtconv2x2(x, p),
+                        other => panic!("CONV instr maps to {:?}", other.mnemonic()),
+                    };
+                    vals[*node] = Some(out);
+                }
+                DpuInstr::Pool { node, .. } => {
+                    let qnode = &xm.qgraph.nodes[*node];
+                    let x = vals[qnode.inputs[0]].as_ref().expect("scheduled before use");
+                    vals[*node] = Some(qmaxpool(x));
+                }
+                DpuInstr::Elew { node, .. } => {
+                    let qnode = &xm.qgraph.nodes[*node];
+                    let (shift_a, shift_b, out_fp) = match &qnode.op {
+                        QOp::Concat { shift_a, shift_b, out_fp } => (*shift_a, *shift_b, *out_fp),
+                        other => panic!("ELEW instr maps to {:?}", other.mnemonic()),
+                    };
+                    let a = vals[qnode.inputs[0]].as_ref().expect("scheduled");
+                    let b = vals[qnode.inputs[1]].as_ref().expect("scheduled");
+                    vals[*node] = Some(qconcat(a, b, shift_a, shift_b, out_fp));
+                }
+            }
+        }
+        vals[xm.qgraph.output].take().expect("output produced by instruction stream")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::DpuArch;
+    use crate::compiler::compile;
+    use rand::SeedableRng;
+    use seneca_nn::graph::Graph;
+    use seneca_nn::unet::{UNet, UNetConfig};
+    use seneca_quant::{fuse, quantize_post_training, PtqConfig};
+    use seneca_tensor::{Shape4, Tensor};
+
+    fn setup(seed: u64) -> (XModel, Tensor) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let cfg =
+            UNetConfig { depth: 2, base_filters: 4, in_channels: 1, num_classes: 6, dropout: 0.0 };
+        let net = UNet::new(cfg, &mut rng);
+        let fg = fuse(&Graph::from_unet(&net, "t"));
+        let mut img = Tensor::he_normal(Shape4::new(1, 1, 16, 16), &mut rng);
+        for v in img.data_mut() {
+            *v = v.clamp(-1.0, 1.0);
+        }
+        let (qg, _) = quantize_post_training(&fg, &[img.clone()], &PtqConfig::default());
+        let xm = compile(&qg, Shape4::new(1, 1, 16, 16), DpuArch::b4096_zcu104());
+        (xm, img)
+    }
+
+    #[test]
+    fn functional_matches_quantized_graph_bit_exactly() {
+        let (xm, img) = setup(1);
+        let core = DpuCore::new(ExecMode::Functional);
+        let input = xm.quantize_input(&img);
+        let res = core.run(&xm, &input);
+        let out_core = res.output.unwrap();
+        let out_ref = xm.qgraph.execute(&input);
+        assert_eq!(out_core.data(), out_ref.data(), "DPU core must bit-match the qgraph");
+        assert_eq!(out_core.fix_pos(), out_ref.fix_pos());
+    }
+
+    #[test]
+    fn timing_only_skips_output() {
+        let (xm, img) = setup(2);
+        let core = DpuCore::new(ExecMode::TimingOnly);
+        let res = core.run(&xm, &xm.quantize_input(&img));
+        assert!(res.output.is_none());
+        assert!(res.cost.serial_ns > 0);
+        assert!(res.cost.compute_ns > 0);
+    }
+
+    #[test]
+    fn cost_matches_standalone_frame_cost() {
+        let (xm, img) = setup(3);
+        let core = DpuCore::new(ExecMode::TimingOnly);
+        let res = core.run(&xm, &xm.quantize_input(&img));
+        assert_eq!(res.cost, frame_cost(&xm, &xm.arch));
+    }
+
+    #[test]
+    #[should_panic(expected = "input geometry")]
+    fn wrong_geometry_rejected() {
+        let (xm, _) = setup(4);
+        let bad = QTensor::zeros(Shape4::new(1, 1, 8, 8), xm.qgraph.input_fp);
+        let _ = DpuCore::new(ExecMode::Functional).run(&xm, &bad);
+    }
+}

@@ -1,0 +1,196 @@
+//! The DPU cost model.
+//!
+//! Three mechanisms drive the paper-visible performance shape:
+//!
+//! * **lane quantisation** — the array processes `ceil(C_in/ICP)` x
+//!   `ceil(C_out/OCP)` channel-group pairs and `ceil(W/PP)` pixel groups, so
+//!   models with few channels (f=6 vs f=8) often cost the *same* cycles
+//!   while the GPU sees proportional FLOPs. This is why the 1M model out-runs
+//!   the 2M model on the DPU but not on the GPU (Table IV);
+//! * **double-buffered DMA** — per layer, compute overlaps with the DMA of
+//!   its operands: `layer time = max(compute, mem) + fixed overhead`;
+//! * **channel padding + misalignment** — feature maps are stored in
+//!   ICP-channel groups; non-multiple-of-16 channel counts pay a
+//!   read-modify-write bandwidth penalty, which hits the f=6 (2M) model at
+//!   its largest layers and explains 4M ≥ 2M FPS.
+
+use crate::arch::DpuArch;
+use crate::isa::DpuInstr;
+use crate::xmodel::XModel;
+use serde::{Deserialize, Serialize};
+
+/// Cost breakdown of one frame on one DPU core.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrameCost {
+    /// Pure array compute time (ns).
+    pub compute_ns: u64,
+    /// Pure DMA time (ns).
+    pub mem_ns: u64,
+    /// Fixed instruction overheads (ns).
+    pub overhead_ns: u64,
+    /// Frame latency after compute/DMA overlap (ns).
+    pub serial_ns: u64,
+}
+
+impl FrameCost {
+    /// Fraction of the frame the array is computing (drives dynamic power).
+    pub fn compute_intensity(&self) -> f64 {
+        if self.serial_ns == 0 {
+            return 0.0;
+        }
+        (self.compute_ns as f64 / self.serial_ns as f64).min(1.0)
+    }
+}
+
+/// Array compute cycles of one instruction (0 for pure-DMA instructions).
+pub fn compute_cycles(instr: &DpuInstr, arch: &DpuArch) -> u64 {
+    match instr {
+        DpuInstr::Conv { h, w, c_in, c_out, k, .. } => {
+            let cg_in = c_in.div_ceil(arch.icp) as u64;
+            let cg_out = c_out.div_ceil(arch.ocp) as u64;
+            let pg = w.div_ceil(arch.pixel_parallel) as u64;
+            let kk = (*k * *k) as u64;
+            // Transpose conv walks the input grid; each visit fills a 2x2
+            // output block, one cycle per kernel tap like direct conv.
+            let rows = *h as u64;
+            let base = cg_in * cg_out * pg * rows * kk;
+            // Img-buffer bank conflicts on partially filled channel groups.
+            if c_in % arch.icp != 0 || c_out % arch.ocp != 0 {
+                (base as f64 * arch.compute_misalign_penalty) as u64
+            } else {
+                base
+            }
+        }
+        DpuInstr::Pool { h, w, c, .. } => {
+            // Misc engine: one 2x2 window per channel-group per pixel-group.
+            let cg = c.div_ceil(arch.icp) as u64;
+            let pg = w.div_ceil(arch.pixel_parallel) as u64;
+            cg * pg * *h as u64 * 4
+        }
+        DpuInstr::Elew { elems, .. } => elems / (arch.icp * arch.pixel_parallel) as u64,
+        DpuInstr::Load { .. } | DpuInstr::Save { .. } | DpuInstr::End => 0,
+    }
+}
+
+/// DMA time of one instruction in ns (0 for compute instructions).
+pub fn mem_ns(instr: &DpuInstr, arch: &DpuArch) -> u64 {
+    let (bytes, misaligned) = match instr {
+        DpuInstr::Load { bytes, misaligned, .. } | DpuInstr::Save { bytes, misaligned } => {
+            (*bytes, *misaligned)
+        }
+        _ => return 0,
+    };
+    let base = bytes as f64 / arch.ddr_gbps; // ns (bytes / (GB/s) = ns)
+    let factor = if misaligned { arch.misalign_penalty } else { 1.0 };
+    (base * factor) as u64
+}
+
+/// Frame cost on one core: the DPU's load/compute/store engines run deeply
+/// pipelined with double-buffered on-chip memory, so over a whole frame the
+/// DMA stream overlaps the array almost completely — the frame latency is
+/// `max(total compute, total DMA) + per-dispatch overheads`.
+pub fn frame_cost(xm: &XModel, arch: &DpuArch) -> FrameCost {
+    let ns_per_cycle = arch.ns_per_cycle();
+    let mut compute_total = 0u64;
+    let mut mem_total = 0u64;
+    let mut overhead_total = 0u64;
+
+    for instr in &xm.instrs {
+        match instr {
+            DpuInstr::Load { .. } | DpuInstr::Save { .. } | DpuInstr::End => {
+                mem_total += mem_ns(instr, arch);
+            }
+            _ => {
+                compute_total += (compute_cycles(instr, arch) as f64 * ns_per_cycle) as u64;
+                overhead_total += arch.instr_overhead_ns;
+            }
+        }
+    }
+    let overhead_total = overhead_total + arch.frame_overhead_ns;
+    let serial = compute_total.max(mem_total) + overhead_total;
+    FrameCost { compute_ns: compute_total, mem_ns: mem_total, overhead_ns: overhead_total, serial_ns: serial }
+}
+
+/// Frame cost with pruning credit: zeroed output channels (see
+/// `seneca_nn::prune`) skip their channel-group work. `live_ratio` in
+/// `[0, 1]` scales conv compute cycles.
+pub fn frame_cost_pruned(xm: &XModel, arch: &DpuArch, live_ratio: f64) -> FrameCost {
+    let base = frame_cost(xm, arch);
+    let compute = (base.compute_ns as f64 * live_ratio.clamp(0.0, 1.0)) as u64;
+    // Memory and overheads do not shrink (maps keep their padded layout).
+    let serial = base.serial_ns - (base.compute_ns - compute).min(base.serial_ns / 2);
+    FrameCost { compute_ns: compute, serial_ns: serial, ..base }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::LoadKind;
+
+    fn arch() -> DpuArch {
+        DpuArch::b4096_zcu104()
+    }
+
+    #[test]
+    fn conv_cycles_use_lane_quantisation() {
+        let a = arch();
+        let mk = |c_in: usize, c_out: usize| DpuInstr::Conv {
+            node: 0,
+            h: 64,
+            w: 64,
+            c_in,
+            c_out,
+            k: 3,
+            transpose: false,
+            relu: false,
+        };
+        // 6 and 8 input channels cost identical cycles (both one ICP group,
+        // both misaligned).
+        assert_eq!(compute_cycles(&mk(6, 8), &a), compute_cycles(&mk(8, 8), &a));
+        // 9 vs 16 input channels: same group count, but 9 pays the
+        // bank-conflict penalty on top.
+        let aligned = compute_cycles(&mk(16, 16), &a);
+        let misaligned = compute_cycles(&mk(9, 16), &a);
+        assert_eq!(misaligned, (aligned as f64 * a.compute_misalign_penalty) as u64);
+        // 17 channels spill into a second group: 2x the groups, plus the
+        // misalignment penalty.
+        assert_eq!(
+            compute_cycles(&mk(17, 16), &a),
+            (2.0 * aligned as f64 * a.compute_misalign_penalty) as u64
+        );
+    }
+
+    #[test]
+    fn conv_cycles_formula() {
+        let a = arch();
+        let i = DpuInstr::Conv { node: 0, h: 32, w: 32, c_in: 32, c_out: 64, k: 3, transpose: false, relu: true };
+        // 2 ICP groups * 4 OCP groups * 4 pixel groups * 32 rows * 9 taps.
+        assert_eq!(compute_cycles(&i, &a), 2 * 4 * 4 * 32 * 9);
+    }
+
+    #[test]
+    fn misaligned_dma_costs_more() {
+        let a = arch();
+        let ok = DpuInstr::Load { what: LoadKind::FeatureMap, bytes: 1 << 20, misaligned: false };
+        let bad = DpuInstr::Load { what: LoadKind::FeatureMap, bytes: 1 << 20, misaligned: true };
+        assert!(mem_ns(&bad, &a) > mem_ns(&ok, &a));
+        let ratio = mem_ns(&bad, &a) as f64 / mem_ns(&ok, &a) as f64;
+        assert!((ratio - a.misalign_penalty).abs() < 0.01);
+    }
+
+    #[test]
+    fn pool_and_elew_are_cheap_relative_to_conv() {
+        let a = arch();
+        let conv = DpuInstr::Conv { node: 0, h: 64, w: 64, c_in: 32, c_out: 32, k: 3, transpose: false, relu: false };
+        let pool = DpuInstr::Pool { node: 0, h: 32, w: 32, c: 32 };
+        assert!(compute_cycles(&pool, &a) * 10 < compute_cycles(&conv, &a));
+    }
+
+    #[test]
+    fn intensity_bounded_by_one() {
+        let c = FrameCost { compute_ns: 500, mem_ns: 100, overhead_ns: 10, serial_ns: 400 };
+        assert_eq!(c.compute_intensity(), 1.0);
+        let c2 = FrameCost { compute_ns: 100, mem_ns: 100, overhead_ns: 10, serial_ns: 400 };
+        assert!((c2.compute_intensity() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,130 @@
+//! ZCU104 board power model.
+//!
+//! The paper measures DC wall power with a Voltcraft 4000 logger: 24.8–31 W
+//! across models at 4 threads. We decompose that into: a static platform
+//! draw (regulators, fans, DRAM refresh, PS idle), per-DPU-core power that
+//! scales with *compute intensity* (array toggling dominates; memory-stalled
+//! layers burn less), ARM core activity for pre/post-processing, DDR
+//! interface power proportional to achieved bandwidth, and a small
+//! per-runner-thread scheduling overhead (the reason ≥8 threads costs power
+//! without FPS, §IV-B).
+
+use serde::{Deserialize, Serialize};
+
+/// Power model parameters (Watts).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Zcu104Power {
+    /// Constant platform draw.
+    pub static_w: f64,
+    /// Per busy DPU core, load-independent part.
+    pub dpu_base_w: f64,
+    /// Per busy DPU core, multiplied by compute intensity.
+    pub dpu_compute_w: f64,
+    /// Per busy ARM core.
+    pub arm_active_w: f64,
+    /// Per idle ARM core.
+    pub arm_idle_w: f64,
+    /// DDR interface power per GB/s of achieved traffic.
+    pub ddr_w_per_gbps: f64,
+    /// Per runner thread (scheduler/polling overhead).
+    pub thread_w: f64,
+}
+
+impl Default for Zcu104Power {
+    fn default() -> Self {
+        Self {
+            static_w: 15.9,
+            dpu_base_w: 1.1,
+            dpu_compute_w: 4.0,
+            arm_active_w: 0.55,
+            arm_idle_w: 0.15,
+            ddr_w_per_gbps: 0.25,
+            thread_w: 0.16,
+        }
+    }
+}
+
+/// Inputs to the board-power computation, all averaged over a run.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerInputs {
+    /// Mean number of busy DPU cores (0..=cores).
+    pub dpu_busy_cores: f64,
+    /// Compute intensity of the running model (0..=1).
+    pub compute_intensity: f64,
+    /// Mean number of busy ARM cores (0..=arm_cores).
+    pub arm_busy_cores: f64,
+    /// Total ARM cores.
+    pub arm_cores: usize,
+    /// Achieved DDR traffic (GB/s).
+    pub ddr_gbps: f64,
+    /// Runner threads.
+    pub threads: usize,
+}
+
+impl Zcu104Power {
+    /// Average board power for the given activity profile.
+    pub fn board_power_w(&self, i: &PowerInputs) -> f64 {
+        let dpu = i.dpu_busy_cores * (self.dpu_base_w + self.dpu_compute_w * i.compute_intensity);
+        let arm_idle = (i.arm_cores as f64 - i.arm_busy_cores).max(0.0) * self.arm_idle_w;
+        let arm = i.arm_busy_cores * self.arm_active_w + arm_idle;
+        self.static_w + dpu + arm + self.ddr_w_per_gbps * i.ddr_gbps + self.thread_w * i.threads as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs() -> PowerInputs {
+        PowerInputs {
+            dpu_busy_cores: 2.0,
+            compute_intensity: 0.6,
+            arm_busy_cores: 1.2,
+            arm_cores: 4,
+            ddr_gbps: 6.0,
+            threads: 4,
+        }
+    }
+
+    #[test]
+    fn full_load_lands_in_papers_range() {
+        let p = Zcu104Power::default();
+        let w = p.board_power_w(&inputs());
+        assert!((24.0..32.0).contains(&w), "board power {w} W outside Table IV range");
+    }
+
+    #[test]
+    fn idle_board_draws_static_floor() {
+        let p = Zcu104Power::default();
+        let w = p.board_power_w(&PowerInputs {
+            dpu_busy_cores: 0.0,
+            compute_intensity: 0.0,
+            arm_busy_cores: 0.0,
+            arm_cores: 4,
+            ddr_gbps: 0.0,
+            threads: 0,
+        });
+        assert!((w - (p.static_w + 4.0 * p.arm_idle_w)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_threads_cost_power() {
+        let p = Zcu104Power::default();
+        let mut i = inputs();
+        let w4 = p.board_power_w(&i);
+        i.threads = 8;
+        let w8 = p.board_power_w(&i);
+        assert!(w8 > w4);
+    }
+
+    #[test]
+    fn higher_intensity_costs_power() {
+        let p = Zcu104Power::default();
+        let mut i = inputs();
+        i.compute_intensity = 0.2;
+        let low = p.board_power_w(&i);
+        i.compute_intensity = 0.9;
+        let high = p.board_power_w(&i);
+        assert!(high > low + 1.0);
+    }
+}

@@ -1,0 +1,352 @@
+//! The VART-style asynchronous runtime.
+//!
+//! VART lets host threads "asynchronously submit and collect jobs to/from
+//! the accelerator" (§III-E). Two execution paths are provided:
+//!
+//! * [`DpuRunner::run_functional`] — real worker threads (crossbeam channel
+//!   fan-out) running the bit-exact INT8 executor; used by every accuracy
+//!   experiment;
+//! * [`DpuRunner::run_throughput`] — a `seneca-hwsim` closed-network
+//!   simulation of the same pipeline (ARM pre-process → DPU core → ARM
+//!   post-process) with the cost model supplying DPU service times; used by
+//!   the FPS / Watt / EE sweeps (Table IV, Fig. 3).
+
+use crate::executor::{DpuCore, ExecMode};
+use crate::perf::frame_cost;
+use crate::power::{PowerInputs, Zcu104Power};
+use crate::xmodel::XModel;
+use rand::{Rng, SeedableRng};
+use seneca_hwsim::{simulate_closed_pipeline, Resource, StageSpec};
+use seneca_tensor::{QTensor, Tensor};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Runtime configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RuntimeConfig {
+    /// Runner threads (the paper sweeps 1, 2, 4 and discusses 8).
+    pub threads: usize,
+    /// ARM host cores (the ZCU104's Cortex-A53 has 4).
+    pub arm_cores: usize,
+    /// Pre-processing time per input pixel on one ARM core (ns): rescale to
+    /// the xmodel's input scale + INT8 quantisation.
+    pub pre_ns_per_pixel: f64,
+    /// Post-processing time per output pixel (ns): 6-channel argmax.
+    pub post_ns_per_pixel: f64,
+    /// Relative service-time jitter (DDR contention, scheduler noise).
+    pub jitter_sigma: f64,
+    /// Board power model.
+    pub power: Zcu104Power,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            arm_cores: 4,
+            pre_ns_per_pixel: 14.0,
+            post_ns_per_pixel: 26.0,
+            jitter_sigma: 0.004,
+            power: Zcu104Power::default(),
+        }
+    }
+}
+
+/// Result of one throughput run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Frames per second.
+    pub fps: f64,
+    /// Average board power (W).
+    pub watt: f64,
+    /// Frames processed.
+    pub frames: usize,
+    /// Runner threads used.
+    pub threads: usize,
+    /// Mean busy DPU cores.
+    pub dpu_busy_cores: f64,
+    /// DPU utilisation in `[0, 1]`.
+    pub dpu_util: f64,
+    /// Simulated wall-clock (s).
+    pub makespan_s: f64,
+}
+
+impl ThroughputReport {
+    /// Energy efficiency, Eq. (3): FPS / Watt = frames / Joule.
+    pub fn energy_efficiency(&self) -> f64 {
+        if self.watt <= 0.0 {
+            return 0.0;
+        }
+        self.fps / self.watt
+    }
+}
+
+/// The runner: owns a compiled xmodel and a runtime configuration.
+#[derive(Clone)]
+pub struct DpuRunner {
+    /// Compiled model.
+    pub xmodel: Arc<XModel>,
+    /// Runtime configuration.
+    pub config: RuntimeConfig,
+}
+
+impl DpuRunner {
+    /// Creates a runner.
+    pub fn new(xmodel: Arc<XModel>, config: RuntimeConfig) -> Self {
+        assert!(config.threads >= 1, "need at least one runner thread");
+        assert!(config.arm_cores >= 1);
+        Self { xmodel, config }
+    }
+
+    /// Simulated throughput run over `n_frames` frames.
+    ///
+    /// The seed drives the per-job jitter; the paper's μ±σ over 10 runs maps
+    /// to 10 different seeds.
+    pub fn run_throughput(&self, n_frames: usize, seed: u64) -> ThroughputReport {
+        let xm = &self.xmodel;
+        let cost = frame_cost(xm, &xm.arch);
+        let hw = xm.input_shape.hw() as f64;
+        let pre_ns = hw * self.config.pre_ns_per_pixel;
+        let post_ns = hw * self.config.post_ns_per_pixel;
+
+        // Per-job multiplicative jitter, one factor per (job, stage).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sigma = self.config.jitter_sigma;
+        let jitter: Vec<f64> = (0..n_frames * 3)
+            .map(|_| {
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let g = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                (1.0 + sigma * g).max(0.5)
+            })
+            .collect();
+
+        let resources =
+            [Resource::new("arm", self.config.arm_cores), Resource::new("dpu", xm.arch.cores)];
+        let stages =
+            [StageSpec { resource: 0 }, StageSpec { resource: 1 }, StageSpec { resource: 0 }];
+        let base = [pre_ns, cost.serial_ns as f64, post_ns];
+        let rep = simulate_closed_pipeline(
+            &resources,
+            &stages,
+            self.config.threads,
+            n_frames,
+            |job, stage| (base[stage] * jitter[(job * 3 + stage) % jitter.len()]) as u64,
+        );
+
+        let makespan_s = rep.makespan_ns as f64 * 1e-9;
+        let fps = rep.throughput_per_s();
+        let dpu_util = rep.utilisation(1, xm.arch.cores);
+        let dpu_busy_cores = dpu_util * xm.arch.cores as f64;
+        let arm_busy_cores = rep.utilisation(0, self.config.arm_cores) * self.config.arm_cores as f64;
+        let ddr_gbps = xm.stats.fm_traffic_bytes as f64 * fps / 1e9;
+        let watt = self.config.power.board_power_w(&PowerInputs {
+            dpu_busy_cores,
+            compute_intensity: cost.compute_intensity(),
+            arm_busy_cores,
+            arm_cores: self.config.arm_cores,
+            ddr_gbps,
+            threads: self.config.threads,
+        });
+
+        ThroughputReport {
+            fps,
+            watt,
+            frames: rep.completed,
+            threads: self.config.threads,
+            dpu_busy_cores,
+            dpu_util,
+            makespan_s,
+        }
+    }
+
+    /// Runs `n_runs` seeded throughput runs and returns (mean, std) of
+    /// (fps, watt, ee) — the μ±σ of Table IV.
+    pub fn run_throughput_repeated(
+        &self,
+        n_frames: usize,
+        n_runs: usize,
+        seed0: u64,
+    ) -> ThroughputStats {
+        assert!(n_runs >= 1);
+        let runs: Vec<ThroughputReport> =
+            (0..n_runs).map(|r| self.run_throughput(n_frames, seed0 + r as u64)).collect();
+        let mean_std = |xs: Vec<f64>| -> (f64, f64) {
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            let v = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64;
+            (m, v.sqrt())
+        };
+        let (fps_m, fps_s) = mean_std(runs.iter().map(|r| r.fps).collect());
+        let (w_m, w_s) = mean_std(runs.iter().map(|r| r.watt).collect());
+        let (ee_m, ee_s) = mean_std(runs.iter().map(|r| r.energy_efficiency()).collect());
+        ThroughputStats {
+            fps_mean: fps_m,
+            fps_std: fps_s,
+            watt_mean: w_m,
+            watt_std: w_s,
+            ee_mean: ee_m,
+            ee_std: ee_s,
+            runs,
+        }
+    }
+
+    /// Functional execution of a batch of preprocessed FP32 images using
+    /// real worker threads. Outputs are returned in input order.
+    pub fn run_functional(&self, images: &[Tensor]) -> Vec<QTensor> {
+        let n = images.len();
+        let mut results: Vec<Option<QTensor>> = vec![None; n];
+        if n == 0 {
+            return vec![];
+        }
+        let (job_tx, job_rx) = crossbeam::channel::unbounded::<(usize, QTensor)>();
+        let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, QTensor)>();
+        for (i, img) in images.iter().enumerate() {
+            job_tx.send((i, self.xmodel.quantize_input(img))).expect("queue open");
+        }
+        drop(job_tx);
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.threads.min(n) {
+                let job_rx = job_rx.clone();
+                let res_tx = res_tx.clone();
+                let xm = Arc::clone(&self.xmodel);
+                scope.spawn(move || {
+                    let core = DpuCore::new(ExecMode::Functional);
+                    while let Ok((i, input)) = job_rx.recv() {
+                        let out = core.run(&xm, &input).output.expect("functional mode");
+                        res_tx.send((i, out)).expect("result queue open");
+                    }
+                });
+            }
+            drop(res_tx);
+            while let Ok((i, out)) = res_rx.recv() {
+                results[i] = Some(out);
+            }
+        });
+        results.into_iter().map(|r| r.expect("all jobs completed")).collect()
+    }
+
+    /// Per-pixel argmax labels for a batch (functional path + host argmax).
+    pub fn predict(&self, images: &[Tensor]) -> Vec<Vec<u8>> {
+        self.run_functional(images)
+            .into_iter()
+            .map(|q| seneca_tensor::activation::argmax_channels_i8(q.shape(), q.data()))
+            .collect()
+    }
+}
+
+/// Aggregated throughput statistics over seeded runs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThroughputStats {
+    /// Mean FPS.
+    pub fps_mean: f64,
+    /// FPS standard deviation.
+    pub fps_std: f64,
+    /// Mean board power (W).
+    pub watt_mean: f64,
+    /// Power standard deviation.
+    pub watt_std: f64,
+    /// Mean energy efficiency (FPS/W).
+    pub ee_mean: f64,
+    /// EE standard deviation.
+    pub ee_std: f64,
+    /// The individual runs.
+    pub runs: Vec<ThroughputReport>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::DpuArch;
+    use crate::compiler::compile;
+    use rand::SeedableRng;
+    use seneca_nn::graph::Graph;
+    use seneca_nn::unet::{UNet, UNetConfig};
+    use seneca_quant::{fuse, quantize_post_training, PtqConfig};
+    use seneca_tensor::Shape4;
+
+    fn runner(threads: usize) -> (DpuRunner, Vec<Tensor>) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let cfg =
+            UNetConfig { depth: 2, base_filters: 4, in_channels: 1, num_classes: 6, dropout: 0.0 };
+        let net = UNet::new(cfg, &mut rng);
+        let fg = fuse(&Graph::from_unet(&net, "t"));
+        let images: Vec<Tensor> = (0..6)
+            .map(|_| {
+                let mut t = Tensor::he_normal(Shape4::new(1, 1, 16, 16), &mut rng);
+                for v in t.data_mut() {
+                    *v = v.clamp(-1.0, 1.0);
+                }
+                t
+            })
+            .collect();
+        let (qg, _) = quantize_post_training(&fg, &images, &PtqConfig::default());
+        let xm = compile(&qg, Shape4::new(1, 1, 16, 16), DpuArch::b4096_zcu104());
+        let config = RuntimeConfig { threads, ..Default::default() };
+        (DpuRunner::new(Arc::new(xm), config), images)
+    }
+
+    #[test]
+    fn throughput_improves_with_threads_then_saturates() {
+        let mut fps = vec![];
+        for threads in [1usize, 2, 4, 8] {
+            let (r, _) = runner(threads);
+            fps.push(r.run_throughput(300, 1).fps);
+        }
+        assert!(fps[1] > fps[0] * 1.2, "2 threads should beat 1: {fps:?}");
+        assert!(fps[2] >= fps[1], "{fps:?}");
+        // Saturation: 8 threads buys < 3%.
+        assert!(fps[3] < fps[2] * 1.03, "{fps:?}");
+    }
+
+    #[test]
+    fn more_threads_past_saturation_cost_power() {
+        let (r4, _) = runner(4);
+        let (r8, _) = runner(8);
+        let t4 = r4.run_throughput(300, 1);
+        let t8 = r8.run_throughput(300, 1);
+        assert!(t8.watt > t4.watt, "8 threads must draw more power");
+        assert!(t8.energy_efficiency() < t4.energy_efficiency());
+    }
+
+    #[test]
+    fn repeated_runs_have_small_std() {
+        let (r, _) = runner(4);
+        let stats = r.run_throughput_repeated(200, 5, 42);
+        assert!(stats.fps_std / stats.fps_mean < 0.02, "σ/μ = {}", stats.fps_std / stats.fps_mean);
+        assert_eq!(stats.runs.len(), 5);
+    }
+
+    #[test]
+    fn functional_run_matches_single_threaded_reference() {
+        let (r, images) = runner(3);
+        let outs = r.run_functional(&images);
+        assert_eq!(outs.len(), images.len());
+        for (img, out) in images.iter().zip(&outs) {
+            let reference = r.xmodel.qgraph.execute(&r.xmodel.quantize_input(img));
+            assert_eq!(out.data(), reference.data(), "thread pool must not change results");
+        }
+    }
+
+    #[test]
+    fn predict_returns_labels_in_range() {
+        let (r, images) = runner(2);
+        let labels = r.predict(&images[..2]);
+        assert_eq!(labels.len(), 2);
+        for l in &labels {
+            assert_eq!(l.len(), 256);
+            assert!(l.iter().all(|&v| v < 6));
+        }
+    }
+
+    #[test]
+    fn throughput_is_deterministic_per_seed() {
+        let (r, _) = runner(4);
+        let a = r.run_throughput(100, 7);
+        let b = r.run_throughput(100, 7);
+        assert_eq!(a.fps, b.fps);
+        assert_eq!(a.watt, b.watt);
+        let c = r.run_throughput(100, 8);
+        assert_ne!(a.fps, c.fps);
+    }
+}

@@ -1,0 +1,20 @@
+//! # seneca-gpu
+//!
+//! The FP32 baseline of the paper: the five U-Nets running on an NVIDIA
+//! GeForce RTX 2060 Mobile. Functional execution reuses the FP32 graph
+//! executor from `seneca-nn`; [`model`] adds an analytic timing/energy model
+//! of the GPU (SM-occupancy-limited effective FLOPS, per-kernel launch
+//! overhead, TDP-bound power ≈ 78 W) and [`runner`] wraps it into the same
+//! throughput-report interface as the DPU runtime.
+//!
+//! The model captures the two GPU behaviours visible in Table IV:
+//! small-channel convolutions under-occupy the SMs (so layer time scales
+//! with channel *width*, making the f=6 "2M" net slightly faster than the
+//! f=8 "1M" net despite more layers), and power is TDP-bound and nearly
+//! model-independent (77–78 W).
+
+pub mod model;
+pub mod runner;
+
+pub use model::GpuModel;
+pub use runner::{GpuRunner, GpuThroughputStats};

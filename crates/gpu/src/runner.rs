@@ -1,0 +1,160 @@
+//! GPU baseline runner: FP32 functional execution plus modelled throughput.
+
+use crate::model::GpuModel;
+use rand::{Rng, SeedableRng};
+use seneca_nn::graph::Graph;
+use seneca_tensor::{Shape4, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// One GPU throughput measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GpuThroughputReport {
+    /// Frames per second.
+    pub fps: f64,
+    /// Average board power (W).
+    pub watt: f64,
+    /// Frames processed.
+    pub frames: usize,
+}
+
+impl GpuThroughputReport {
+    /// Energy efficiency, Eq. (3).
+    pub fn energy_efficiency(&self) -> f64 {
+        if self.watt <= 0.0 {
+            0.0
+        } else {
+            self.fps / self.watt
+        }
+    }
+}
+
+/// μ±σ over seeded runs (Table IV's FP32 columns).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GpuThroughputStats {
+    /// Mean FPS.
+    pub fps_mean: f64,
+    /// FPS std.
+    pub fps_std: f64,
+    /// Mean power.
+    pub watt_mean: f64,
+    /// Power std.
+    pub watt_std: f64,
+    /// Mean energy efficiency.
+    pub ee_mean: f64,
+    /// EE std.
+    pub ee_std: f64,
+}
+
+/// The GPU runner: owns the FP32 graph and the device model.
+#[derive(Clone)]
+pub struct GpuRunner {
+    /// FP32 inference graph (BN and softmax still explicit, like TF).
+    pub graph: Graph,
+    /// Device model.
+    pub device: GpuModel,
+    /// Input geometry.
+    pub input_shape: Shape4,
+}
+
+impl GpuRunner {
+    /// Creates a runner.
+    pub fn new(graph: Graph, device: GpuModel, input_shape: Shape4) -> Self {
+        Self { graph, device, input_shape }
+    }
+
+    /// One throughput run: modelled frame latency with seeded measurement
+    /// jitter (thermals, clocks), matching the paper's σ ≈ 0.5%.
+    pub fn run_throughput(&self, n_frames: usize, seed: u64) -> GpuThroughputReport {
+        let base_ns = self.device.frame_time_ns(&self.graph, self.input_shape);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut total_ns = 0.0;
+        for _ in 0..n_frames {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let g = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            total_ns += base_ns * (1.0 + 0.006 * g).max(0.5);
+        }
+        let fps = n_frames as f64 / (total_ns * 1e-9);
+        // TDP-bound power with a whiff of measurement noise.
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let watt = self.device.load_power_w + 0.5 * u;
+        GpuThroughputReport { fps, watt, frames: n_frames }
+    }
+
+    /// μ±σ over `n_runs` seeded runs.
+    pub fn run_throughput_repeated(
+        &self,
+        n_frames: usize,
+        n_runs: usize,
+        seed0: u64,
+    ) -> GpuThroughputStats {
+        let runs: Vec<GpuThroughputReport> =
+            (0..n_runs).map(|r| self.run_throughput(n_frames, seed0 + r as u64)).collect();
+        let stat = |xs: Vec<f64>| {
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            let v = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64;
+            (m, v.sqrt())
+        };
+        let (fps_mean, fps_std) = stat(runs.iter().map(|r| r.fps).collect());
+        let (watt_mean, watt_std) = stat(runs.iter().map(|r| r.watt).collect());
+        let (ee_mean, ee_std) = stat(runs.iter().map(|r| r.energy_efficiency()).collect());
+        GpuThroughputStats { fps_mean, fps_std, watt_mean, watt_std, ee_mean, ee_std }
+    }
+
+    /// FP32 functional inference: class probabilities for one image.
+    pub fn infer(&self, image: &Tensor) -> Tensor {
+        self.graph.execute(image)
+    }
+
+    /// Per-pixel argmax labels.
+    pub fn predict(&self, image: &Tensor) -> Vec<u8> {
+        seneca_tensor::activation::argmax_channels(&self.infer(image))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use seneca_nn::unet::{UNet, UNetConfig};
+
+    fn runner(seed: u64) -> GpuRunner {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let cfg =
+            UNetConfig { depth: 2, base_filters: 4, in_channels: 1, num_classes: 6, dropout: 0.0 };
+        let net = UNet::new(cfg, &mut rng);
+        GpuRunner::new(
+            Graph::from_unet(&net, "t"),
+            GpuModel::rtx2060_mobile(),
+            Shape4::new(1, 1, 16, 16),
+        )
+    }
+
+    #[test]
+    fn throughput_is_positive_and_deterministic() {
+        let r = runner(1);
+        let a = r.run_throughput(100, 3);
+        let b = r.run_throughput(100, 3);
+        assert!(a.fps > 0.0);
+        assert_eq!(a.fps, b.fps);
+        assert!((a.watt - 78.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn repeated_runs_small_sigma() {
+        let r = runner(2);
+        let s = r.run_throughput_repeated(200, 6, 11);
+        assert!(s.fps_std / s.fps_mean < 0.01);
+        assert!(s.ee_mean > 0.0);
+    }
+
+    #[test]
+    fn functional_predict_in_range() {
+        let r = runner(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let img = Tensor::he_normal(Shape4::new(1, 1, 16, 16), &mut rng);
+        let labels = r.predict(&img);
+        assert_eq!(labels.len(), 256);
+        assert!(labels.iter().all(|&l| l < 6));
+    }
+}

@@ -1,0 +1,145 @@
+//! Power-rail accounting: integrates busy/idle power over a simulation into
+//! Joules, the denominator of the paper's Energy Efficiency metric
+//! (EE = FPS/Watt = frames/Joule, Eq. (3)).
+
+use crate::des::SimReport;
+use serde::{Deserialize, Serialize};
+
+/// A power rail attached to one DES resource.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PowerRail {
+    /// Display name.
+    pub name: String,
+    /// Power drawn per *busy server* (W).
+    pub active_w: f64,
+    /// Power drawn per *idle server* (W).
+    pub idle_w: f64,
+    /// Number of servers on this rail.
+    pub servers: usize,
+}
+
+/// Whole-board energy meter: per-resource rails plus a constant baseboard
+/// draw (regulators, DRAM refresh, fans — the reason the ZCU104 idles around
+/// 20 W rather than 0).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnergyMeter {
+    /// Rails, index-aligned with the DES resource table.
+    pub rails: Vec<PowerRail>,
+    /// Constant platform draw (W).
+    pub static_w: f64,
+}
+
+/// Measured energy breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Total energy (J).
+    pub total_j: f64,
+    /// Average power over the makespan (W).
+    pub avg_power_w: f64,
+    /// Energy per rail (J), same order as the rails.
+    pub per_rail_j: Vec<f64>,
+    /// Static platform energy (J).
+    pub static_j: f64,
+    /// Wall-clock of the measurement (s).
+    pub duration_s: f64,
+}
+
+impl EnergyMeter {
+    /// Integrates a simulation report into energy.
+    pub fn measure(&self, report: &SimReport) -> EnergyReport {
+        assert_eq!(
+            self.rails.len(),
+            report.busy_ns.len(),
+            "rail count must match resource count"
+        );
+        let duration_s = report.makespan_ns as f64 * 1e-9;
+        let mut per_rail_j = Vec::with_capacity(self.rails.len());
+        for (rail, &busy_ns) in self.rails.iter().zip(&report.busy_ns) {
+            let busy_s = busy_ns as f64 * 1e-9;
+            let idle_s = (duration_s * rail.servers as f64 - busy_s).max(0.0);
+            per_rail_j.push(rail.active_w * busy_s + rail.idle_w * idle_s);
+        }
+        let static_j = self.static_w * duration_s;
+        let total_j = static_j + per_rail_j.iter().sum::<f64>();
+        EnergyReport {
+            total_j,
+            avg_power_w: if duration_s > 0.0 { total_j / duration_s } else { 0.0 },
+            per_rail_j,
+            static_j,
+            duration_s,
+        }
+    }
+}
+
+impl EnergyReport {
+    /// Energy efficiency for `frames` processed: FPS/W == frames/J (Eq. 3).
+    pub fn energy_efficiency(&self, frames: usize) -> f64 {
+        if self.total_j <= 0.0 {
+            return 0.0;
+        }
+        frames as f64 / self.total_j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::des::{simulate_closed_pipeline, Resource, StageSpec};
+
+    fn report_100ns_busy() -> SimReport {
+        // One resource, one server, fully busy for 1000 ns.
+        let res = [Resource::new("acc", 1)];
+        let stages = [StageSpec { resource: 0 }];
+        simulate_closed_pipeline(&res, &stages, 1, 10, |_, _| 100)
+    }
+
+    #[test]
+    fn fully_busy_rail_draws_active_power() {
+        let meter = EnergyMeter {
+            rails: vec![PowerRail { name: "acc".into(), active_w: 8.0, idle_w: 2.0, servers: 1 }],
+            static_w: 20.0,
+        };
+        let rep = report_100ns_busy();
+        let e = meter.measure(&rep);
+        // 1 µs at 28 W total.
+        assert!((e.avg_power_w - 28.0).abs() < 1e-6, "{e:?}");
+        assert!((e.total_j - 28.0 * 1e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_servers_draw_idle_power() {
+        // 2 servers but population 1 -> one server always idle.
+        let res = [Resource::new("acc", 2)];
+        let stages = [StageSpec { resource: 0 }];
+        let rep = simulate_closed_pipeline(&res, &stages, 1, 10, |_, _| 100);
+        let meter = EnergyMeter {
+            rails: vec![PowerRail { name: "acc".into(), active_w: 10.0, idle_w: 1.0, servers: 2 }],
+            static_w: 0.0,
+        };
+        let e = meter.measure(&rep);
+        // avg power = 10 (busy) + 1 (idle) = 11 W.
+        assert!((e.avg_power_w - 11.0).abs() < 1e-6, "{e:?}");
+    }
+
+    #[test]
+    fn energy_efficiency_is_frames_per_joule() {
+        let meter = EnergyMeter {
+            rails: vec![PowerRail { name: "acc".into(), active_w: 8.0, idle_w: 2.0, servers: 1 }],
+            static_w: 20.0,
+        };
+        let rep = report_100ns_busy();
+        let e = meter.measure(&rep);
+        let ee = e.energy_efficiency(10);
+        // FPS = 10 / 1µs = 1e7; W = 28; FPS/W == frames/J.
+        let fps = 10.0 / e.duration_s;
+        assert!((ee - fps / e.avg_power_w).abs() / ee < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "rail count")]
+    fn mismatched_rails_panic() {
+        let meter = EnergyMeter { rails: vec![], static_w: 0.0 };
+        let rep = report_100ns_busy();
+        let _ = meter.measure(&rep);
+    }
+}

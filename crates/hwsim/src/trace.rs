@@ -1,0 +1,201 @@
+//! Execution tracing for the DES: per-job stage spans, suitable for
+//! timeline visualisation (chrome://tracing-style) and for asserting
+//! scheduling properties in tests.
+
+use crate::des::{Resource, StageSpec};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// One traced stage execution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Span {
+    /// Job id.
+    pub job: usize,
+    /// Stage index.
+    pub stage: usize,
+    /// Resource index.
+    pub resource: usize,
+    /// Service start (ns).
+    pub start_ns: u64,
+    /// Service end (ns).
+    pub end_ns: u64,
+}
+
+/// A full trace: spans in start order.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// All spans.
+    pub spans: Vec<Span>,
+}
+
+impl Trace {
+    /// Spans of one job, in stage order.
+    pub fn job(&self, job: usize) -> Vec<&Span> {
+        let mut v: Vec<&Span> = self.spans.iter().filter(|s| s.job == job).collect();
+        v.sort_by_key(|s| s.stage);
+        v
+    }
+
+    /// Maximum number of concurrently busy servers observed on a resource.
+    pub fn peak_concurrency(&self, resource: usize) -> usize {
+        let mut events: Vec<(u64, i32)> = Vec::new();
+        for s in self.spans.iter().filter(|s| s.resource == resource) {
+            events.push((s.start_ns, 1));
+            events.push((s.end_ns, -1));
+        }
+        events.sort_by_key(|&(t, d)| (t, d)); // end (-1) before start (+1) at ties
+        let mut cur = 0i32;
+        let mut peak = 0i32;
+        for (_, d) in events {
+            cur += d;
+            peak = peak.max(cur);
+        }
+        peak.max(0) as usize
+    }
+
+    /// Chrome-trace-format JSON (open in `chrome://tracing` / Perfetto).
+    pub fn to_chrome_json(&self, resources: &[Resource]) -> String {
+        let mut events = Vec::new();
+        for s in &self.spans {
+            let name = resources
+                .get(s.resource)
+                .map(|r| r.name.clone())
+                .unwrap_or_else(|| format!("res{}", s.resource));
+            events.push(serde_json::json!({
+                "name": format!("job{} stage{}", s.job, s.stage),
+                "cat": name,
+                "ph": "X",
+                "ts": s.start_ns as f64 / 1000.0,
+                "dur": (s.end_ns - s.start_ns) as f64 / 1000.0,
+                "pid": s.resource,
+                "tid": s.job % 64,
+            }));
+        }
+        serde_json::to_string(&events).expect("trace serialisation")
+    }
+}
+
+/// Like [`crate::des::simulate_closed_pipeline`] but also returns the trace.
+/// (Separate function so the hot path stays allocation-light.)
+pub fn simulate_traced(
+    resources: &[Resource],
+    stages: &[StageSpec],
+    population: usize,
+    n_jobs: usize,
+    service: impl Fn(usize, usize) -> u64,
+) -> Trace {
+    assert!(population >= 1);
+    let nr = resources.len();
+    let mut free: Vec<usize> = resources.iter().map(|r| r.servers).collect();
+    let mut queues: Vec<VecDeque<(usize, usize)>> = vec![VecDeque::new(); nr];
+    let mut heap: BinaryHeap<Reverse<(u64, u64, usize, usize)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut now = 0u64;
+    let mut admitted = 0usize;
+    let mut trace = Trace::default();
+
+    let start =
+        |job: usize,
+         stage: usize,
+         now: u64,
+         free: &mut Vec<usize>,
+         queues: &mut Vec<VecDeque<(usize, usize)>>,
+         heap: &mut BinaryHeap<Reverse<(u64, u64, usize, usize)>>,
+         seq: &mut u64,
+         trace: &mut Trace| {
+            let r = stages[stage].resource;
+            if free[r] > 0 {
+                free[r] -= 1;
+                let dt = service(job, stage);
+                trace.spans.push(Span { job, stage, resource: r, start_ns: now, end_ns: now + dt });
+                *seq += 1;
+                heap.push(Reverse((now + dt, *seq, job, stage)));
+            } else {
+                queues[r].push_back((job, stage));
+            }
+        };
+
+    while admitted < population.min(n_jobs) {
+        let j = admitted;
+        admitted += 1;
+        start(j, 0, now, &mut free, &mut queues, &mut heap, &mut seq, &mut trace);
+    }
+    while let Some(Reverse((t, _, job, stage))) = heap.pop() {
+        now = t;
+        let r = stages[stage].resource;
+        if let Some((qj, qs)) = queues[r].pop_front() {
+            let dt = service(qj, qs);
+            trace.spans.push(Span { job: qj, stage: qs, resource: r, start_ns: now, end_ns: now + dt });
+            seq += 1;
+            heap.push(Reverse((now + dt, seq, qj, qs)));
+        } else {
+            free[r] += 1;
+        }
+        if stage + 1 < stages.len() {
+            start(job, stage + 1, now, &mut free, &mut queues, &mut heap, &mut seq, &mut trace);
+        } else if admitted < n_jobs {
+            let j = admitted;
+            admitted += 1;
+            start(j, 0, now, &mut free, &mut queues, &mut heap, &mut seq, &mut trace);
+        }
+    }
+    trace.spans.sort_by_key(|s| (s.start_ns, s.job, s.stage));
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Vec<Resource>, Vec<StageSpec>) {
+        (
+            vec![Resource::new("cpu", 2), Resource::new("acc", 1)],
+            vec![StageSpec { resource: 0 }, StageSpec { resource: 1 }],
+        )
+    }
+
+    #[test]
+    fn trace_has_one_span_per_job_stage() {
+        let (res, stages) = setup();
+        let trace = simulate_traced(&res, &stages, 2, 5, |_, _| 10);
+        assert_eq!(trace.spans.len(), 5 * 2);
+        for j in 0..5 {
+            let spans = trace.job(j);
+            assert_eq!(spans.len(), 2);
+            // Stage 1 starts only after stage 0 ends.
+            assert!(spans[1].start_ns >= spans[0].end_ns);
+        }
+    }
+
+    #[test]
+    fn concurrency_never_exceeds_server_count() {
+        let (res, stages) = setup();
+        let trace = simulate_traced(&res, &stages, 6, 30, |j, s| 7 + (j + s) as u64 % 5);
+        assert!(trace.peak_concurrency(0) <= 2);
+        assert!(trace.peak_concurrency(1) <= 1);
+        // With enough population the single accelerator saturates.
+        assert_eq!(trace.peak_concurrency(1), 1);
+    }
+
+    #[test]
+    fn spans_match_untraced_simulation_makespan() {
+        use crate::des::simulate_closed_pipeline;
+        let (res, stages) = setup();
+        let svc = |j: usize, s: usize| 10 + ((j * 3 + s) % 4) as u64;
+        let trace = simulate_traced(&res, &stages, 3, 12, svc);
+        let rep = simulate_closed_pipeline(&res, &stages, 3, 12, svc);
+        let trace_end = trace.spans.iter().map(|s| s.end_ns).max().unwrap();
+        assert_eq!(trace_end, rep.makespan_ns);
+    }
+
+    #[test]
+    fn chrome_json_is_valid() {
+        let (res, stages) = setup();
+        let trace = simulate_traced(&res, &stages, 1, 2, |_, _| 5);
+        let json = trace.to_chrome_json(&res);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.as_array().unwrap().len(), 4);
+        assert_eq!(parsed[0]["ph"], "X");
+    }
+}

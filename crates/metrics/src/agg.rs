@@ -1,0 +1,171 @@
+//! Distribution statistics: mean±std and box-plot summaries (Fig. 6).
+
+use serde::{Deserialize, Serialize};
+
+/// Mean and standard deviation of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeanStd {
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl MeanStd {
+    /// Computes mean±std; empty input yields zeros.
+    pub fn of(xs: &[f64]) -> Self {
+        if xs.is_empty() {
+            return Self { mean: 0.0, std: 0.0, n: 0 };
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        Self { mean, std: var.sqrt(), n: xs.len() }
+    }
+
+    /// "μ±σ" display with the given precision.
+    pub fn display(&self, prec: usize) -> String {
+        format!("{:.p$} ± {:.p$}", self.mean, self.std, p = prec)
+    }
+}
+
+/// Box-plot statistics of a sample (Tukey convention: whiskers at the last
+/// data point within 1.5·IQR of the quartiles).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoxplotStats {
+    /// Minimum.
+    pub min: f64,
+    /// Lower whisker.
+    pub whisker_lo: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Upper whisker.
+    pub whisker_hi: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Points beyond the whiskers.
+    pub outliers: Vec<f64>,
+}
+
+/// Linear-interpolation quantile of a sorted slice.
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+impl BoxplotStats {
+    /// Computes box-plot statistics. Panics on empty input.
+    pub fn of(xs: &[f64]) -> Self {
+        assert!(!xs.is_empty(), "boxplot of empty sample");
+        let mut s: Vec<f64> = xs.to_vec();
+        s.sort_by(|a, b| a.total_cmp(b));
+        let q1 = quantile_sorted(&s, 0.25);
+        let median = quantile_sorted(&s, 0.5);
+        let q3 = quantile_sorted(&s, 0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let whisker_lo = *s.iter().find(|&&v| v >= lo_fence).unwrap_or(&s[0]);
+        let whisker_hi = *s.iter().rev().find(|&&v| v <= hi_fence).unwrap_or(&s[s.len() - 1]);
+        let outliers: Vec<f64> =
+            s.iter().copied().filter(|&v| v < lo_fence || v > hi_fence).collect();
+        Self { min: s[0], whisker_lo, q1, median, q3, whisker_hi, max: s[s.len() - 1], outliers }
+    }
+
+    /// Renders an ASCII box plot line scaled between `lo` and `hi` over
+    /// `width` columns (the Fig. 6 renderer).
+    pub fn ascii_row(&self, lo: f64, hi: f64, width: usize) -> String {
+        assert!(hi > lo && width >= 10);
+        let col = |v: f64| -> usize {
+            (((v - lo) / (hi - lo)).clamp(0.0, 1.0) * (width - 1) as f64).round() as usize
+        };
+        let mut row = vec![b' '; width];
+        for c in col(self.whisker_lo)..=col(self.whisker_hi) {
+            row[c] = b'-';
+        }
+        for c in col(self.q1)..=col(self.q3) {
+            row[c] = b'=';
+        }
+        row[col(self.whisker_lo)] = b'|';
+        row[col(self.whisker_hi)] = b'|';
+        row[col(self.median)] = b'#';
+        for o in &self.outliers {
+            row[col(*o)] = b'o';
+        }
+        String::from_utf8(row).expect("ascii")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_basics() {
+        let m = MeanStd::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m.mean - 5.0).abs() < 1e-12);
+        assert!((m.std - 2.0).abs() < 1e-12);
+        assert_eq!(m.n, 8);
+        assert_eq!(m.display(1), "5.0 ± 2.0");
+    }
+
+    #[test]
+    fn mean_std_empty() {
+        let m = MeanStd::of(&[]);
+        assert_eq!(m.n, 0);
+        assert_eq!(m.mean, 0.0);
+    }
+
+    #[test]
+    fn boxplot_quartiles_of_uniform() {
+        let xs: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        let b = BoxplotStats::of(&xs);
+        assert!((b.q1 - 25.0).abs() < 1e-9);
+        assert!((b.median - 50.0).abs() < 1e-9);
+        assert!((b.q3 - 75.0).abs() < 1e-9);
+        assert!(b.outliers.is_empty());
+        assert_eq!(b.whisker_lo, 0.0);
+        assert_eq!(b.whisker_hi, 100.0);
+    }
+
+    #[test]
+    fn boxplot_detects_outliers() {
+        let mut xs: Vec<f64> = (0..20).map(|i| 50.0 + i as f64) .collect();
+        xs.push(500.0);
+        let b = BoxplotStats::of(&xs);
+        assert_eq!(b.outliers, vec![500.0]);
+        assert!(b.whisker_hi < 500.0);
+        assert_eq!(b.max, 500.0);
+    }
+
+    #[test]
+    fn ascii_row_structure() {
+        let xs: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        let b = BoxplotStats::of(&xs);
+        let row = b.ascii_row(0.0, 100.0, 41);
+        assert_eq!(row.len(), 41);
+        assert!(row.contains('#'));
+        assert!(row.contains('='));
+        assert!(row.starts_with('|'));
+        assert!(row.ends_with('|'));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn boxplot_empty_panics() {
+        let _ = BoxplotStats::of(&[]);
+    }
+}

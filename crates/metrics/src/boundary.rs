@@ -1,0 +1,210 @@
+//! Boundary metrics: Hausdorff distance and average surface distance.
+//!
+//! The paper reports Dice/TPR/TNR only, but §IV-D's observation that the
+//! network is "more conservative when detecting the organs' edges" is a
+//! boundary statement — these metrics quantify it. Distances are measured
+//! on 2-D label maps in pixel units (exact Euclidean via a two-pass
+//! distance transform).
+
+/// Exact Euclidean distance transform (Felzenszwalb–Huttenlocher) of a
+/// binary mask: `out[i]` = distance from pixel `i` to the nearest `true`
+/// pixel, or `f32::INFINITY` when the mask is empty.
+pub fn distance_transform(mask: &[bool], w: usize, h: usize) -> Vec<f32> {
+    assert_eq!(mask.len(), w * h, "mask size");
+    const INF: f32 = 1e18;
+    let mut d2: Vec<f32> = mask.iter().map(|&m| if m { 0.0 } else { INF }).collect();
+
+    // 1-D squared-distance transform along a strided axis.
+    fn dt1d(f: &[f32]) -> Vec<f32> {
+        let n = f.len();
+        let mut d = vec![0.0f32; n];
+        let mut v = vec![0usize; n];
+        let mut z = vec![0.0f32; n + 1];
+        let mut k = 0usize;
+        v[0] = 0;
+        z[0] = f32::NEG_INFINITY;
+        z[1] = f32::INFINITY;
+        for q in 1..n {
+            loop {
+                let s = ((f[q] + (q * q) as f32) - (f[v[k]] + (v[k] * v[k]) as f32))
+                    / (2.0 * q as f32 - 2.0 * v[k] as f32);
+                if s <= z[k] {
+                    if k == 0 {
+                        // Degenerate parabola dominates from -inf.
+                        v[0] = q;
+                        z[0] = f32::NEG_INFINITY;
+                        z[1] = f32::INFINITY;
+                        break;
+                    }
+                    k -= 1;
+                } else {
+                    k += 1;
+                    v[k] = q;
+                    z[k] = s;
+                    z[k + 1] = f32::INFINITY;
+                    break;
+                }
+            }
+        }
+        let mut k = 0usize;
+        for q in 0..n {
+            while z[k + 1] < q as f32 {
+                k += 1;
+            }
+            let dq = q as f32 - v[k] as f32;
+            d[q] = dq * dq + f[v[k]];
+        }
+        d
+    }
+
+    // Columns, then rows.
+    for x in 0..w {
+        let col: Vec<f32> = (0..h).map(|y| d2[y * w + x]).collect();
+        let out = dt1d(&col);
+        for (y, v) in out.into_iter().enumerate() {
+            d2[y * w + x] = v;
+        }
+    }
+    for y in 0..h {
+        let row: Vec<f32> = d2[y * w..(y + 1) * w].to_vec();
+        let out = dt1d(&row);
+        d2[y * w..(y + 1) * w].copy_from_slice(&out);
+    }
+    d2.into_iter().map(|v| if v >= 1e17 { f32::INFINITY } else { v.sqrt() }).collect()
+}
+
+/// Boundary pixels of a class: labeled pixels with at least one 4-neighbour
+/// of a different label (image border counts as different).
+pub fn boundary_mask(labels: &[u8], w: usize, h: usize, class: u8) -> Vec<bool> {
+    assert_eq!(labels.len(), w * h);
+    let mut out = vec![false; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            let i = y * w + x;
+            if labels[i] != class {
+                continue;
+            }
+            let edge = x == 0
+                || y == 0
+                || x == w - 1
+                || y == h - 1
+                || labels[i - 1] != class
+                || labels[i + 1] != class
+                || labels[i - w] != class
+                || labels[i + w] != class;
+            out[i] = edge;
+        }
+    }
+    out
+}
+
+/// Directed statistics from one boundary to another.
+fn directed(from: &[bool], to_dt: &[f32]) -> Option<(f32, f32)> {
+    let mut max = 0.0f32;
+    let mut sum = 0.0f64;
+    let mut n = 0usize;
+    for (i, &f) in from.iter().enumerate() {
+        if f {
+            let d = to_dt[i];
+            if !d.is_finite() {
+                return None;
+            }
+            max = max.max(d);
+            sum += d as f64;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some((max, (sum / n as f64) as f32))
+    }
+}
+
+/// Symmetric Hausdorff distance and average symmetric surface distance of a
+/// class between prediction and ground truth. `None` when either map lacks
+/// the class entirely.
+pub fn hausdorff(
+    pred: &[u8],
+    truth: &[u8],
+    w: usize,
+    h: usize,
+    class: u8,
+) -> Option<(f32, f32)> {
+    let bp = boundary_mask(pred, w, h, class);
+    let bt = boundary_mask(truth, w, h, class);
+    if !bp.iter().any(|&b| b) || !bt.iter().any(|&b| b) {
+        return None;
+    }
+    let dt_p = distance_transform(&bp, w, h);
+    let dt_t = distance_transform(&bt, w, h);
+    let (max_pt, avg_pt) = directed(&bp, &dt_t)?;
+    let (max_tp, avg_tp) = directed(&bt, &dt_p)?;
+    Some((max_pt.max(max_tp), (avg_pt + avg_tp) / 2.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(w: usize, h: usize, x0: usize, y0: usize, x1: usize, y1: usize) -> Vec<u8> {
+        let mut m = vec![0u8; w * h];
+        for y in y0..y1 {
+            for x in x0..x1 {
+                m[y * w + x] = 1;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn distance_transform_exact_on_point() {
+        let mut mask = vec![false; 25];
+        mask[12] = true; // centre of 5x5
+        let dt = distance_transform(&mask, 5, 5);
+        assert_eq!(dt[12], 0.0);
+        assert!((dt[11] - 1.0).abs() < 1e-4);
+        assert!((dt[6] - 2.0f32.sqrt()).abs() < 1e-4); // diagonal
+        assert!((dt[0] - 8.0f32.sqrt()).abs() < 1e-4); // corner
+    }
+
+    #[test]
+    fn empty_mask_is_infinite() {
+        let dt = distance_transform(&[false; 9], 3, 3);
+        assert!(dt.iter().all(|d| d.is_infinite()));
+    }
+
+    #[test]
+    fn boundary_of_filled_square() {
+        let m = square(8, 8, 2, 2, 6, 6); // 4x4 block
+        let labels: Vec<u8> = m.clone();
+        let b = boundary_mask(&labels, 8, 8, 1);
+        // 4x4 block: 12 boundary pixels (all but the inner 2x2).
+        assert_eq!(b.iter().filter(|&&v| v).count(), 12);
+    }
+
+    #[test]
+    fn identical_maps_have_zero_hausdorff() {
+        let m = square(10, 10, 2, 3, 7, 8);
+        let (hd, asd) = hausdorff(&m, &m, 10, 10, 1).unwrap();
+        assert_eq!(hd, 0.0);
+        assert_eq!(asd, 0.0);
+    }
+
+    #[test]
+    fn shifted_square_has_shift_distance() {
+        let a = square(16, 16, 2, 2, 6, 6);
+        let b = square(16, 16, 5, 2, 9, 6); // shifted +3 in x
+        let (hd, asd) = hausdorff(&a, &b, 16, 16, 1).unwrap();
+        assert!((hd - 3.0).abs() < 1e-4, "hd {hd}");
+        assert!(asd > 0.5 && asd <= 3.0, "asd {asd}");
+    }
+
+    #[test]
+    fn missing_class_yields_none() {
+        let a = square(8, 8, 1, 1, 4, 4);
+        let empty = vec![0u8; 64];
+        assert!(hausdorff(&a, &empty, 8, 8, 1).is_none());
+        assert!(hausdorff(&a, &a, 8, 8, 2).is_none());
+    }
+}

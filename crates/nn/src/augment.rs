@@ -1,0 +1,182 @@
+//! Training-time data augmentation for 2-D CT slices.
+//!
+//! Standard geometric/intensity augmentations for medical segmentation:
+//! horizontal flips (anatomically plausible for the near-symmetric trunk),
+//! small translations, intensity scale/shift jitter and Gaussian noise.
+//! Labels follow geometric transforms exactly; intensity transforms leave
+//! them untouched.
+
+use crate::train::Sample;
+use rand::Rng;
+use seneca_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Augmentation policy.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AugmentConfig {
+    /// Probability of a horizontal (left-right) flip.
+    pub flip_prob: f64,
+    /// Maximum |shift| in pixels along each axis (zero-padded).
+    pub max_shift: usize,
+    /// Intensity scale jitter: factor drawn from `1 ± scale_jitter`.
+    pub scale_jitter: f32,
+    /// Intensity shift jitter: offset drawn from `± shift_jitter`.
+    pub shift_jitter: f32,
+    /// Additive Gaussian noise sigma (post-normalisation units).
+    pub noise_sigma: f32,
+}
+
+impl Default for AugmentConfig {
+    fn default() -> Self {
+        Self { flip_prob: 0.5, max_shift: 4, scale_jitter: 0.05, shift_jitter: 0.05, noise_sigma: 0.02 }
+    }
+}
+
+/// Horizontal flip of image and labels.
+pub fn flip_horizontal(s: &Sample) -> Sample {
+    let shape = s.image.shape();
+    let (h, w) = (shape.h, shape.w);
+    let mut image = Tensor::zeros(shape);
+    let mut labels = vec![0u8; h * w];
+    for y in 0..h {
+        for x in 0..w {
+            *image.at_mut(0, 0, y, x) = s.image.at(0, 0, y, w - 1 - x);
+            labels[y * w + x] = s.labels[y * w + (w - 1 - x)];
+        }
+    }
+    Sample { image, labels }
+}
+
+/// Integer translation with zero padding (air background) for the image and
+/// background label for the label map.
+pub fn translate(s: &Sample, dx: isize, dy: isize) -> Sample {
+    let shape = s.image.shape();
+    let (h, w) = (shape.h as isize, shape.w as isize);
+    let mut image = Tensor::full(shape, -1.0); // air after [-1,1] rescale
+    let mut labels = vec![0u8; (h * w) as usize];
+    for y in 0..h {
+        for x in 0..w {
+            let (sx, sy) = (x - dx, y - dy);
+            if sx >= 0 && sx < w && sy >= 0 && sy < h {
+                *image.at_mut(0, 0, y as usize, x as usize) =
+                    s.image.at(0, 0, sy as usize, sx as usize);
+                labels[(y * w + x) as usize] = s.labels[(sy * w + sx) as usize];
+            }
+        }
+    }
+    Sample { image, labels }
+}
+
+/// Applies the policy to one sample.
+pub fn augment<R: Rng>(s: &Sample, cfg: &AugmentConfig, rng: &mut R) -> Sample {
+    let mut out = s.clone();
+    if rng.gen_bool(cfg.flip_prob) {
+        out = flip_horizontal(&out);
+    }
+    if cfg.max_shift > 0 {
+        let m = cfg.max_shift as isize;
+        let (dx, dy) = (rng.gen_range(-m..=m), rng.gen_range(-m..=m));
+        if dx != 0 || dy != 0 {
+            out = translate(&out, dx, dy);
+        }
+    }
+    let scale = 1.0 + rng.gen_range(-cfg.scale_jitter..=cfg.scale_jitter);
+    let shift = rng.gen_range(-cfg.shift_jitter..=cfg.shift_jitter);
+    for v in out.image.data_mut() {
+        let mut x = *v * scale + shift;
+        if cfg.noise_sigma > 0.0 {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            x += cfg.noise_sigma
+                * (-2.0 * u1.ln()).sqrt()
+                * (std::f32::consts::TAU * u2).cos();
+        }
+        *v = x.clamp(-1.0, 1.0);
+    }
+    out
+}
+
+/// Expands a dataset with `factor - 1` augmented copies per sample.
+pub fn augment_dataset<R: Rng>(
+    samples: &[Sample],
+    cfg: &AugmentConfig,
+    factor: usize,
+    rng: &mut R,
+) -> Vec<Sample> {
+    assert!(factor >= 1);
+    let mut out = Vec::with_capacity(samples.len() * factor);
+    out.extend(samples.iter().cloned());
+    for _ in 1..factor {
+        out.extend(samples.iter().map(|s| augment(s, cfg, rng)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use seneca_tensor::Shape4;
+
+    fn sample() -> Sample {
+        let mut image = Tensor::zeros(Shape4::new(1, 1, 4, 4));
+        let mut labels = vec![0u8; 16];
+        *image.at_mut(0, 0, 1, 0) = 0.8;
+        labels[4] = 3;
+        Sample { image, labels }
+    }
+
+    #[test]
+    fn flip_is_involutive() {
+        let s = sample();
+        let once = flip_horizontal(&s);
+        assert_eq!(once.image.at(0, 0, 1, 3), 0.8);
+        assert_eq!(once.labels[4 + 3], 3);
+        let twice = flip_horizontal(&once);
+        assert_eq!(twice.image, s.image);
+        assert_eq!(twice.labels, s.labels);
+    }
+
+    #[test]
+    fn translate_moves_content_and_pads_with_air() {
+        let s = sample();
+        let t = translate(&s, 2, 1);
+        assert_eq!(t.image.at(0, 0, 2, 2), 0.8);
+        assert_eq!(t.labels[2 * 4 + 2], 3);
+        // Vacated corner is air / background.
+        assert_eq!(t.image.at(0, 0, 0, 0), -1.0);
+        assert_eq!(t.labels[0], 0);
+    }
+
+    #[test]
+    fn labels_follow_geometry_not_intensity() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let cfg = AugmentConfig { flip_prob: 0.0, max_shift: 0, ..Default::default() };
+        let s = sample();
+        let a = augment(&s, &cfg, &mut rng);
+        // No geometric change: labels identical even though intensities moved.
+        assert_eq!(a.labels, s.labels);
+        assert_ne!(a.image, s.image);
+    }
+
+    #[test]
+    fn augmented_values_stay_in_range() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let s = sample();
+        for _ in 0..20 {
+            let a = augment(&s, &AugmentConfig::default(), &mut rng);
+            assert!(a.image.data().iter().all(|v| (-1.0..=1.0).contains(v)));
+            assert!(a.labels.iter().all(|&l| l <= 6));
+        }
+    }
+
+    #[test]
+    fn dataset_expansion_factor() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let samples = vec![sample(), sample(), sample()];
+        let out = augment_dataset(&samples, &AugmentConfig::default(), 3, &mut rng);
+        assert_eq!(out.len(), 9);
+        // Originals come first, untouched.
+        assert_eq!(out[0].image, samples[0].image);
+    }
+}

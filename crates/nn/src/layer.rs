@@ -1,0 +1,414 @@
+//! Trainable layers with explicit caches.
+//!
+//! Every layer exposes `forward` (returning the activation plus whatever the
+//! backward pass needs) and `backward` (consuming the cache, filling the
+//! layer's gradient buffers and returning `dx`). Optimizers visit parameters
+//! through [`ParamVisitor`].
+
+use rand::Rng;
+use seneca_tensor::norm::{
+    batchnorm_backward, batchnorm_forward, BnCache, BnState,
+};
+use seneca_tensor::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Callback used by optimizers to visit `(value, grad, opt_slot)` triples.
+///
+/// The `opt_slot` is per-parameter optimizer scratch (e.g. momentum and
+/// second-moment buffers); it is lazily sized by the optimizer.
+pub type ParamVisitor<'a> = &'a mut dyn FnMut(&mut [f32], &[f32], &mut OptSlot);
+
+/// Optimizer scratch attached to each parameter tensor.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OptSlot {
+    /// First-moment / momentum buffer.
+    pub m: Vec<f32>,
+    /// Second-moment buffer (Adam only).
+    pub v: Vec<f32>,
+    /// Step counter (Adam bias correction).
+    pub t: u64,
+}
+
+/// A convolution block: `conv 3x3 -> [BatchNorm] -> [ReLU]`.
+///
+/// This is the unit the SENECA encoder/decoder stacks are made of. BN and
+/// ReLU can be disabled (the final 6-filter output conv uses neither).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConvBlock {
+    /// Convolution weights `[C_out, C_in, 3, 3]`.
+    pub w: Tensor,
+    /// Convolution bias.
+    pub b: Vec<f32>,
+    /// Optional batch normalisation.
+    pub bn: Option<BnState>,
+    /// Apply ReLU after (BN if present, else conv).
+    pub relu: bool,
+    #[serde(skip)]
+    gw: Option<Tensor>,
+    #[serde(skip)]
+    gb: Vec<f32>,
+    #[serde(skip)]
+    g_gamma: Vec<f32>,
+    #[serde(skip)]
+    g_beta: Vec<f32>,
+    #[serde(skip, default)]
+    slots: [OptSlot; 4],
+}
+
+/// Forward cache of a [`ConvBlock`].
+pub struct ConvBlockCache {
+    x: Tensor,
+    conv_out: Tensor,
+    bn_cache: Option<BnCache>,
+    pre_relu: Tensor,
+}
+
+impl ConvBlock {
+    /// He-initialised block.
+    pub fn new<R: Rng>(c_in: usize, c_out: usize, bn: bool, relu: bool, rng: &mut R) -> Self {
+        Self {
+            w: Tensor::he_normal(Shape4::new(c_out, c_in, 3, 3), rng),
+            b: vec![0.0; c_out],
+            bn: if bn { Some(BnState::new(c_out)) } else { None },
+            relu,
+            gw: None,
+            gb: vec![],
+            g_gamma: vec![],
+            g_beta: vec![],
+            slots: Default::default(),
+        }
+    }
+
+    /// Output channel count.
+    pub fn c_out(&self) -> usize {
+        self.w.shape().n
+    }
+
+    /// Input channel count.
+    pub fn c_in(&self) -> usize {
+        self.w.shape().c
+    }
+
+    /// Trainable + tracked parameter count, TF-style (BN counts 4/channel).
+    pub fn param_count(&self) -> usize {
+        self.w.shape().len()
+            + self.b.len()
+            + self.bn.as_ref().map_or(0, |bn| 4 * bn.channels())
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &Tensor, training: bool) -> (Tensor, ConvBlockCache) {
+        let conv_out = conv2d(x, &self.w, &self.b, Conv2dParams::SAME_3X3);
+        let (pre_relu, bn_cache) = match self.bn.as_mut() {
+            Some(bn) => {
+                let (y, cache) = batchnorm_forward(&conv_out, bn, training);
+                (y, cache)
+            }
+            None => (conv_out.clone(), None),
+        };
+        let y = if self.relu { relu(&pre_relu) } else { pre_relu.clone() };
+        (y, ConvBlockCache { x: x.clone(), conv_out, bn_cache, pre_relu })
+    }
+
+    /// Inference-only forward (no cache, running BN stats).
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        let conv_out = conv2d(x, &self.w, &self.b, Conv2dParams::SAME_3X3);
+        let pre = match self.bn.as_ref() {
+            Some(bn) => seneca_tensor::norm::batchnorm_inference(&conv_out, bn),
+            None => conv_out,
+        };
+        if self.relu {
+            relu(&pre)
+        } else {
+            pre
+        }
+    }
+
+    /// Backward pass: accumulates parameter gradients, returns `dx`.
+    pub fn backward(&mut self, cache: &ConvBlockCache, dy: &Tensor) -> Tensor {
+        let d_pre = if self.relu { relu_backward(&cache.pre_relu, dy) } else { dy.clone() };
+        let d_conv = match (&self.bn, &cache.bn_cache) {
+            (Some(bn), Some(bnc)) => {
+                let grads = batchnorm_backward(bn, bnc, &d_pre);
+                accumulate(&mut self.g_gamma, &grads.dgamma);
+                accumulate(&mut self.g_beta, &grads.dbeta);
+                grads.dx
+            }
+            _ => d_pre,
+        };
+        let grads = conv2d_backward(&cache.x, &self.w, &d_conv, Conv2dParams::SAME_3X3);
+        match &mut self.gw {
+            Some(gw) => gw.axpy(1.0, &grads.dw),
+            None => self.gw = Some(grads.dw),
+        }
+        accumulate(&mut self.gb, &grads.db);
+        let _ = &cache.conv_out; // kept for debugging / future fused kernels
+        grads.dx
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.gw = None;
+        self.gb.clear();
+        self.g_gamma.clear();
+        self.g_beta.clear();
+    }
+
+    /// Visits `(value, grad, slot)` for each parameter tensor with grads.
+    pub fn visit_params(&mut self, f: ParamVisitor<'_>) {
+        if let Some(gw) = &self.gw {
+            f(self.w.data_mut(), gw.data(), &mut self.slots[0]);
+        }
+        if !self.gb.is_empty() {
+            f(&mut self.b, &self.gb, &mut self.slots[1]);
+        }
+        if let Some(bn) = self.bn.as_mut() {
+            if !self.g_gamma.is_empty() {
+                f(&mut bn.gamma, &self.g_gamma, &mut self.slots[2]);
+            }
+            if !self.g_beta.is_empty() {
+                f(&mut bn.beta, &self.g_beta, &mut self.slots[3]);
+            }
+        }
+    }
+}
+
+/// A 2x2/stride-2 transpose-convolution up-sampling layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TConvLayer {
+    /// Weights `[C_in, C_out, 2, 2]`.
+    pub w: Tensor,
+    /// Bias, length `C_out`.
+    pub b: Vec<f32>,
+    #[serde(skip)]
+    gw: Option<Tensor>,
+    #[serde(skip)]
+    gb: Vec<f32>,
+    #[serde(skip, default)]
+    slots: [OptSlot; 2],
+}
+
+impl TConvLayer {
+    /// He-initialised transpose conv.
+    pub fn new<R: Rng>(c_in: usize, c_out: usize, rng: &mut R) -> Self {
+        Self {
+            w: Tensor::he_normal(Shape4::new(c_in, c_out, 2, 2), rng),
+            b: vec![0.0; c_out],
+            gw: None,
+            gb: vec![],
+            slots: Default::default(),
+        }
+    }
+
+    /// Output channel count.
+    pub fn c_out(&self) -> usize {
+        self.w.shape().c
+    }
+
+    /// Parameter count.
+    pub fn param_count(&self) -> usize {
+        self.w.shape().len() + self.b.len()
+    }
+
+    /// Forward pass. The cache is just the input.
+    pub fn forward(&self, x: &Tensor) -> (Tensor, Tensor) {
+        (tconv2x2(x, &self.w, &self.b), x.clone())
+    }
+
+    /// Inference-only forward.
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        tconv2x2(x, &self.w, &self.b)
+    }
+
+    /// Backward pass.
+    pub fn backward(&mut self, x_cache: &Tensor, dy: &Tensor) -> Tensor {
+        let grads = tconv2x2_backward(x_cache, &self.w, dy);
+        match &mut self.gw {
+            Some(gw) => gw.axpy(1.0, &grads.dw),
+            None => self.gw = Some(grads.dw),
+        }
+        accumulate(&mut self.gb, &grads.db);
+        grads.dx
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.gw = None;
+        self.gb.clear();
+    }
+
+    /// Visits parameters (see [`ConvBlock::visit_params`]).
+    pub fn visit_params(&mut self, f: ParamVisitor<'_>) {
+        if let Some(gw) = &self.gw {
+            f(self.w.data_mut(), gw.data(), &mut self.slots[0]);
+        }
+        if !self.gb.is_empty() {
+            f(&mut self.b, &self.gb, &mut self.slots[1]);
+        }
+    }
+}
+
+/// Inverted dropout: scales kept activations by `1/(1-rate)` during training
+/// so inference is a no-op (and the Vitis-AI-style compiler can delete it).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Dropout {
+    /// Drop probability in `[0, 1)`.
+    pub rate: f32,
+}
+
+impl Dropout {
+    /// Training forward; returns output and the keep-mask (None if inactive).
+    pub fn forward<R: Rng>(
+        &self,
+        x: &Tensor,
+        training: bool,
+        rng: &mut R,
+    ) -> (Tensor, Option<Vec<bool>>) {
+        if !training || self.rate <= 0.0 {
+            return (x.clone(), None);
+        }
+        let keep = 1.0 - self.rate;
+        let inv = 1.0 / keep;
+        let mask: Vec<bool> = (0..x.shape().len()).map(|_| rng.gen::<f32>() < keep).collect();
+        let mut y = x.clone();
+        for (v, &k) in y.data_mut().iter_mut().zip(&mask) {
+            *v = if k { *v * inv } else { 0.0 };
+        }
+        (y, Some(mask))
+    }
+
+    /// Backward through the same mask.
+    pub fn backward(&self, mask: &Option<Vec<bool>>, dy: &Tensor) -> Tensor {
+        match mask {
+            None => dy.clone(),
+            Some(mask) => {
+                let inv = 1.0 / (1.0 - self.rate);
+                let mut dx = dy.clone();
+                for (v, &k) in dx.data_mut().iter_mut().zip(mask) {
+                    *v = if k { *v * inv } else { 0.0 };
+                }
+                dx
+            }
+        }
+    }
+}
+
+fn accumulate(acc: &mut Vec<f32>, add: &[f32]) {
+    if acc.is_empty() {
+        acc.resize(add.len(), 0.0);
+    }
+    for (a, b) in acc.iter_mut().zip(add) {
+        *a += b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn conv_block_shapes_and_param_count() {
+        let mut r = rng();
+        let mut blk = ConvBlock::new(3, 8, true, true, &mut r);
+        assert_eq!(blk.param_count(), 8 * 3 * 9 + 8 + 32);
+        let x = Tensor::he_normal(Shape4::new(2, 3, 8, 8), &mut r);
+        let (y, _) = blk.forward(&x, true);
+        assert_eq!(y.shape(), Shape4::new(2, 8, 8, 8));
+        assert!(y.data().iter().all(|&v| v >= 0.0), "ReLU output must be non-negative");
+    }
+
+    #[test]
+    fn conv_block_train_step_reduces_simple_loss() {
+        // One block, L2 loss toward zero: a gradient step must reduce ||y||².
+        let mut r = rng();
+        let mut blk = ConvBlock::new(1, 4, false, false, &mut r);
+        let x = Tensor::he_normal(Shape4::new(1, 1, 6, 6), &mut r);
+        let (y0, cache) = blk.forward(&x, true);
+        let l0: f32 = y0.data().iter().map(|v| v * v).sum();
+        let dy = {
+            let mut t = y0.clone();
+            t.scale(2.0);
+            t
+        };
+        blk.zero_grad();
+        let _ = blk.backward(&cache, &dy);
+        blk.visit_params(&mut |val, grad, _| {
+            for (v, g) in val.iter_mut().zip(grad) {
+                *v -= 1e-2 * g;
+            }
+        });
+        let y1 = blk.infer(&x);
+        // infer uses running BN stats; with bn disabled this is exact.
+        let l1: f32 = y1.data().iter().map(|v| v * v).sum();
+        assert!(l1 < l0, "{l1} !< {l0}");
+    }
+
+    #[test]
+    fn dropout_inference_is_identity() {
+        let mut r = rng();
+        let d = Dropout { rate: 0.5 };
+        let x = Tensor::he_normal(Shape4::new(1, 2, 4, 4), &mut r);
+        let (y, mask) = d.forward(&x, false, &mut r);
+        assert!(mask.is_none());
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn dropout_training_preserves_expectation() {
+        let mut r = rng();
+        let d = Dropout { rate: 0.3 };
+        let x = Tensor::full(Shape4::new(1, 1, 64, 64), 1.0);
+        let (y, mask) = d.forward(&x, true, &mut r);
+        assert!(mask.is_some());
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.1, "inverted dropout mean {mean}");
+        // Dropped positions are exactly zero.
+        let zeros = y.data().iter().filter(|v| **v == 0.0).count();
+        let expected = (0.3 * 4096.0) as isize;
+        assert!((zeros as isize - expected).abs() < 300);
+    }
+
+    #[test]
+    fn dropout_backward_uses_same_mask() {
+        let mut r = rng();
+        let d = Dropout { rate: 0.5 };
+        let x = Tensor::full(Shape4::new(1, 1, 8, 8), 1.0);
+        let (y, mask) = d.forward(&x, true, &mut r);
+        let dy = Tensor::full(Shape4::new(1, 1, 8, 8), 1.0);
+        let dx = d.backward(&mask, &dy);
+        for (yv, dxv) in y.data().iter().zip(dx.data()) {
+            assert_eq!(*yv == 0.0, *dxv == 0.0, "mask mismatch between fwd and bwd");
+        }
+    }
+
+    #[test]
+    fn tconv_layer_upsamples() {
+        let mut r = rng();
+        let layer = TConvLayer::new(4, 2, &mut r);
+        assert_eq!(layer.param_count(), 4 * 2 * 4 + 2);
+        let x = Tensor::he_normal(Shape4::new(1, 4, 5, 5), &mut r);
+        let (y, _) = layer.forward(&x);
+        assert_eq!(y.shape(), Shape4::new(1, 2, 10, 10));
+    }
+
+    #[test]
+    fn zero_grad_resets_accumulation() {
+        let mut r = rng();
+        let mut blk = ConvBlock::new(1, 2, false, false, &mut r);
+        let x = Tensor::he_normal(Shape4::new(1, 1, 4, 4), &mut r);
+        let (y, cache) = blk.forward(&x, true);
+        let _ = blk.backward(&cache, &y);
+        let mut visited = 0;
+        blk.visit_params(&mut |_, _, _| visited += 1);
+        assert_eq!(visited, 2); // w and b
+        blk.zero_grad();
+        let mut visited2 = 0;
+        blk.visit_params(&mut |_, _, _| visited2 += 1);
+        assert_eq!(visited2, 0);
+    }
+}

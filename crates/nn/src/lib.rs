@@ -1,0 +1,31 @@
+//! # seneca-nn
+//!
+//! Neural-network building blocks for the SENECA reproduction:
+//!
+//! * [`layer`] — trainable layers (conv+BN+ReLU blocks, transpose-conv,
+//!   dropout) with explicit forward caches and backward passes;
+//! * [`unet`] — the SENECA 2-D U-Net family (Table II configurations) with a
+//!   parameter-count calculator reproducing the paper's 1M…16M totals;
+//! * [`loss`] — the weighted Focal Tversky loss of Eq. (1)–(2), plus Dice and
+//!   cross-entropy for ablations;
+//! * [`optim`] — SGD-with-momentum and Adam;
+//! * [`train`] — a mini-batch training loop with seeded shuffling;
+//! * [`graph`] — a small inference IR (the hand-off format to the quantizer
+//!   and the DPU compiler) and an FP32 executor for it;
+//! * [`prune`] — magnitude-based channel pruning (the paper's future-work
+//!   ablation);
+//! * [`augment`] — flip/translate/intensity-jitter training augmentation.
+
+pub mod augment;
+pub mod graph;
+pub mod layer;
+pub mod loss;
+pub mod optim;
+pub mod prune;
+pub mod train;
+pub mod unet;
+
+pub use graph::{Graph, Node, Op};
+pub use loss::FocalTverskyLoss;
+pub use optim::{Adam, Optimizer, Sgd};
+pub use unet::{ModelSize, UNet, UNetConfig};

@@ -1,0 +1,225 @@
+//! Optimizers: SGD with momentum and Adam.
+//!
+//! Optimizers visit parameters through [`crate::layer::ParamVisitor`]; each
+//! parameter carries its own [`OptSlot`](crate::layer::OptSlot) scratch so no
+//! global parameter registry is needed.
+
+use crate::layer::OptSlot;
+use crate::unet::UNet;
+
+/// Common optimizer interface over a [`UNet`].
+pub trait Optimizer {
+    /// Applies one update step using the gradients accumulated in `net`.
+    fn step(&mut self, net: &mut UNet);
+    /// Current learning rate.
+    fn lr(&self) -> f32;
+    /// Overrides the learning rate (for schedules).
+    fn set_lr(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+}
+
+impl Sgd {
+    /// Plain SGD with momentum 0.9 and no weight decay.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, momentum: 0.9, weight_decay: 0.0 }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, net: &mut UNet) {
+        let (lr, mu, wd) = (self.lr, self.momentum, self.weight_decay);
+        net.visit_params(&mut |value: &mut [f32], grad: &[f32], slot: &mut OptSlot| {
+            if slot.m.len() != value.len() {
+                slot.m = vec![0.0; value.len()];
+            }
+            for i in 0..value.len() {
+                let g = grad[i] + wd * value[i];
+                slot.m[i] = mu * slot.m[i] + g;
+                value[i] -= lr * slot.m[i];
+            }
+        });
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical epsilon.
+    pub eps: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+}
+
+impl Adam {
+    /// Standard defaults at the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0 }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, net: &mut UNet) {
+        let (lr, b1, b2, eps, wd) = (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
+        net.visit_params(&mut |value: &mut [f32], grad: &[f32], slot: &mut OptSlot| {
+            if slot.m.len() != value.len() {
+                slot.m = vec![0.0; value.len()];
+                slot.v = vec![0.0; value.len()];
+                slot.t = 0;
+            }
+            slot.t += 1;
+            let bc1 = 1.0 - b1.powi(slot.t as i32);
+            let bc2 = 1.0 - b2.powi(slot.t as i32);
+            for i in 0..value.len() {
+                let g = grad[i] + wd * value[i];
+                slot.m[i] = b1 * slot.m[i] + (1.0 - b1) * g;
+                slot.v[i] = b2 * slot.v[i] + (1.0 - b2) * g * g;
+                let mhat = slot.m[i] / bc1;
+                let vhat = slot.v[i] / bc2;
+                value[i] -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        });
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::cross_entropy_loss;
+    use crate::unet::{UNet, UNetConfig};
+    use rand::SeedableRng;
+    use seneca_tensor::{Shape4, Tensor};
+
+    fn tiny_setup(seed: u64) -> (UNet, Tensor, Vec<u8>, rand::rngs::StdRng) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let cfg =
+            UNetConfig { depth: 1, base_filters: 4, in_channels: 1, num_classes: 3, dropout: 0.0 };
+        let net = UNet::new(cfg, &mut rng);
+        let x = Tensor::he_normal(Shape4::new(2, 1, 8, 8), &mut rng);
+        // Labels correlated with input sign so the task is learnable.
+        let labels: Vec<u8> = (0..2 * 64)
+            .map(|i| {
+                let v = x.data()[i];
+                if v > 0.3 {
+                    2
+                } else if v < -0.3 {
+                    1
+                } else {
+                    0
+                }
+            })
+            .collect();
+        (net, x, labels, rng)
+    }
+
+    fn train_steps<O: Optimizer>(opt: &mut O, steps: usize, seed: u64) -> (f32, f32) {
+        let (mut net, x, labels, mut rng) = tiny_setup(seed);
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for s in 0..steps {
+            let (probs, cache) = net.forward(&x, &mut rng);
+            let (loss, dprobs) = cross_entropy_loss(&probs, &labels);
+            if s == 0 {
+                first = loss;
+            }
+            last = loss;
+            net.zero_grad();
+            net.backward(&cache, &dprobs);
+            opt.step(&mut net);
+        }
+        (first, last)
+    }
+
+    #[test]
+    fn sgd_reduces_loss() {
+        let mut opt = Sgd::new(0.05);
+        let (first, last) = train_steps(&mut opt, 30, 1);
+        assert!(last < first * 0.9, "sgd: {first} -> {last}");
+    }
+
+    #[test]
+    fn adam_reduces_loss() {
+        let mut opt = Adam::new(1e-3);
+        let (first, last) = train_steps(&mut opt, 30, 2);
+        assert!(last < first * 0.9, "adam: {first} -> {last}");
+    }
+
+    #[test]
+    fn lr_zero_is_a_no_op() {
+        let (mut net, x, labels, mut rng) = tiny_setup(3);
+        let before = net.infer(&x);
+        let mut opt = Sgd { lr: 0.0, momentum: 0.9, weight_decay: 0.0 };
+        let (probs, cache) = net.forward(&x, &mut rng);
+        let (_, dprobs) = cross_entropy_loss(&probs, &labels);
+        net.zero_grad();
+        net.backward(&cache, &dprobs);
+        opt.step(&mut net);
+        // Weights unchanged => inference output unchanged except BN running
+        // stats, which forward() updates; rebuild a fresh check on weights by
+        // comparing a second zero-lr step instead.
+        let after = net.infer(&x);
+        // BN running stats moved, so allow small drift but no real update.
+        let max_diff = before
+            .data()
+            .iter()
+            .zip(after.data())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_diff < 0.2, "zero-lr step changed output too much: {max_diff}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let (mut net, x, labels, mut rng) = tiny_setup(4);
+        let norm_before: f32 = {
+            let mut s = 0.0;
+            net.zero_grad();
+            // touch params via a dummy backward to expose them
+            let (probs, cache) = net.forward(&x, &mut rng);
+            let (_, dprobs) = cross_entropy_loss(&probs, &labels);
+            net.backward(&cache, &dprobs);
+            net.visit_params(&mut |v, _, _| s += v.iter().map(|x| x * x).sum::<f32>());
+            s
+        };
+        let mut opt = Sgd { lr: 0.1, momentum: 0.0, weight_decay: 0.5 };
+        // Zero the gradients' influence by re-running backward with dprobs=0.
+        let (probs, cache) = net.forward(&x, &mut rng);
+        net.zero_grad();
+        net.backward(&cache, &Tensor::zeros(probs.shape()));
+        opt.step(&mut net);
+        let mut norm_after = 0.0;
+        net.visit_params(&mut |v, _, _| norm_after += v.iter().map(|x| x * x).sum::<f32>());
+        assert!(norm_after < norm_before, "{norm_after} !< {norm_before}");
+    }
+}

@@ -1,0 +1,481 @@
+//! The SENECA 2-D U-Net family.
+//!
+//! Reverse-engineered from Table II of the paper (see DESIGN.md): encoder
+//! stack *i* is `conv(c_in→c) → conv(c→2c)` ("doubling the number of filters
+//! going downward"), the bottleneck keeps its width, and decoder stack *i* is
+//! `tconv2x2 → concat(skip) → conv(2s→s) → conv(s→s/2)` ("each decoder stack
+//! halves the number of filters"). Every conv is 3x3 + BatchNorm + ReLU;
+//! encoder stacks end with 2x2 max-pool + dropout, decoder stacks end with
+//! dropout. The head is a plain 3x3 conv to `num_classes` maps + softmax.
+//!
+//! With `layers = 2*depth + 1`, the five Table II configurations land within
+//! 1% of the paper's parameter totals (asserted by a unit test below).
+
+use crate::layer::{ConvBlock, ConvBlockCache, Dropout, ParamVisitor, TConvLayer};
+use rand::Rng;
+use seneca_tensor::activation::{softmax_channels, softmax_channels_backward};
+use seneca_tensor::pool::{maxpool2x2, maxpool2x2_backward, PoolOut};
+use seneca_tensor::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Structural hyper-parameters of a SENECA U-Net.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UNetConfig {
+    /// Number of encoder (= decoder) stacks; Table II `layers = 2*depth + 1`.
+    pub depth: usize,
+    /// Base filter count (Table II "Filters").
+    pub base_filters: usize,
+    /// Input channels (1 for CT slices).
+    pub in_channels: usize,
+    /// Output classes (5 organs + background = 6).
+    pub num_classes: usize,
+    /// Dropout rate applied at the end of each stack.
+    pub dropout: f32,
+}
+
+impl UNetConfig {
+    /// Table II "Layers" column: `2*depth + 1`.
+    pub fn layers(&self) -> usize {
+        2 * self.depth + 1
+    }
+}
+
+/// The five models evaluated in the paper (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelSize {
+    /// 9 layers, 8 filters, ~1.034M parameters — the model that becomes SENECA.
+    M1,
+    /// 11 layers, 6 filters, ~2.329M parameters.
+    M2,
+    /// 11 layers, 8 filters, ~4.136M parameters.
+    M4,
+    /// 11 layers, 11 filters, ~7.814M parameters.
+    M8,
+    /// 11 layers, 16 filters, ~16.522M parameters.
+    M16,
+}
+
+impl ModelSize {
+    /// All five sizes in Table II order.
+    pub const ALL: [ModelSize; 5] = [Self::M1, Self::M2, Self::M4, Self::M8, Self::M16];
+
+    /// The Table II configuration for this size.
+    pub fn config(self) -> UNetConfig {
+        let (depth, base_filters) = match self {
+            Self::M1 => (4, 8),
+            Self::M2 => (5, 6),
+            Self::M4 => (5, 8),
+            Self::M8 => (5, 11),
+            Self::M16 => (5, 16),
+        };
+        UNetConfig { depth, base_filters, in_channels: 1, num_classes: 6, dropout: 0.10 }
+    }
+
+    /// Parameter total reported by the paper, in millions.
+    pub fn paper_params_m(self) -> f64 {
+        match self {
+            Self::M1 => 1.034,
+            Self::M2 => 2.329,
+            Self::M4 => 4.136,
+            Self::M8 => 7.814,
+            Self::M16 => 16.522,
+        }
+    }
+
+    /// Display label used across tables ("1M", "2M", …).
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::M1 => "1M",
+            Self::M2 => "2M",
+            Self::M4 => "4M",
+            Self::M8 => "8M",
+            Self::M16 => "16M",
+        }
+    }
+}
+
+impl std::fmt::Display for ModelSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One encoder stack: two conv blocks, then max-pool + dropout.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EncoderStack {
+    /// First conv (`c_in → c`).
+    pub conv1: ConvBlock,
+    /// Second conv (`c → 2c`, the "doubling" conv).
+    pub conv2: ConvBlock,
+    /// End-of-stack dropout.
+    pub dropout: Dropout,
+}
+
+/// One decoder stack: up-sample, concat skip, two conv blocks, dropout.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecoderStack {
+    /// 2x2 transpose conv (`cur → skip_channels`).
+    pub up: TConvLayer,
+    /// First conv after concat (`2s → s`).
+    pub conv1: ConvBlock,
+    /// Second conv (`s → s/2`, the "halving" conv).
+    pub conv2: ConvBlock,
+    /// End-of-stack dropout.
+    pub dropout: Dropout,
+}
+
+/// The SENECA U-Net.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UNet {
+    /// Construction config.
+    pub config: UNetConfig,
+    /// Encoder stacks, shallow to deep.
+    pub encoders: Vec<EncoderStack>,
+    /// Bottleneck conv 1 (width-preserving).
+    pub bneck1: ConvBlock,
+    /// Bottleneck conv 2.
+    pub bneck2: ConvBlock,
+    /// Decoder stacks, deep to shallow (forward order).
+    pub decoders: Vec<DecoderStack>,
+    /// Output head: 3x3 conv to `num_classes`, no BN, no ReLU.
+    pub head: ConvBlock,
+}
+
+/// Everything the backward pass needs from one forward pass.
+pub struct UNetCache {
+    enc: Vec<(ConvBlockCache, ConvBlockCache, PoolOut, Option<Vec<bool>>, Shape4)>,
+    skips: Vec<Tensor>,
+    bn1: ConvBlockCache,
+    bn2: ConvBlockCache,
+    dec: Vec<(Tensor, ConvBlockCache, ConvBlockCache, Option<Vec<bool>>)>,
+    head: ConvBlockCache,
+    probs: Tensor,
+}
+
+impl UNet {
+    /// Builds a randomly initialised U-Net.
+    pub fn new<R: Rng>(config: UNetConfig, rng: &mut R) -> Self {
+        let f = config.base_filters;
+        let mut encoders = Vec::with_capacity(config.depth);
+        let mut c_in = config.in_channels;
+        let mut c = f;
+        let mut skip_chans = Vec::new();
+        for _ in 0..config.depth {
+            let conv1 = ConvBlock::new(c_in, c, true, true, rng);
+            let conv2 = ConvBlock::new(c, 2 * c, true, true, rng);
+            encoders.push(EncoderStack { conv1, conv2, dropout: Dropout { rate: config.dropout } });
+            skip_chans.push(2 * c);
+            c_in = 2 * c;
+            c = 2 * c;
+        }
+        let bneck1 = ConvBlock::new(c_in, c_in, true, true, rng);
+        let bneck2 = ConvBlock::new(c_in, c_in, true, true, rng);
+        let mut decoders = Vec::with_capacity(config.depth);
+        let mut cur = c_in;
+        for i in (0..config.depth).rev() {
+            let s = skip_chans[i];
+            let up = TConvLayer::new(cur, s, rng);
+            let conv1 = ConvBlock::new(2 * s, s, true, true, rng);
+            let conv2 = ConvBlock::new(s, s / 2, true, true, rng);
+            decoders.push(DecoderStack { up, conv1, conv2, dropout: Dropout { rate: config.dropout } });
+            cur = s / 2;
+        }
+        let head = ConvBlock::new(cur, config.num_classes, false, false, rng);
+        Self { config, encoders, bneck1, bneck2, decoders, head }
+    }
+
+    /// Builds one of the Table II models.
+    pub fn from_size<R: Rng>(size: ModelSize, rng: &mut R) -> Self {
+        Self::new(size.config(), rng)
+    }
+
+    /// Total parameter count (TF-style: BN contributes 4 per channel).
+    pub fn param_count(&self) -> usize {
+        let mut total = 0;
+        for e in &self.encoders {
+            total += e.conv1.param_count() + e.conv2.param_count();
+        }
+        total += self.bneck1.param_count() + self.bneck2.param_count();
+        for d in &self.decoders {
+            total += d.up.param_count() + d.conv1.param_count() + d.conv2.param_count();
+        }
+        total + self.head.param_count()
+    }
+
+    /// Training forward pass: returns per-pixel class probabilities
+    /// `[N, num_classes, H, W]` and the cache for [`UNet::backward`].
+    ///
+    /// `H` and `W` must be divisible by `2^depth`.
+    pub fn forward<R: Rng>(&mut self, x: &Tensor, rng: &mut R) -> (Tensor, UNetCache) {
+        let s = x.shape();
+        let div = 1 << self.config.depth;
+        assert!(
+            s.h % div == 0 && s.w % div == 0,
+            "input {s} not divisible by 2^depth = {div}"
+        );
+        let mut cur = x.clone();
+        let mut enc = Vec::new();
+        let mut skips = Vec::new();
+        for stack in &mut self.encoders {
+            let (a, c1) = stack.conv1.forward(&cur, true);
+            let (b, c2) = stack.conv2.forward(&a, true);
+            let pre_pool_shape = b.shape();
+            let pool = maxpool2x2(&b);
+            let (dropped, mask) = stack.dropout.forward(&pool.y, true, rng);
+            skips.push(b);
+            enc.push((c1, c2, pool, mask, pre_pool_shape));
+            cur = dropped;
+        }
+        let (b1, bn1) = self.bneck1.forward(&cur, true);
+        let (b2, bn2) = self.bneck2.forward(&b1, true);
+        cur = b2;
+        let mut dec = Vec::new();
+        for (di, stack) in self.decoders.iter_mut().enumerate() {
+            let skip = &skips[self.config.depth - 1 - di];
+            let (up, up_cache) = stack.up.forward(&cur);
+            let cat = Tensor::concat_channels(skip, &up);
+            let (a, c1) = stack.conv1.forward(&cat, true);
+            let (b, c2) = stack.conv2.forward(&a, true);
+            let (dropped, mask) = stack.dropout.forward(&b, true, rng);
+            dec.push((up_cache, c1, c2, mask));
+            cur = dropped;
+        }
+        let (logits, head_cache) = self.head.forward(&cur, true);
+        let probs = softmax_channels(&logits);
+        (
+            probs.clone(),
+            UNetCache { enc, skips, bn1, bn2, dec, head: head_cache, probs },
+        )
+    }
+
+    /// Backward pass from a gradient w.r.t. the softmax *probabilities*.
+    /// Accumulates parameter gradients; returns nothing (input grads unused).
+    pub fn backward(&mut self, cache: &UNetCache, dprobs: &Tensor) {
+        let dlogits = softmax_channels_backward(&cache.probs, dprobs);
+        let mut dcur = self.head.backward(&cache.head, &dlogits);
+
+        let depth = self.config.depth;
+        let mut dskips: Vec<Option<Tensor>> = vec![None; depth];
+        for (di, stack) in self.decoders.iter_mut().enumerate().rev() {
+            let (up_cache, c1, c2, mask) = &cache.dec[di];
+            let d_drop = stack.dropout.backward(mask, &dcur);
+            let d_b = stack.conv2.backward(c2, &d_drop);
+            let d_cat = stack.conv1.backward(c1, &d_b);
+            let skip_idx = depth - 1 - di;
+            let skip_c = cache.skips[skip_idx].shape().c;
+            let (d_skip, d_up) = d_cat.split_channels(skip_c);
+            dskips[skip_idx] = Some(d_skip);
+            dcur = stack.up.backward(up_cache, &d_up);
+        }
+
+        let d_b1 = self.bneck2.backward(&cache.bn2, &dcur);
+        dcur = self.bneck1.backward(&cache.bn1, &d_b1);
+
+        for (ei, stack) in self.encoders.iter_mut().enumerate().rev() {
+            let (c1, c2, pool, mask, pre_pool_shape) = &cache.enc[ei];
+            let d_pool_out = stack.dropout.backward(mask, &dcur);
+            let mut d_b = maxpool2x2_backward(*pre_pool_shape, pool, &d_pool_out);
+            if let Some(ds) = &dskips[ei] {
+                d_b.axpy(1.0, ds);
+            }
+            let d_a = stack.conv2.backward(c2, &d_b);
+            dcur = stack.conv1.backward(c1, &d_a);
+        }
+    }
+
+    /// Inference forward (running BN statistics, dropout off).
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        let mut cur = x.clone();
+        let mut skips = Vec::new();
+        for stack in &self.encoders {
+            let a = stack.conv1.infer(&cur);
+            let b = stack.conv2.infer(&a);
+            cur = maxpool2x2(&b).y;
+            skips.push(b);
+        }
+        cur = self.bneck2.infer(&self.bneck1.infer(&cur));
+        for (di, stack) in self.decoders.iter().enumerate() {
+            let skip = &skips[self.config.depth - 1 - di];
+            let up = stack.up.infer(&cur);
+            let cat = Tensor::concat_channels(skip, &up);
+            cur = stack.conv2.infer(&stack.conv1.infer(&cat));
+        }
+        softmax_channels(&self.head.infer(&cur))
+    }
+
+    /// Predicted per-pixel labels for a batch.
+    pub fn predict(&self, x: &Tensor) -> Vec<u8> {
+        seneca_tensor::activation::argmax_channels(&self.infer(x))
+    }
+
+    /// Clears all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for e in &mut self.encoders {
+            e.conv1.zero_grad();
+            e.conv2.zero_grad();
+        }
+        self.bneck1.zero_grad();
+        self.bneck2.zero_grad();
+        for d in &mut self.decoders {
+            d.up.zero_grad();
+            d.conv1.zero_grad();
+            d.conv2.zero_grad();
+        }
+        self.head.zero_grad();
+    }
+
+    /// Visits all parameters (used by optimizers).
+    pub fn visit_params(&mut self, f: ParamVisitor<'_>) {
+        for e in &mut self.encoders {
+            e.conv1.visit_params(f);
+            e.conv2.visit_params(f);
+        }
+        self.bneck1.visit_params(f);
+        self.bneck2.visit_params(f);
+        for d in &mut self.decoders {
+            d.up.visit_params(f);
+            d.conv1.visit_params(f);
+            d.conv2.visit_params(f);
+        }
+        self.head.visit_params(f);
+    }
+
+    /// Multiply-accumulate operations for one forward pass at `h`x`w` input,
+    /// used by the GPU/DPU performance models. Counts conv, tconv and head.
+    pub fn macs_per_frame(&self, h: usize, w: usize) -> u64 {
+        let mut total: u64 = 0;
+        let (mut hh, mut ww) = (h as u64, w as u64);
+        for e in &self.encoders {
+            let ws1 = e.conv1.w.shape();
+            let ws2 = e.conv2.w.shape();
+            total += hh * ww * (ws1.len() as u64 + ws2.len() as u64);
+            hh /= 2;
+            ww /= 2;
+        }
+        total += hh * ww * (self.bneck1.w.shape().len() as u64 + self.bneck2.w.shape().len() as u64);
+        for d in &self.decoders {
+            // tconv: each input pixel does C_in*C_out*4 MACs.
+            total += hh * ww * d.up.w.shape().len() as u64;
+            hh *= 2;
+            ww *= 2;
+            total += hh * ww * (d.conv1.w.shape().len() as u64 + d.conv2.w.shape().len() as u64);
+        }
+        total += hh * ww * self.head.w.shape().len() as u64;
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn table2_layer_counts() {
+        assert_eq!(ModelSize::M1.config().layers(), 9);
+        for s in [ModelSize::M2, ModelSize::M4, ModelSize::M8, ModelSize::M16] {
+            assert_eq!(s.config().layers(), 11);
+        }
+    }
+
+    #[test]
+    fn table2_param_counts_within_2_percent() {
+        let mut r = rng();
+        for size in ModelSize::ALL {
+            let net = UNet::from_size(size, &mut r);
+            let ours = net.param_count() as f64 / 1e6;
+            let paper = size.paper_params_m();
+            let err = (ours / paper - 1.0).abs();
+            assert!(err < 0.02, "{size}: ours {ours:.3}M vs paper {paper:.3}M ({err:.3})");
+        }
+    }
+
+    #[test]
+    fn forward_output_shape_and_probabilities() {
+        let mut r = rng();
+        let cfg = UNetConfig { depth: 2, base_filters: 4, in_channels: 1, num_classes: 6, dropout: 0.1 };
+        let mut net = UNet::new(cfg, &mut r);
+        let x = Tensor::he_normal(Shape4::new(2, 1, 16, 16), &mut r);
+        let (probs, _) = net.forward(&x, &mut r);
+        assert_eq!(probs.shape(), Shape4::new(2, 6, 16, 16));
+        for h in 0..16 {
+            let sum: f32 = (0..6).map(|c| probs.at(0, c, h, 0)).sum();
+            assert!((sum - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn forward_rejects_indivisible_input() {
+        let mut r = rng();
+        let cfg = UNetConfig { depth: 3, base_filters: 4, in_channels: 1, num_classes: 6, dropout: 0.0 };
+        let mut net = UNet::new(cfg, &mut r);
+        let x = Tensor::zeros(Shape4::new(1, 1, 12, 12));
+        let _ = net.forward(&x, &mut r);
+    }
+
+    #[test]
+    fn infer_matches_forward_shapes_without_dropout() {
+        let mut r = rng();
+        let cfg = UNetConfig { depth: 2, base_filters: 4, in_channels: 1, num_classes: 6, dropout: 0.0 };
+        let net = UNet::new(cfg, &mut r);
+        let x = Tensor::he_normal(Shape4::new(1, 1, 8, 8), &mut r);
+        let probs = net.infer(&x);
+        assert_eq!(probs.shape(), Shape4::new(1, 6, 8, 8));
+        let labels = net.predict(&x);
+        assert_eq!(labels.len(), 64);
+        assert!(labels.iter().all(|&l| l < 6));
+    }
+
+    #[test]
+    fn backward_populates_all_param_grads() {
+        let mut r = rng();
+        let cfg = UNetConfig { depth: 2, base_filters: 4, in_channels: 1, num_classes: 6, dropout: 0.1 };
+        let mut net = UNet::new(cfg, &mut r);
+        let x = Tensor::he_normal(Shape4::new(1, 1, 8, 8), &mut r);
+        let (probs, cache) = net.forward(&x, &mut r);
+        net.zero_grad();
+        net.backward(&cache, &probs);
+        let mut n_params = 0;
+        let mut nonzero = 0;
+        net.visit_params(&mut |_, grad, _| {
+            n_params += 1;
+            if grad.iter().any(|g| *g != 0.0) {
+                nonzero += 1;
+            }
+        });
+        // Every parameter tensor received a gradient buffer...
+        // encoders: 2 stacks * (conv1: w,b,gamma,beta + conv2: same) = 16
+        // bottleneck: 8, decoders: 2 * (up: 2 + conv1: 4 + conv2: 4) = 20, head: 2
+        assert_eq!(n_params, 16 + 8 + 20 + 2);
+        // ...and the overwhelming majority are non-zero.
+        assert!(nonzero >= n_params - 2, "{nonzero}/{n_params}");
+    }
+
+    #[test]
+    fn macs_scale_with_resolution() {
+        let mut r = rng();
+        let net = UNet::from_size(ModelSize::M1, &mut r);
+        let m256 = net.macs_per_frame(256, 256);
+        let m128 = net.macs_per_frame(128, 128);
+        let ratio = m256 as f64 / m128 as f64;
+        assert!((ratio - 4.0).abs() < 0.1, "ratio {ratio}");
+        // 1M model at 256² is in the GMAC range (sanity check).
+        assert!(m256 > 1_000_000_000 && m256 < 20_000_000_000, "{m256}");
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_weights() {
+        let mut r = rng();
+        let cfg = UNetConfig { depth: 1, base_filters: 2, in_channels: 1, num_classes: 3, dropout: 0.0 };
+        let net = UNet::new(cfg, &mut r);
+        let json = serde_json::to_string(&net).unwrap();
+        let net2: UNet = serde_json::from_str(&json).unwrap();
+        let x = Tensor::he_normal(Shape4::new(1, 1, 4, 4), &mut r);
+        assert_eq!(net.infer(&x), net2.infer(&x));
+    }
+}

@@ -1,0 +1,293 @@
+//! Inference-graph fusion: the front-end clean-up both the Vitis AI
+//! quantizer and VAI_C perform before touching numbers.
+//!
+//! * BatchNorm folds into the preceding convolution (running statistics);
+//! * Dropout nodes are deleted ("nodes not required for inference");
+//! * standalone ReLU fuses into the preceding conv;
+//! * the trailing softmax is stripped — per §III-E the compiled model
+//!   "returns INT8 masks", the argmax runs on the host.
+
+use seneca_nn::graph::{Graph, Op};
+use seneca_tensor::norm::fold_bn_into_conv;
+use seneca_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Fused operation set (what the DPU actually executes).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum FusedOp {
+    /// Graph input.
+    Input,
+    /// 3x3 conv with folded BN and optional fused ReLU.
+    Conv {
+        /// Weights `[C_out, C_in, 3, 3]`.
+        w: Tensor,
+        /// Bias.
+        b: Vec<f32>,
+        /// Fused ReLU.
+        relu: bool,
+    },
+    /// 2x2 stride-2 transpose conv.
+    TConv {
+        /// Weights `[C_in, C_out, 2, 2]`.
+        w: Tensor,
+        /// Bias.
+        b: Vec<f32>,
+    },
+    /// 2x2 stride-2 max pool.
+    MaxPool2x2,
+    /// Channel concat of two inputs.
+    Concat,
+}
+
+impl FusedOp {
+    /// Mnemonic for listings.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            FusedOp::Input => "input",
+            FusedOp::Conv { relu: true, .. } => "conv+relu",
+            FusedOp::Conv { relu: false, .. } => "conv",
+            FusedOp::TConv { .. } => "tconv",
+            FusedOp::MaxPool2x2 => "maxpool",
+            FusedOp::Concat => "concat",
+        }
+    }
+}
+
+/// Fused node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FusedNode {
+    /// Operation.
+    pub op: FusedOp,
+    /// Input node ids.
+    pub inputs: Vec<usize>,
+}
+
+/// The fused graph (same topology conventions as [`Graph`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FusedGraph {
+    /// Nodes in topological order; node 0 is the input.
+    pub nodes: Vec<FusedNode>,
+    /// Output node id.
+    pub output: usize,
+    /// Model name carried over.
+    pub name: String,
+}
+
+impl FusedGraph {
+    /// Output shapes per node.
+    pub fn shapes(&self, input: seneca_tensor::Shape4) -> Vec<seneca_tensor::Shape4> {
+        let mut shapes: Vec<seneca_tensor::Shape4> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let s = match &node.op {
+                FusedOp::Input => input,
+                FusedOp::Conv { w, .. } => shapes[node.inputs[0]].with_c(w.shape().n),
+                FusedOp::TConv { w, .. } => {
+                    let i: seneca_tensor::Shape4 = shapes[node.inputs[0]];
+                    i.with_c(w.shape().c).upsampled2x2()
+                }
+                FusedOp::MaxPool2x2 => shapes[node.inputs[0]].pooled2x2(),
+                FusedOp::Concat => {
+                    let a = shapes[node.inputs[0]];
+                    let b = shapes[node.inputs[1]];
+                    a.with_c(a.c + b.c)
+                }
+            };
+            shapes.push(s);
+        }
+        shapes
+    }
+
+    /// FP32 reference execution of the fused graph (used for calibration and
+    /// for quantisation-error measurements). Returns all node outputs.
+    pub fn execute_all(&self, input: &Tensor) -> Vec<Tensor> {
+        use seneca_tensor::prelude::*;
+        let mut vals: Vec<Tensor> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let out = match &node.op {
+                FusedOp::Input => input.clone(),
+                FusedOp::Conv { w, b, relu: r } => {
+                    let y = conv2d(&vals[node.inputs[0]], w, b, Conv2dParams::SAME_3X3);
+                    if *r {
+                        relu(&y)
+                    } else {
+                        y
+                    }
+                }
+                FusedOp::TConv { w, b } => tconv2x2(&vals[node.inputs[0]], w, b),
+                FusedOp::MaxPool2x2 => maxpool2x2(&vals[node.inputs[0]]).y,
+                FusedOp::Concat => Tensor::concat_channels(
+                    &vals[node.inputs[0]],
+                    &vals[node.inputs[1]],
+                ),
+            };
+            vals.push(out);
+        }
+        vals
+    }
+
+    /// FP32 execution returning only the output (pre-softmax logits).
+    pub fn execute(&self, input: &Tensor) -> Tensor {
+        self.execute_all(input).swap_remove(self.output)
+    }
+}
+
+/// Fuses a training-time graph into the DPU-executable form.
+pub fn fuse(graph: &Graph) -> FusedGraph {
+    // Map from old node id to the fused node id that produces its value.
+    let mut remap: Vec<usize> = vec![usize::MAX; graph.nodes.len()];
+    let mut out = FusedGraph {
+        nodes: vec![FusedNode { op: FusedOp::Input, inputs: vec![] }],
+        output: 0,
+        name: graph.name.clone(),
+    };
+    remap[0] = 0;
+
+    for (i, node) in graph.nodes.iter().enumerate().skip(1) {
+        match &node.op {
+            Op::Input => unreachable!("input must be node 0"),
+            Op::Conv { w, b, relu } => {
+                out.nodes.push(FusedNode {
+                    op: FusedOp::Conv { w: w.clone(), b: b.clone(), relu: *relu },
+                    inputs: vec![remap[node.inputs[0]]],
+                });
+                remap[i] = out.nodes.len() - 1;
+            }
+            Op::BatchNorm { bn } => {
+                // Fold into the producing conv (the exporter always places BN
+                // directly after a conv).
+                let src = remap[node.inputs[0]];
+                match &mut out.nodes[src].op {
+                    FusedOp::Conv { w, b, .. } => {
+                        let (w2, b2) = fold_bn_into_conv(w, b, bn);
+                        *w = w2;
+                        *b = b2;
+                    }
+                    other => panic!(
+                        "BatchNorm after {:?} unsupported (expected conv)",
+                        other.mnemonic()
+                    ),
+                }
+                remap[i] = src;
+            }
+            Op::Relu => {
+                let src = remap[node.inputs[0]];
+                match &mut out.nodes[src].op {
+                    FusedOp::Conv { relu, .. } => *relu = true,
+                    other => panic!(
+                        "standalone ReLU after {:?} unsupported",
+                        other.mnemonic()
+                    ),
+                }
+                remap[i] = src;
+            }
+            Op::MaxPool2x2 => {
+                out.nodes.push(FusedNode {
+                    op: FusedOp::MaxPool2x2,
+                    inputs: vec![remap[node.inputs[0]]],
+                });
+                remap[i] = out.nodes.len() - 1;
+            }
+            Op::TConv { w, b } => {
+                out.nodes.push(FusedNode {
+                    op: FusedOp::TConv { w: w.clone(), b: b.clone() },
+                    inputs: vec![remap[node.inputs[0]]],
+                });
+                remap[i] = out.nodes.len() - 1;
+            }
+            Op::Concat => {
+                out.nodes.push(FusedNode {
+                    op: FusedOp::Concat,
+                    inputs: vec![remap[node.inputs[0]], remap[node.inputs[1]]],
+                });
+                remap[i] = out.nodes.len() - 1;
+            }
+            Op::Dropout { .. } => {
+                // Deleted: value passes straight through.
+                remap[i] = remap[node.inputs[0]];
+            }
+            Op::Softmax => {
+                // Stripped: output becomes the pre-softmax logits.
+                remap[i] = remap[node.inputs[0]];
+            }
+        }
+    }
+    out.output = remap[graph.output];
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use seneca_nn::unet::{UNet, UNetConfig};
+    use seneca_tensor::activation::softmax_channels;
+    use seneca_tensor::Shape4;
+
+    fn tiny_graph(seed: u64) -> Graph {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let cfg =
+            UNetConfig { depth: 2, base_filters: 4, in_channels: 1, num_classes: 6, dropout: 0.1 };
+        Graph::from_unet(&UNet::new(cfg, &mut rng), "tiny")
+    }
+
+    #[test]
+    fn fused_graph_has_no_bn_dropout_softmax() {
+        let g = tiny_graph(1);
+        let f = fuse(&g);
+        for node in &f.nodes {
+            assert!(
+                !matches!(node.op, FusedOp::Input) || node.inputs.is_empty(),
+                "input with inputs"
+            );
+        }
+        let mnems: Vec<&str> = f.nodes.iter().map(|n| n.op.mnemonic()).collect();
+        assert!(!mnems.iter().any(|m| m.contains("batchnorm") || m.contains("dropout")));
+        // All non-head convs have fused relu.
+        let convs: Vec<bool> = f
+            .nodes
+            .iter()
+            .filter_map(|n| match &n.op {
+                FusedOp::Conv { relu, .. } => Some(*relu),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(convs.len(), 11);
+        assert_eq!(convs.iter().filter(|r| **r).count(), 10, "head conv must stay linear");
+    }
+
+    #[test]
+    fn fusion_preserves_inference_up_to_softmax() {
+        let g = tiny_graph(2);
+        let f = fuse(&g);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let x = Tensor::he_normal(Shape4::new(1, 1, 16, 16), &mut rng);
+        let probs_ref = g.execute(&x);
+        let logits = f.execute(&x);
+        let probs = softmax_channels(&logits);
+        for (a, b) in probs_ref.data().iter().zip(probs.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fused_shapes_match_source_graph() {
+        let g = tiny_graph(4);
+        let f = fuse(&g);
+        let input = Shape4::new(1, 1, 32, 32);
+        let fused_out = f.shapes(input)[f.output];
+        let src_out = g.shapes(input)[g.output];
+        assert_eq!(fused_out, src_out);
+    }
+
+    #[test]
+    fn node_count_shrinks() {
+        let g = tiny_graph(5);
+        let f = fuse(&g);
+        assert!(
+            f.nodes.len() < g.nodes.len() - 10,
+            "{} fused vs {} source",
+            f.nodes.len(),
+            g.nodes.len()
+        );
+    }
+}

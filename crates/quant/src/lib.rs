@@ -1,0 +1,33 @@
+//! # seneca-quant
+//!
+//! A Vitis-AI-style INT8 quantization stack (stage D of the SENECA
+//! workflow). The DPU consumes INT8 tensors with power-of-two scales
+//! ("fix positions"); this crate turns a trained FP32 [`seneca_nn::Graph`]
+//! into a [`QuantizedGraph`] executable with pure integer arithmetic:
+//!
+//! 1. [`fuse`] — graph clean-up that mirrors the quantizer/VAI_C front end:
+//!    BatchNorm folded into the preceding conv, dropout removed, ReLU fused
+//!    into conv, softmax stripped (argmax runs on the CPU, paper §III-E);
+//! 2. [`observer`] — activation-range observers run over the calibration set
+//!    (min-max, averaged-max, percentile);
+//! 3. [`ptq`] — post-training quantization: per-tensor symmetric weights,
+//!    calibrated activations, bias at accumulator scale;
+//! 4. [`finetune`] — "fast finetuning" (AdaQuant-flavoured): per-layer scale
+//!    search plus bias correction against FP32 references;
+//! 5. [`qat`] — quantization-aware training hooks (weight fake-quant).
+//!
+//! The functional executor in [`qgraph`] is bit-exact with the DPU simulator
+//! in `seneca-dpu` — both reduce to the same `i8 x i8 -> i32 -> shift`
+//! arithmetic from `seneca-tensor`.
+
+pub mod finetune;
+pub mod fuse;
+pub mod observer;
+pub mod ptq;
+pub mod qat;
+pub mod qgraph;
+
+pub use fuse::{fuse, FusedGraph, FusedNode, FusedOp};
+pub use observer::{ObserverKind, RangeObserver};
+pub use ptq::{quantize_post_training, PtqConfig};
+pub use qgraph::{QConvParams, QNode, QOp, QuantizedGraph};

@@ -1,0 +1,253 @@
+//! Post-training quantization (the method SENECA ships with, §III-D).
+//!
+//! PTQ needs only a small unlabeled calibration set (the paper uses 500
+//! slices): activations are observed through the FP32 fused graph, each node
+//! gets a power-of-two fix position, weights are quantised per-tensor, and
+//! biases are pre-scaled to the accumulator fix position.
+
+use crate::fuse::{FusedGraph, FusedOp};
+use crate::observer::{ObserverKind, RangeObserver};
+use crate::qgraph::{QConvParams, QNode, QOp, QuantizedGraph};
+use seneca_tensor::quantized::{choose_fix_pos, QTensor};
+use seneca_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// PTQ settings.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PtqConfig {
+    /// Activation-range observer.
+    pub observer: ObserverKind,
+    /// Cap on calibration images actually used.
+    pub max_images: usize,
+}
+
+impl Default for PtqConfig {
+    fn default() -> Self {
+        Self { observer: ObserverKind::MinMax, max_images: 500 }
+    }
+}
+
+/// Per-node diagnostics from PTQ.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PtqReport {
+    /// Fix position per fused node.
+    pub fix_pos: Vec<i32>,
+    /// Activation range per fused node.
+    pub range: Vec<f32>,
+    /// Images used for calibration.
+    pub images_used: usize,
+}
+
+/// Quantises a fused FP32 graph using `calib` images.
+///
+/// Returns the quantized graph plus a calibration report.
+pub fn quantize_post_training(
+    fg: &FusedGraph,
+    calib: &[Tensor],
+    cfg: &PtqConfig,
+) -> (QuantizedGraph, PtqReport) {
+    assert!(!calib.is_empty(), "PTQ needs a non-empty calibration set");
+    let used = calib.len().min(cfg.max_images.max(1));
+
+    // 1. Observe activation ranges through the FP32 fused graph.
+    let mut observers: Vec<RangeObserver> =
+        (0..fg.nodes.len()).map(|_| RangeObserver::new(cfg.observer)).collect();
+    for img in &calib[..used] {
+        let vals = fg.execute_all(img);
+        for (obs, val) in observers.iter_mut().zip(&vals) {
+            obs.observe(val);
+        }
+    }
+
+    // 2. Assign fix positions with structural constraints.
+    let mut fp: Vec<i32> = observers.iter().map(|o| o.fix_pos()).collect();
+    for (i, node) in fg.nodes.iter().enumerate() {
+        match &node.op {
+            FusedOp::MaxPool2x2 => fp[i] = fp[node.inputs[0]], // pool can't rescale
+            FusedOp::Concat => {
+                fp[i] = fp[node.inputs[0]].min(fp[node.inputs[1]]).min(fp[i]);
+            }
+            _ => {}
+        }
+    }
+
+    // 3. Build the quantized nodes.
+    let mut nodes = Vec::with_capacity(fg.nodes.len());
+    for (i, node) in fg.nodes.iter().enumerate() {
+        let op = match &node.op {
+            FusedOp::Input => QOp::Input,
+            FusedOp::Conv { w, b, relu } => {
+                QOp::Conv(make_qconv(w, b, *relu, fp[node.inputs[0]], fp[i]))
+            }
+            FusedOp::TConv { w, b } => {
+                QOp::TConv(make_qconv(w, b, false, fp[node.inputs[0]], fp[i]))
+            }
+            FusedOp::MaxPool2x2 => QOp::MaxPool2x2,
+            FusedOp::Concat => QOp::Concat {
+                shift_a: fp[node.inputs[0]] - fp[i],
+                shift_b: fp[node.inputs[1]] - fp[i],
+                out_fp: fp[i],
+            },
+        };
+        nodes.push(QNode { op, inputs: node.inputs.clone() });
+    }
+
+    let qg = QuantizedGraph {
+        nodes,
+        output: fg.output,
+        input_fp: fp[0],
+        output_fp: fp[fg.output],
+        name: format!("{}-int8", fg.name),
+    };
+    let report = PtqReport {
+        fix_pos: fp,
+        range: observers.iter().map(|o| o.range()).collect(),
+        images_used: used,
+    };
+    (qg, report)
+}
+
+fn make_qconv(w: &Tensor, b: &[f32], relu: bool, in_fp: i32, out_fp: i32) -> QConvParams {
+    let w_fp = choose_fix_pos(w.abs_max());
+    let acc_scale = ((in_fp + w_fp) as f32).exp2();
+    QConvParams {
+        w: QTensor::quantize(w, w_fp),
+        bias: b.iter().map(|&v| (v * acc_scale).round() as i32).collect(),
+        relu,
+        in_fp,
+        out_fp,
+    }
+}
+
+/// Mean squared error between the dequantised INT8 logits and the FP32
+/// logits over a set of images — the headline quantisation-quality metric.
+pub fn quantization_mse(fg: &FusedGraph, qg: &QuantizedGraph, images: &[Tensor]) -> f64 {
+    let mut acc = 0.0f64;
+    let mut count = 0usize;
+    for img in images {
+        let y_ref = fg.execute(img);
+        let y_q = qg.execute_dequant(img);
+        for (a, b) in y_ref.data().iter().zip(y_q.data()) {
+            acc += ((a - b) as f64).powi(2);
+            count += 1;
+        }
+    }
+    acc / count.max(1) as f64
+}
+
+/// Fraction of pixels where the INT8 argmax agrees with the FP32 argmax.
+pub fn argmax_agreement(fg: &FusedGraph, qg: &QuantizedGraph, images: &[Tensor]) -> f64 {
+    let mut agree = 0u64;
+    let mut total = 0u64;
+    for img in images {
+        let ref_labels = seneca_tensor::activation::argmax_channels(&fg.execute(img));
+        let q_labels = qg.predict(img);
+        for (a, b) in ref_labels.iter().zip(&q_labels) {
+            agree += (a == b) as u64;
+            total += 1;
+        }
+    }
+    agree as f64 / total.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fuse::fuse;
+    use rand::SeedableRng;
+    use seneca_nn::graph::Graph;
+    use seneca_nn::unet::{UNet, UNetConfig};
+    use seneca_tensor::Shape4;
+
+    fn setup(seed: u64) -> (FusedGraph, Vec<Tensor>) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let cfg =
+            UNetConfig { depth: 2, base_filters: 4, in_channels: 1, num_classes: 6, dropout: 0.1 };
+        let net = UNet::new(cfg, &mut rng);
+        let fg = fuse(&Graph::from_unet(&net, "tiny"));
+        let calib: Vec<Tensor> = (0..6)
+            .map(|_| {
+                let mut t = Tensor::he_normal(Shape4::new(1, 1, 16, 16), &mut rng);
+                // Clamp to [-1, 1] like preprocessed CT slices.
+                for v in t.data_mut() {
+                    *v = v.clamp(-1.0, 1.0);
+                }
+                t
+            })
+            .collect();
+        (fg, calib)
+    }
+
+    #[test]
+    fn ptq_produces_consistent_fix_positions() {
+        let (fg, calib) = setup(1);
+        let (qg, report) = quantize_post_training(&fg, &calib, &PtqConfig::default());
+        assert_eq!(report.fix_pos.len(), fg.nodes.len());
+        assert_eq!(report.images_used, 6);
+        // Structural constraints honoured.
+        for (i, node) in qg.nodes.iter().enumerate() {
+            match &node.op {
+                QOp::MaxPool2x2 => {
+                    assert_eq!(report.fix_pos[i], report.fix_pos[node.inputs[0]]);
+                }
+                QOp::Concat { shift_a, shift_b, .. } => {
+                    assert!(*shift_a >= 0 && *shift_b >= 0, "concat shifts must be right shifts");
+                }
+                QOp::Conv(p) | QOp::TConv(p) => {
+                    assert_eq!(p.in_fp, report.fix_pos[node.inputs[0]]);
+                    assert_eq!(p.out_fp, report.fix_pos[i]);
+                }
+                QOp::Input => {}
+            }
+        }
+    }
+
+    #[test]
+    fn int8_output_tracks_fp32_logits() {
+        let (fg, calib) = setup(2);
+        let (qg, _) = quantize_post_training(&fg, &calib, &PtqConfig::default());
+        let mse = quantization_mse(&fg, &qg, &calib[..2]);
+        // Logits of an untrained net are O(1); MSE must be far below that.
+        assert!(mse < 0.05, "mse {mse}");
+        let agree = argmax_agreement(&fg, &qg, &calib[..2]);
+        assert!(agree > 0.85, "argmax agreement {agree}");
+    }
+
+    #[test]
+    fn more_calibration_images_never_shrink_ranges() {
+        let (fg, calib) = setup(3);
+        let (_, r1) =
+            quantize_post_training(&fg, &calib[..1], &PtqConfig::default());
+        let (_, r6) = quantize_post_training(&fg, &calib, &PtqConfig::default());
+        for (a, b) in r1.range.iter().zip(&r6.range) {
+            assert!(b >= a, "range shrank with more data: {a} -> {b}");
+        }
+    }
+
+    #[test]
+    fn max_images_caps_calibration() {
+        let (fg, calib) = setup(4);
+        let (_, r) = quantize_post_training(
+            &fg,
+            &calib,
+            &PtqConfig { observer: ObserverKind::MinMax, max_images: 3 },
+        );
+        assert_eq!(r.images_used, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty calibration")]
+    fn empty_calibration_rejected() {
+        let (fg, _) = setup(5);
+        let _ = quantize_post_training(&fg, &[], &PtqConfig::default());
+    }
+
+    #[test]
+    fn predict_labels_match_shapes() {
+        let (fg, calib) = setup(6);
+        let (qg, _) = quantize_post_training(&fg, &calib, &PtqConfig::default());
+        let labels = qg.predict(&calib[0]);
+        assert_eq!(labels.len(), 16 * 16);
+        assert!(labels.iter().all(|&l| l < 6));
+    }
+}

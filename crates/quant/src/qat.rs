@@ -1,0 +1,147 @@
+//! Quantization-aware training hooks (§III-D's third option).
+//!
+//! The Vitis AI QAT path "rewrites the floating graph and converts it to a
+//! quantized model before network training". We reproduce the essential
+//! mechanism — weights are projected onto the INT8 grid during training so
+//! the optimizer learns around the quantisation error (straight-through
+//! estimator semantics: forward on the projected weights, gradients applied
+//! to the latent FP32 weights, projection re-applied after each step).
+//!
+//! As the paper found, QAT buys nothing over PTQ here while costing full
+//! training time; `reproduce ablation-quant` quantifies that.
+
+use seneca_nn::loss::FocalTverskyLoss;
+use seneca_nn::optim::Optimizer;
+use seneca_nn::train::{Sample, TrainConfig};
+use seneca_nn::unet::UNet;
+use seneca_tensor::quantized::{choose_fix_pos, QTensor};
+use seneca_tensor::Tensor;
+
+/// Projects all conv / tconv weights of the network onto the INT8 grid
+/// (quantize–dequantize with per-tensor fix positions). Biases and BN
+/// parameters stay FP32, matching DPU deployment where biases live in INT32.
+pub fn project_weights_int8(net: &mut UNet) {
+    let project = |w: &mut Tensor| {
+        let fp = choose_fix_pos(w.abs_max());
+        *w = QTensor::quantize(w, fp).dequantize();
+    };
+    for e in &mut net.encoders {
+        project(&mut e.conv1.w);
+        project(&mut e.conv2.w);
+    }
+    project(&mut net.bneck1.w);
+    project(&mut net.bneck2.w);
+    for d in &mut net.decoders {
+        project(&mut d.up.w);
+        project(&mut d.conv1.w);
+        project(&mut d.conv2.w);
+    }
+    project(&mut net.head.w);
+}
+
+/// Quantization-aware training: standard training loop with an INT8 weight
+/// projection after every optimizer step.
+pub fn train_qat(
+    net: &mut UNet,
+    samples: &[Sample],
+    loss: &FocalTverskyLoss,
+    opt: &mut dyn Optimizer,
+    cfg: &TrainConfig,
+) -> Vec<seneca_nn::train::EpochStats> {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    assert!(!samples.is_empty(), "empty training set");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    let mut history = Vec::with_capacity(cfg.epochs);
+
+    for epoch in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let mut loss_sum = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size) {
+            let images: Vec<Tensor> = chunk.iter().map(|&i| samples[i].image.clone()).collect();
+            let batch = Tensor::stack_batch(&images);
+            let mut labels = Vec::new();
+            for &i in chunk {
+                labels.extend_from_slice(&samples[i].labels);
+            }
+            // Forward runs on projected (quantized) weights.
+            project_weights_int8(net);
+            let (probs, cache) = net.forward(&batch, &mut rng);
+            let (lval, dprobs) = loss.forward_backward(&probs, &labels);
+            net.zero_grad();
+            net.backward(&cache, &dprobs);
+            opt.step(net);
+            loss_sum += lval as f64;
+            batches += 1;
+        }
+        history.push(seneca_nn::train::EpochStats {
+            epoch,
+            mean_loss: loss_sum / batches.max(1) as f64,
+            lr: opt.lr(),
+        });
+        opt.set_lr(opt.lr() * cfg.lr_decay);
+    }
+    // Leave the network on the INT8 grid, ready for export.
+    project_weights_int8(net);
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use seneca_nn::optim::Adam;
+    use seneca_nn::train::toy_quadrant_dataset;
+    use seneca_nn::unet::UNetConfig;
+
+    #[test]
+    fn projection_is_idempotent() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let cfg =
+            UNetConfig { depth: 1, base_filters: 4, in_channels: 1, num_classes: 4, dropout: 0.0 };
+        let mut net = UNet::new(cfg, &mut rng);
+        project_weights_int8(&mut net);
+        let w1 = net.encoders[0].conv1.w.clone();
+        project_weights_int8(&mut net);
+        assert_eq!(net.encoders[0].conv1.w, w1);
+    }
+
+    #[test]
+    fn projected_weights_live_on_int8_grid() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let cfg =
+            UNetConfig { depth: 1, base_filters: 4, in_channels: 1, num_classes: 4, dropout: 0.0 };
+        let mut net = UNet::new(cfg, &mut rng);
+        project_weights_int8(&mut net);
+        let w = &net.encoders[0].conv1.w;
+        let fp = choose_fix_pos(w.abs_max());
+        let scale = (fp as f32).exp2();
+        for &v in w.data() {
+            let g = v * scale;
+            assert!((g - g.round()).abs() < 1e-3, "weight {v} off grid");
+        }
+    }
+
+    #[test]
+    fn qat_training_reduces_loss() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let samples = toy_quadrant_dataset(6, 16, 4, &mut rng);
+        let cfg =
+            UNetConfig { depth: 2, base_filters: 4, in_channels: 1, num_classes: 4, dropout: 0.0 };
+        let mut net = UNet::new(cfg, &mut rng);
+        let loss = FocalTverskyLoss::paper_defaults(vec![1.0; 4]);
+        let mut opt = Adam::new(2e-3);
+        let history = train_qat(
+            &mut net,
+            &samples,
+            &loss,
+            &mut opt,
+            &TrainConfig { epochs: 10, batch_size: 3, seed: 5, lr_decay: 0.95, verbose: false },
+        );
+        let first = history.first().unwrap().mean_loss;
+        let last = history.last().unwrap().mean_loss;
+        assert!(last < first, "QAT loss {first} -> {last}");
+    }
+}

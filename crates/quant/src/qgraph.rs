@@ -1,0 +1,373 @@
+//! The quantized graph and its bit-exact INT8 functional executor.
+//!
+//! All arithmetic follows the DPU model: INT8 operands, INT32 accumulators,
+//! power-of-two rescaling by arithmetic shift (round half away from zero,
+//! saturating). The bias is pre-scaled to the accumulator's fix position
+//! `fp_in + fp_w`, and each op's output is requantised to its calibrated
+//! activation fix position.
+
+use seneca_tensor::im2col::{im2col_i8, ConvGeom};
+use seneca_tensor::gemm::igemm;
+use seneca_tensor::quantized::{requantize_i32, QTensor};
+use seneca_tensor::{Shape4, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a quantized (t)conv.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QConvParams {
+    /// INT8 weights with their fix position.
+    pub w: QTensor,
+    /// Bias at accumulator scale (`fp_in + fp_w`).
+    pub bias: Vec<i32>,
+    /// Fused ReLU.
+    pub relu: bool,
+    /// Input activation fix position this node was calibrated for.
+    pub in_fp: i32,
+    /// Output activation fix position.
+    pub out_fp: i32,
+}
+
+impl QConvParams {
+    /// The requantisation shift (`fp_in + fp_w - fp_out`).
+    pub fn shift(&self) -> i32 {
+        self.in_fp + self.w.fix_pos() - self.out_fp
+    }
+}
+
+/// Quantized operation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum QOp {
+    /// Input placeholder.
+    Input,
+    /// Quantized 3x3 conv (+ReLU).
+    Conv(QConvParams),
+    /// Quantized 2x2 stride-2 transpose conv.
+    TConv(QConvParams),
+    /// Max pool (fix position unchanged).
+    MaxPool2x2,
+    /// Concat with per-input alignment shifts (right shifts to the smaller
+    /// fix position).
+    Concat {
+        /// Right shift applied to the first input.
+        shift_a: i32,
+        /// Right shift applied to the second input.
+        shift_b: i32,
+        /// Resulting fix position.
+        out_fp: i32,
+    },
+}
+
+impl QOp {
+    /// Mnemonic for compiler listings.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            QOp::Input => "input",
+            QOp::Conv(_) => "qconv",
+            QOp::TConv(_) => "qtconv",
+            QOp::MaxPool2x2 => "qmaxpool",
+            QOp::Concat { .. } => "qconcat",
+        }
+    }
+}
+
+/// Quantized node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QNode {
+    /// Operation.
+    pub op: QOp,
+    /// Input node ids.
+    pub inputs: Vec<usize>,
+}
+
+/// A fully quantized inference graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantizedGraph {
+    /// Nodes, topological order, node 0 = input.
+    pub nodes: Vec<QNode>,
+    /// Output node id.
+    pub output: usize,
+    /// Fix position expected for the INT8 input image.
+    pub input_fp: i32,
+    /// Fix position of the INT8 output logits.
+    pub output_fp: i32,
+    /// Model name.
+    pub name: String,
+}
+
+impl QuantizedGraph {
+    /// Quantises an FP32 input image (`[-1, 1]` after preprocessing) into the
+    /// graph's expected INT8 representation — this is the "scale input slices
+    /// with a factor stored in the xmodel" step of §III-E.
+    pub fn quantize_input(&self, x: &Tensor) -> QTensor {
+        QTensor::quantize(x, self.input_fp)
+    }
+
+    /// Output shapes per node.
+    pub fn shapes(&self, input: Shape4) -> Vec<Shape4> {
+        let mut shapes: Vec<Shape4> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let s = match &node.op {
+                QOp::Input => input,
+                QOp::Conv(p) => shapes[node.inputs[0]].with_c(p.w.shape().n),
+                QOp::TConv(p) => {
+                    let i: Shape4 = shapes[node.inputs[0]];
+                    i.with_c(p.w.shape().c).upsampled2x2()
+                }
+                QOp::MaxPool2x2 => shapes[node.inputs[0]].pooled2x2(),
+                QOp::Concat { .. } => {
+                    let a = shapes[node.inputs[0]];
+                    let b = shapes[node.inputs[1]];
+                    a.with_c(a.c + b.c)
+                }
+            };
+            shapes.push(s);
+        }
+        shapes
+    }
+
+    /// Executes the graph on an INT8 input, returning the INT8 logits.
+    pub fn execute(&self, input: &QTensor) -> QTensor {
+        let mut vals = self.execute_all(input);
+        vals.swap_remove(self.output)
+    }
+
+    /// Executes the graph and returns every node's INT8 output (used by the
+    /// fast-finetuning pass to compare against FP32 references).
+    pub fn execute_all(&self, input: &QTensor) -> Vec<QTensor> {
+        assert_eq!(input.fix_pos(), self.input_fp, "input fix position");
+        let mut vals: Vec<QTensor> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let out = match &node.op {
+                QOp::Input => input.clone(),
+                QOp::Conv(p) => qconv3x3(&vals[node.inputs[0]], p),
+                QOp::TConv(p) => qtconv2x2(&vals[node.inputs[0]], p),
+                QOp::MaxPool2x2 => qmaxpool(&vals[node.inputs[0]]),
+                QOp::Concat { shift_a, shift_b, out_fp } => {
+                    qconcat(&vals[node.inputs[0]], &vals[node.inputs[1]], *shift_a, *shift_b, *out_fp)
+                }
+            };
+            vals.push(out);
+        }
+        vals
+    }
+
+    /// Convenience: FP32 image in, per-pixel argmax labels out (like VART +
+    /// host argmax).
+    pub fn predict(&self, x: &Tensor) -> Vec<u8> {
+        let q = self.execute(&self.quantize_input(x));
+        seneca_tensor::activation::argmax_channels_i8(q.shape(), q.data())
+    }
+
+    /// Dequantised FP32 view of the logits (for error analysis).
+    pub fn execute_dequant(&self, x: &Tensor) -> Tensor {
+        self.execute(&self.quantize_input(x)).dequantize()
+    }
+}
+
+/// Quantized 3x3 same conv.
+pub fn qconv3x3(x: &QTensor, p: &QConvParams) -> QTensor {
+    let xs = x.shape();
+    let ws = p.w.shape();
+    assert_eq!(ws.c, xs.c, "qconv C_in");
+    assert_eq!(x.fix_pos(), p.in_fp, "qconv input fix position");
+    let geom = ConvGeom { c_in: xs.c, h: xs.h, w: xs.w, k: 3, pad: 1, stride: 1 };
+    let cols = geom.col_cols();
+    let ckk = geom.col_rows();
+    let out_shape = Shape4::new(xs.n, ws.n, geom.h_out(), geom.w_out());
+    let mut out = QTensor::zeros(out_shape, p.out_fp);
+    let shift = p.shift();
+
+    let mut col = vec![0i8; ckk * cols];
+    let mut acc = vec![0i32; ws.n * cols];
+    for n in 0..xs.n {
+        let x_n = &x.data()[n * xs.chw()..(n + 1) * xs.chw()];
+        im2col_i8(&geom, x_n, &mut col);
+        igemm(ws.n, ckk, cols, p.w.data(), &col, &mut acc);
+        let y_n = &mut out.data_mut()[n * out_shape.chw()..(n + 1) * out_shape.chw()];
+        for co in 0..ws.n {
+            let b = p.bias.get(co).copied().unwrap_or(0);
+            for pix in 0..cols {
+                let mut v = requantize_i32(acc[co * cols + pix] + b, shift);
+                if p.relu && v < 0 {
+                    v = 0;
+                }
+                y_n[co * cols + pix] = v;
+            }
+        }
+    }
+    out
+}
+
+/// Quantized 2x2 stride-2 transpose conv.
+pub fn qtconv2x2(x: &QTensor, p: &QConvParams) -> QTensor {
+    let xs = x.shape();
+    let ws = p.w.shape(); // [C_in, C_out, 2, 2]
+    assert_eq!(ws.n, xs.c, "qtconv C_in");
+    assert_eq!(x.fix_pos(), p.in_fp, "qtconv input fix position");
+    let c_out = ws.c;
+    let out_shape = Shape4::new(xs.n, c_out, xs.h * 2, xs.w * 2);
+    let mut out = QTensor::zeros(out_shape, p.out_fp);
+    let shift = p.shift();
+    let (h, wd) = (xs.h, xs.w);
+    let ow = out_shape.w;
+
+    for n in 0..xs.n {
+        for co in 0..c_out {
+            let b = p.bias.get(co).copied().unwrap_or(0);
+            let y_plane_base = (n * c_out + co) * out_shape.hw();
+            for iy in 0..h {
+                for ix in 0..wd {
+                    let mut accs = [b; 4];
+                    for ci in 0..xs.c {
+                        let xv = x.data()[(n * xs.c + ci) * h * wd + iy * wd + ix] as i32;
+                        if xv == 0 {
+                            continue;
+                        }
+                        let wb = (ci * c_out + co) * 4;
+                        accs[0] += xv * p.w.data()[wb] as i32;
+                        accs[1] += xv * p.w.data()[wb + 1] as i32;
+                        accs[2] += xv * p.w.data()[wb + 2] as i32;
+                        accs[3] += xv * p.w.data()[wb + 3] as i32;
+                    }
+                    let (oy, ox) = (iy * 2, ix * 2);
+                    let out_data = out.data_mut();
+                    for (k, &a) in accs.iter().enumerate() {
+                        let mut v = requantize_i32(a, shift);
+                        if p.relu && v < 0 {
+                            v = 0;
+                        }
+                        out_data[y_plane_base + (oy + k / 2) * ow + ox + k % 2] = v;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// INT8 max pool (fix position preserved).
+pub fn qmaxpool(x: &QTensor) -> QTensor {
+    let xs = x.shape();
+    let out_shape = xs.pooled2x2();
+    let mut out = QTensor::zeros(out_shape, x.fix_pos());
+    let (ho, wo) = (out_shape.h, out_shape.w);
+    for plane in 0..xs.n * xs.c {
+        let x_plane = &x.data()[plane * xs.hw()..(plane + 1) * xs.hw()];
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let v = x_plane[2 * oy * xs.w + 2 * ox]
+                    .max(x_plane[2 * oy * xs.w + 2 * ox + 1])
+                    .max(x_plane[(2 * oy + 1) * xs.w + 2 * ox])
+                    .max(x_plane[(2 * oy + 1) * xs.w + 2 * ox + 1]);
+                out.data_mut()[plane * ho * wo + oy * wo + ox] = v;
+            }
+        }
+    }
+    out
+}
+
+/// INT8 concat with alignment shifts.
+pub fn qconcat(a: &QTensor, b: &QTensor, shift_a: i32, shift_b: i32, out_fp: i32) -> QTensor {
+    let (sa, sb) = (a.shape(), b.shape());
+    assert_eq!((sa.n, sa.h, sa.w), (sb.n, sb.h, sb.w), "qconcat geometry");
+    let out_shape = Shape4::new(sa.n, sa.c + sb.c, sa.h, sa.w);
+    let mut out = QTensor::zeros(out_shape, out_fp);
+    let hw = sa.hw();
+    for n in 0..sa.n {
+        let dst = n * out_shape.chw();
+        for (i, &v) in a.data()[n * sa.chw()..(n + 1) * sa.chw()].iter().enumerate() {
+            out.data_mut()[dst + i] = requantize_i32(v as i32, shift_a);
+        }
+        for (i, &v) in b.data()[n * sb.chw()..(n + 1) * sb.chw()].iter().enumerate() {
+            out.data_mut()[dst + sa.c * hw + i] = requantize_i32(v as i32, shift_b);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seneca_tensor::quantized::choose_fix_pos;
+
+    fn qp(w: Tensor, bias_f: &[f32], relu: bool, in_fp: i32, out_fp: i32) -> QConvParams {
+        let w_fp = choose_fix_pos(w.abs_max());
+        let wq = QTensor::quantize(&w, w_fp);
+        let acc_fp = in_fp + w_fp;
+        let bias = bias_f.iter().map(|&b| (b * (acc_fp as f32).exp2()).round() as i32).collect();
+        QConvParams { w: wq, bias, relu, in_fp, out_fp }
+    }
+
+    #[test]
+    fn qconv_matches_fp32_within_quantum() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let xs = Shape4::new(1, 3, 8, 8);
+        let x = Tensor::from_vec(xs, (0..xs.len()).map(|_| rng.gen_range(-1.0f32..1.0)).collect());
+        let w = Tensor::he_normal(Shape4::new(4, 3, 3, 3), &mut rng);
+        let b = vec![0.05, -0.02, 0.0, 0.11];
+
+        let y_ref = seneca_tensor::conv::conv2d(&x, &w, &b, seneca_tensor::conv::Conv2dParams::SAME_3X3);
+        let in_fp = choose_fix_pos(1.0);
+        let out_fp = choose_fix_pos(y_ref.abs_max());
+        let p = qp(w, &b, false, in_fp, out_fp);
+        let xq = QTensor::quantize(&x, in_fp);
+        let yq = qconv3x3(&xq, &p);
+        let y = yq.dequantize();
+        let quantum = (-out_fp as f32).exp2();
+        let mut max_err = 0.0f32;
+        for (a, bb) in y.data().iter().zip(y_ref.data()) {
+            max_err = max_err.max((a - bb).abs());
+        }
+        assert!(max_err < 12.0 * quantum, "max err {max_err} vs quantum {quantum}");
+    }
+
+    #[test]
+    fn qconv_relu_clamps_negatives() {
+        let x = QTensor::from_vec(Shape4::new(1, 1, 2, 2), vec![-50, -50, -50, -50], 6);
+        let mut w = Tensor::zeros(Shape4::new(1, 1, 3, 3));
+        *w.at_mut(0, 0, 1, 1) = 1.0;
+        let p = qp(w, &[0.0], true, 6, 6);
+        let y = qconv3x3(&x, &p);
+        assert!(y.data().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn qtconv_matches_fp32_within_quantum() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let xs = Shape4::new(1, 2, 4, 4);
+        let x = Tensor::from_vec(xs, (0..xs.len()).map(|_| rng.gen_range(-1.0f32..1.0)).collect());
+        let w = Tensor::he_normal(Shape4::new(2, 3, 2, 2), &mut rng);
+        let b = vec![0.01, -0.03, 0.02];
+        let y_ref = seneca_tensor::tconv::tconv2x2(&x, &w, &b);
+        let in_fp = choose_fix_pos(1.0);
+        let out_fp = choose_fix_pos(y_ref.abs_max());
+        let p = qp(w, &b, false, in_fp, out_fp);
+        let y = qtconv2x2(&QTensor::quantize(&x, in_fp), &p).dequantize();
+        let quantum = (-out_fp as f32).exp2();
+        for (a, bb) in y.data().iter().zip(y_ref.data()) {
+            assert!((a - bb).abs() < 10.0 * quantum, "{a} vs {bb}");
+        }
+    }
+
+    #[test]
+    fn qmaxpool_preserves_fix_pos_and_picks_max() {
+        let x = QTensor::from_vec(Shape4::new(1, 1, 2, 2), vec![1, 9, -4, 5], 3);
+        let y = qmaxpool(&x);
+        assert_eq!(y.fix_pos(), 3);
+        assert_eq!(y.data(), &[9]);
+    }
+
+    #[test]
+    fn qconcat_aligns_scales() {
+        // a at fp 4 (scale 1/16), b at fp 2 (scale 1/4): out at fp 2 requires
+        // a >> 2.
+        let a = QTensor::from_vec(Shape4::new(1, 1, 1, 2), vec![16, 33], 4);
+        let b = QTensor::from_vec(Shape4::new(1, 1, 1, 2), vec![4, -8], 2);
+        let y = qconcat(&a, &b, 2, 0, 2);
+        assert_eq!(y.fix_pos(), 2);
+        // 16/16 = 1.0 -> at fp2: 4 ; 33>>2 rounds to 8 (8.25).
+        assert_eq!(y.data(), &[4, 8, 4, -8]);
+    }
+}

@@ -1,0 +1,254 @@
+//! 2-D convolution (forward + backward) via `im2col` + GEMM.
+
+use crate::gemm::{sgemm, sgemm_at, sgemm_bt};
+use crate::im2col::{col2im, im2col, ConvGeom};
+use crate::shape::Shape4;
+use crate::tensor::Tensor;
+
+/// Static parameters of a convolution layer.
+///
+/// Weights are stored as a [`Tensor`] of shape `[C_out, C_in, K, K]` (NCHW
+/// with `n = C_out`); the bias is a flat `Vec<f32>` of length `C_out`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dParams {
+    /// Square kernel size.
+    pub k: usize,
+    /// Symmetric zero padding.
+    pub pad: usize,
+    /// Stride.
+    pub stride: usize,
+}
+
+impl Conv2dParams {
+    /// The SENECA default: 3x3, padding 1, stride 1 ("same" convolution).
+    pub const SAME_3X3: Self = Self { k: 3, pad: 1, stride: 1 };
+
+    fn geom(&self, input: Shape4) -> ConvGeom {
+        ConvGeom { c_in: input.c, h: input.h, w: input.w, k: self.k, pad: self.pad, stride: self.stride }
+    }
+}
+
+/// Forward convolution: `y = conv(x, w) + b`.
+///
+/// * `x`: `[N, C_in, H, W]`
+/// * `w`: `[C_out, C_in, K, K]`
+/// * `b`: length `C_out` (pass an empty slice to skip the bias)
+///
+/// Returns `[N, C_out, H_out, W_out]`.
+pub fn conv2d(x: &Tensor, w: &Tensor, b: &[f32], p: Conv2dParams) -> Tensor {
+    let xs = x.shape();
+    let ws = w.shape();
+    assert_eq!(ws.c, xs.c, "C_in mismatch: weights {} input {}", ws.c, xs.c);
+    assert_eq!(ws.h, p.k);
+    assert_eq!(ws.w, p.k);
+    assert!(b.is_empty() || b.len() == ws.n, "bias length");
+
+    let geom = p.geom(xs);
+    let (ho, wo) = (geom.h_out(), geom.w_out());
+    let out_shape = Shape4::new(xs.n, ws.n, ho, wo);
+    let mut out = Tensor::zeros(out_shape);
+
+    let ckk = geom.col_rows();
+    let cols = geom.col_cols();
+    let mut col = vec![0.0f32; ckk * cols];
+    for n in 0..xs.n {
+        let x_n = &x.data()[n * xs.chw()..(n + 1) * xs.chw()];
+        im2col(&geom, x_n, &mut col);
+        let y_n = &mut out.data_mut()[n * out_shape.chw()..(n + 1) * out_shape.chw()];
+        sgemm(ws.n, ckk, cols, w.data(), &col, y_n);
+        if !b.is_empty() {
+            for (co, &bias) in b.iter().enumerate() {
+                for v in &mut y_n[co * cols..(co + 1) * cols] {
+                    *v += bias;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Gradients produced by [`conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct ConvGrads {
+    /// Gradient w.r.t. the input, same shape as `x`.
+    pub dx: Tensor,
+    /// Gradient w.r.t. the weights, same shape as `w`.
+    pub dw: Tensor,
+    /// Gradient w.r.t. the bias, length `C_out`.
+    pub db: Vec<f32>,
+}
+
+/// Backward convolution. Given the forward input `x`, the weights `w`, and
+/// the upstream gradient `dy` (shaped like the forward output), computes
+/// gradients for input, weights, and bias.
+pub fn conv2d_backward(x: &Tensor, w: &Tensor, dy: &Tensor, p: Conv2dParams) -> ConvGrads {
+    let xs = x.shape();
+    let ws = w.shape();
+    let ys = dy.shape();
+    let geom = p.geom(xs);
+    assert_eq!(ys.c, ws.n);
+    assert_eq!((ys.h, ys.w), (geom.h_out(), geom.w_out()));
+    assert_eq!(ys.n, xs.n);
+
+    let ckk = geom.col_rows();
+    let cols = geom.col_cols();
+
+    let mut dw = Tensor::zeros(ws);
+    let mut db = vec![0.0f32; ws.n];
+    let mut dx = Tensor::zeros(xs);
+
+    let mut col = vec![0.0f32; ckk * cols];
+    let mut dcol = vec![0.0f32; ckk * cols];
+    let mut dw_n = vec![0.0f32; ws.len()];
+    for n in 0..xs.n {
+        let x_n = &x.data()[n * xs.chw()..(n + 1) * xs.chw()];
+        let dy_n = &dy.data()[n * ys.chw()..(n + 1) * ys.chw()];
+
+        // dW += dY_n · col_nᵀ
+        im2col(&geom, x_n, &mut col);
+        sgemm_bt(ws.n, cols, ckk, dy_n, &col, &mut dw_n);
+        for (acc, v) in dw.data_mut().iter_mut().zip(&dw_n) {
+            *acc += v;
+        }
+
+        // db += Σ_spatial dY_n
+        for (co, acc) in db.iter_mut().enumerate() {
+            *acc += dy_n[co * cols..(co + 1) * cols].iter().sum::<f32>();
+        }
+
+        // dX_n = col2im(Wᵀ · dY_n)
+        sgemm_at(ckk, ws.n, cols, w.data(), dy_n, &mut dcol);
+        col2im(&geom, &dcol, &mut dx.data_mut()[n * xs.chw()..(n + 1) * xs.chw()]);
+    }
+
+    ConvGrads { dx, dw, db }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_tensor(shape: Shape4, seed: u64) -> Tensor {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Tensor::from_vec(shape, (0..shape.len()).map(|_| rng.gen_range(-1.0..1.0)).collect())
+    }
+
+    /// Direct (quadruple-loop) reference convolution.
+    fn conv_reference(x: &Tensor, w: &Tensor, b: &[f32], p: Conv2dParams) -> Tensor {
+        let xs = x.shape();
+        let ws = w.shape();
+        let ho = (xs.h + 2 * p.pad - p.k) / p.stride + 1;
+        let wo = (xs.w + 2 * p.pad - p.k) / p.stride + 1;
+        let mut out = Tensor::zeros(Shape4::new(xs.n, ws.n, ho, wo));
+        for n in 0..xs.n {
+            for co in 0..ws.n {
+                for oy in 0..ho {
+                    for ox in 0..wo {
+                        let mut acc = if b.is_empty() { 0.0 } else { b[co] };
+                        for ci in 0..xs.c {
+                            for ky in 0..p.k {
+                                for kx in 0..p.k {
+                                    let iy = (oy * p.stride + ky) as isize - p.pad as isize;
+                                    let ix = (ox * p.stride + kx) as isize - p.pad as isize;
+                                    if iy >= 0 && iy < xs.h as isize && ix >= 0 && ix < xs.w as isize {
+                                        acc += x.at(n, ci, iy as usize, ix as usize)
+                                            * w.at(co, ci, ky, kx);
+                                    }
+                                }
+                            }
+                        }
+                        *out.at_mut(n, co, oy, ox) = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn forward_matches_direct_reference() {
+        let p = Conv2dParams::SAME_3X3;
+        let x = rand_tensor(Shape4::new(2, 3, 8, 7), 1);
+        let w = rand_tensor(Shape4::new(5, 3, 3, 3), 2);
+        let b: Vec<f32> = (0..5).map(|i| i as f32 * 0.1).collect();
+        let y = conv2d(&x, &w, &b, p);
+        let y_ref = conv_reference(&x, &w, &b, p);
+        assert_eq!(y.shape(), y_ref.shape());
+        for (a, r) in y.data().iter().zip(y_ref.data()) {
+            assert!((a - r).abs() < 1e-4, "{a} vs {r}");
+        }
+    }
+
+    #[test]
+    fn forward_unit_kernel_identity() {
+        // A 1x1-like identity built from a 3x3 kernel with centre 1.
+        let p = Conv2dParams::SAME_3X3;
+        let x = rand_tensor(Shape4::new(1, 1, 6, 6), 3);
+        let mut w = Tensor::zeros(Shape4::new(1, 1, 3, 3));
+        *w.at_mut(0, 0, 1, 1) = 1.0;
+        let y = conv2d(&x, &w, &[], p);
+        for (a, b) in y.data().iter().zip(x.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn backward_matches_numerical_gradient() {
+        let p = Conv2dParams::SAME_3X3;
+        let x = rand_tensor(Shape4::new(1, 2, 5, 5), 4);
+        let w = rand_tensor(Shape4::new(3, 2, 3, 3), 5);
+        let b = vec![0.05, -0.1, 0.2];
+        // Loss = sum(y * g) for a fixed random g => dy = g.
+        let g = rand_tensor(Shape4::new(1, 3, 5, 5), 6);
+        let loss = |x: &Tensor, w: &Tensor, b: &[f32]| -> f32 {
+            conv2d(x, w, b, p).data().iter().zip(g.data()).map(|(a, b)| a * b).sum()
+        };
+
+        let grads = conv2d_backward(&x, &w, &g, p);
+
+        let eps = 1e-3;
+        // Check a sample of input gradient entries.
+        for &i in &[0usize, 7, 23, 49] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (loss(&xp, &w, &b) - loss(&xm, &w, &b)) / (2.0 * eps);
+            let ana = grads.dx.data()[i];
+            assert!((num - ana).abs() < 2e-2, "dx[{i}]: num {num} vs ana {ana}");
+        }
+        // Check a sample of weight gradients.
+        for &i in &[0usize, 10, 31, 53] {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[i] -= eps;
+            let num = (loss(&x, &wp, &b) - loss(&x, &wm, &b)) / (2.0 * eps);
+            let ana = grads.dw.data()[i];
+            assert!((num - ana).abs() < 2e-2, "dw[{i}]: num {num} vs ana {ana}");
+        }
+        // Bias gradients.
+        for co in 0..3 {
+            let mut bp = b.clone();
+            bp[co] += eps;
+            let mut bm = b.clone();
+            bm[co] -= eps;
+            let num = (loss(&x, &w, &bp) - loss(&x, &w, &bm)) / (2.0 * eps);
+            assert!((num - grads.db[co]).abs() < 2e-2);
+        }
+    }
+
+    #[test]
+    fn strided_conv_shapes() {
+        let p = Conv2dParams { k: 3, pad: 1, stride: 2 };
+        let x = rand_tensor(Shape4::new(1, 2, 8, 8), 7);
+        let w = rand_tensor(Shape4::new(4, 2, 3, 3), 8);
+        let y = conv2d(&x, &w, &[], p);
+        assert_eq!(y.shape(), Shape4::new(1, 4, 4, 4));
+        let y_ref = conv_reference(&x, &w, &[], p);
+        for (a, r) in y.data().iter().zip(y_ref.data()) {
+            assert!((a - r).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Blocked, rayon-parallel matrix multiplication kernels.
+//!
+//! Two flavours are provided:
+//!
+//! * [`sgemm`] — `f32` GEMM used by the training path and the FP32 (GPU
+//!   baseline) executor;
+//! * [`igemm`] — `i8 x i8 -> i32` GEMM used by the functional DPU executor.
+//!
+//! Both compute `C = A * B` with `A: [m x k]`, `B: [k x n]`, `C: [m x n]`,
+//! all row-major. Parallelism is over row blocks of `C`, which keeps each
+//! rayon task writing to a disjoint slice (no locks, no unsafe). The inner
+//! loops use an ikj ordering so the innermost loop streams both `B` and `C`
+//! rows sequentially — the cache-friendly layout the perf-book recommends.
+
+use rayon::prelude::*;
+
+/// Rows of `C` handled per parallel task. 64 rows x 256 f32 columns ≈ 64 KiB,
+/// comfortably inside L2 while giving rayon enough tasks to balance.
+const ROW_BLOCK: usize = 64;
+
+/// Panel width of `k` processed per pass, sized so a `ROW_BLOCK x K_BLOCK`
+/// panel of `A` stays cache-resident.
+const K_BLOCK: usize = 256;
+
+/// `f32` GEMM: `c = a * b` (`a: m x k`, `b: k x n`, row-major).
+///
+/// Panics if slice lengths are inconsistent with the given dimensions.
+pub fn sgemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A size");
+    assert_eq!(b.len(), k * n, "B size");
+    assert_eq!(c.len(), m * n, "C size");
+    c.fill(0.0);
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+
+    c.par_chunks_mut(ROW_BLOCK * n)
+        .enumerate()
+        .for_each(|(blk, c_blk)| {
+            let row0 = blk * ROW_BLOCK;
+            let rows = c_blk.len() / n;
+            for k0 in (0..k).step_by(K_BLOCK) {
+                let k1 = (k0 + K_BLOCK).min(k);
+                for i in 0..rows {
+                    let a_row = &a[(row0 + i) * k..(row0 + i) * k + k];
+                    let c_row = &mut c_blk[i * n..(i + 1) * n];
+                    for kk in k0..k1 {
+                        let aik = a_row[kk];
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b[kk * n..(kk + 1) * n];
+                        for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                            *cv += aik * *bv;
+                        }
+                    }
+                }
+            }
+        });
+}
+
+/// `f32` GEMM with `A` transposed: `c = a^T * b` where `a: k x m` row-major.
+///
+/// Used by the convolution backward pass (`dX = W^T * dY`).
+pub fn sgemm_at(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), k * m, "A size (transposed)");
+    assert_eq!(b.len(), k * n, "B size");
+    assert_eq!(c.len(), m * n, "C size");
+    c.fill(0.0);
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    c.par_chunks_mut(ROW_BLOCK * n)
+        .enumerate()
+        .for_each(|(blk, c_blk)| {
+            let row0 = blk * ROW_BLOCK;
+            let rows = c_blk.len() / n;
+            for kk in 0..k {
+                let a_row = &a[kk * m..(kk + 1) * m];
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for i in 0..rows {
+                    let aik = a_row[row0 + i];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let c_row = &mut c_blk[i * n..(i + 1) * n];
+                    for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += aik * *bv;
+                    }
+                }
+            }
+        });
+}
+
+/// `f32` GEMM with `B` transposed: `c = a * b^T` where `b: n x k` row-major.
+///
+/// Used by the convolution weight-gradient pass (`dW = dY * col^T`).
+pub fn sgemm_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A size");
+    assert_eq!(b.len(), n * k, "B size (transposed)");
+    assert_eq!(c.len(), m * n, "C size");
+    if m == 0 || k == 0 || n == 0 {
+        c.fill(0.0);
+        return;
+    }
+    c.par_chunks_mut(n).enumerate().for_each(|(i, c_row)| {
+        let a_row = &a[i * k..(i + 1) * k];
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (av, bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            *cv = acc;
+        }
+    });
+}
+
+/// INT8 GEMM with `i32` accumulation: `c = a * b`.
+///
+/// Mirrors the DPU's MAC array arithmetic: 8-bit operands, 32-bit
+/// accumulators, no saturation until the requantisation step.
+pub fn igemm(m: usize, k: usize, n: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
+    assert_eq!(a.len(), m * k, "A size");
+    assert_eq!(b.len(), k * n, "B size");
+    assert_eq!(c.len(), m * n, "C size");
+    c.fill(0);
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    c.par_chunks_mut(ROW_BLOCK * n)
+        .enumerate()
+        .for_each(|(blk, c_blk)| {
+            let row0 = blk * ROW_BLOCK;
+            let rows = c_blk.len() / n;
+            for i in 0..rows {
+                let a_row = &a[(row0 + i) * k..(row0 + i) * k + k];
+                let c_row = &mut c_blk[i * n..(i + 1) * n];
+                for (kk, &aik) in a_row.iter().enumerate() {
+                    if aik == 0 {
+                        continue;
+                    }
+                    let aik = aik as i32;
+                    let b_row = &b[kk * n..(kk + 1) * n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += aik * bv as i32;
+                    }
+                }
+            }
+        });
+}
+
+/// Reference (naive, sequential) f32 GEMM used by tests.
+pub fn sgemm_reference(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for kk in 0..k {
+                acc += a[i * k + kk] * b[kk * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_vec(len: usize, seed: u64) -> Vec<f32> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "idx {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn sgemm_matches_reference() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (65, 300, 33), (130, 64, 130)] {
+            let a = rand_vec(m * k, 1);
+            let b = rand_vec(k * n, 2);
+            let mut c = vec![0.0; m * n];
+            let mut c_ref = vec![0.0; m * n];
+            sgemm(m, k, n, &a, &b, &mut c);
+            sgemm_reference(m, k, n, &a, &b, &mut c_ref);
+            assert_close(&c, &c_ref, 1e-4);
+        }
+    }
+
+    #[test]
+    fn sgemm_at_matches_reference() {
+        let (m, k, n) = (17, 29, 13);
+        let a_t = rand_vec(k * m, 3); // stored as k x m
+        let b = rand_vec(k * n, 4);
+        // Build the untransposed A for the reference.
+        let mut a = vec![0.0; m * k];
+        for i in 0..m {
+            for kk in 0..k {
+                a[i * k + kk] = a_t[kk * m + i];
+            }
+        }
+        let mut c = vec![0.0; m * n];
+        let mut c_ref = vec![0.0; m * n];
+        sgemm_at(m, k, n, &a_t, &b, &mut c);
+        sgemm_reference(m, k, n, &a, &b, &mut c_ref);
+        assert_close(&c, &c_ref, 1e-4);
+    }
+
+    #[test]
+    fn sgemm_bt_matches_reference() {
+        let (m, k, n) = (9, 21, 15);
+        let a = rand_vec(m * k, 5);
+        let b_t = rand_vec(n * k, 6); // stored as n x k
+        let mut b = vec![0.0; k * n];
+        for kk in 0..k {
+            for j in 0..n {
+                b[kk * n + j] = b_t[j * k + kk];
+            }
+        }
+        let mut c = vec![0.0; m * n];
+        let mut c_ref = vec![0.0; m * n];
+        sgemm_bt(m, k, n, &a, &b_t, &mut c);
+        sgemm_reference(m, k, n, &a, &b, &mut c_ref);
+        assert_close(&c, &c_ref, 1e-4);
+    }
+
+    #[test]
+    fn igemm_exact_small_case() {
+        // 2x3 * 3x2
+        let a: Vec<i8> = vec![1, -2, 3, 0, 5, -6];
+        let b: Vec<i8> = vec![7, 8, 9, 10, 11, 12];
+        let mut c = vec![0i32; 4];
+        igemm(2, 3, 2, &a, &b, &mut c);
+        assert_eq!(c, vec![1 * 7 - 2 * 9 + 3 * 11, 1 * 8 - 2 * 10 + 3 * 12, 5 * 9 - 6 * 11, 5 * 10 - 6 * 12]);
+    }
+
+    #[test]
+    fn igemm_no_overflow_at_int8_extremes() {
+        // k = 4096 at |a|=|b|=127 stays far below i32::MAX.
+        let k = 4096;
+        let a = vec![127i8; k];
+        let b = vec![-128i8; k];
+        let mut c = vec![0i32; 1];
+        igemm(1, k, 1, &a, &b, &mut c);
+        assert_eq!(c[0], 127i32 * -128 * k as i32);
+    }
+
+    #[test]
+    fn empty_dimensions_are_ok() {
+        let mut c: Vec<f32> = vec![];
+        sgemm(0, 3, 4, &[], &[0.0; 12], &mut c);
+        let mut c2 = vec![1.0f32; 4];
+        sgemm(2, 0, 2, &[], &[], &mut c2);
+        assert_eq!(c2, vec![0.0; 4]);
+    }
+}

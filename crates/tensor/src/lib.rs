@@ -1,0 +1,43 @@
+//! # seneca-tensor
+//!
+//! A small, self-contained NCHW tensor library powering the SENECA
+//! reproduction. It provides:
+//!
+//! * [`Shape4`] / [`Tensor`] — dense `f32` tensors in NCHW layout backed by a
+//!   flat `Vec<f32>`;
+//! * [`QTensor`] — symmetric INT8 quantized tensors with power-of-two scales,
+//!   matching the arithmetic of the Xilinx DPU;
+//! * parallel compute kernels (rayon): blocked GEMM ([`gemm`]), `im2col`
+//!   convolution ([`conv`]), transpose convolution ([`tconv`]), max pooling
+//!   ([`pool`]), batch normalisation ([`norm`]) and activations
+//!   ([`activation`]) — each with the backward passes needed for training.
+//!
+//! The crate is deliberately free of `unsafe`: data-race freedom comes from
+//! rayon's parallel iterators, per the workspace HPC guidelines.
+
+pub mod activation;
+pub mod conv;
+pub mod gemm;
+pub mod im2col;
+pub mod norm;
+pub mod pool;
+pub mod quantized;
+pub mod shape;
+pub mod tconv;
+pub mod tensor;
+
+pub use quantized::QTensor;
+pub use shape::Shape4;
+pub use tensor::Tensor;
+
+/// Convenience re-exports for downstream crates.
+pub mod prelude {
+    pub use crate::activation::{relu, relu_backward, softmax_channels};
+    pub use crate::conv::{conv2d, conv2d_backward, Conv2dParams};
+    pub use crate::norm::{batchnorm_backward, batchnorm_forward, BnState};
+    pub use crate::pool::{maxpool2x2, maxpool2x2_backward};
+    pub use crate::quantized::QTensor;
+    pub use crate::shape::Shape4;
+    pub use crate::tconv::{tconv2x2, tconv2x2_backward};
+    pub use crate::tensor::Tensor;
+}

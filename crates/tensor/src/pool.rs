@@ -1,0 +1,147 @@
+//! 2x2 stride-2 max pooling with argmax bookkeeping for the backward pass.
+
+use crate::shape::Shape4;
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Output of [`maxpool2x2`]: the pooled tensor and, for every output pixel,
+/// the index (0..4, row-major within the 2x2 window) of the selected input.
+#[derive(Debug, Clone)]
+pub struct PoolOut {
+    /// Pooled tensor `[N, C, H/2, W/2]`.
+    pub y: Tensor,
+    /// Winning-window positions, one `u8` in `0..4` per output element.
+    pub argmax: Vec<u8>,
+}
+
+/// 2x2/stride-2 max pool (floor semantics on odd sizes, like TF "valid").
+pub fn maxpool2x2(x: &Tensor) -> PoolOut {
+    let xs = x.shape();
+    let out_shape = xs.pooled2x2();
+    let (ho, wo) = (out_shape.h, out_shape.w);
+    let mut y = Tensor::zeros(out_shape);
+    let mut argmax = vec![0u8; out_shape.len()];
+    let x_data = x.data();
+
+    y.data_mut()
+        .par_chunks_mut(ho * wo)
+        .zip(argmax.par_chunks_mut(ho * wo))
+        .enumerate()
+        .for_each(|(plane, (y_plane, am_plane))| {
+            let x_plane = &x_data[plane * xs.hw()..(plane + 1) * xs.hw()];
+            for oy in 0..ho {
+                let r0 = &x_plane[(2 * oy) * xs.w..(2 * oy) * xs.w + xs.w];
+                let r1 = &x_plane[(2 * oy + 1) * xs.w..(2 * oy + 1) * xs.w + xs.w];
+                for ox in 0..wo {
+                    let vals = [r0[2 * ox], r0[2 * ox + 1], r1[2 * ox], r1[2 * ox + 1]];
+                    let (mut best, mut best_i) = (vals[0], 0u8);
+                    for (i, &v) in vals.iter().enumerate().skip(1) {
+                        if v > best {
+                            best = v;
+                            best_i = i as u8;
+                        }
+                    }
+                    y_plane[oy * wo + ox] = best;
+                    am_plane[oy * wo + ox] = best_i;
+                }
+            }
+        });
+    PoolOut { y, argmax }
+}
+
+/// Backward max pool: routes each upstream gradient to the input position
+/// that won the forward max. `x_shape` is the original input shape.
+pub fn maxpool2x2_backward(x_shape: Shape4, pool: &PoolOut, dy: &Tensor) -> Tensor {
+    let out_shape = pool.y.shape();
+    assert_eq!(dy.shape(), out_shape);
+    let (ho, wo) = (out_shape.h, out_shape.w);
+    let mut dx = Tensor::zeros(x_shape);
+    let dy_data = dy.data();
+    let w = x_shape.w;
+
+    dx.data_mut()
+        .par_chunks_mut(x_shape.hw())
+        .enumerate()
+        .for_each(|(plane, dx_plane)| {
+            let dy_plane = &dy_data[plane * ho * wo..(plane + 1) * ho * wo];
+            let am_plane = &pool.argmax[plane * ho * wo..(plane + 1) * ho * wo];
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let g = dy_plane[oy * wo + ox];
+                    let a = am_plane[oy * wo + ox] as usize;
+                    let iy = 2 * oy + a / 2;
+                    let ix = 2 * ox + a % 2;
+                    dx_plane[iy * w + ix] += g;
+                }
+            }
+        });
+    dx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_picks_max_in_each_window() {
+        let x = Tensor::from_vec(
+            Shape4::new(1, 1, 4, 4),
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                -1.0, -2.0, 0.0, 0.0, //
+                -3.0, -4.0, 0.0, 9.0,
+            ],
+        );
+        let out = maxpool2x2(&x);
+        assert_eq!(out.y.data(), &[4.0, 8.0, -1.0, 9.0]);
+        assert_eq!(out.argmax, vec![3, 3, 0, 3]);
+    }
+
+    #[test]
+    fn backward_routes_gradient_to_argmax() {
+        let x = Tensor::from_vec(
+            Shape4::new(1, 1, 2, 2),
+            vec![1.0, 9.0, 2.0, 3.0],
+        );
+        let out = maxpool2x2(&x);
+        let dy = Tensor::full(Shape4::new(1, 1, 1, 1), 5.0);
+        let dx = maxpool2x2_backward(x.shape(), &out, &dy);
+        assert_eq!(dx.data(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn odd_sizes_drop_last_row_col() {
+        let x = Tensor::full(Shape4::new(1, 2, 5, 5), 1.0);
+        let out = maxpool2x2(&x);
+        assert_eq!(out.y.shape(), Shape4::new(1, 2, 2, 2));
+    }
+
+    #[test]
+    fn ties_pick_first_occurrence() {
+        let x = Tensor::full(Shape4::new(1, 1, 2, 2), 7.0);
+        let out = maxpool2x2(&x);
+        assert_eq!(out.argmax, vec![0]);
+    }
+
+    #[test]
+    fn gradient_is_partition_of_upstream() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let x = Tensor::from_vec(
+            Shape4::new(2, 3, 6, 6),
+            (0..2 * 3 * 36).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        );
+        let out = maxpool2x2(&x);
+        let dy = Tensor::from_vec(
+            out.y.shape(),
+            (0..out.y.shape().len()).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        );
+        let dx = maxpool2x2_backward(x.shape(), &out, &dy);
+        // Sum of dx equals sum of dy (each gradient goes to exactly one spot).
+        assert!((dx.sum() - dy.sum()).abs() < 1e-4);
+        // Count of nonzeros equals number of output pixels.
+        let nz = dx.data().iter().filter(|v| **v != 0.0).count();
+        assert_eq!(nz, dy.shape().len());
+    }
+}

@@ -1,0 +1,118 @@
+//! Four-dimensional NCHW shapes and index arithmetic.
+
+use serde::{Deserialize, Serialize};
+
+/// The shape of a rank-4 tensor in `(batch, channels, height, width)` order.
+///
+/// All kernels in this crate assume a dense row-major NCHW layout, i.e. the
+/// linear index of element `(n, c, h, w)` is
+/// `((n * C + c) * H + h) * W + w`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape4 {
+    /// Batch size.
+    pub n: usize,
+    /// Channel count.
+    pub c: usize,
+    /// Spatial height.
+    pub h: usize,
+    /// Spatial width.
+    pub w: usize,
+}
+
+impl Shape4 {
+    /// Creates a new shape.
+    pub const fn new(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Self { n, c, h, w }
+    }
+
+    /// Total number of elements.
+    pub const fn len(&self) -> usize {
+        self.n * self.c * self.h * self.w
+    }
+
+    /// True when the shape contains no elements.
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of elements in one batch item (`C*H*W`).
+    pub const fn chw(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Number of elements in one channel plane (`H*W`).
+    pub const fn hw(&self) -> usize {
+        self.h * self.w
+    }
+
+    /// Linear index of `(n, c, h, w)`.
+    #[inline(always)]
+    pub const fn idx(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        ((n * self.c + c) * self.h + h) * self.w + w
+    }
+
+    /// Returns the shape with a different batch size.
+    pub const fn with_n(&self, n: usize) -> Self {
+        Self { n, ..*self }
+    }
+
+    /// Returns the shape with a different channel count.
+    pub const fn with_c(&self, c: usize) -> Self {
+        Self { c, ..*self }
+    }
+
+    /// Shape after a 2x2/stride-2 max-pool (floor semantics).
+    pub const fn pooled2x2(&self) -> Self {
+        Self { n: self.n, c: self.c, h: self.h / 2, w: self.w / 2 }
+    }
+
+    /// Shape after a 2x2/stride-2 transpose convolution (doubles H and W).
+    pub const fn upsampled2x2(&self) -> Self {
+        Self { n: self.n, c: self.c, h: self.h * 2, w: self.w * 2 }
+    }
+}
+
+impl std::fmt::Display for Shape4 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}x{}x{}x{}]", self.n, self.c, self.h, self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idx_is_row_major_nchw() {
+        let s = Shape4::new(2, 3, 4, 5);
+        assert_eq!(s.idx(0, 0, 0, 0), 0);
+        assert_eq!(s.idx(0, 0, 0, 1), 1);
+        assert_eq!(s.idx(0, 0, 1, 0), 5);
+        assert_eq!(s.idx(0, 1, 0, 0), 20);
+        assert_eq!(s.idx(1, 0, 0, 0), 60);
+        assert_eq!(s.idx(1, 2, 3, 4), s.len() - 1);
+    }
+
+    #[test]
+    fn len_and_helpers() {
+        let s = Shape4::new(2, 3, 4, 5);
+        assert_eq!(s.len(), 120);
+        assert_eq!(s.chw(), 60);
+        assert_eq!(s.hw(), 20);
+        assert!(!s.is_empty());
+        assert!(Shape4::new(0, 3, 4, 5).is_empty());
+    }
+
+    #[test]
+    fn pool_and_upsample_shapes_invert() {
+        let s = Shape4::new(1, 8, 64, 64);
+        assert_eq!(s.pooled2x2().upsampled2x2(), s);
+        let odd = Shape4::new(1, 8, 65, 65);
+        assert_eq!(odd.pooled2x2(), Shape4::new(1, 8, 32, 32));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape4::new(1, 2, 3, 4).to_string(), "[1x2x3x4]");
+    }
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Final verification pass: full test suite + benches, recorded to the repo
+# root (test_output.txt / bench_output.txt). Pass --quick to shorten the
+# criterion measurement phase.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK="${1:-}"
+echo "== cargo test --workspace --release =="
+cargo test --workspace --release 2>&1 | tee test_output.txt
+status=${PIPESTATUS[0]}
+
+echo "== cargo bench --workspace =="
+if [ "$QUICK" = "--quick" ]; then
+  cargo bench --workspace -- --quick 2>&1 | tee bench_output.txt
+else
+  cargo bench --workspace 2>&1 | tee bench_output.txt
+fi
+bstatus=${PIPESTATUS[0]}
+
+echo "tests exit: $status, bench exit: $bstatus"
+exit $((status + bstatus))

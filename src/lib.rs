@@ -1,0 +1,5 @@
+//! Workspace-root helper crate for the SENECA reproduction.
+//!
+//! This crate exists to host the runnable `examples/` and the cross-crate
+//! integration tests in `tests/`. It re-exports the public façade crate.
+pub use seneca;

@@ -1,0 +1,194 @@
+//! Property-based tests (proptest) on the core numeric invariants that the
+//! whole reproduction rests on.
+
+use proptest::prelude::*;
+use seneca_metrics::seg::{confusion, dice, global_weighted_dice, tnr, tpr};
+use seneca_tensor::gemm::{igemm, sgemm, sgemm_reference};
+use seneca_tensor::im2col::{col2im, im2col, ConvGeom};
+use seneca_tensor::pool::{maxpool2x2, maxpool2x2_backward};
+use seneca_tensor::quantized::{choose_fix_pos, requantize_i32, QTensor};
+use seneca_tensor::{Shape4, Tensor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Parallel blocked GEMM matches the sequential reference.
+    #[test]
+    fn sgemm_matches_reference(
+        m in 1usize..20, k in 1usize..40, n in 1usize..20,
+        seed in 0u64..1000
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..m*k).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let b: Vec<f32> = (0..k*n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let mut c1 = vec![0.0; m*n];
+        let mut c2 = vec![0.0; m*n];
+        sgemm(m, k, n, &a, &b, &mut c1);
+        sgemm_reference(m, k, n, &a, &b, &mut c2);
+        for (x, y) in c1.iter().zip(&c2) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// INT8 GEMM is exact integer arithmetic (associativity-independent).
+    #[test]
+    fn igemm_is_exact(
+        m in 1usize..8, k in 1usize..32, n in 1usize..8,
+        seed in 0u64..1000
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a: Vec<i8> = (0..m*k).map(|_| rng.gen()).collect();
+        let b: Vec<i8> = (0..k*n).map(|_| rng.gen()).collect();
+        let mut c = vec![0i32; m*n];
+        igemm(m, k, n, &a, &b, &mut c);
+        for i in 0..m {
+            for j in 0..n {
+                let expect: i32 = (0..k).map(|kk| a[i*k+kk] as i32 * b[kk*n+j] as i32).sum();
+                prop_assert_eq!(c[i*n+j], expect);
+            }
+        }
+    }
+
+    /// col2im is the exact adjoint of im2col: <im2col(x), y> == <x, col2im(y)>.
+    #[test]
+    fn im2col_adjoint(
+        c in 1usize..4, h in 3usize..10, w in 3usize..10, seed in 0u64..1000
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let geom = ConvGeom { c_in: c, h, w, k: 3, pad: 1, stride: 1 };
+        let x: Vec<f32> = (0..c*h*w).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let y: Vec<f32> = (0..geom.col_rows()*geom.col_cols()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut cx = vec![0.0; y.len()];
+        im2col(&geom, &x, &mut cx);
+        let mut ay = vec![0.0; x.len()];
+        col2im(&geom, &y, &mut ay);
+        let lhs: f64 = cx.iter().zip(&y).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let rhs: f64 = x.iter().zip(&ay).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()));
+    }
+
+    /// Quantise/dequantise error is bounded by half a quantum (no saturation
+    /// when the fix position comes from choose_fix_pos).
+    #[test]
+    fn quantization_error_bounded(vals in prop::collection::vec(-100.0f32..100.0, 1..64)) {
+        let n = vals.len();
+        let t = Tensor::from_vec(Shape4::new(1, 1, 1, n), vals);
+        let fp = choose_fix_pos(t.abs_max());
+        let q = QTensor::quantize(&t, fp);
+        let d = q.dequantize();
+        let quantum = (-fp as f32).exp2();
+        for (a, b) in t.data().iter().zip(d.data()) {
+            prop_assert!((a - b).abs() <= 0.5 * quantum + 1e-6);
+        }
+    }
+
+    /// Requantisation never leaves the INT8 range and is monotone in the
+    /// accumulator.
+    #[test]
+    fn requantize_saturating_and_monotone(acc in any::<i32>(), shift in 0i32..24) {
+        let v = requantize_i32(acc, shift);
+        prop_assert!((-128..=127).contains(&(v as i32)));
+        if acc < i32::MAX - 1024 {
+            let v2 = requantize_i32(acc + 1024, shift);
+            prop_assert!(v2 >= v);
+        }
+    }
+
+    /// Max-pool backward conserves gradient mass.
+    #[test]
+    fn maxpool_gradient_mass_conserved(
+        c in 1usize..4, hw in 2usize..8, seed in 0u64..1000
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let shape = Shape4::new(1, c, hw * 2, hw * 2);
+        let x = Tensor::from_vec(shape, (0..shape.len()).map(|_| rng.gen_range(-1.0f32..1.0)).collect());
+        let out = maxpool2x2(&x);
+        let dy = Tensor::from_vec(out.y.shape(), (0..out.y.shape().len()).map(|_| rng.gen_range(-1.0f32..1.0)).collect());
+        let dx = maxpool2x2_backward(shape, &out, &dy);
+        prop_assert!((dx.sum() - dy.sum()).abs() < 1e-3);
+    }
+
+    /// Dice is symmetric, bounded, and 1 iff prediction == truth (on maps
+    /// where the class occurs).
+    #[test]
+    fn dice_properties(labels in prop::collection::vec(0u8..3, 8..64), seed in 0u64..1000) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let pred: Vec<u8> = labels.iter().map(|&l| if rng.gen_bool(0.7) { l } else { rng.gen_range(0..3) }).collect();
+        for c in 0..3u8 {
+            if let Some(d) = dice(&pred, &labels, c) {
+                prop_assert!((0.0..=1.0).contains(&d));
+                // Symmetry.
+                prop_assert_eq!(dice(&labels, &pred, c), Some(d));
+            }
+        }
+        prop_assert_eq!(dice(&labels, &labels, 1).unwrap_or(1.0), 1.0);
+        if let Some(g) = global_weighted_dice(&pred, &labels, 2) {
+            prop_assert!((0.0..=1.0).contains(&g));
+        }
+    }
+
+    /// TPR/TNR and the confusion matrix are consistent: counts partition the
+    /// pixels.
+    #[test]
+    fn confusion_partitions_pixels(labels in prop::collection::vec(0u8..4, 4..64), c in 0u8..4) {
+        let pred: Vec<u8> = labels.iter().rev().cloned().collect();
+        let conf = confusion(&pred, &labels, c);
+        prop_assert_eq!(
+            (conf.tp + conf.fp + conf.fn_ + conf.tn) as usize,
+            labels.len()
+        );
+        if let (Some(t), Some(n)) = (tpr(&pred, &labels, c), tnr(&pred, &labels, c)) {
+            prop_assert!((0.0..=1.0).contains(&t));
+            prop_assert!((0.0..=1.0).contains(&n));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Softmax output is a probability distribution for any finite input.
+    #[test]
+    fn softmax_is_distribution(
+        c in 2usize..7, hw in 1usize..5,
+        seed in 0u64..1000
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let shape = Shape4::new(1, c, hw, hw);
+        let x = Tensor::from_vec(shape, (0..shape.len()).map(|_| rng.gen_range(-30.0f32..30.0)).collect());
+        let y = seneca_tensor::activation::softmax_channels(&x);
+        for pix in 0..hw * hw {
+            let sum: f32 = (0..c).map(|ch| y.data()[ch * hw * hw + pix]).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+        }
+    }
+
+    /// The DES closed network conserves jobs and keeps time monotone for
+    /// arbitrary service times.
+    #[test]
+    fn des_conserves_jobs(
+        pop in 1usize..6, jobs in 0usize..40,
+        s1 in 1u64..1000, s2 in 1u64..1000
+    ) {
+        use seneca_hwsim::{simulate_closed_pipeline, Resource, StageSpec};
+        let res = [Resource::new("a", 2), Resource::new("b", 1)];
+        let stages = [StageSpec { resource: 0 }, StageSpec { resource: 1 }];
+        let rep = simulate_closed_pipeline(&res, &stages, pop, jobs, |j, s| {
+            if s == 0 { s1 + j as u64 % 7 } else { s2 }
+        });
+        prop_assert_eq!(rep.completed, jobs);
+        prop_assert_eq!(rep.completion_times_ns.len(), jobs);
+        for w in rep.completion_times_ns.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        // Busy time never exceeds capacity x makespan.
+        prop_assert!(rep.busy_ns[0] <= 2 * rep.makespan_ns);
+        prop_assert!(rep.busy_ns[1] <= rep.makespan_ns);
+    }
+}
