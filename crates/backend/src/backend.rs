@@ -1,0 +1,185 @@
+//! The [`Backend`] trait and the two host reference backends.
+
+use crate::prediction::Prediction;
+use crate::report::{ThroughputReport, ThroughputStats};
+use crate::session::{resolve_worker_threads, InferenceEngine, InferenceSession, SessionConfig};
+use seneca_nn::graph::Graph;
+use seneca_quant::QuantizedGraph;
+use seneca_tensor::{Shape4, Tensor};
+
+/// A deployable inference target: every path through the SENECA pipeline —
+/// FP32 reference, GPU baseline, bit-exact INT8 reference, DPU runtime —
+/// implements this one vocabulary, so evaluation and benchmarking code can
+/// iterate `Box<dyn Backend>` instead of hard-coding runner pairs.
+pub trait Backend: Send + Sync {
+    /// Human-readable backend identifier (used as the row/series key in
+    /// experiment outputs).
+    fn name(&self) -> String;
+
+    /// One-time preparation: weight upload, buffer allocation, sanity
+    /// checks. Backends with nothing to do inherit the no-op.
+    fn prepare(&mut self) {}
+
+    /// Runs a batch of preprocessed FP32 images; outputs are in input order.
+    fn infer_batch(&self, images: &[Tensor]) -> Vec<Prediction>;
+
+    /// One throughput run over `n_frames` frames. Device-modelled backends
+    /// use `seed` for measurement jitter; host-measured backends ignore it.
+    fn throughput(&self, n_frames: usize, seed: u64) -> ThroughputReport;
+
+    /// Per-pixel argmax labels for one image.
+    fn predict(&self, image: &Tensor) -> Vec<u8> {
+        let mut out = self.infer_batch(std::slice::from_ref(image));
+        assert_eq!(out.len(), 1);
+        out.pop().expect("one prediction").labels
+    }
+
+    /// μ±σ over `n_runs` seeded throughput runs (the Table IV aggregation),
+    /// shared across all backends.
+    fn throughput_repeated(&self, n_frames: usize, n_runs: usize, seed0: u64) -> ThroughputStats {
+        assert!(n_runs >= 1);
+        ThroughputStats::from_runs(
+            (0..n_runs).map(|r| self.throughput(n_frames, seed0 + r as u64)).collect(),
+        )
+    }
+}
+
+/// Deterministic synthetic frame for host-measured throughput runs: a ramp
+/// in `[-1, 1]` so no kernel gets an all-zero fast path.
+fn synthetic_frame(shape: Shape4) -> Tensor {
+    let data = (0..shape.len()).map(|i| ((i * 37) % 255) as f32 / 127.0 - 1.0).collect();
+    Tensor::from_vec(shape, data)
+}
+
+/// Measures host wall-clock throughput of an engine. Reference backends have
+/// no power model, so `watt` (and thus energy efficiency) is reported as 0.
+fn measured_throughput<E: InferenceEngine>(
+    engine: &E,
+    shape: Shape4,
+    threads: usize,
+    n_frames: usize,
+) -> ThroughputReport {
+    // Cap the measured frames: host execution of a 256x256 UNet is orders of
+    // magnitude slower than the device models, and FPS converges quickly.
+    let frames = n_frames.clamp(1, 16);
+    let batch: Vec<Tensor> = (0..frames).map(|_| synthetic_frame(shape)).collect();
+    let session = InferenceSession::new(engine, SessionConfig::new(threads));
+    session.run(&batch[..1]); // warm-up (page-in weights, fill caches)
+    let t0 = std::time::Instant::now();
+    session.run(&batch);
+    let makespan_s = t0.elapsed().as_secs_f64().max(1e-9);
+    ThroughputReport {
+        fps: frames as f64 / makespan_s,
+        watt: 0.0,
+        frames,
+        threads: resolve_worker_threads(threads, frames),
+        busy_cores: 0.0,
+        util: 0.0,
+        makespan_s,
+    }
+}
+
+/// Host FP32 reference backend: executes the inference [`Graph`] (BN and
+/// softmax still explicit) on the CPU. This is the bit-for-bit twin of the
+/// GPU baseline's functional path.
+#[derive(Clone)]
+pub struct Fp32RefBackend {
+    /// FP32 inference graph.
+    pub graph: Graph,
+    /// Input geometry.
+    pub input_shape: Shape4,
+    /// Host worker threads for batch inference.
+    pub threads: usize,
+}
+
+impl Fp32RefBackend {
+    /// Creates a single-threaded reference backend.
+    pub fn new(graph: Graph, input_shape: Shape4) -> Self {
+        Self { graph, input_shape, threads: 1 }
+    }
+
+    /// Sets the host thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+}
+
+impl InferenceEngine for Fp32RefBackend {
+    type Worker = ();
+
+    fn new_worker(&self) {}
+
+    fn infer(&self, _worker: &mut (), image: &Tensor) -> Prediction {
+        Prediction::from_f32(self.graph.execute(image))
+    }
+}
+
+impl Backend for Fp32RefBackend {
+    fn name(&self) -> String {
+        format!("fp32-ref/{}", self.graph.name)
+    }
+
+    fn infer_batch(&self, images: &[Tensor]) -> Vec<Prediction> {
+        InferenceSession::new(self, SessionConfig::new(self.threads)).run(images)
+    }
+
+    fn throughput(&self, n_frames: usize, _seed: u64) -> ThroughputReport {
+        measured_throughput(self, self.input_shape, self.threads, n_frames)
+    }
+}
+
+/// Host INT8 reference backend: executes the [`QuantizedGraph`] bit-exactly,
+/// with worker-side input quantisation and a per-worker scratch pool (zero
+/// per-frame allocation in the im2col/GEMM hot path). This is the bit-for-bit
+/// twin of the DPU runtime's functional path.
+#[derive(Clone)]
+pub struct QuantRefBackend {
+    /// The quantized graph.
+    pub qgraph: QuantizedGraph,
+    /// Input geometry.
+    pub input_shape: Shape4,
+    /// Host worker threads for batch inference.
+    pub threads: usize,
+}
+
+impl QuantRefBackend {
+    /// Creates a single-threaded reference backend.
+    pub fn new(qgraph: QuantizedGraph, input_shape: Shape4) -> Self {
+        Self { qgraph, input_shape, threads: 1 }
+    }
+
+    /// Sets the host thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+}
+
+impl InferenceEngine for QuantRefBackend {
+    type Worker = seneca_quant::ExecScratch;
+
+    fn new_worker(&self) -> Self::Worker {
+        self.qgraph.make_scratch(self.input_shape)
+    }
+
+    fn infer(&self, scratch: &mut Self::Worker, image: &Tensor) -> Prediction {
+        let q = self.qgraph.quantize_input(image);
+        let out = self.qgraph.execute_into(&q, scratch).clone();
+        Prediction::from_i8(out)
+    }
+}
+
+impl Backend for QuantRefBackend {
+    fn name(&self) -> String {
+        format!("int8-ref/{}", self.qgraph.name)
+    }
+
+    fn infer_batch(&self, images: &[Tensor]) -> Vec<Prediction> {
+        InferenceSession::new(self, SessionConfig::new(self.threads)).run(images)
+    }
+
+    fn throughput(&self, n_frames: usize, _seed: u64) -> ThroughputReport {
+        measured_throughput(self, self.input_shape, self.threads, n_frames)
+    }
+}

@@ -1,0 +1,62 @@
+//! The shared prediction vocabulary.
+
+use seneca_tensor::quantized::QTensor;
+use seneca_tensor::Tensor;
+
+/// Backend-native output logits: FP32 probabilities for the GPU-style
+/// baselines, INT8 fixed-point logits for the DPU-style paths. Keeping the
+/// native representation allows bit-for-bit parity checks across backends.
+#[derive(Debug, Clone)]
+pub enum Logits {
+    /// FP32 class maps (post-softmax for the reference graph).
+    F32(Tensor),
+    /// INT8 fixed-point logits straight off the quantized executor.
+    I8(QTensor),
+}
+
+/// One inference result: per-pixel argmax labels plus the native logits.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// Per-pixel class labels (host argmax over channels).
+    pub labels: Vec<u8>,
+    /// Backend-native logits.
+    pub logits: Logits,
+}
+
+impl Prediction {
+    /// Builds a prediction from FP32 class maps.
+    pub fn from_f32(y: Tensor) -> Self {
+        let labels = seneca_tensor::activation::argmax_channels(&y);
+        Self { labels, logits: Logits::F32(y) }
+    }
+
+    /// Builds a prediction from INT8 logits.
+    pub fn from_i8(q: QTensor) -> Self {
+        let labels = seneca_tensor::activation::argmax_channels_i8(q.shape(), q.data());
+        Self { labels, logits: Logits::I8(q) }
+    }
+
+    /// The FP32 logits, if this backend produces them.
+    pub fn as_f32(&self) -> Option<&Tensor> {
+        match &self.logits {
+            Logits::F32(t) => Some(t),
+            Logits::I8(_) => None,
+        }
+    }
+
+    /// The INT8 logits, if this backend produces them.
+    pub fn as_i8(&self) -> Option<&QTensor> {
+        match &self.logits {
+            Logits::I8(q) => Some(q),
+            Logits::F32(_) => None,
+        }
+    }
+
+    /// Consumes the prediction, returning INT8 logits (panics on FP32).
+    pub fn into_i8(self) -> QTensor {
+        match self.logits {
+            Logits::I8(q) => q,
+            Logits::F32(_) => panic!("expected INT8 logits, backend produced FP32"),
+        }
+    }
+}

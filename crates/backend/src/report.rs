@@ -1,0 +1,107 @@
+//! The shared throughput vocabulary.
+//!
+//! Every backend — device-modelled (DPU DES simulation, GPU latency model)
+//! or host-measured (the FP32/INT8 reference executors) — reports the same
+//! [`ThroughputReport`], and μ±σ aggregation over seeded runs lives in one
+//! place ([`ThroughputStats::from_runs`]) instead of being re-implemented
+//! per runner.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of one throughput run on any backend.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Frames per second.
+    pub fps: f64,
+    /// Average board power (W). Host-measured reference backends report 0
+    /// (no power model) and therefore a zero energy efficiency.
+    pub watt: f64,
+    /// Frames processed.
+    pub frames: usize,
+    /// Host runner threads used.
+    pub threads: usize,
+    /// Mean busy accelerator cores (0 when the backend has no core model).
+    pub busy_cores: f64,
+    /// Accelerator utilisation in `[0, 1]` (0 when not modelled).
+    pub util: f64,
+    /// Wall-clock of the run (s) — simulated or measured.
+    pub makespan_s: f64,
+}
+
+impl ThroughputReport {
+    /// Energy efficiency, Eq. (3): FPS / Watt = frames / Joule.
+    pub fn energy_efficiency(&self) -> f64 {
+        if self.watt <= 0.0 {
+            return 0.0;
+        }
+        self.fps / self.watt
+    }
+}
+
+/// Aggregated throughput statistics over seeded runs (the μ±σ of Table IV).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThroughputStats {
+    /// Mean FPS.
+    pub fps_mean: f64,
+    /// FPS standard deviation.
+    pub fps_std: f64,
+    /// Mean board power (W).
+    pub watt_mean: f64,
+    /// Power standard deviation.
+    pub watt_std: f64,
+    /// Mean energy efficiency (FPS/W).
+    pub ee_mean: f64,
+    /// EE standard deviation.
+    pub ee_std: f64,
+    /// The individual runs.
+    pub runs: Vec<ThroughputReport>,
+}
+
+impl ThroughputStats {
+    /// Aggregates individual runs into mean ± (population) std.
+    pub fn from_runs(runs: Vec<ThroughputReport>) -> Self {
+        assert!(!runs.is_empty(), "need at least one run");
+        let mean_std = |xs: Vec<f64>| -> (f64, f64) {
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            let v = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64;
+            (m, v.sqrt())
+        };
+        let (fps_mean, fps_std) = mean_std(runs.iter().map(|r| r.fps).collect());
+        let (watt_mean, watt_std) = mean_std(runs.iter().map(|r| r.watt).collect());
+        let (ee_mean, ee_std) = mean_std(runs.iter().map(|r| r.energy_efficiency()).collect());
+        Self { fps_mean, fps_std, watt_mean, watt_std, ee_mean, ee_std, runs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rep(fps: f64, watt: f64) -> ThroughputReport {
+        ThroughputReport {
+            fps,
+            watt,
+            frames: 10,
+            threads: 1,
+            busy_cores: 0.0,
+            util: 0.0,
+            makespan_s: 1.0,
+        }
+    }
+
+    #[test]
+    fn energy_efficiency_guards_zero_power() {
+        assert_eq!(rep(100.0, 0.0).energy_efficiency(), 0.0);
+        assert!((rep(100.0, 20.0).energy_efficiency() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_aggregate_mean_and_std() {
+        let s = ThroughputStats::from_runs(vec![rep(90.0, 20.0), rep(110.0, 20.0)]);
+        assert!((s.fps_mean - 100.0).abs() < 1e-9);
+        assert!((s.fps_std - 10.0).abs() < 1e-9);
+        assert!((s.watt_std).abs() < 1e-9);
+        assert!((s.ee_mean - 5.0).abs() < 1e-9);
+        assert_eq!(s.runs.len(), 2);
+    }
+}

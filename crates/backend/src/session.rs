@@ -1,0 +1,175 @@
+//! The streaming inference session.
+//!
+//! Replaces the eager fan-out pattern (quantize every input up front into an
+//! unbounded channel — an O(batch) memory spike) with:
+//!
+//! * a **bounded job queue** ([`SessionConfig::queue_depth`] slots): the
+//!   feeder blocks once workers fall behind, so only a handful of in-flight
+//!   frames exist at any time;
+//! * **worker-side preparation**: quantisation (or any other per-frame input
+//!   transform) happens on the worker thread that will execute the frame,
+//!   not on the submitting thread;
+//! * a **per-worker state pool** ([`InferenceEngine::Worker`]): each worker
+//!   owns its scratch buffers (im2col columns, GEMM accumulators, per-node
+//!   activation tensors), so the steady-state hot path performs zero
+//!   per-frame allocation.
+//!
+//! Results are returned in submission order regardless of completion order.
+
+use crate::prediction::Prediction;
+use seneca_tensor::Tensor;
+
+/// Resolves the number of worker threads for a job batch: never more threads
+/// than jobs, never fewer than one. The single source of truth used by both
+/// the functional runner and the throughput model.
+pub fn resolve_worker_threads(requested: usize, jobs: usize) -> usize {
+    requested.max(1).min(jobs.max(1))
+}
+
+/// Session tuning knobs.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Worker threads (capped to the job count at run time).
+    pub threads: usize,
+    /// Bounded job-queue capacity: how many frames may wait between the
+    /// feeder and the workers. Small values bound memory; larger values
+    /// smooth out service-time jitter.
+    pub queue_depth: usize,
+}
+
+impl SessionConfig {
+    /// A config with `threads` workers and a queue of twice that depth.
+    pub fn new(threads: usize) -> Self {
+        Self { threads: threads.max(1), queue_depth: 2 * threads.max(1) }
+    }
+}
+
+/// Per-frame execution engine: how one worker turns an FP32 image into a
+/// [`Prediction`]. Implementations own the backend-specific preparation
+/// (e.g. INT8 quantisation) and reuse `Worker` scratch state across frames.
+pub trait InferenceEngine: Sync {
+    /// Per-worker mutable state (scratch buffers, core handle, ...).
+    type Worker: Send;
+
+    /// Creates one worker's state.
+    fn new_worker(&self) -> Self::Worker;
+
+    /// Runs one frame on a worker.
+    fn infer(&self, worker: &mut Self::Worker, image: &Tensor) -> Prediction;
+}
+
+/// A streaming inference session over some [`InferenceEngine`].
+pub struct InferenceSession<'e, E: InferenceEngine> {
+    engine: &'e E,
+    config: SessionConfig,
+}
+
+impl<'e, E: InferenceEngine> InferenceSession<'e, E> {
+    /// Creates a session.
+    pub fn new(engine: &'e E, config: SessionConfig) -> Self {
+        Self { engine, config }
+    }
+
+    /// Runs a batch; outputs are in input order.
+    pub fn run(&self, images: &[Tensor]) -> Vec<Prediction> {
+        let n = images.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let threads = resolve_worker_threads(self.config.threads, n);
+        if threads == 1 {
+            // No pool needed; still reuses one worker's scratch across frames.
+            let mut worker = self.engine.new_worker();
+            return images.iter().map(|img| self.engine.infer(&mut worker, img)).collect();
+        }
+
+        let capacity = self.config.queue_depth.max(1);
+        let (job_tx, job_rx) = std::sync::mpsc::sync_channel::<(usize, &Tensor)>(capacity);
+        let (res_tx, res_rx) = std::sync::mpsc::channel::<(usize, Prediction)>();
+        let job_rx = std::sync::Mutex::new(job_rx);
+        let mut results: Vec<Option<Prediction>> = (0..n).map(|_| None).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let job_rx = &job_rx;
+                let res_tx = res_tx.clone();
+                let engine = self.engine;
+                scope.spawn(move || {
+                    let mut worker = engine.new_worker();
+                    loop {
+                        // Hold the lock only for the dequeue, not the inference.
+                        let job = job_rx.lock().expect("job queue lock").recv();
+                        let (i, img) = match job {
+                            Ok(j) => j,
+                            Err(_) => break, // feeder done and queue drained
+                        };
+                        let out = engine.infer(&mut worker, img);
+                        if res_tx.send((i, out)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(res_tx);
+            // Feed lazily: blocks when the bounded queue is full, so at most
+            // `queue_depth` frames wait and `threads` frames execute at once.
+            for (i, img) in images.iter().enumerate() {
+                job_tx.send((i, img)).expect("worker pool alive");
+            }
+            drop(job_tx);
+            while let Ok((i, out)) = res_rx.recv() {
+                results[i] = Some(out);
+            }
+        });
+        results.into_iter().map(|r| r.expect("all jobs completed")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seneca_tensor::Shape4;
+
+    /// Toy engine: label = round(first pixel), logits echo the input.
+    struct Echo;
+    impl InferenceEngine for Echo {
+        type Worker = usize; // counts frames this worker has seen
+        fn new_worker(&self) -> usize {
+            0
+        }
+        fn infer(&self, worker: &mut usize, image: &Tensor) -> Prediction {
+            *worker += 1;
+            Prediction {
+                labels: vec![image.data()[0] as u8],
+                logits: crate::Logits::F32(image.clone()),
+            }
+        }
+    }
+
+    fn images(n: usize) -> Vec<Tensor> {
+        (0..n).map(|i| Tensor::from_vec(Shape4::new(1, 1, 1, 1), vec![i as f32])).collect()
+    }
+
+    #[test]
+    fn preserves_submission_order() {
+        let imgs = images(17);
+        for threads in [1, 2, 4, 8] {
+            let out = InferenceSession::new(&Echo, SessionConfig::new(threads)).run(&imgs);
+            let labels: Vec<u8> = out.iter().map(|p| p.labels[0]).collect();
+            assert_eq!(labels, (0..17).map(|i| i as u8).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        assert!(InferenceSession::new(&Echo, SessionConfig::new(4)).run(&[]).is_empty());
+    }
+
+    #[test]
+    fn resolve_worker_threads_clamps_both_ends() {
+        assert_eq!(resolve_worker_threads(4, 2), 2);
+        assert_eq!(resolve_worker_threads(4, 100), 4);
+        assert_eq!(resolve_worker_threads(0, 3), 1);
+        assert_eq!(resolve_worker_threads(2, 0), 1);
+    }
+}

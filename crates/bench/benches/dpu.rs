@@ -25,7 +25,8 @@ fn quantized_model(size: ModelSize) -> QuantizedGraph {
 
 fn tiny_xmodel() -> XModel {
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-    let cfg = UNetConfig { depth: 2, base_filters: 4, in_channels: 1, num_classes: 6, dropout: 0.0 };
+    let cfg =
+        UNetConfig { depth: 2, base_filters: 4, in_channels: 1, num_classes: 6, dropout: 0.0 };
     let net = UNet::new(cfg, &mut rng);
     let fg = fuse(&Graph::from_unet(&net, "tiny"));
     let calib = vec![Tensor::he_normal(Shape4::new(1, 1, 32, 32), &mut rng)];
@@ -84,18 +85,13 @@ fn bench_throughput_sim(c: &mut Criterion) {
 
 fn bench_thread_sweep(c: &mut Criterion) {
     let qg = quantized_model(ModelSize::M1);
-    let xm = Arc::new(seneca_dpu::compile(
-        &qg,
-        Shape4::new(1, 1, 256, 256),
-        DpuArch::b4096_zcu104(),
-    ));
+    let xm =
+        Arc::new(seneca_dpu::compile(&qg, Shape4::new(1, 1, 256, 256), DpuArch::b4096_zcu104()));
     let mut g = c.benchmark_group("thread_sweep_1M");
     g.sample_size(10);
     for threads in [1usize, 2, 4, 8] {
-        let runner = DpuRunner::new(
-            Arc::clone(&xm),
-            RuntimeConfig { threads, ..Default::default() },
-        );
+        let runner =
+            DpuRunner::new(Arc::clone(&xm), RuntimeConfig { threads, ..Default::default() });
         g.bench_with_input(BenchmarkId::from_parameter(threads), &runner, |b, r| {
             b.iter(|| r.run_throughput(2000, 1))
         });

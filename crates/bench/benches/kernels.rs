@@ -3,11 +3,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::{Rng, SeedableRng};
+use seneca_tensor::activation::softmax_channels;
 use seneca_tensor::conv::{conv2d, conv2d_backward, Conv2dParams};
 use seneca_tensor::gemm::{igemm, sgemm};
 use seneca_tensor::im2col::{im2col, ConvGeom};
 use seneca_tensor::pool::maxpool2x2;
-use seneca_tensor::activation::softmax_channels;
 use seneca_tensor::{Shape4, Tensor};
 
 fn rand_tensor(shape: Shape4, seed: u64) -> Tensor {

@@ -1,9 +1,10 @@
 //! Criterion benchmarks of the end-to-end workflow stages: phantom
 //! generation, preprocessing, training step, PTQ, and FP32-vs-INT8
-//! inference on the same network.
+//! inference on the same network (via the unified [`Backend`] list).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
+use seneca::backend::{Backend, Fp32RefBackend, QuantRefBackend};
 use seneca_data::anatomy::Anatomy;
 use seneca_data::phantom::{rasterize, RasterConfig};
 use seneca_data::preprocess::preprocess;
@@ -32,7 +33,8 @@ fn bench_preprocess(c: &mut Criterion) {
 
 fn bench_training_step(c: &mut Criterion) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-    let cfg = UNetConfig { depth: 2, base_filters: 8, in_channels: 1, num_classes: 6, dropout: 0.1 };
+    let cfg =
+        UNetConfig { depth: 2, base_filters: 8, in_channels: 1, num_classes: 6, dropout: 0.1 };
     let mut net = UNet::new(cfg, &mut rng);
     let x = Tensor::he_normal(Shape4::new(2, 1, 64, 64), &mut rng);
     let labels: Vec<u8> = (0..2 * 64 * 64).map(|i| (i % 6) as u8).collect();
@@ -51,7 +53,8 @@ fn bench_training_step(c: &mut Criterion) {
 
 fn bench_quantization(c: &mut Criterion) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(4);
-    let cfg = UNetConfig { depth: 2, base_filters: 4, in_channels: 1, num_classes: 6, dropout: 0.0 };
+    let cfg =
+        UNetConfig { depth: 2, base_filters: 4, in_channels: 1, num_classes: 6, dropout: 0.0 };
     let net = UNet::new(cfg, &mut rng);
     let fg = fuse(&Graph::from_unet(&net, "t"));
     let calib: Vec<Tensor> =
@@ -63,15 +66,27 @@ fn bench_quantization(c: &mut Criterion) {
 
 fn bench_fp32_vs_int8_inference(c: &mut Criterion) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-    let cfg = UNetConfig { depth: 2, base_filters: 8, in_channels: 1, num_classes: 6, dropout: 0.0 };
+    let cfg =
+        UNetConfig { depth: 2, base_filters: 8, in_channels: 1, num_classes: 6, dropout: 0.0 };
     let net = UNet::new(cfg, &mut rng);
-    let graph = Graph::from_unet(&net, "t");
+    let graph = Graph::from_unet(&net, "d2f8");
     let fg = fuse(&graph);
-    let img = Tensor::he_normal(Shape4::new(1, 1, 64, 64), &mut rng);
+    let shape = Shape4::new(1, 1, 64, 64);
+    let img = Tensor::he_normal(shape, &mut rng);
     let (qg, _) = quantize_post_training(&fg, std::slice::from_ref(&img), &PtqConfig::default());
-    let qin = qg.quantize_input(&img);
-    c.bench_function("infer_fp32/d2f8@64", |b| b.iter(|| graph.execute(&img)));
-    c.bench_function("infer_int8/d2f8@64", |b| b.iter(|| qg.execute(&qin)));
+    // One bench per backend, same image — the FP32-vs-INT8 comparison falls
+    // out of the list instead of two hand-written cases.
+    let mut backends: Vec<Box<dyn Backend>> = vec![
+        Box::new(Fp32RefBackend::new(graph, shape)),
+        Box::new(QuantRefBackend::new(qg, shape)),
+    ];
+    let batch = [img];
+    for b in &mut backends {
+        b.prepare();
+        c.bench_function(&format!("infer/{}@64", b.name()), |bch| {
+            bch.iter(|| b.infer_batch(&batch))
+        });
+    }
 }
 
 criterion_group!(

@@ -1,7 +1,8 @@
 //! Shared experiment context: one cohort, one training run per model size,
 //! lazily-built deployments, memoised accuracy reports.
 
-use seneca::eval::{evaluate_accuracy, AccuracyReport};
+use seneca::backend::Backend;
+use seneca::eval::{evaluate_backend, AccuracyReport};
 use seneca::workflow::{Deployment, PreparedData, Workflow};
 use seneca::{zoo, SenecaConfig};
 use seneca_dpu::arch::DpuArch;
@@ -92,11 +93,8 @@ impl ExperimentCtx {
     /// by throughput experiments regardless of the accuracy resolution).
     pub fn dpu_runner_256(&mut self, size: ModelSize, threads: usize) -> DpuRunner {
         let dep = self.deployment(size);
-        let xm = seneca_dpu::compile(
-            &dep.qgraph,
-            Shape4::new(1, 1, 256, 256),
-            DpuArch::b4096_zcu104(),
-        );
+        let xm =
+            seneca_dpu::compile(&dep.qgraph, Shape4::new(1, 1, 256, 256), DpuArch::b4096_zcu104());
         DpuRunner::new(Arc::new(xm), RuntimeConfig { threads, ..Default::default() })
     }
 
@@ -110,6 +108,25 @@ impl ExperimentCtx {
         )
     }
 
+    /// The throughput-experiment backends at the paper's 256x256 geometry:
+    /// the GPU baseline first, then one DPU runtime per requested thread
+    /// count. All are [`Backend`]s, so experiments iterate the list instead
+    /// of hard-coding the two devices.
+    pub fn backends_256(
+        &mut self,
+        size: ModelSize,
+        dpu_threads: &[usize],
+    ) -> Vec<Box<dyn Backend>> {
+        let mut backends: Vec<Box<dyn Backend>> = vec![Box::new(self.gpu_runner_256(size))];
+        for &threads in dpu_threads {
+            backends.push(Box::new(self.dpu_runner_256(size, threads)));
+        }
+        for b in &mut backends {
+            b.prepare();
+        }
+        backends
+    }
+
     /// FP32 (GPU baseline) accuracy on the test split, memoised.
     pub fn accuracy_fp32(&mut self, size: ModelSize) -> Arc<AccuracyReport> {
         if let Some(r) = self.accuracy_fp32.get(&size) {
@@ -117,8 +134,7 @@ impl ExperimentCtx {
         }
         let dep = self.deployment(size);
         eprintln!("[ctx] evaluating FP32 accuracy for {size} ...");
-        let predict = move |img: &seneca_tensor::Tensor| dep.gpu_runner.predict(img);
-        let rep = Arc::new(evaluate_accuracy(&predict, &self.data));
+        let rep = Arc::new(evaluate_backend(&dep.gpu_runner, &self.data));
         self.accuracy_fp32.insert(size, Arc::clone(&rep));
         rep
     }
@@ -130,8 +146,7 @@ impl ExperimentCtx {
         }
         let dep = self.deployment(size);
         eprintln!("[ctx] evaluating INT8 accuracy for {size} ...");
-        let predict = move |img: &seneca_tensor::Tensor| dep.qgraph.predict(img);
-        let rep = Arc::new(evaluate_accuracy(&predict, &self.data));
+        let rep = Arc::new(evaluate_backend(&dep.dpu_runner, &self.data));
         self.accuracy_int8.insert(size, Arc::clone(&rep));
         rep
     }

@@ -146,13 +146,7 @@ pub fn run_arch(ctx: &mut ExperimentCtx) {
 
     let dep = ctx.deployment(ModelSize::M1);
     let input = Shape4::new(1, 1, 256, 256);
-    let mut t = Table::new(vec![
-        "DPU config",
-        "peak TOPS",
-        "FPS (4 thr)",
-        "Watt",
-        "EE",
-    ]);
+    let mut t = Table::new(vec!["DPU config", "peak TOPS", "FPS (4 thr)", "Watt", "EE"]);
     for arch in [DpuArch::b4096_zcu104(), DpuArch::b1152()] {
         let xm = Arc::new(seneca_dpu::compile(&dep.qgraph, input, arch.clone()));
         let rep = DpuRunner::new(xm, RuntimeConfig::default())

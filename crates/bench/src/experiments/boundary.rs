@@ -18,7 +18,13 @@ pub fn run(ctx: &mut ExperimentCtx) {
     let size = ctx.wf.config.input_size;
 
     // Collect per-organ distances over all test slices for both precisions.
-    let mut hd = [[Vec::new(), Vec::new()], [Vec::new(), Vec::new()], [Vec::new(), Vec::new()], [Vec::new(), Vec::new()], [Vec::new(), Vec::new()]];
+    let mut hd = [
+        [Vec::new(), Vec::new()],
+        [Vec::new(), Vec::new()],
+        [Vec::new(), Vec::new()],
+        [Vec::new(), Vec::new()],
+        [Vec::new(), Vec::new()],
+    ];
     let mut assd = hd.clone();
     for (_, samples) in &ctx.data.test_by_patient {
         for s in samples {

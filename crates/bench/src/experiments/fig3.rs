@@ -26,15 +26,12 @@ pub fn run(ctx: &mut ExperimentCtx) {
 
     for size in ModelSize::ALL {
         eprintln!("[fig3] {size}: thread sweep ...");
-        let gpu = ctx.gpu_runner_256(size).run_throughput(frames, 0xF16_3);
-        let gee = gpu.energy_efficiency();
-        let mut ees = Vec::new();
-        let mut fps = Vec::new();
-        for &threads in &threads_list {
-            let rep = ctx.dpu_runner_256(size, threads).run_throughput(frames, 0xF16_3);
-            ees.push(rep.energy_efficiency());
-            fps.push(rep.fps);
-        }
+        // Backends in list order: [gpu, dpu@1thr, dpu@2thr, dpu@4thr, dpu@8thr].
+        let backends = ctx.backends_256(size, &threads_list);
+        let reps: Vec<_> = backends.iter().map(|b| b.throughput(frames, 0xF16_3)).collect();
+        let gee = reps[0].energy_efficiency();
+        let ees: Vec<f64> = reps[1..].iter().map(|r| r.energy_efficiency()).collect();
+        let fps: Vec<f64> = reps[1..].iter().map(|r| r.fps).collect();
         max_ee = max_ee.max(ees.iter().cloned().fold(gee, f64::max));
         rows.push((size, gee, ees.clone(), fps.clone()));
         t.row(vec![

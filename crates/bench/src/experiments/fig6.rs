@@ -11,7 +11,8 @@ pub fn run(ctx: &mut ExperimentCtx) {
     let mut t = Table::new(vec!["Organ", "n", "Q1", "Median", "Q3", "Whiskers", "Outliers"]);
     let mut chart = String::new();
     let (lo, hi) = (50.0, 100.0);
-    chart.push_str(&format!("{:>8} {:>5}                      (scale {lo:.0}..{hi:.0}%)\n", "", ""));
+    chart
+        .push_str(&format!("{:>8} {:>5}                      (scale {lo:.0}..{hi:.0}%)\n", "", ""));
 
     for organ in Organ::TARGETS {
         match rep.organ_boxplot(organ) {

@@ -16,8 +16,19 @@ use crate::ctx::ExperimentCtx;
 
 /// All experiment names in run order.
 pub const ALL: [&str; 13] = [
-    "table1", "table2", "table3", "table4", "table5", "fig3", "fig4", "fig5", "fig6",
-    "ablation-quant", "ablation-prune", "ablation-arch", "boundary",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "ablation-quant",
+    "ablation-prune",
+    "ablation-arch",
+    "boundary",
 ];
 
 /// Dispatches one experiment by name. Returns false for unknown names.

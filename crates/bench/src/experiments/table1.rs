@@ -11,7 +11,8 @@ pub fn run(ctx: &mut ExperimentCtx) {
     eprintln!("[table1] streaming {} volumes ...", ds.config.n_patients);
     let f = cohort_frequencies(&ds);
 
-    let mut t = Table::new(vec!["Source", "Liver", "Bladder", "Lungs", "Kidneys", "Bones", "Brain"]);
+    let mut t =
+        Table::new(vec!["Source", "Liver", "Bladder", "Lungs", "Kidneys", "Bones", "Brain"]);
     t.row(
         std::iter::once("Paper (CT-ORG)".to_string())
             .chain(Organ::ALL.iter().map(|o| format!("{:.2}%", o.paper_frequency_pct())))

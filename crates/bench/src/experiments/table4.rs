@@ -38,10 +38,18 @@ pub fn run(ctx: &mut ExperimentCtx) {
 
     for (i, size) in ModelSize::ALL.into_iter().enumerate() {
         eprintln!("[table4] {size}: throughput ...");
-        let dpu = ctx.dpu_runner_256(size, 4);
-        let dstats = dpu.run_throughput_repeated(frames, runs, 0xBEEF + i as u64);
-        let gpu = ctx.gpu_runner_256(size);
-        let gstats = gpu.run_throughput_repeated(frames, runs, 0xFEED + i as u64);
+        // Backends in list order: [gpu, dpu@4thr]; seeds follow the same order.
+        let backends = ctx.backends_256(size, &[4]);
+        let seeds = [0xFEED + i as u64, 0xBEEF + i as u64];
+        let stats: Vec<_> = backends
+            .iter()
+            .zip(seeds)
+            .map(|(b, seed)| {
+                eprintln!("[table4]   {} ...", b.name());
+                b.throughput_repeated(frames, runs, seed)
+            })
+            .collect();
+        let (gstats, dstats) = (&stats[0], &stats[1]);
         let acc_fp32 = ctx.accuracy_fp32(size);
         let acc_int8 = ctx.accuracy_int8(size);
         let d32 = acc_fp32.global();

@@ -15,12 +15,19 @@ pub fn run(ctx: &mut ExperimentCtx) {
     let runs = ctx.wf.config.throughput_runs;
 
     eprintln!("[table5] throughput ...");
-    let dstats = ctx.dpu_runner_256(size, 4).run_throughput_repeated(frames, runs, 0x7AB5);
-    let gstats = ctx.gpu_runner_256(size).run_throughput_repeated(frames, runs, 0x7AB6);
+    // Backends in list order: [gpu, dpu@4thr]; seeds follow the same order.
+    let backends = ctx.backends_256(size, &[4]);
+    let stats: Vec<_> = backends
+        .iter()
+        .zip([0x7AB6u64, 0x7AB5])
+        .map(|(b, seed)| b.throughput_repeated(frames, runs, seed))
+        .collect();
+    let (gstats, dstats) = (&stats[0], &stats[1]);
     let int8 = ctx.accuracy_int8(size);
     let fp32 = ctx.accuracy_fp32(size);
 
-    let mut t = Table::new(vec!["Metric", "FPGA (ours)", "GPU (ours)", "FPGA (paper)", "CT-ORG [17]"]);
+    let mut t =
+        Table::new(vec!["Metric", "FPGA (ours)", "GPU (ours)", "FPGA (paper)", "CT-ORG [17]"]);
     t.row(vec![
         "FPS".to_string(),
         pm(dstats.fps_mean, dstats.fps_std, 1),

@@ -34,11 +34,8 @@ impl Table {
             }
         }
         let fmt_row = |cells: &[String]| -> String {
-            let body: Vec<String> = cells
-                .iter()
-                .enumerate()
-                .map(|(i, c)| format!("{:<w$}", c, w = width[i]))
-                .collect();
+            let body: Vec<String> =
+                cells.iter().enumerate().map(|(i, c)| format!("{:<w$}", c, w = width[i])).collect();
             format!("| {} |", body.join(" | "))
         };
         let mut out = String::new();

@@ -48,7 +48,13 @@ impl SenecaConfig {
             input_size: 256,
             train_stride: 4,
             test_stride: 2,
-            train: TrainConfig { epochs: 8, batch_size: 4, seed: 0xC70E, lr_decay: 0.9, verbose: true },
+            train: TrainConfig {
+                epochs: 8,
+                batch_size: 4,
+                seed: 0xC70E,
+                lr_decay: 0.9,
+                verbose: true,
+            },
             learning_rate: 1.5e-3,
             calibration_images: 500,
             throughput_frames: 2000,
@@ -73,7 +79,13 @@ impl SenecaConfig {
             input_size: 64,
             train_stride: 6,
             test_stride: 3,
-            train: TrainConfig { epochs: 14, batch_size: 4, seed: 0xC70E, lr_decay: 0.93, verbose: true },
+            train: TrainConfig {
+                epochs: 14,
+                batch_size: 4,
+                seed: 0xC70E,
+                lr_decay: 0.93,
+                verbose: true,
+            },
             learning_rate: 3e-3,
             calibration_images: 150,
             throughput_frames: 2000,
@@ -94,7 +106,13 @@ impl SenecaConfig {
             input_size: 32,
             train_stride: 3,
             test_stride: 3,
-            train: TrainConfig { epochs: 3, batch_size: 4, seed: 0xC70E, lr_decay: 0.9, verbose: false },
+            train: TrainConfig {
+                epochs: 3,
+                batch_size: 4,
+                seed: 0xC70E,
+                lr_decay: 0.9,
+                verbose: false,
+            },
             learning_rate: 2e-3,
             calibration_images: 24,
             throughput_frames: 200,
@@ -106,7 +124,7 @@ impl SenecaConfig {
     /// Downsample factor from raster resolution to network input.
     pub fn downsample_factor(&self) -> usize {
         assert!(
-            self.cohort.slice_size % self.input_size == 0,
+            self.cohort.slice_size.is_multiple_of(self.input_size),
             "raster size {} must be a multiple of input size {}",
             self.cohort.slice_size,
             self.input_size

@@ -5,14 +5,19 @@
 //! mean±std columns (Table V) are built from.
 
 use crate::workflow::PreparedData;
+use seneca_backend::Backend;
+use seneca_data::volume::Organ;
 use seneca_metrics::agg::{BoxplotStats, MeanStd};
 use seneca_metrics::seg::{global_weighted_dice, Confusion};
-use seneca_data::volume::Organ;
 use seneca_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
 /// A segmentation predictor: preprocessed image in, label map out.
 pub type Predictor<'a> = dyn Fn(&Tensor) -> Vec<u8> + Sync + 'a;
+
+/// A batch predictor: one patient's preprocessed images in, label maps out
+/// (in input order). Backends map onto this via `infer_batch`.
+pub type BatchPredictor<'a> = dyn Fn(&[Tensor]) -> Vec<Vec<u8>> + Sync + 'a;
 
 /// Accuracy evaluation results over the test split.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -60,25 +65,43 @@ impl AccuracyReport {
     }
 }
 
-/// Evaluates a predictor over the prepared test split.
+/// Evaluates a per-image predictor over the prepared test split.
 pub fn evaluate_accuracy(predict: &Predictor<'_>, data: &PreparedData) -> AccuracyReport {
+    evaluate_batches(&|images| images.iter().map(predict).collect(), data)
+}
+
+/// Evaluates any [`Backend`] over the prepared test split. Each patient's
+/// slices go through `infer_batch` as one batch, so backends with worker
+/// pools (the DPU runtime, the INT8 reference) parallelise within patients.
+pub fn evaluate_backend(backend: &dyn Backend, data: &PreparedData) -> AccuracyReport {
+    evaluate_batches(
+        &|images| backend.infer_batch(images).into_iter().map(|p| p.labels).collect(),
+        data,
+    )
+}
+
+/// Evaluates a batch predictor over the prepared test split.
+pub fn evaluate_batches(predict: &BatchPredictor<'_>, data: &PreparedData) -> AccuracyReport {
     let mut per_organ_pct: Vec<Vec<f64>> = vec![Vec::new(); 5];
     let mut global_pct = Vec::new();
     let mut tpr_pct = Vec::new();
     let mut tnr_pct = Vec::new();
 
     for (_patient, samples) in &data.test_by_patient {
+        let images: Vec<Tensor> = samples.iter().map(|s| s.image.clone()).collect();
+        let preds = predict(&images);
+        assert_eq!(preds.len(), samples.len(), "predictor batch length");
+
         // Accumulate confusion counts across the patient's slices.
         let mut organ_conf = [Confusion::default(); 5];
         let mut pred_all: Vec<u8> = Vec::new();
         let mut truth_all: Vec<u8> = Vec::new();
-        for s in samples {
-            let pred = predict(&s.image);
+        for (s, pred) in samples.iter().zip(&preds) {
             assert_eq!(pred.len(), s.labels.len(), "predictor output length");
             for (k, conf) in organ_conf.iter_mut().enumerate() {
-                conf.merge(&seneca_metrics::seg::confusion(&pred, &s.labels, k as u8 + 1));
+                conf.merge(&seneca_metrics::seg::confusion(pred, &s.labels, k as u8 + 1));
             }
-            pred_all.extend_from_slice(&pred);
+            pred_all.extend_from_slice(pred);
             truth_all.extend_from_slice(&s.labels);
         }
         for (k, conf) in organ_conf.iter().enumerate() {
@@ -140,9 +163,8 @@ mod tests {
             .flat_map(|(_, ss)| ss.iter())
             .map(|s| (s.image.data().as_ptr() as usize, s.labels.clone()))
             .collect();
-        let oracle = move |img: &Tensor| -> Vec<u8> {
-            lookup[&(img.data().as_ptr() as usize)].clone()
-        };
+        let oracle =
+            move |img: &Tensor| -> Vec<u8> { lookup[&(img.data().as_ptr() as usize)].clone() };
         let rep = evaluate_accuracy(&oracle, &data);
         assert!((rep.global().mean - 100.0).abs() < 1e-9);
         assert!((rep.global_tpr().mean - 100.0).abs() < 1e-9);

@@ -33,5 +33,9 @@ pub mod render;
 pub mod workflow;
 pub mod zoo;
 
+/// The unified inference backend abstraction (re-exported so downstream
+/// code can write `seneca::backend::Backend`).
+pub use seneca_backend as backend;
+
 pub use config::SenecaConfig;
 pub use workflow::{Deployment, PreparedData, Workflow};

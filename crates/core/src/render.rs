@@ -46,8 +46,8 @@ pub fn render_overlay(image: &Tensor, labels: &[u8]) -> (usize, usize, Vec<u8>) 
         match organ_color(l) {
             Some(c) => {
                 // 65% organ colour, 35% underlay.
-                for ch in 0..3 {
-                    rgb.push(((c[ch] as u16 * 65 + g * 35) / 100) as u8);
+                for &cv in &c {
+                    rgb.push(((cv as u16 * 65 + g * 35) / 100) as u8);
                 }
             }
             None => rgb.extend_from_slice(&[g as u8, g as u8, g as u8]),
@@ -94,10 +94,7 @@ mod tests {
     use seneca_tensor::Shape4;
 
     fn slice() -> Tensor {
-        Tensor::from_vec(
-            Shape4::new(1, 1, 2, 2),
-            vec![-1.0, 0.0, 0.5, 1.0],
-        )
+        Tensor::from_vec(Shape4::new(1, 1, 2, 2), vec![-1.0, 0.0, 0.5, 1.0])
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::config::SenecaConfig;
 use rand::SeedableRng;
+use seneca_backend::{Backend, Fp32RefBackend, QuantRefBackend};
 use seneca_data::calibration::{manual_calibration, PAPER_MANUAL_TARGET};
 use seneca_data::dataset::{SplitKind, SyntheticCtOrg};
 use seneca_data::preprocess::preprocess;
@@ -45,6 +46,22 @@ pub struct Deployment {
     pub dpu_runner: DpuRunner,
     /// GPU baseline runner.
     pub gpu_runner: GpuRunner,
+}
+
+impl Deployment {
+    /// Every inference path of this deployment behind the unified
+    /// [`Backend`] trait: FP32 reference, GPU baseline, bit-exact INT8
+    /// reference, DPU runtime. Evaluation and benchmarking iterate this
+    /// list instead of hard-coding runner pairs.
+    pub fn backends(&self) -> Vec<Box<dyn Backend>> {
+        let input_shape = self.gpu_runner.input_shape;
+        vec![
+            Box::new(Fp32RefBackend::new(self.graph.clone(), input_shape)),
+            Box::new(self.gpu_runner.clone()),
+            Box::new(QuantRefBackend::new(self.qgraph.clone(), input_shape)),
+            Box::new(self.dpu_runner.clone()),
+        ]
+    }
 }
 
 /// The workflow driver.
@@ -146,8 +163,7 @@ impl Workflow {
         // Compute-normalised epoch budget.
         let s = self.config.input_size;
         let macs_this = net.macs_per_frame(s, s) as f64;
-        let macs_1m =
-            UNet::from_size(ModelSize::M1, &mut rng).macs_per_frame(s, s) as f64;
+        let macs_1m = UNet::from_size(ModelSize::M1, &mut rng).macs_per_frame(s, s) as f64;
         let epochs =
             ((self.config.train.epochs as f64 * macs_1m / macs_this).round() as usize).max(1);
 
@@ -156,8 +172,7 @@ impl Workflow {
         let mut order: Vec<usize> = (0..data.train.len()).collect();
         order.shuffle(&mut rng);
         for chunk in order.chunks(self.config.train.batch_size) {
-            let images: Vec<Tensor> =
-                chunk.iter().map(|&i| data.train[i].image.clone()).collect();
+            let images: Vec<Tensor> = chunk.iter().map(|&i| data.train[i].image.clone()).collect();
             let batch = Tensor::stack_batch(&images);
             let mut labels = Vec::new();
             for &i in chunk {
@@ -200,6 +215,21 @@ impl Workflow {
         let graph = Graph::from_unet(&net, size.label());
         let gpu_runner = GpuRunner::new(graph.clone(), GpuModel::rtx2060_mobile(), input_shape);
         Deployment { unet: net, graph, qgraph: qg, dpu_runner, gpu_runner }
+    }
+
+    /// Stage E, trait form: the deployment's inference paths as prepared
+    /// [`Backend`] trait objects.
+    pub fn deploy_backends(
+        &self,
+        net: UNet,
+        qg: QuantizedGraph,
+        size: ModelSize,
+    ) -> Vec<Box<dyn Backend>> {
+        let mut backends = self.compile_and_deploy(net, qg, size).backends();
+        for b in &mut backends {
+            b.prepare();
+        }
+        backends
     }
 
     /// Full pipeline for one model size (train → quantize → compile).
@@ -248,11 +278,25 @@ mod tests {
         assert_eq!(fp32.len(), 32 * 32);
         assert_eq!(int8[0].len(), 32 * 32);
         // INT8 and FP32 agree on a large majority of pixels.
-        let agree =
-            fp32.iter().zip(&int8[0]).filter(|(a, b)| a == b).count() as f64 / 1024.0;
+        let agree = fp32.iter().zip(&int8[0]).filter(|(a, b)| a == b).count() as f64 / 1024.0;
         assert!(agree > 0.7, "agreement {agree}");
         // Throughput path works on the deployed model.
         let rep = dep.dpu_runner.run_throughput(100, 1);
         assert!(rep.fps > 0.0 && rep.watt > 15.0);
+
+        // Stage E exposes all four paths behind the unified Backend trait.
+        let backends = dep.backends();
+        assert_eq!(backends.len(), 4);
+        for b in &backends {
+            let pred = b.predict(img);
+            assert_eq!(pred.len(), 32 * 32, "{} label map size", b.name());
+            let t = b.throughput(20, 1);
+            assert!(t.fps > 0.0, "{} throughput", b.name());
+        }
+        // Reference backends bit-match their device twins.
+        let fp32_ref = backends[0].predict(img);
+        assert_eq!(fp32_ref, fp32, "fp32-ref vs gpu");
+        let int8_ref = backends[2].predict(img);
+        assert_eq!(int8_ref, int8[0], "int8-ref vs dpu");
     }
 }

@@ -69,7 +69,7 @@ pub fn manual_calibration(
                     (pct - target_pct[k]).abs()
                 })
                 .sum();
-            if best.map_or(true, |(_, d)| dist < d) {
+            if best.is_none_or(|(_, d)| dist < d) {
                 best = Some((i, dist));
             }
         }
@@ -137,8 +137,7 @@ mod tests {
         );
         // Dominant organs shrink or stay comparable.
         assert!(
-            man_cal.frequencies.of(Organ::Bones)
-                <= rand_cal.frequencies.of(Organ::Bones) + 2.0
+            man_cal.frequencies.of(Organ::Bones) <= rand_cal.frequencies.of(Organ::Bones) + 2.0
         );
     }
 

@@ -237,8 +237,7 @@ mod tests {
         });
         let mut head_scans = 0;
         for id in 0..60 {
-            let has_brain =
-                ds.volume(id).label_histogram()[Organ::Brain.label() as usize] > 0;
+            let has_brain = ds.volume(id).label_histogram()[Organ::Brain.label() as usize] > 0;
             let is_head = ds.scan_kind(id) == ScanKind::TotalBodyWithHead;
             assert_eq!(has_brain, is_head, "patient {id}");
             head_scans += is_head as usize;

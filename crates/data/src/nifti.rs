@@ -31,9 +31,8 @@ pub enum NiftiChannel {
 fn build_header(vol: &Volume, datatype: i16, bitpix: i16) -> Vec<u8> {
     let mut h = vec![0u8; HDR_SIZE as usize];
     h[0..4].copy_from_slice(&HDR_SIZE.to_le_bytes()); // sizeof_hdr
-    // dim[0] = 3 spatial dims; dim[1..=3] = x, y, z.
-    let dims: [i16; 8] =
-        [3, vol.width as i16, vol.height as i16, vol.depth as i16, 1, 1, 1, 1];
+                                                      // dim[0] = 3 spatial dims; dim[1..=3] = x, y, z.
+    let dims: [i16; 8] = [3, vol.width as i16, vol.height as i16, vol.depth as i16, 1, 1, 1, 1];
     for (i, d) in dims.iter().enumerate() {
         h[40 + 2 * i..42 + 2 * i].copy_from_slice(&d.to_le_bytes());
     }
@@ -170,10 +169,7 @@ mod tests {
         let path = tmpdir().join("p0.nii");
         write_nifti(&path, &vol, NiftiChannel::Intensity).unwrap();
         let (info, data) = read_nifti(&path).unwrap();
-        assert_eq!(
-            (info.width, info.height, info.depth),
-            (vol.width, vol.height, vol.depth)
-        );
+        assert_eq!((info.width, info.height, info.depth), (vol.width, vol.height, vol.depth));
         assert_eq!(info.datatype, DT_FLOAT32);
         assert_eq!(data.len(), vol.hu.len());
         for (a, b) in data.iter().zip(&vol.hu) {

@@ -53,8 +53,7 @@ pub fn rasterize(anatomy: &Anatomy, cfg: &RasterConfig, seed: u64, patient_id: u
                     // Box-Muller Gaussian noise.
                     let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
                     let u2: f32 = rng.gen_range(0.0..1.0);
-                    let g = (-2.0 * u1.ln()).sqrt()
-                        * (std::f32::consts::TAU * u2).cos();
+                    let g = (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
                     hu[y * n + x] = base_hu + anatomy.noise_sigma * g;
                 }
             }
@@ -158,12 +157,8 @@ mod tests {
                     if v.labels[i] != lungs {
                         continue;
                     }
-                    let neighbours = [
-                        v.labels[i - 1],
-                        v.labels[i + 1],
-                        v.labels[i - n],
-                        v.labels[i + n],
-                    ];
+                    let neighbours =
+                        [v.labels[i - 1], v.labels[i + 1], v.labels[i - n], v.labels[i + n]];
                     if neighbours.iter().all(|&l| l == lungs) {
                         interior.push(v.hu[i]);
                     } else {

@@ -15,7 +15,7 @@ pub fn downsample(slice: &Slice2d, factor: usize) -> Slice2d {
         return slice.clone();
     }
     assert!(
-        slice.width % factor == 0 && slice.height % factor == 0,
+        slice.width.is_multiple_of(factor) && slice.height.is_multiple_of(factor),
         "factor {factor} must divide {}x{}",
         slice.width,
         slice.height

@@ -107,7 +107,7 @@ impl DpuArch {
 
     /// True if a channel count needs read-modify-write handling.
     pub fn is_misaligned(&self, c: usize) -> bool {
-        c % self.icp != 0
+        !c.is_multiple_of(self.icp)
     }
 }
 
@@ -136,6 +136,8 @@ mod tests {
 
     #[test]
     fn b1152_is_smaller() {
-        assert!(DpuArch::b1152().peak_ops_per_cycle() < DpuArch::b4096_zcu104().peak_ops_per_cycle());
+        assert!(
+            DpuArch::b1152().peak_ops_per_cycle() < DpuArch::b4096_zcu104().peak_ops_per_cycle()
+        );
     }
 }

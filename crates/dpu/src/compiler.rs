@@ -107,10 +107,8 @@ pub fn compile(qg: &QuantizedGraph, input_shape: Shape4, arch: DpuArch) -> XMode
 
     // Final result DMA + end-of-kernel.
     let out_s = shapes[qg.output];
-    instrs.push(DpuInstr::Save {
-        bytes: fm_bytes(&out_s),
-        misaligned: arch.is_misaligned(out_s.c),
-    });
+    instrs
+        .push(DpuInstr::Save { bytes: fm_bytes(&out_s), misaligned: arch.is_misaligned(out_s.c) });
     instrs.push(DpuInstr::End);
     stats.fm_traffic_bytes += fm_bytes(&out_s);
 
@@ -131,13 +129,8 @@ mod tests {
 
     fn quantized(depth: usize, f: usize, seed: u64, size: usize) -> QuantizedGraph {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let cfg = UNetConfig {
-            depth,
-            base_filters: f,
-            in_channels: 1,
-            num_classes: 6,
-            dropout: 0.0,
-        };
+        let cfg =
+            UNetConfig { depth, base_filters: f, in_channels: 1, num_classes: 6, dropout: 0.0 };
         let net = UNet::new(cfg, &mut rng);
         let fg = fuse(&Graph::from_unet(&net, format!("d{depth}f{f}")));
         let calib = vec![Tensor::he_normal(Shape4::new(1, 1, size, size), &mut rng)];
@@ -188,7 +181,8 @@ mod tests {
     fn traffic_scales_with_resolution() {
         let qg = quantized(2, 4, 4, 32);
         let xm32 = compile(&qg, Shape4::new(1, 1, 32, 32), DpuArch::b4096_zcu104());
-        let xm16 = compile(&quantized(2, 4, 4, 16), Shape4::new(1, 1, 16, 16), DpuArch::b4096_zcu104());
+        let xm16 =
+            compile(&quantized(2, 4, 4, 16), Shape4::new(1, 1, 16, 16), DpuArch::b4096_zcu104());
         assert!(xm32.stats.fm_traffic_bytes > 3 * xm16.stats.fm_traffic_bytes);
     }
 

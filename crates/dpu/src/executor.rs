@@ -10,8 +10,7 @@
 use crate::isa::DpuInstr;
 use crate::perf::{frame_cost, FrameCost};
 use crate::xmodel::XModel;
-use seneca_quant::qgraph::{qconcat, qconv3x3, qmaxpool, qtconv2x2};
-use seneca_quant::QOp;
+use seneca_quant::{ExecScratch, QOp};
 use seneca_tensor::QTensor;
 
 /// Execution mode of a core.
@@ -45,55 +44,84 @@ impl DpuCore {
         Self { mode }
     }
 
-    /// Runs one frame through the xmodel.
+    /// Allocates a per-worker scratch pool sized for this xmodel.
+    pub fn make_scratch(xm: &XModel) -> ExecScratch {
+        xm.qgraph.make_scratch(xm.input_shape)
+    }
+
+    /// Runs one frame through the xmodel, allocating a one-shot scratch pool
+    /// in functional mode. Streaming callers should hold a pool per worker
+    /// and use [`DpuCore::run_with_scratch`] instead.
     pub fn run(&self, xm: &XModel, input: &QTensor) -> JobResult {
+        match self.mode {
+            ExecMode::TimingOnly => JobResult { output: None, cost: frame_cost(xm, &xm.arch) },
+            ExecMode::Functional => {
+                let mut scratch = Self::make_scratch(xm);
+                self.run_with_scratch(xm, input, &mut scratch)
+            }
+        }
+    }
+
+    /// Runs one frame using a caller-owned scratch pool: zero per-frame
+    /// allocation in the im2col/GEMM hot path once buffers are warm.
+    pub fn run_with_scratch(
+        &self,
+        xm: &XModel,
+        input: &QTensor,
+        scratch: &mut ExecScratch,
+    ) -> JobResult {
         let cost = frame_cost(xm, &xm.arch);
         let output = match self.mode {
             ExecMode::TimingOnly => None,
-            ExecMode::Functional => Some(self.run_functional(xm, input)),
+            ExecMode::Functional => Some(self.exec_instrs(xm, input, scratch).clone()),
         };
         JobResult { output, cost }
     }
 
-    /// Instruction-driven functional execution.
-    fn run_functional(&self, xm: &XModel, input: &QTensor) -> QTensor {
+    /// Instruction-driven functional execution into the scratch pool.
+    fn exec_instrs<'s>(
+        &self,
+        xm: &XModel,
+        input: &QTensor,
+        scratch: &'s mut ExecScratch,
+    ) -> &'s QTensor {
         assert_eq!(input.fix_pos(), xm.qgraph.input_fp, "input fix position");
-        assert_eq!(input.shape().with_n(1), xm.input_shape, "input geometry");
-        let n_nodes = xm.qgraph.nodes.len();
-        let mut vals: Vec<Option<QTensor>> = vec![None; n_nodes];
-        vals[0] = Some(input.clone());
+        assert_eq!(input.shape(), xm.input_shape, "input geometry");
+        scratch.load_input(input);
 
         for instr in &xm.instrs {
             match instr {
                 DpuInstr::Load { .. } | DpuInstr::Save { .. } | DpuInstr::End => {}
                 DpuInstr::Conv { node, .. } => {
                     let qnode = &xm.qgraph.nodes[*node];
-                    let x = vals[qnode.inputs[0]].as_ref().expect("scheduled before use");
-                    let out = match &qnode.op {
-                        QOp::Conv(p) => qconv3x3(x, p),
-                        QOp::TConv(p) => qtconv2x2(x, p),
-                        other => panic!("CONV instr maps to {:?}", other.mnemonic()),
-                    };
-                    vals[*node] = Some(out);
+                    assert!(
+                        matches!(qnode.op, QOp::Conv(_) | QOp::TConv(_)),
+                        "CONV instr maps to {:?}",
+                        qnode.op.mnemonic()
+                    );
+                    xm.qgraph.execute_node_into(*node, scratch);
                 }
                 DpuInstr::Pool { node, .. } => {
                     let qnode = &xm.qgraph.nodes[*node];
-                    let x = vals[qnode.inputs[0]].as_ref().expect("scheduled before use");
-                    vals[*node] = Some(qmaxpool(x));
+                    assert!(
+                        matches!(qnode.op, QOp::MaxPool2x2),
+                        "POOL instr maps to {:?}",
+                        qnode.op.mnemonic()
+                    );
+                    xm.qgraph.execute_node_into(*node, scratch);
                 }
                 DpuInstr::Elew { node, .. } => {
                     let qnode = &xm.qgraph.nodes[*node];
-                    let (shift_a, shift_b, out_fp) = match &qnode.op {
-                        QOp::Concat { shift_a, shift_b, out_fp } => (*shift_a, *shift_b, *out_fp),
-                        other => panic!("ELEW instr maps to {:?}", other.mnemonic()),
-                    };
-                    let a = vals[qnode.inputs[0]].as_ref().expect("scheduled");
-                    let b = vals[qnode.inputs[1]].as_ref().expect("scheduled");
-                    vals[*node] = Some(qconcat(a, b, shift_a, shift_b, out_fp));
+                    assert!(
+                        matches!(qnode.op, QOp::Concat { .. }),
+                        "ELEW instr maps to {:?}",
+                        qnode.op.mnemonic()
+                    );
+                    xm.qgraph.execute_node_into(*node, scratch);
                 }
             }
         }
-        vals[xm.qgraph.output].take().expect("output produced by instruction stream")
+        scratch.node_output(xm.qgraph.output)
     }
 }
 
@@ -133,6 +161,25 @@ mod tests {
         let out_ref = xm.qgraph.execute(&input);
         assert_eq!(out_core.data(), out_ref.data(), "DPU core must bit-match the qgraph");
         assert_eq!(out_core.fix_pos(), out_ref.fix_pos());
+    }
+
+    #[test]
+    fn scratch_reuse_across_frames_is_bit_exact() {
+        let (xm, img) = setup(5);
+        let core = DpuCore::new(ExecMode::Functional);
+        let mut scratch = DpuCore::make_scratch(&xm);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(55);
+        for _ in 0..3 {
+            let mut frame = Tensor::he_normal(Shape4::new(1, 1, 16, 16), &mut rng);
+            for v in frame.data_mut() {
+                *v = v.clamp(-1.0, 1.0);
+            }
+            let input = xm.quantize_input(&frame);
+            let pooled = core.run_with_scratch(&xm, &input, &mut scratch).output.unwrap();
+            let fresh = xm.qgraph.execute(&input);
+            assert_eq!(pooled.data(), fresh.data(), "stale scratch state leaked into a frame");
+        }
+        let _ = img;
     }
 
     #[test]

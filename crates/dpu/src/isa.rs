@@ -128,13 +128,31 @@ mod tests {
     #[test]
     fn mnemonics() {
         assert_eq!(
-            DpuInstr::Conv { node: 1, h: 4, w: 4, c_in: 3, c_out: 8, k: 3, transpose: false, relu: true }
-                .mnemonic(),
+            DpuInstr::Conv {
+                node: 1,
+                h: 4,
+                w: 4,
+                c_in: 3,
+                c_out: 8,
+                k: 3,
+                transpose: false,
+                relu: true
+            }
+            .mnemonic(),
             "CONV"
         );
         assert_eq!(
-            DpuInstr::Conv { node: 1, h: 4, w: 4, c_in: 3, c_out: 8, k: 2, transpose: true, relu: false }
-                .mnemonic(),
+            DpuInstr::Conv {
+                node: 1,
+                h: 4,
+                w: 4,
+                c_in: 3,
+                c_out: 8,
+                k: 2,
+                transpose: true,
+                relu: false
+            }
+            .mnemonic(),
             "DCONV"
         );
         assert_eq!(DpuInstr::End.mnemonic(), "END");
@@ -142,7 +160,16 @@ mod tests {
 
     #[test]
     fn disassembly_contains_geometry() {
-        let i = DpuInstr::Conv { node: 7, h: 64, w: 64, c_in: 16, c_out: 32, k: 3, transpose: false, relu: true };
+        let i = DpuInstr::Conv {
+            node: 7,
+            h: 64,
+            w: 64,
+            c_in: 16,
+            c_out: 32,
+            k: 3,
+            transpose: false,
+            relu: true,
+        };
         let d = i.disassemble();
         assert!(d.contains("n7"));
         assert!(d.contains("16->32"));

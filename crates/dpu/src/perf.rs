@@ -108,7 +108,12 @@ pub fn frame_cost(xm: &XModel, arch: &DpuArch) -> FrameCost {
     }
     let overhead_total = overhead_total + arch.frame_overhead_ns;
     let serial = compute_total.max(mem_total) + overhead_total;
-    FrameCost { compute_ns: compute_total, mem_ns: mem_total, overhead_ns: overhead_total, serial_ns: serial }
+    FrameCost {
+        compute_ns: compute_total,
+        mem_ns: mem_total,
+        overhead_ns: overhead_total,
+        serial_ns: serial,
+    }
 }
 
 /// Frame cost with pruning credit: zeroed output channels (see
@@ -163,7 +168,16 @@ mod tests {
     #[test]
     fn conv_cycles_formula() {
         let a = arch();
-        let i = DpuInstr::Conv { node: 0, h: 32, w: 32, c_in: 32, c_out: 64, k: 3, transpose: false, relu: true };
+        let i = DpuInstr::Conv {
+            node: 0,
+            h: 32,
+            w: 32,
+            c_in: 32,
+            c_out: 64,
+            k: 3,
+            transpose: false,
+            relu: true,
+        };
         // 2 ICP groups * 4 OCP groups * 4 pixel groups * 32 rows * 9 taps.
         assert_eq!(compute_cycles(&i, &a), 2 * 4 * 4 * 32 * 9);
     }
@@ -181,7 +195,16 @@ mod tests {
     #[test]
     fn pool_and_elew_are_cheap_relative_to_conv() {
         let a = arch();
-        let conv = DpuInstr::Conv { node: 0, h: 64, w: 64, c_in: 32, c_out: 32, k: 3, transpose: false, relu: false };
+        let conv = DpuInstr::Conv {
+            node: 0,
+            h: 64,
+            w: 64,
+            c_in: 32,
+            c_out: 32,
+            k: 3,
+            transpose: false,
+            relu: false,
+        };
         let pool = DpuInstr::Pool { node: 0, h: 32, w: 32, c: 32 };
         assert!(compute_cycles(&pool, &a) * 10 < compute_cycles(&conv, &a));
     }

@@ -67,7 +67,11 @@ impl Zcu104Power {
         let dpu = i.dpu_busy_cores * (self.dpu_base_w + self.dpu_compute_w * i.compute_intensity);
         let arm_idle = (i.arm_cores as f64 - i.arm_busy_cores).max(0.0) * self.arm_idle_w;
         let arm = i.arm_busy_cores * self.arm_active_w + arm_idle;
-        self.static_w + dpu + arm + self.ddr_w_per_gbps * i.ddr_gbps + self.thread_w * i.threads as f64
+        self.static_w
+            + dpu
+            + arm
+            + self.ddr_w_per_gbps * i.ddr_gbps
+            + self.thread_w * i.threads as f64
     }
 }
 

@@ -172,7 +172,9 @@ mod tests {
         let n_compute = xm
             .instrs
             .iter()
-            .filter(|i| matches!(i, DpuInstr::Conv { .. } | DpuInstr::Pool { .. } | DpuInstr::Elew { .. }))
+            .filter(|i| {
+                matches!(i, DpuInstr::Conv { .. } | DpuInstr::Pool { .. } | DpuInstr::Elew { .. })
+            })
             .count();
         assert_eq!(p.layers.len(), n_compute);
     }
@@ -193,8 +195,10 @@ mod tests {
         let p = profile(&xm, &xm.arch);
         let hottest = p.hottest(3);
         assert_eq!(hottest.len(), 3);
-        assert!(hottest[0].compute_ns.max(hottest[0].mem_ns)
-            >= hottest[2].compute_ns.max(hottest[2].mem_ns));
+        assert!(
+            hottest[0].compute_ns.max(hottest[0].mem_ns)
+                >= hottest[2].compute_ns.max(hottest[2].mem_ns)
+        );
         let report = p.report();
         assert!(report.contains("totals:"));
         assert!(report.lines().count() >= p.layers.len() + 2);

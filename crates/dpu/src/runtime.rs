@@ -3,23 +3,33 @@
 //! VART lets host threads "asynchronously submit and collect jobs to/from
 //! the accelerator" (§III-E). Two execution paths are provided:
 //!
-//! * [`DpuRunner::run_functional`] — real worker threads (crossbeam channel
-//!   fan-out) running the bit-exact INT8 executor; used by every accuracy
-//!   experiment;
+//! * [`DpuRunner::run_functional`] — the streaming
+//!   [`seneca_backend::InferenceSession`] (bounded job queue, worker-side
+//!   INT8 quantisation, per-worker scratch pools) running the bit-exact
+//!   INT8 executor; used by every accuracy experiment;
 //! * [`DpuRunner::run_throughput`] — a `seneca-hwsim` closed-network
 //!   simulation of the same pipeline (ARM pre-process → DPU core → ARM
 //!   post-process) with the cost model supplying DPU service times; used by
 //!   the FPS / Watt / EE sweeps (Table IV, Fig. 3).
+//!
+//! Both paths resolve their worker-thread count through the same
+//! [`RuntimeConfig::worker_threads`] helper, so the functional pool and the
+//! simulated pipeline population can never drift apart.
 
 use crate::executor::{DpuCore, ExecMode};
 use crate::perf::frame_cost;
 use crate::power::{PowerInputs, Zcu104Power};
 use crate::xmodel::XModel;
 use rand::{Rng, SeedableRng};
+use seneca_backend::{Backend, InferenceEngine, InferenceSession, Prediction, SessionConfig};
 use seneca_hwsim::{simulate_closed_pipeline, Resource, StageSpec};
+use seneca_quant::ExecScratch;
 use seneca_tensor::{QTensor, Tensor};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+
+// The runtime's measurement vocabulary is the workspace-wide one.
+pub use seneca_backend::{ThroughputReport, ThroughputStats};
 
 /// Runtime configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -52,32 +62,11 @@ impl Default for RuntimeConfig {
     }
 }
 
-/// Result of one throughput run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct ThroughputReport {
-    /// Frames per second.
-    pub fps: f64,
-    /// Average board power (W).
-    pub watt: f64,
-    /// Frames processed.
-    pub frames: usize,
-    /// Runner threads used.
-    pub threads: usize,
-    /// Mean busy DPU cores.
-    pub dpu_busy_cores: f64,
-    /// DPU utilisation in `[0, 1]`.
-    pub dpu_util: f64,
-    /// Simulated wall-clock (s).
-    pub makespan_s: f64,
-}
-
-impl ThroughputReport {
-    /// Energy efficiency, Eq. (3): FPS / Watt = frames / Joule.
-    pub fn energy_efficiency(&self) -> f64 {
-        if self.watt <= 0.0 {
-            return 0.0;
-        }
-        self.fps / self.watt
+impl RuntimeConfig {
+    /// Worker threads for a `jobs`-frame run — the single source of truth
+    /// shared by the functional thread pool and the throughput simulation.
+    pub fn worker_threads(&self, jobs: usize) -> usize {
+        seneca_backend::resolve_worker_threads(self.threads, jobs)
     }
 }
 
@@ -88,6 +77,13 @@ pub struct DpuRunner {
     pub xmodel: Arc<XModel>,
     /// Runtime configuration.
     pub config: RuntimeConfig,
+}
+
+/// Per-worker state of the functional path: one simulated core plus its
+/// scratch pool (per-node activations, im2col columns, GEMM accumulators).
+pub struct DpuWorker {
+    core: DpuCore,
+    scratch: ExecScratch,
 }
 
 impl DpuRunner {
@@ -104,6 +100,7 @@ impl DpuRunner {
     /// to 10 different seeds.
     pub fn run_throughput(&self, n_frames: usize, seed: u64) -> ThroughputReport {
         let xm = &self.xmodel;
+        let threads = self.config.worker_threads(n_frames);
         let cost = frame_cost(xm, &xm.arch);
         let hw = xm.input_shape.hw() as f64;
         let pre_ns = hw * self.config.pre_ns_per_pixel;
@@ -126,132 +123,81 @@ impl DpuRunner {
         let stages =
             [StageSpec { resource: 0 }, StageSpec { resource: 1 }, StageSpec { resource: 0 }];
         let base = [pre_ns, cost.serial_ns as f64, post_ns];
-        let rep = simulate_closed_pipeline(
-            &resources,
-            &stages,
-            self.config.threads,
-            n_frames,
-            |job, stage| (base[stage] * jitter[(job * 3 + stage) % jitter.len()]) as u64,
-        );
+        let rep = simulate_closed_pipeline(&resources, &stages, threads, n_frames, |job, stage| {
+            (base[stage] * jitter[(job * 3 + stage) % jitter.len()]) as u64
+        });
 
         let makespan_s = rep.makespan_ns as f64 * 1e-9;
         let fps = rep.throughput_per_s();
-        let dpu_util = rep.utilisation(1, xm.arch.cores);
-        let dpu_busy_cores = dpu_util * xm.arch.cores as f64;
-        let arm_busy_cores = rep.utilisation(0, self.config.arm_cores) * self.config.arm_cores as f64;
+        let util = rep.utilisation(1, xm.arch.cores);
+        let busy_cores = util * xm.arch.cores as f64;
+        let arm_busy_cores =
+            rep.utilisation(0, self.config.arm_cores) * self.config.arm_cores as f64;
         let ddr_gbps = xm.stats.fm_traffic_bytes as f64 * fps / 1e9;
         let watt = self.config.power.board_power_w(&PowerInputs {
-            dpu_busy_cores,
+            dpu_busy_cores: busy_cores,
             compute_intensity: cost.compute_intensity(),
             arm_busy_cores,
             arm_cores: self.config.arm_cores,
             ddr_gbps,
-            threads: self.config.threads,
+            threads,
         });
 
-        ThroughputReport {
-            fps,
-            watt,
-            frames: rep.completed,
-            threads: self.config.threads,
-            dpu_busy_cores,
-            dpu_util,
-            makespan_s,
-        }
+        ThroughputReport { fps, watt, frames: rep.completed, threads, busy_cores, util, makespan_s }
     }
 
-    /// Runs `n_runs` seeded throughput runs and returns (mean, std) of
-    /// (fps, watt, ee) — the μ±σ of Table IV.
-    pub fn run_throughput_repeated(
-        &self,
-        n_frames: usize,
-        n_runs: usize,
-        seed0: u64,
-    ) -> ThroughputStats {
-        assert!(n_runs >= 1);
-        let runs: Vec<ThroughputReport> =
-            (0..n_runs).map(|r| self.run_throughput(n_frames, seed0 + r as u64)).collect();
-        let mean_std = |xs: Vec<f64>| -> (f64, f64) {
-            let m = xs.iter().sum::<f64>() / xs.len() as f64;
-            let v = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64;
-            (m, v.sqrt())
-        };
-        let (fps_m, fps_s) = mean_std(runs.iter().map(|r| r.fps).collect());
-        let (w_m, w_s) = mean_std(runs.iter().map(|r| r.watt).collect());
-        let (ee_m, ee_s) = mean_std(runs.iter().map(|r| r.energy_efficiency()).collect());
-        ThroughputStats {
-            fps_mean: fps_m,
-            fps_std: fps_s,
-            watt_mean: w_m,
-            watt_std: w_s,
-            ee_mean: ee_m,
-            ee_std: ee_s,
-            runs,
-        }
-    }
-
-    /// Functional execution of a batch of preprocessed FP32 images using
-    /// real worker threads. Outputs are returned in input order.
+    /// Functional execution of a batch of preprocessed FP32 images through
+    /// the streaming session. Outputs are returned in input order.
     pub fn run_functional(&self, images: &[Tensor]) -> Vec<QTensor> {
-        let n = images.len();
-        let mut results: Vec<Option<QTensor>> = vec![None; n];
-        if n == 0 {
-            return vec![];
-        }
-        let (job_tx, job_rx) = crossbeam::channel::unbounded::<(usize, QTensor)>();
-        let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, QTensor)>();
-        for (i, img) in images.iter().enumerate() {
-            job_tx.send((i, self.xmodel.quantize_input(img))).expect("queue open");
-        }
-        drop(job_tx);
-
-        std::thread::scope(|scope| {
-            for _ in 0..self.config.threads.min(n) {
-                let job_rx = job_rx.clone();
-                let res_tx = res_tx.clone();
-                let xm = Arc::clone(&self.xmodel);
-                scope.spawn(move || {
-                    let core = DpuCore::new(ExecMode::Functional);
-                    while let Ok((i, input)) = job_rx.recv() {
-                        let out = core.run(&xm, &input).output.expect("functional mode");
-                        res_tx.send((i, out)).expect("result queue open");
-                    }
-                });
-            }
-            drop(res_tx);
-            while let Ok((i, out)) = res_rx.recv() {
-                results[i] = Some(out);
-            }
-        });
-        results.into_iter().map(|r| r.expect("all jobs completed")).collect()
+        self.session().run(images).into_iter().map(Prediction::into_i8).collect()
     }
 
     /// Per-pixel argmax labels for a batch (functional path + host argmax).
     pub fn predict(&self, images: &[Tensor]) -> Vec<Vec<u8>> {
-        self.run_functional(images)
-            .into_iter()
-            .map(|q| seneca_tensor::activation::argmax_channels_i8(q.shape(), q.data()))
-            .collect()
+        self.session().run(images).into_iter().map(|p| p.labels).collect()
+    }
+
+    /// The streaming session over this runner's worker pool.
+    fn session(&self) -> InferenceSession<'_, Self> {
+        InferenceSession::new(self, SessionConfig::new(self.config.threads))
     }
 }
 
-/// Aggregated throughput statistics over seeded runs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct ThroughputStats {
-    /// Mean FPS.
-    pub fps_mean: f64,
-    /// FPS standard deviation.
-    pub fps_std: f64,
-    /// Mean board power (W).
-    pub watt_mean: f64,
-    /// Power standard deviation.
-    pub watt_std: f64,
-    /// Mean energy efficiency (FPS/W).
-    pub ee_mean: f64,
-    /// EE standard deviation.
-    pub ee_std: f64,
-    /// The individual runs.
-    pub runs: Vec<ThroughputReport>,
+impl InferenceEngine for DpuRunner {
+    type Worker = DpuWorker;
+
+    fn new_worker(&self) -> DpuWorker {
+        DpuWorker {
+            core: DpuCore::new(ExecMode::Functional),
+            scratch: DpuCore::make_scratch(&self.xmodel),
+        }
+    }
+
+    fn infer(&self, worker: &mut DpuWorker, image: &Tensor) -> Prediction {
+        // Worker-side quantisation: the FP32 frame crosses the queue, the
+        // INT8 copy is created on the thread that consumes it.
+        let input = self.xmodel.quantize_input(image);
+        let out = worker
+            .core
+            .run_with_scratch(&self.xmodel, &input, &mut worker.scratch)
+            .output
+            .expect("functional mode");
+        Prediction::from_i8(out)
+    }
+}
+
+impl Backend for DpuRunner {
+    fn name(&self) -> String {
+        format!("dpu/{}", self.xmodel.name)
+    }
+
+    fn infer_batch(&self, images: &[Tensor]) -> Vec<Prediction> {
+        self.session().run(images)
+    }
+
+    fn throughput(&self, n_frames: usize, seed: u64) -> ThroughputReport {
+        self.run_throughput(n_frames, seed)
+    }
 }
 
 #[cfg(test)]
@@ -312,7 +258,7 @@ mod tests {
     #[test]
     fn repeated_runs_have_small_std() {
         let (r, _) = runner(4);
-        let stats = r.run_throughput_repeated(200, 5, 42);
+        let stats = r.throughput_repeated(200, 5, 42);
         assert!(stats.fps_std / stats.fps_mean < 0.02, "σ/μ = {}", stats.fps_std / stats.fps_mean);
         assert_eq!(stats.runs.len(), 5);
     }
@@ -348,5 +294,27 @@ mod tests {
         assert_eq!(a.watt, b.watt);
         let c = r.run_throughput(100, 8);
         assert_ne!(a.fps, c.fps);
+    }
+
+    #[test]
+    fn backend_trait_object_runs_both_paths() {
+        let (r, images) = runner(2);
+        let b: Box<dyn Backend> = Box::new(r.clone());
+        assert!(b.name().starts_with("dpu/"));
+        let preds = b.infer_batch(&images[..2]);
+        assert_eq!(preds.len(), 2);
+        let direct = r.xmodel.qgraph.execute(&r.xmodel.quantize_input(&images[0]));
+        assert_eq!(preds[0].as_i8().unwrap().data(), direct.data());
+        let rep = b.throughput(50, 3);
+        assert!(rep.fps > 0.0 && rep.util > 0.0 && rep.threads == 2);
+    }
+
+    #[test]
+    fn worker_threads_single_source_of_truth() {
+        let (r, _) = runner(4);
+        assert_eq!(r.config.worker_threads(2), 2);
+        assert_eq!(r.config.worker_threads(100), 4);
+        // The throughput report carries the resolved count.
+        assert_eq!(r.run_throughput(2, 1).threads, 2);
     }
 }

@@ -17,4 +17,4 @@ pub mod model;
 pub mod runner;
 
 pub use model::GpuModel;
-pub use runner::{GpuRunner, GpuThroughputStats};
+pub use runner::GpuRunner;

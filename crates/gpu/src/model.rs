@@ -67,8 +67,8 @@ impl GpuModel {
                 Op::Conv { w, .. } => {
                     let out = shapes[i];
                     let flops = 2.0 * out.hw() as f64 * w.shape().len() as f64;
-                    let bytes = 4.0
-                        * (shapes[node.inputs[0]].len() + out.len() + w.shape().len()) as f64;
+                    let bytes =
+                        4.0 * (shapes[node.inputs[0]].len() + out.len() + w.shape().len()) as f64;
                     total += self.layer_time_ns(flops, bytes, w.shape().c, w.shape().n);
                 }
                 Op::TConv { w, .. } => {
@@ -82,7 +82,7 @@ impl GpuModel {
                     let bytes = 4.0 * 2.0 * shapes[i].len() as f64;
                     total += (bytes / self.mem_gbps) + self.launch_overhead_ns;
                 }
-                Op::Concat { .. } => {
+                Op::Concat => {
                     let bytes = 4.0 * 2.0 * shapes[i].len() as f64;
                     total += (bytes / self.mem_gbps) + self.launch_overhead_ns;
                 }
@@ -132,10 +132,8 @@ mod tests {
         // > 8M (52.22) > 16M (37.23).
         let g = GpuModel::rtx2060_mobile();
         let input = Shape4::new(1, 1, 256, 256);
-        let t: Vec<f64> = ModelSize::ALL
-            .iter()
-            .map(|&s| g.frame_time_ns(&graph(s, 2), input))
-            .collect();
+        let t: Vec<f64> =
+            ModelSize::ALL.iter().map(|&s| g.frame_time_ns(&graph(s, 2), input)).collect();
         assert!(t[1] < t[0], "2M must be faster than 1M on GPU: {t:?}");
         assert!(t[0] < t[2], "1M must be faster than 4M: {t:?}");
         assert!(t[2] < t[3], "4M must be faster than 8M: {t:?}");

@@ -2,48 +2,9 @@
 
 use crate::model::GpuModel;
 use rand::{Rng, SeedableRng};
+use seneca_backend::{Backend, Prediction, ThroughputReport};
 use seneca_nn::graph::Graph;
 use seneca_tensor::{Shape4, Tensor};
-use serde::{Deserialize, Serialize};
-
-/// One GPU throughput measurement.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct GpuThroughputReport {
-    /// Frames per second.
-    pub fps: f64,
-    /// Average board power (W).
-    pub watt: f64,
-    /// Frames processed.
-    pub frames: usize,
-}
-
-impl GpuThroughputReport {
-    /// Energy efficiency, Eq. (3).
-    pub fn energy_efficiency(&self) -> f64 {
-        if self.watt <= 0.0 {
-            0.0
-        } else {
-            self.fps / self.watt
-        }
-    }
-}
-
-/// μ±σ over seeded runs (Table IV's FP32 columns).
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct GpuThroughputStats {
-    /// Mean FPS.
-    pub fps_mean: f64,
-    /// FPS std.
-    pub fps_std: f64,
-    /// Mean power.
-    pub watt_mean: f64,
-    /// Power std.
-    pub watt_std: f64,
-    /// Mean energy efficiency.
-    pub ee_mean: f64,
-    /// EE std.
-    pub ee_std: f64,
-}
 
 /// The GPU runner: owns the FP32 graph and the device model.
 #[derive(Clone)]
@@ -64,7 +25,7 @@ impl GpuRunner {
 
     /// One throughput run: modelled frame latency with seeded measurement
     /// jitter (thermals, clocks), matching the paper's σ ≈ 0.5%.
-    pub fn run_throughput(&self, n_frames: usize, seed: u64) -> GpuThroughputReport {
+    pub fn run_throughput(&self, n_frames: usize, seed: u64) -> ThroughputReport {
         let base_ns = self.device.frame_time_ns(&self.graph, self.input_shape);
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut total_ns = 0.0;
@@ -78,27 +39,17 @@ impl GpuRunner {
         // TDP-bound power with a whiff of measurement noise.
         let u: f64 = rng.gen_range(-1.0..1.0);
         let watt = self.device.load_power_w + 0.5 * u;
-        GpuThroughputReport { fps, watt, frames: n_frames }
-    }
-
-    /// μ±σ over `n_runs` seeded runs.
-    pub fn run_throughput_repeated(
-        &self,
-        n_frames: usize,
-        n_runs: usize,
-        seed0: u64,
-    ) -> GpuThroughputStats {
-        let runs: Vec<GpuThroughputReport> =
-            (0..n_runs).map(|r| self.run_throughput(n_frames, seed0 + r as u64)).collect();
-        let stat = |xs: Vec<f64>| {
-            let m = xs.iter().sum::<f64>() / xs.len() as f64;
-            let v = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64;
-            (m, v.sqrt())
-        };
-        let (fps_mean, fps_std) = stat(runs.iter().map(|r| r.fps).collect());
-        let (watt_mean, watt_std) = stat(runs.iter().map(|r| r.watt).collect());
-        let (ee_mean, ee_std) = stat(runs.iter().map(|r| r.energy_efficiency()).collect());
-        GpuThroughputStats { fps_mean, fps_std, watt_mean, watt_std, ee_mean, ee_std }
+        ThroughputReport {
+            fps,
+            watt,
+            frames: n_frames,
+            // One synchronous host stream; TDP-bound => the device is modelled
+            // as fully busy while a frame is resident.
+            threads: 1,
+            busy_cores: 1.0,
+            util: 1.0,
+            makespan_s: total_ns * 1e-9,
+        }
     }
 
     /// FP32 functional inference: class probabilities for one image.
@@ -109,6 +60,22 @@ impl GpuRunner {
     /// Per-pixel argmax labels.
     pub fn predict(&self, image: &Tensor) -> Vec<u8> {
         seneca_tensor::activation::argmax_channels(&self.infer(image))
+    }
+}
+
+impl Backend for GpuRunner {
+    fn name(&self) -> String {
+        format!("gpu/{}", self.graph.name)
+    }
+
+    fn infer_batch(&self, images: &[Tensor]) -> Vec<Prediction> {
+        // The baseline submits frames on one synchronous stream (like the
+        // paper's TF session), so the batch path is a plain sequential loop.
+        images.iter().map(|img| Prediction::from_f32(self.infer(img))).collect()
+    }
+
+    fn throughput(&self, n_frames: usize, seed: u64) -> ThroughputReport {
+        self.run_throughput(n_frames, seed)
     }
 }
 
@@ -143,7 +110,7 @@ mod tests {
     #[test]
     fn repeated_runs_small_sigma() {
         let r = runner(2);
-        let s = r.run_throughput_repeated(200, 6, 11);
+        let s = r.throughput_repeated(200, 6, 11);
         assert!(s.fps_std / s.fps_mean < 0.01);
         assert!(s.ee_mean > 0.0);
     }
@@ -156,5 +123,16 @@ mod tests {
         let labels = r.predict(&img);
         assert_eq!(labels.len(), 256);
         assert!(labels.iter().all(|&l| l < 6));
+    }
+
+    #[test]
+    fn backend_batch_matches_direct_execute() {
+        let r = runner(5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let img = Tensor::he_normal(Shape4::new(1, 1, 16, 16), &mut rng);
+        let b: &dyn Backend = &r;
+        let preds = b.infer_batch(std::slice::from_ref(&img));
+        assert_eq!(preds[0].as_f32().unwrap().data(), r.infer(&img).data());
+        assert_eq!(preds[0].labels, r.predict(&img));
     }
 }

@@ -127,7 +127,11 @@ impl<'a> PipelineSim<'a> {
                     let dt = (self.service)($job, $stage);
                     busy[r] += dt;
                     seq += 1;
-                    heap.push(Reverse((now + dt, seq, Event::StageDone { job: $job, stage: $stage })));
+                    heap.push(Reverse((
+                        now + dt,
+                        seq,
+                        Event::StageDone { job: $job, stage: $stage },
+                    )));
                 } else {
                     queues[r].push_back(($job, $stage));
                     peak_queue[r] = peak_queue[r].max(queues[r].len());
@@ -223,7 +227,8 @@ mod tests {
         // never overlap: makespan = n * (s1 + s2).
         let res = vec![Resource::new("cpu", 1), Resource::new("acc", 1)];
         let stages = [StageSpec { resource: 0 }, StageSpec { resource: 1 }];
-        let rep = simulate_closed_pipeline(&res, &stages, 1, 5, |_, s| if s == 0 { 30 } else { 70 });
+        let rep =
+            simulate_closed_pipeline(&res, &stages, 1, 5, |_, s| if s == 0 { 30 } else { 70 });
         assert_eq!(rep.makespan_ns, 5 * 100);
         // Accelerator idles 30% of the time.
         assert!((rep.utilisation(1, 1) - 0.7).abs() < 1e-9);

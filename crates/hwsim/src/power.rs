@@ -47,11 +47,7 @@ pub struct EnergyReport {
 impl EnergyMeter {
     /// Integrates a simulation report into energy.
     pub fn measure(&self, report: &SimReport) -> EnergyReport {
-        assert_eq!(
-            self.rails.len(),
-            report.busy_ns.len(),
-            "rail count must match resource count"
-        );
+        assert_eq!(self.rails.len(), report.busy_ns.len(), "rail count must match resource count");
         let duration_s = report.makespan_ns as f64 * 1e-9;
         let mut per_rail_j = Vec::with_capacity(self.rails.len());
         for (rail, &busy_ns) in self.rails.iter().zip(&report.busy_ns) {

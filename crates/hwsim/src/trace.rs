@@ -95,26 +95,25 @@ pub fn simulate_traced(
     let mut admitted = 0usize;
     let mut trace = Trace::default();
 
-    let start =
-        |job: usize,
-         stage: usize,
-         now: u64,
-         free: &mut Vec<usize>,
-         queues: &mut Vec<VecDeque<(usize, usize)>>,
-         heap: &mut BinaryHeap<Reverse<(u64, u64, usize, usize)>>,
-         seq: &mut u64,
-         trace: &mut Trace| {
-            let r = stages[stage].resource;
-            if free[r] > 0 {
-                free[r] -= 1;
-                let dt = service(job, stage);
-                trace.spans.push(Span { job, stage, resource: r, start_ns: now, end_ns: now + dt });
-                *seq += 1;
-                heap.push(Reverse((now + dt, *seq, job, stage)));
-            } else {
-                queues[r].push_back((job, stage));
-            }
-        };
+    let start = |job: usize,
+                 stage: usize,
+                 now: u64,
+                 free: &mut Vec<usize>,
+                 queues: &mut Vec<VecDeque<(usize, usize)>>,
+                 heap: &mut BinaryHeap<Reverse<(u64, u64, usize, usize)>>,
+                 seq: &mut u64,
+                 trace: &mut Trace| {
+        let r = stages[stage].resource;
+        if free[r] > 0 {
+            free[r] -= 1;
+            let dt = service(job, stage);
+            trace.spans.push(Span { job, stage, resource: r, start_ns: now, end_ns: now + dt });
+            *seq += 1;
+            heap.push(Reverse((now + dt, *seq, job, stage)));
+        } else {
+            queues[r].push_back((job, stage));
+        }
+    };
 
     while admitted < population.min(n_jobs) {
         let j = admitted;
@@ -126,7 +125,13 @@ pub fn simulate_traced(
         let r = stages[stage].resource;
         if let Some((qj, qs)) = queues[r].pop_front() {
             let dt = service(qj, qs);
-            trace.spans.push(Span { job: qj, stage: qs, resource: r, start_ns: now, end_ns: now + dt });
+            trace.spans.push(Span {
+                job: qj,
+                stage: qs,
+                resource: r,
+                start_ns: now,
+                end_ns: now + dt,
+            });
             seq += 1;
             heap.push(Reverse((now + dt, seq, qj, qs)));
         } else {

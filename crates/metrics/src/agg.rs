@@ -93,12 +93,8 @@ impl BoxplotStats {
             (((v - lo) / (hi - lo)).clamp(0.0, 1.0) * (width - 1) as f64).round() as usize
         };
         let mut row = vec![b' '; width];
-        for c in col(self.whisker_lo)..=col(self.whisker_hi) {
-            row[c] = b'-';
-        }
-        for c in col(self.q1)..=col(self.q3) {
-            row[c] = b'=';
-        }
+        row[col(self.whisker_lo)..=col(self.whisker_hi)].fill(b'-');
+        row[col(self.q1)..=col(self.q3)].fill(b'=');
         row[col(self.whisker_lo)] = b'|';
         row[col(self.whisker_hi)] = b'|';
         row[col(self.median)] = b'#';
@@ -143,7 +139,7 @@ mod tests {
 
     #[test]
     fn boxplot_detects_outliers() {
-        let mut xs: Vec<f64> = (0..20).map(|i| 50.0 + i as f64) .collect();
+        let mut xs: Vec<f64> = (0..20).map(|i| 50.0 + i as f64).collect();
         xs.push(500.0);
         let b = BoxplotStats::of(&xs);
         assert_eq!(b.outliers, vec![500.0]);

@@ -47,12 +47,12 @@ pub fn distance_transform(mask: &[bool], w: usize, h: usize) -> Vec<f32> {
             }
         }
         let mut k = 0usize;
-        for q in 0..n {
+        for (q, dst) in d.iter_mut().enumerate().take(n) {
             while z[k + 1] < q as f32 {
                 k += 1;
             }
             let dq = q as f32 - v[k] as f32;
-            d[q] = dq * dq + f[v[k]];
+            *dst = dq * dq + f[v[k]];
         }
         d
     }
@@ -124,13 +124,7 @@ fn directed(from: &[bool], to_dt: &[f32]) -> Option<(f32, f32)> {
 /// Symmetric Hausdorff distance and average symmetric surface distance of a
 /// class between prediction and ground truth. `None` when either map lacks
 /// the class entirely.
-pub fn hausdorff(
-    pred: &[u8],
-    truth: &[u8],
-    w: usize,
-    h: usize,
-    class: u8,
-) -> Option<(f32, f32)> {
+pub fn hausdorff(pred: &[u8], truth: &[u8], w: usize, h: usize, class: u8) -> Option<(f32, f32)> {
     let bp = boundary_mask(pred, w, h, class);
     let bt = boundary_mask(truth, w, h, class);
     if !bp.iter().any(|&b| b) || !bt.iter().any(|&b| b) {

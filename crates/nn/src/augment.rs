@@ -28,7 +28,13 @@ pub struct AugmentConfig {
 
 impl Default for AugmentConfig {
     fn default() -> Self {
-        Self { flip_prob: 0.5, max_shift: 4, scale_jitter: 0.05, shift_jitter: 0.05, noise_sigma: 0.02 }
+        Self {
+            flip_prob: 0.5,
+            max_shift: 4,
+            scale_jitter: 0.05,
+            shift_jitter: 0.05,
+            noise_sigma: 0.02,
+        }
     }
 }
 
@@ -87,9 +93,7 @@ pub fn augment<R: Rng>(s: &Sample, cfg: &AugmentConfig, rng: &mut R) -> Sample {
         if cfg.noise_sigma > 0.0 {
             let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
             let u2: f32 = rng.gen_range(0.0..1.0);
-            x += cfg.noise_sigma
-                * (-2.0 * u1.ln()).sqrt()
-                * (std::f32::consts::TAU * u2).cos();
+            x += cfg.noise_sigma * (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
         }
         *v = x.clamp(-1.0, 1.0);
     }

@@ -95,11 +95,7 @@ pub struct Graph {
 impl Graph {
     /// Creates an empty graph containing only the input node.
     pub fn new(name: impl Into<String>) -> Self {
-        Self {
-            nodes: vec![Node { op: Op::Input, inputs: vec![] }],
-            output: 0,
-            name: name.into(),
-        }
+        Self { nodes: vec![Node { op: Op::Input, inputs: vec![] }], output: 0, name: name.into() }
     }
 
     /// Appends a node and returns its id.
@@ -119,10 +115,8 @@ impl Graph {
         let mut skips = Vec::new();
         let push_block =
             |g: &mut Graph, cur: usize, blk: &crate::layer::ConvBlock, with_relu: bool| -> usize {
-                let mut id = g.push(
-                    Op::Conv { w: blk.w.clone(), b: blk.b.clone(), relu: false },
-                    vec![cur],
-                );
+                let mut id =
+                    g.push(Op::Conv { w: blk.w.clone(), b: blk.b.clone(), relu: false }, vec![cur]);
                 if let Some(bn) = &blk.bn {
                     id = g.push(Op::BatchNorm { bn: bn.clone() }, vec![id]);
                 }
@@ -194,9 +188,7 @@ impl Graph {
             .enumerate()
             .map(|(i, node)| match &node.op {
                 Op::Conv { w, .. } => shapes[i].hw() as u64 * w.shape().len() as u64,
-                Op::TConv { w, .. } => {
-                    shapes[node.inputs[0]].hw() as u64 * w.shape().len() as u64
-                }
+                Op::TConv { w, .. } => shapes[node.inputs[0]].hw() as u64 * w.shape().len() as u64,
                 _ => 0,
             })
             .collect()

@@ -6,9 +6,7 @@
 //! through [`ParamVisitor`].
 
 use rand::Rng;
-use seneca_tensor::norm::{
-    batchnorm_backward, batchnorm_forward, BnCache, BnState,
-};
+use seneca_tensor::norm::{batchnorm_backward, batchnorm_forward, BnCache, BnState};
 use seneca_tensor::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -91,9 +89,7 @@ impl ConvBlock {
 
     /// Trainable + tracked parameter count, TF-style (BN counts 4/channel).
     pub fn param_count(&self) -> usize {
-        self.w.shape().len()
-            + self.b.len()
-            + self.bn.as_ref().map_or(0, |bn| 4 * bn.channels())
+        self.w.shape().len() + self.b.len() + self.bn.as_ref().map_or(0, |bn| 4 * bn.channels())
     }
 
     /// Forward pass.

@@ -77,8 +77,7 @@ impl FocalTverskyLoss {
         let hw = s.hw();
         let mut dprobs = Tensor::zeros(s);
         for n in 0..s.n {
-            for cc in 0..c {
-                let (num, den) = partials[cc];
+            for (cc, &(num, den)) in partials.iter().enumerate().take(c) {
                 let dl_dti = outer * self.class_weights[cc];
                 let base = s.idx(n, cc, 0, 0);
                 let lbase = n * hw;
@@ -161,9 +160,8 @@ pub fn dice_loss(probs: &Tensor, labels: &[u8]) -> (f32, Tensor) {
         }
     }
     let smooth = 1.0f64;
-    let dices: Vec<f64> = (0..s.c)
-        .map(|c| (2.0 * num[c] + smooth) / (psum[c] + gsum[c] + smooth))
-        .collect();
+    let dices: Vec<f64> =
+        (0..s.c).map(|c| (2.0 * num[c] + smooth) / (psum[c] + gsum[c] + smooth)).collect();
     let loss = 1.0 - dices.iter().sum::<f64>() / s.c as f64;
 
     let mut dprobs = Tensor::zeros(s);
@@ -223,8 +221,10 @@ mod tests {
 
     fn random_case(seed: u64, shape: Shape4) -> (Tensor, Vec<u8>) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let logits =
-            Tensor::from_vec(shape, (0..shape.len()).map(|_| rng.gen_range(-2.0f32..2.0)).collect());
+        let logits = Tensor::from_vec(
+            shape,
+            (0..shape.len()).map(|_| rng.gen_range(-2.0f32..2.0)).collect(),
+        );
         let probs = softmax_channels(&logits);
         let labels: Vec<u8> =
             (0..shape.n * shape.hw()).map(|_| rng.gen_range(0..shape.c as u8)).collect();
@@ -289,7 +289,8 @@ mod tests {
             ..FocalTverskyLoss::paper_defaults(vec![1.0; 2])
         };
         let r1 = mk(1.0).value(&probs_hard, &labels) / mk(1.0).value(&probs_easy, &labels);
-        let r2 = mk(4.0 / 3.0).value(&probs_hard, &labels) / mk(4.0 / 3.0).value(&probs_easy, &labels);
+        let r2 =
+            mk(4.0 / 3.0).value(&probs_hard, &labels) / mk(4.0 / 3.0).value(&probs_easy, &labels);
         assert!(r2 > r1, "γ focusing: {r2} !> {r1}");
     }
 
@@ -334,9 +335,8 @@ mod tests {
             pp.data_mut()[i] += eps;
             let mut pm = probs.clone();
             pm.data_mut()[i] -= eps;
-            let num =
-                (cross_entropy_loss(&pp, &labels).0 - cross_entropy_loss(&pm, &labels).0)
-                    / (2.0 * eps);
+            let num = (cross_entropy_loss(&pp, &labels).0 - cross_entropy_loss(&pm, &labels).0)
+                / (2.0 * eps);
             assert!((num - grad.data()[i]).abs() < 1e-2, "i={i}");
         }
     }

@@ -67,8 +67,7 @@ pub fn train(
         let mut loss_sum = 0.0f64;
         let mut batches = 0usize;
         for chunk in order.chunks(cfg.batch_size) {
-            let images: Vec<Tensor> =
-                chunk.iter().map(|&i| samples[i].image.clone()).collect();
+            let images: Vec<Tensor> = chunk.iter().map(|&i| samples[i].image.clone()).collect();
             let batch = Tensor::stack_batch(&images);
             let mut labels = Vec::with_capacity(chunk.len() * samples[chunk[0]].labels.len());
             for &i in chunk {
@@ -83,11 +82,7 @@ pub fn train(
             loss_sum += lval as f64;
             batches += 1;
         }
-        let stats = EpochStats {
-            epoch,
-            mean_loss: loss_sum / batches.max(1) as f64,
-            lr: opt.lr(),
-        };
+        let stats = EpochStats { epoch, mean_loss: loss_sum / batches.max(1) as f64, lr: opt.lr() };
         if cfg.verbose {
             eprintln!(
                 "epoch {:>3}: loss {:.5} (lr {:.2e})",

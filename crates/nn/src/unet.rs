@@ -141,9 +141,13 @@ pub struct UNet {
     pub head: ConvBlock,
 }
 
+/// One encoder stack's forward-pass cache: the two conv blocks, the pool
+/// output, the dropout mask, and the pre-pool shape.
+type EncoderCache = (ConvBlockCache, ConvBlockCache, PoolOut, Option<Vec<bool>>, Shape4);
+
 /// Everything the backward pass needs from one forward pass.
 pub struct UNetCache {
-    enc: Vec<(ConvBlockCache, ConvBlockCache, PoolOut, Option<Vec<bool>>, Shape4)>,
+    enc: Vec<EncoderCache>,
     skips: Vec<Tensor>,
     bn1: ConvBlockCache,
     bn2: ConvBlockCache,
@@ -166,7 +170,7 @@ impl UNet {
             encoders.push(EncoderStack { conv1, conv2, dropout: Dropout { rate: config.dropout } });
             skip_chans.push(2 * c);
             c_in = 2 * c;
-            c = 2 * c;
+            c *= 2;
         }
         let bneck1 = ConvBlock::new(c_in, c_in, true, true, rng);
         let bneck2 = ConvBlock::new(c_in, c_in, true, true, rng);
@@ -177,7 +181,12 @@ impl UNet {
             let up = TConvLayer::new(cur, s, rng);
             let conv1 = ConvBlock::new(2 * s, s, true, true, rng);
             let conv2 = ConvBlock::new(s, s / 2, true, true, rng);
-            decoders.push(DecoderStack { up, conv1, conv2, dropout: Dropout { rate: config.dropout } });
+            decoders.push(DecoderStack {
+                up,
+                conv1,
+                conv2,
+                dropout: Dropout { rate: config.dropout },
+            });
             cur = s / 2;
         }
         let head = ConvBlock::new(cur, config.num_classes, false, false, rng);
@@ -210,7 +219,7 @@ impl UNet {
         let s = x.shape();
         let div = 1 << self.config.depth;
         assert!(
-            s.h % div == 0 && s.w % div == 0,
+            s.h.is_multiple_of(div) && s.w.is_multiple_of(div),
             "input {s} not divisible by 2^depth = {div}"
         );
         let mut cur = x.clone();
@@ -242,10 +251,7 @@ impl UNet {
         }
         let (logits, head_cache) = self.head.forward(&cur, true);
         let probs = softmax_channels(&logits);
-        (
-            probs.clone(),
-            UNetCache { enc, skips, bn1, bn2, dec, head: head_cache, probs },
-        )
+        (probs.clone(), UNetCache { enc, skips, bn1, bn2, dec, head: head_cache, probs })
     }
 
     /// Backward pass from a gradient w.r.t. the softmax *probabilities*.
@@ -352,7 +358,8 @@ impl UNet {
             hh /= 2;
             ww /= 2;
         }
-        total += hh * ww * (self.bneck1.w.shape().len() as u64 + self.bneck2.w.shape().len() as u64);
+        total +=
+            hh * ww * (self.bneck1.w.shape().len() as u64 + self.bneck2.w.shape().len() as u64);
         for d in &self.decoders {
             // tconv: each input pixel does C_in*C_out*4 MACs.
             total += hh * ww * d.up.w.shape().len() as u64;
@@ -397,7 +404,8 @@ mod tests {
     #[test]
     fn forward_output_shape_and_probabilities() {
         let mut r = rng();
-        let cfg = UNetConfig { depth: 2, base_filters: 4, in_channels: 1, num_classes: 6, dropout: 0.1 };
+        let cfg =
+            UNetConfig { depth: 2, base_filters: 4, in_channels: 1, num_classes: 6, dropout: 0.1 };
         let mut net = UNet::new(cfg, &mut r);
         let x = Tensor::he_normal(Shape4::new(2, 1, 16, 16), &mut r);
         let (probs, _) = net.forward(&x, &mut r);
@@ -412,7 +420,8 @@ mod tests {
     #[should_panic(expected = "not divisible")]
     fn forward_rejects_indivisible_input() {
         let mut r = rng();
-        let cfg = UNetConfig { depth: 3, base_filters: 4, in_channels: 1, num_classes: 6, dropout: 0.0 };
+        let cfg =
+            UNetConfig { depth: 3, base_filters: 4, in_channels: 1, num_classes: 6, dropout: 0.0 };
         let mut net = UNet::new(cfg, &mut r);
         let x = Tensor::zeros(Shape4::new(1, 1, 12, 12));
         let _ = net.forward(&x, &mut r);
@@ -421,7 +430,8 @@ mod tests {
     #[test]
     fn infer_matches_forward_shapes_without_dropout() {
         let mut r = rng();
-        let cfg = UNetConfig { depth: 2, base_filters: 4, in_channels: 1, num_classes: 6, dropout: 0.0 };
+        let cfg =
+            UNetConfig { depth: 2, base_filters: 4, in_channels: 1, num_classes: 6, dropout: 0.0 };
         let net = UNet::new(cfg, &mut r);
         let x = Tensor::he_normal(Shape4::new(1, 1, 8, 8), &mut r);
         let probs = net.infer(&x);
@@ -434,7 +444,8 @@ mod tests {
     #[test]
     fn backward_populates_all_param_grads() {
         let mut r = rng();
-        let cfg = UNetConfig { depth: 2, base_filters: 4, in_channels: 1, num_classes: 6, dropout: 0.1 };
+        let cfg =
+            UNetConfig { depth: 2, base_filters: 4, in_channels: 1, num_classes: 6, dropout: 0.1 };
         let mut net = UNet::new(cfg, &mut r);
         let x = Tensor::he_normal(Shape4::new(1, 1, 8, 8), &mut r);
         let (probs, cache) = net.forward(&x, &mut r);
@@ -471,7 +482,8 @@ mod tests {
     #[test]
     fn serde_roundtrip_preserves_weights() {
         let mut r = rng();
-        let cfg = UNetConfig { depth: 1, base_filters: 2, in_channels: 1, num_classes: 3, dropout: 0.0 };
+        let cfg =
+            UNetConfig { depth: 1, base_filters: 2, in_channels: 1, num_classes: 3, dropout: 0.0 };
         let net = UNet::new(cfg, &mut r);
         let json = serde_json::to_string(&net).unwrap();
         let net2: UNet = serde_json::from_str(&json).unwrap();

@@ -130,12 +130,7 @@ fn get_conv_mut(qg: &mut QuantizedGraph, i: usize) -> &mut crate::qgraph::QConvP
 }
 
 /// MSE of node `i`'s dequantised output against the FP32 reference.
-fn node_mse(
-    qg: &QuantizedGraph,
-    refs: &[Vec<Tensor>],
-    imgs: &[Tensor],
-    i: usize,
-) -> f64 {
+fn node_mse(qg: &QuantizedGraph, refs: &[Vec<Tensor>], imgs: &[Tensor], i: usize) -> f64 {
     let mut acc = 0.0f64;
     let mut n = 0usize;
     for (img, r) in imgs.iter().zip(refs) {
@@ -166,10 +161,10 @@ fn channel_mean_error(
             sums = vec![0.0; s.c];
         }
         for nidx in 0..s.n {
-            for c in 0..s.c {
+            for (c, sum) in sums.iter_mut().enumerate() {
                 let base = s.idx(nidx, c, 0, 0);
                 for pix in 0..s.hw() {
-                    sums[c] += (r[i].data()[base + pix] - y.data()[base + pix]) as f64;
+                    *sum += (r[i].data()[base + pix] - y.data()[base + pix]) as f64;
                 }
             }
         }

@@ -115,10 +115,9 @@ impl FusedGraph {
                 }
                 FusedOp::TConv { w, b } => tconv2x2(&vals[node.inputs[0]], w, b),
                 FusedOp::MaxPool2x2 => maxpool2x2(&vals[node.inputs[0]]).y,
-                FusedOp::Concat => Tensor::concat_channels(
-                    &vals[node.inputs[0]],
-                    &vals[node.inputs[1]],
-                ),
+                FusedOp::Concat => {
+                    Tensor::concat_channels(&vals[node.inputs[0]], &vals[node.inputs[1]])
+                }
             };
             vals.push(out);
         }
@@ -162,10 +161,9 @@ pub fn fuse(graph: &Graph) -> FusedGraph {
                         *w = w2;
                         *b = b2;
                     }
-                    other => panic!(
-                        "BatchNorm after {:?} unsupported (expected conv)",
-                        other.mnemonic()
-                    ),
+                    other => {
+                        panic!("BatchNorm after {:?} unsupported (expected conv)", other.mnemonic())
+                    }
                 }
                 remap[i] = src;
             }
@@ -173,10 +171,7 @@ pub fn fuse(graph: &Graph) -> FusedGraph {
                 let src = remap[node.inputs[0]];
                 match &mut out.nodes[src].op {
                     FusedOp::Conv { relu, .. } => *relu = true,
-                    other => panic!(
-                        "standalone ReLU after {:?} unsupported",
-                        other.mnemonic()
-                    ),
+                    other => panic!("standalone ReLU after {:?} unsupported", other.mnemonic()),
                 }
                 remap[i] = src;
             }

@@ -32,7 +32,13 @@ pub struct RangeObserver {
 impl RangeObserver {
     /// New observer of the given kind.
     pub fn new(kind: ObserverKind) -> Self {
-        Self { kind, global_max: 0.0, per_image_max: Vec::new(), samples: Vec::new(), sample_stride: 97 }
+        Self {
+            kind,
+            global_max: 0.0,
+            per_image_max: Vec::new(),
+            samples: Vec::new(),
+            sample_stride: 97,
+        }
     }
 
     /// Records one activation tensor (one calibration image's output at this
@@ -110,8 +116,8 @@ mod tests {
         }
         o.observe(&t(vec![11.0]));
         assert!((o.range() - 2.0).abs() < 1e-5); // (9*1 + 11)/10
-        // MinMax would say 11: averaged-max yields a larger fix position
-        // (finer quantum) than min-max here.
+                                                 // MinMax would say 11: averaged-max yields a larger fix position
+                                                 // (finer quantum) than min-max here.
         let mut mm = RangeObserver::new(ObserverKind::MinMax);
         for _ in 0..9 {
             mm.observe(&t(vec![1.0]));

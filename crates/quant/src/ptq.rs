@@ -216,8 +216,7 @@ mod tests {
     #[test]
     fn more_calibration_images_never_shrink_ranges() {
         let (fg, calib) = setup(3);
-        let (_, r1) =
-            quantize_post_training(&fg, &calib[..1], &PtqConfig::default());
+        let (_, r1) = quantize_post_training(&fg, &calib[..1], &PtqConfig::default());
         let (_, r6) = quantize_post_training(&fg, &calib, &PtqConfig::default());
         for (a, b) in r1.range.iter().zip(&r6.range) {
             assert!(b >= a, "range shrank with more data: {a} -> {b}");

@@ -6,8 +6,8 @@
 //! `fp_in + fp_w`, and each op's output is requantised to its calibrated
 //! activation fix position.
 
-use seneca_tensor::im2col::{im2col_i8, ConvGeom};
 use seneca_tensor::gemm::igemm;
+use seneca_tensor::im2col::{im2col_i8, ConvGeom};
 use seneca_tensor::quantized::{requantize_i32, QTensor};
 use seneca_tensor::{Shape4, Tensor};
 use serde::{Deserialize, Serialize};
@@ -142,9 +142,13 @@ impl QuantizedGraph {
                 QOp::Conv(p) => qconv3x3(&vals[node.inputs[0]], p),
                 QOp::TConv(p) => qtconv2x2(&vals[node.inputs[0]], p),
                 QOp::MaxPool2x2 => qmaxpool(&vals[node.inputs[0]]),
-                QOp::Concat { shift_a, shift_b, out_fp } => {
-                    qconcat(&vals[node.inputs[0]], &vals[node.inputs[1]], *shift_a, *shift_b, *out_fp)
-                }
+                QOp::Concat { shift_a, shift_b, out_fp } => qconcat(
+                    &vals[node.inputs[0]],
+                    &vals[node.inputs[1]],
+                    *shift_a,
+                    *shift_b,
+                    *out_fp,
+                ),
             };
             vals.push(out);
         }
@@ -162,10 +166,119 @@ impl QuantizedGraph {
     pub fn execute_dequant(&self, x: &Tensor) -> Tensor {
         self.execute(&self.quantize_input(x)).dequantize()
     }
+
+    /// Output fix position per node (propagated through fix-transparent ops).
+    pub fn fix_positions(&self) -> Vec<i32> {
+        let mut fps: Vec<i32> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let fp = match &node.op {
+                QOp::Input => self.input_fp,
+                QOp::Conv(p) | QOp::TConv(p) => p.out_fp,
+                QOp::MaxPool2x2 => fps[node.inputs[0]],
+                QOp::Concat { out_fp, .. } => *out_fp,
+            };
+            fps.push(fp);
+        }
+        fps
+    }
+
+    /// Allocates the full per-worker scratch pool for this graph at the given
+    /// input geometry: one activation tensor per node plus the im2col/GEMM
+    /// work buffers. One scratch per worker thread makes repeated
+    /// [`QuantizedGraph::execute_into`] calls allocation-free.
+    pub fn make_scratch(&self, input: Shape4) -> ExecScratch {
+        let vals = self
+            .shapes(input)
+            .into_iter()
+            .zip(self.fix_positions())
+            .map(|(s, fp)| QTensor::zeros(s, fp))
+            .collect();
+        ExecScratch { col: Vec::new(), acc: Vec::new(), vals }
+    }
+
+    /// Executes the graph into a pre-allocated scratch pool — bit-identical
+    /// to [`QuantizedGraph::execute`] but with zero per-frame allocation
+    /// once the scratch work buffers have reached their steady-state size.
+    pub fn execute_into<'s>(&self, input: &QTensor, scratch: &'s mut ExecScratch) -> &'s QTensor {
+        scratch.load_input(input);
+        for id in 0..self.nodes.len() {
+            self.execute_node_into(id, scratch);
+        }
+        scratch.node_output(self.output)
+    }
+
+    /// Executes one node out of the scratch pool (inputs must already be
+    /// materialised — node ids are topological, so running ids in order or
+    /// following a compiled instruction stream both satisfy this).
+    pub fn execute_node_into(&self, id: usize, scratch: &mut ExecScratch) {
+        let node = &self.nodes[id];
+        let ExecScratch { col, acc, vals } = scratch;
+        let (before, rest) = vals.split_at_mut(id);
+        let out = &mut rest[0];
+        match &node.op {
+            QOp::Input => {} // seeded by `ExecScratch::load_input`
+            QOp::Conv(p) => qconv3x3_into(&before[node.inputs[0]], p, col, acc, out),
+            QOp::TConv(p) => qtconv2x2_into(&before[node.inputs[0]], p, out),
+            QOp::MaxPool2x2 => qmaxpool_into(&before[node.inputs[0]], out),
+            QOp::Concat { shift_a, shift_b, out_fp } => qconcat_into(
+                &before[node.inputs[0]],
+                &before[node.inputs[1]],
+                *shift_a,
+                *shift_b,
+                *out_fp,
+                out,
+            ),
+        }
+    }
 }
 
-/// Quantized 3x3 same conv.
+/// Per-worker execution scratch: every node's activation tensor plus the
+/// im2col column and GEMM accumulator buffers, all reused across frames.
+#[derive(Debug, Clone)]
+pub struct ExecScratch {
+    /// im2col column buffer (grown to the largest conv in the graph).
+    col: Vec<i8>,
+    /// INT32 GEMM accumulator buffer.
+    acc: Vec<i32>,
+    /// Per-node activation tensors (index = node id).
+    vals: Vec<QTensor>,
+}
+
+impl ExecScratch {
+    /// Seeds the input node's buffer from a quantised frame.
+    pub fn load_input(&mut self, input: &QTensor) {
+        let slot = &mut self.vals[0];
+        assert_eq!(input.shape(), slot.shape(), "scratch input geometry");
+        assert_eq!(input.fix_pos(), slot.fix_pos(), "scratch input fix position");
+        slot.data_mut().copy_from_slice(input.data());
+    }
+
+    /// Borrow of one node's output tensor.
+    pub fn node_output(&self, id: usize) -> &QTensor {
+        &self.vals[id]
+    }
+}
+
+/// Quantized 3x3 same conv (allocating convenience wrapper).
 pub fn qconv3x3(x: &QTensor, p: &QConvParams) -> QTensor {
+    let xs = x.shape();
+    let geom = ConvGeom { c_in: xs.c, h: xs.h, w: xs.w, k: 3, pad: 1, stride: 1 };
+    let mut out =
+        QTensor::zeros(Shape4::new(xs.n, p.w.shape().n, geom.h_out(), geom.w_out()), p.out_fp);
+    qconv3x3_into(x, p, &mut Vec::new(), &mut Vec::new(), &mut out);
+    out
+}
+
+/// Quantized 3x3 same conv into pre-allocated buffers. `col` / `acc` are
+/// resized on first use and reused afterwards; `out` must have the conv's
+/// output geometry and fix position.
+pub fn qconv3x3_into(
+    x: &QTensor,
+    p: &QConvParams,
+    col: &mut Vec<i8>,
+    acc: &mut Vec<i32>,
+    out: &mut QTensor,
+) {
     let xs = x.shape();
     let ws = p.w.shape();
     assert_eq!(ws.c, xs.c, "qconv C_in");
@@ -174,15 +287,22 @@ pub fn qconv3x3(x: &QTensor, p: &QConvParams) -> QTensor {
     let cols = geom.col_cols();
     let ckk = geom.col_rows();
     let out_shape = Shape4::new(xs.n, ws.n, geom.h_out(), geom.w_out());
-    let mut out = QTensor::zeros(out_shape, p.out_fp);
+    assert_eq!(out.shape(), out_shape, "qconv output geometry");
+    assert_eq!(out.fix_pos(), p.out_fp, "qconv output fix position");
     let shift = p.shift();
 
-    let mut col = vec![0i8; ckk * cols];
-    let mut acc = vec![0i32; ws.n * cols];
+    // im2col fully overwrites and igemm zero-fills, so stale contents are
+    // harmless; resizing only reallocates until the steady-state size.
+    if col.len() != ckk * cols {
+        col.resize(ckk * cols, 0);
+    }
+    if acc.len() != ws.n * cols {
+        acc.resize(ws.n * cols, 0);
+    }
     for n in 0..xs.n {
         let x_n = &x.data()[n * xs.chw()..(n + 1) * xs.chw()];
-        im2col_i8(&geom, x_n, &mut col);
-        igemm(ws.n, ckk, cols, p.w.data(), &col, &mut acc);
+        im2col_i8(&geom, x_n, col);
+        igemm(ws.n, ckk, cols, p.w.data(), col, acc);
         let y_n = &mut out.data_mut()[n * out_shape.chw()..(n + 1) * out_shape.chw()];
         for co in 0..ws.n {
             let b = p.bias.get(co).copied().unwrap_or(0);
@@ -195,18 +315,26 @@ pub fn qconv3x3(x: &QTensor, p: &QConvParams) -> QTensor {
             }
         }
     }
+}
+
+/// Quantized 2x2 stride-2 transpose conv (allocating convenience wrapper).
+pub fn qtconv2x2(x: &QTensor, p: &QConvParams) -> QTensor {
+    let xs = x.shape();
+    let mut out = QTensor::zeros(Shape4::new(xs.n, p.w.shape().c, xs.h * 2, xs.w * 2), p.out_fp);
+    qtconv2x2_into(x, p, &mut out);
     out
 }
 
-/// Quantized 2x2 stride-2 transpose conv.
-pub fn qtconv2x2(x: &QTensor, p: &QConvParams) -> QTensor {
+/// Quantized 2x2 stride-2 transpose conv into a pre-allocated output.
+pub fn qtconv2x2_into(x: &QTensor, p: &QConvParams, out: &mut QTensor) {
     let xs = x.shape();
     let ws = p.w.shape(); // [C_in, C_out, 2, 2]
     assert_eq!(ws.n, xs.c, "qtconv C_in");
     assert_eq!(x.fix_pos(), p.in_fp, "qtconv input fix position");
     let c_out = ws.c;
     let out_shape = Shape4::new(xs.n, c_out, xs.h * 2, xs.w * 2);
-    let mut out = QTensor::zeros(out_shape, p.out_fp);
+    assert_eq!(out.shape(), out_shape, "qtconv output geometry");
+    assert_eq!(out.fix_pos(), p.out_fp, "qtconv output fix position");
     let shift = p.shift();
     let (h, wd) = (xs.h, xs.w);
     let ow = out_shape.w;
@@ -242,14 +370,21 @@ pub fn qtconv2x2(x: &QTensor, p: &QConvParams) -> QTensor {
             }
         }
     }
+}
+
+/// INT8 max pool (fix position preserved; allocating convenience wrapper).
+pub fn qmaxpool(x: &QTensor) -> QTensor {
+    let mut out = QTensor::zeros(x.shape().pooled2x2(), x.fix_pos());
+    qmaxpool_into(x, &mut out);
     out
 }
 
-/// INT8 max pool (fix position preserved).
-pub fn qmaxpool(x: &QTensor) -> QTensor {
+/// INT8 max pool into a pre-allocated output.
+pub fn qmaxpool_into(x: &QTensor, out: &mut QTensor) {
     let xs = x.shape();
     let out_shape = xs.pooled2x2();
-    let mut out = QTensor::zeros(out_shape, x.fix_pos());
+    assert_eq!(out.shape(), out_shape, "qmaxpool output geometry");
+    assert_eq!(out.fix_pos(), x.fix_pos(), "qmaxpool fix position");
     let (ho, wo) = (out_shape.h, out_shape.w);
     for plane in 0..xs.n * xs.c {
         let x_plane = &x.data()[plane * xs.hw()..(plane + 1) * xs.hw()];
@@ -263,15 +398,30 @@ pub fn qmaxpool(x: &QTensor) -> QTensor {
             }
         }
     }
+}
+
+/// INT8 concat with alignment shifts (allocating convenience wrapper).
+pub fn qconcat(a: &QTensor, b: &QTensor, shift_a: i32, shift_b: i32, out_fp: i32) -> QTensor {
+    let (sa, sb) = (a.shape(), b.shape());
+    let mut out = QTensor::zeros(Shape4::new(sa.n, sa.c + sb.c, sa.h, sa.w), out_fp);
+    qconcat_into(a, b, shift_a, shift_b, out_fp, &mut out);
     out
 }
 
-/// INT8 concat with alignment shifts.
-pub fn qconcat(a: &QTensor, b: &QTensor, shift_a: i32, shift_b: i32, out_fp: i32) -> QTensor {
+/// INT8 concat with alignment shifts into a pre-allocated output.
+pub fn qconcat_into(
+    a: &QTensor,
+    b: &QTensor,
+    shift_a: i32,
+    shift_b: i32,
+    out_fp: i32,
+    out: &mut QTensor,
+) {
     let (sa, sb) = (a.shape(), b.shape());
     assert_eq!((sa.n, sa.h, sa.w), (sb.n, sb.h, sb.w), "qconcat geometry");
     let out_shape = Shape4::new(sa.n, sa.c + sb.c, sa.h, sa.w);
-    let mut out = QTensor::zeros(out_shape, out_fp);
+    assert_eq!(out.shape(), out_shape, "qconcat output geometry");
+    assert_eq!(out.fix_pos(), out_fp, "qconcat fix position");
     let hw = sa.hw();
     for n in 0..sa.n {
         let dst = n * out_shape.chw();
@@ -282,7 +432,6 @@ pub fn qconcat(a: &QTensor, b: &QTensor, shift_a: i32, shift_b: i32, out_fp: i32
             out.data_mut()[dst + sa.c * hw + i] = requantize_i32(v as i32, shift_b);
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -307,7 +456,8 @@ mod tests {
         let w = Tensor::he_normal(Shape4::new(4, 3, 3, 3), &mut rng);
         let b = vec![0.05, -0.02, 0.0, 0.11];
 
-        let y_ref = seneca_tensor::conv::conv2d(&x, &w, &b, seneca_tensor::conv::Conv2dParams::SAME_3X3);
+        let y_ref =
+            seneca_tensor::conv::conv2d(&x, &w, &b, seneca_tensor::conv::Conv2dParams::SAME_3X3);
         let in_fp = choose_fix_pos(1.0);
         let out_fp = choose_fix_pos(y_ref.abs_max());
         let p = qp(w, &b, false, in_fp, out_fp);
@@ -357,6 +507,50 @@ mod tests {
         let y = qmaxpool(&x);
         assert_eq!(y.fix_pos(), 3);
         assert_eq!(y.data(), &[9]);
+    }
+
+    #[test]
+    fn execute_into_matches_execute_bit_exactly_across_frames() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let in_fp = choose_fix_pos(1.0);
+        // Input -> Conv(+ReLU) -> MaxPool -> TConv, then Concat(Conv, TConv):
+        // exercises every op kind and a skip connection.
+        let conv = qp(
+            Tensor::he_normal(Shape4::new(3, 2, 3, 3), &mut rng),
+            &[0.02, -0.01, 0.05],
+            true,
+            in_fp,
+            5,
+        );
+        let tconv =
+            qp(Tensor::he_normal(Shape4::new(3, 2, 2, 2), &mut rng), &[0.01, 0.0], false, 5, 4);
+        let g = QuantizedGraph {
+            nodes: vec![
+                QNode { op: QOp::Input, inputs: vec![] },
+                QNode { op: QOp::Conv(conv), inputs: vec![0] },
+                QNode { op: QOp::MaxPool2x2, inputs: vec![1] },
+                QNode { op: QOp::TConv(tconv), inputs: vec![2] },
+                QNode { op: QOp::Concat { shift_a: 1, shift_b: 0, out_fp: 4 }, inputs: vec![1, 3] },
+            ],
+            output: 4,
+            input_fp: in_fp,
+            output_fp: 4,
+            name: "scratch-test".into(),
+        };
+        let shape = Shape4::new(1, 2, 8, 8);
+        let mut scratch = g.make_scratch(shape);
+        for _frame in 0..3 {
+            let x = Tensor::from_vec(
+                shape,
+                (0..shape.len()).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+            );
+            let xq = g.quantize_input(&x);
+            let y_alloc = g.execute(&xq);
+            let y_pooled = g.execute_into(&xq, &mut scratch);
+            assert_eq!(y_pooled.data(), y_alloc.data(), "scratch reuse must not change bits");
+            assert_eq!(y_pooled.fix_pos(), y_alloc.fix_pos());
+        }
     }
 
     #[test]

@@ -15,14 +15,11 @@ pub fn relu(x: &Tensor) -> Tensor {
 pub fn relu_backward(x: &Tensor, dy: &Tensor) -> Tensor {
     assert_eq!(x.shape(), dy.shape());
     let mut dx = dy.clone();
-    dx.data_mut()
-        .par_iter_mut()
-        .zip(x.data().par_iter())
-        .for_each(|(g, &xv)| {
-            if xv <= 0.0 {
-                *g = 0.0;
-            }
-        });
+    dx.data_mut().par_iter_mut().zip(x.data().par_iter()).for_each(|(g, &xv)| {
+        if xv <= 0.0 {
+            *g = 0.0;
+        }
+    });
     dx
 }
 
@@ -33,28 +30,25 @@ pub fn softmax_channels(x: &Tensor) -> Tensor {
     let mut y = Tensor::zeros(s);
     let hw = s.hw();
     let x_data = x.data();
-    y.data_mut()
-        .par_chunks_mut(s.chw())
-        .enumerate()
-        .for_each(|(n, y_n)| {
-            let x_n = &x_data[n * s.chw()..(n + 1) * s.chw()];
-            for pix in 0..hw {
-                let mut maxv = f32::NEG_INFINITY;
-                for c in 0..s.c {
-                    maxv = maxv.max(x_n[c * hw + pix]);
-                }
-                let mut denom = 0.0;
-                for c in 0..s.c {
-                    let e = (x_n[c * hw + pix] - maxv).exp();
-                    y_n[c * hw + pix] = e;
-                    denom += e;
-                }
-                let inv = 1.0 / denom;
-                for c in 0..s.c {
-                    y_n[c * hw + pix] *= inv;
-                }
+    y.data_mut().par_chunks_mut(s.chw()).enumerate().for_each(|(n, y_n)| {
+        let x_n = &x_data[n * s.chw()..(n + 1) * s.chw()];
+        for pix in 0..hw {
+            let mut maxv = f32::NEG_INFINITY;
+            for c in 0..s.c {
+                maxv = maxv.max(x_n[c * hw + pix]);
             }
-        });
+            let mut denom = 0.0;
+            for c in 0..s.c {
+                let e = (x_n[c * hw + pix] - maxv).exp();
+                y_n[c * hw + pix] = e;
+                denom += e;
+            }
+            let inv = 1.0 / denom;
+            for c in 0..s.c {
+                y_n[c * hw + pix] *= inv;
+            }
+        }
+    });
     y
 }
 
@@ -68,22 +62,19 @@ pub fn softmax_channels_backward(y: &Tensor, dy: &Tensor) -> Tensor {
     let mut dx = Tensor::zeros(s);
     let y_data = y.data();
     let dy_data = dy.data();
-    dx.data_mut()
-        .par_chunks_mut(s.chw())
-        .enumerate()
-        .for_each(|(n, dx_n)| {
-            let y_n = &y_data[n * s.chw()..(n + 1) * s.chw()];
-            let dy_n = &dy_data[n * s.chw()..(n + 1) * s.chw()];
-            for pix in 0..hw {
-                let mut dot = 0.0;
-                for c in 0..s.c {
-                    dot += y_n[c * hw + pix] * dy_n[c * hw + pix];
-                }
-                for c in 0..s.c {
-                    dx_n[c * hw + pix] = y_n[c * hw + pix] * (dy_n[c * hw + pix] - dot);
-                }
+    dx.data_mut().par_chunks_mut(s.chw()).enumerate().for_each(|(n, dx_n)| {
+        let y_n = &y_data[n * s.chw()..(n + 1) * s.chw()];
+        let dy_n = &dy_data[n * s.chw()..(n + 1) * s.chw()];
+        for pix in 0..hw {
+            let mut dot = 0.0;
+            for c in 0..s.c {
+                dot += y_n[c * hw + pix] * dy_n[c * hw + pix];
             }
-        });
+            for c in 0..s.c {
+                dx_n[c * hw + pix] = y_n[c * hw + pix] * (dy_n[c * hw + pix] - dot);
+            }
+        }
+    });
     dx
 }
 

@@ -24,7 +24,14 @@ impl Conv2dParams {
     pub const SAME_3X3: Self = Self { k: 3, pad: 1, stride: 1 };
 
     fn geom(&self, input: Shape4) -> ConvGeom {
-        ConvGeom { c_in: input.c, h: input.h, w: input.w, k: self.k, pad: self.pad, stride: self.stride }
+        ConvGeom {
+            c_in: input.c,
+            h: input.h,
+            w: input.w,
+            k: self.k,
+            pad: self.pad,
+            stride: self.stride,
+        }
     }
 }
 
@@ -151,7 +158,11 @@ mod tests {
                                 for kx in 0..p.k {
                                     let iy = (oy * p.stride + ky) as isize - p.pad as isize;
                                     let ix = (ox * p.stride + kx) as isize - p.pad as isize;
-                                    if iy >= 0 && iy < xs.h as isize && ix >= 0 && ix < xs.w as isize {
+                                    if iy >= 0
+                                        && iy < xs.h as isize
+                                        && ix >= 0
+                                        && ix < xs.w as isize
+                                    {
                                         acc += x.at(n, ci, iy as usize, ix as usize)
                                             * w.at(co, ci, ky, kx);
                                     }

@@ -34,29 +34,27 @@ pub fn sgemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) 
         return;
     }
 
-    c.par_chunks_mut(ROW_BLOCK * n)
-        .enumerate()
-        .for_each(|(blk, c_blk)| {
-            let row0 = blk * ROW_BLOCK;
-            let rows = c_blk.len() / n;
-            for k0 in (0..k).step_by(K_BLOCK) {
-                let k1 = (k0 + K_BLOCK).min(k);
-                for i in 0..rows {
-                    let a_row = &a[(row0 + i) * k..(row0 + i) * k + k];
-                    let c_row = &mut c_blk[i * n..(i + 1) * n];
-                    for kk in k0..k1 {
-                        let aik = a_row[kk];
-                        if aik == 0.0 {
-                            continue;
-                        }
-                        let b_row = &b[kk * n..(kk + 1) * n];
-                        for (cv, bv) in c_row.iter_mut().zip(b_row) {
-                            *cv += aik * *bv;
-                        }
+    c.par_chunks_mut(ROW_BLOCK * n).enumerate().for_each(|(blk, c_blk)| {
+        let row0 = blk * ROW_BLOCK;
+        let rows = c_blk.len() / n;
+        for k0 in (0..k).step_by(K_BLOCK) {
+            let k1 = (k0 + K_BLOCK).min(k);
+            for i in 0..rows {
+                let a_row = &a[(row0 + i) * k..(row0 + i) * k + k];
+                let c_row = &mut c_blk[i * n..(i + 1) * n];
+                for kk in k0..k1 {
+                    let aik = a_row[kk];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[kk * n..(kk + 1) * n];
+                    for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += aik * *bv;
                     }
                 }
             }
-        });
+        }
+    });
 }
 
 /// `f32` GEMM with `A` transposed: `c = a^T * b` where `a: k x m` row-major.
@@ -70,26 +68,24 @@ pub fn sgemm_at(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32
     if m == 0 || k == 0 || n == 0 {
         return;
     }
-    c.par_chunks_mut(ROW_BLOCK * n)
-        .enumerate()
-        .for_each(|(blk, c_blk)| {
-            let row0 = blk * ROW_BLOCK;
-            let rows = c_blk.len() / n;
-            for kk in 0..k {
-                let a_row = &a[kk * m..(kk + 1) * m];
-                let b_row = &b[kk * n..(kk + 1) * n];
-                for i in 0..rows {
-                    let aik = a_row[row0 + i];
-                    if aik == 0.0 {
-                        continue;
-                    }
-                    let c_row = &mut c_blk[i * n..(i + 1) * n];
-                    for (cv, bv) in c_row.iter_mut().zip(b_row) {
-                        *cv += aik * *bv;
-                    }
+    c.par_chunks_mut(ROW_BLOCK * n).enumerate().for_each(|(blk, c_blk)| {
+        let row0 = blk * ROW_BLOCK;
+        let rows = c_blk.len() / n;
+        for kk in 0..k {
+            let a_row = &a[kk * m..(kk + 1) * m];
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for i in 0..rows {
+                let aik = a_row[row0 + i];
+                if aik == 0.0 {
+                    continue;
+                }
+                let c_row = &mut c_blk[i * n..(i + 1) * n];
+                for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += aik * *bv;
                 }
             }
-        });
+        }
+    });
 }
 
 /// `f32` GEMM with `B` transposed: `c = a * b^T` where `b: n x k` row-major.
@@ -128,26 +124,24 @@ pub fn igemm(m: usize, k: usize, n: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
     if m == 0 || k == 0 || n == 0 {
         return;
     }
-    c.par_chunks_mut(ROW_BLOCK * n)
-        .enumerate()
-        .for_each(|(blk, c_blk)| {
-            let row0 = blk * ROW_BLOCK;
-            let rows = c_blk.len() / n;
-            for i in 0..rows {
-                let a_row = &a[(row0 + i) * k..(row0 + i) * k + k];
-                let c_row = &mut c_blk[i * n..(i + 1) * n];
-                for (kk, &aik) in a_row.iter().enumerate() {
-                    if aik == 0 {
-                        continue;
-                    }
-                    let aik = aik as i32;
-                    let b_row = &b[kk * n..(kk + 1) * n];
-                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                        *cv += aik * bv as i32;
-                    }
+    c.par_chunks_mut(ROW_BLOCK * n).enumerate().for_each(|(blk, c_blk)| {
+        let row0 = blk * ROW_BLOCK;
+        let rows = c_blk.len() / n;
+        for i in 0..rows {
+            let a_row = &a[(row0 + i) * k..(row0 + i) * k + k];
+            let c_row = &mut c_blk[i * n..(i + 1) * n];
+            for (kk, &aik) in a_row.iter().enumerate() {
+                if aik == 0 {
+                    continue;
+                }
+                let aik = aik as i32;
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += aik * bv as i32;
                 }
             }
-        });
+        }
+    });
 }
 
 /// Reference (naive, sequential) f32 GEMM used by tests.
@@ -237,7 +231,10 @@ mod tests {
         let b: Vec<i8> = vec![7, 8, 9, 10, 11, 12];
         let mut c = vec![0i32; 4];
         igemm(2, 3, 2, &a, &b, &mut c);
-        assert_eq!(c, vec![1 * 7 - 2 * 9 + 3 * 11, 1 * 8 - 2 * 10 + 3 * 12, 5 * 9 - 6 * 11, 5 * 10 - 6 * 12]);
+        assert_eq!(
+            c,
+            vec![1 * 7 - 2 * 9 + 3 * 11, 1 * 8 - 2 * 10 + 3 * 12, 5 * 9 - 6 * 11, 5 * 10 - 6 * 12]
+        );
     }
 
     #[test]

@@ -104,11 +104,7 @@ pub fn im2col_i8(geom: &ConvGeom, input: &[i8], col: &mut [i8]) {
                     let src_row = &plane[iy as usize * geom.w..(iy as usize + 1) * geom.w];
                     for (ox, d) in dst.iter_mut().enumerate() {
                         let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
-                        *d = if ix < 0 || ix >= geom.w as isize {
-                            0
-                        } else {
-                            src_row[ix as usize]
-                        };
+                        *d = if ix < 0 || ix >= geom.w as isize { 0 } else { src_row[ix as usize] };
                     }
                 }
             }

@@ -55,7 +55,11 @@ pub struct BnCache {
 
 /// Training-mode forward: normalises with *batch* statistics, updates the
 /// running statistics in `bn`, and returns `(y, cache)`.
-pub fn batchnorm_forward(x: &Tensor, bn: &mut BnState, training: bool) -> (Tensor, Option<BnCache>) {
+pub fn batchnorm_forward(
+    x: &Tensor,
+    bn: &mut BnState,
+    training: bool,
+) -> (Tensor, Option<BnCache>) {
     let s = x.shape();
     assert_eq!(s.c, bn.channels());
     if !training {
@@ -65,9 +69,8 @@ pub fn batchnorm_forward(x: &Tensor, bn: &mut BnState, training: bool) -> (Tenso
     let mut mean = vec![0.0f32; s.c];
     let mut var = vec![0.0f32; s.c];
     for n in 0..s.n {
-        for c in 0..s.c {
-            let plane = plane(x, n, c);
-            mean[c] += plane.iter().sum::<f32>();
+        for (c, m) in mean.iter_mut().enumerate() {
+            *m += plane(x, n, c).iter().sum::<f32>();
         }
     }
     for m in &mut mean {
@@ -161,8 +164,7 @@ pub fn batchnorm_backward(bn: &BnState, cache: &BnCache, dy: &Tensor) -> BnGrads
             let dyp = plane(dy, n, c).to_vec();
             let xhp = plane(&cache.xhat, n, c).to_vec();
             for i in 0..dyp.len() {
-                dx.data_mut()[base + i] =
-                    k * (count * dyp[i] - dbeta[c] - xhp[i] * dgamma[c]);
+                dx.data_mut()[base + i] = k * (count * dyp[i] - dbeta[c] - xhp[i] * dgamma[c]);
             }
         }
     }
@@ -192,7 +194,7 @@ pub fn fold_bn_into_conv(w: &Tensor, b: &[f32], bn: &BnState) -> (Tensor, Vec<f3
     (w2, b2)
 }
 
-fn plane<'a>(t: &'a Tensor, n: usize, c: usize) -> &'a [f32] {
+fn plane(t: &Tensor, n: usize, c: usize) -> &[f32] {
     let s = t.shape();
     let base = s.idx(n, c, 0, 0);
     &t.data()[base..base + s.hw()]

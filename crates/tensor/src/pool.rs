@@ -23,11 +23,8 @@ pub fn maxpool2x2(x: &Tensor) -> PoolOut {
     let mut argmax = vec![0u8; out_shape.len()];
     let x_data = x.data();
 
-    y.data_mut()
-        .par_chunks_mut(ho * wo)
-        .zip(argmax.par_chunks_mut(ho * wo))
-        .enumerate()
-        .for_each(|(plane, (y_plane, am_plane))| {
+    y.data_mut().par_chunks_mut(ho * wo).zip(argmax.par_chunks_mut(ho * wo)).enumerate().for_each(
+        |(plane, (y_plane, am_plane))| {
             let x_plane = &x_data[plane * xs.hw()..(plane + 1) * xs.hw()];
             for oy in 0..ho {
                 let r0 = &x_plane[(2 * oy) * xs.w..(2 * oy) * xs.w + xs.w];
@@ -45,7 +42,8 @@ pub fn maxpool2x2(x: &Tensor) -> PoolOut {
                     am_plane[oy * wo + ox] = best_i;
                 }
             }
-        });
+        },
+    );
     PoolOut { y, argmax }
 }
 
@@ -59,22 +57,19 @@ pub fn maxpool2x2_backward(x_shape: Shape4, pool: &PoolOut, dy: &Tensor) -> Tens
     let dy_data = dy.data();
     let w = x_shape.w;
 
-    dx.data_mut()
-        .par_chunks_mut(x_shape.hw())
-        .enumerate()
-        .for_each(|(plane, dx_plane)| {
-            let dy_plane = &dy_data[plane * ho * wo..(plane + 1) * ho * wo];
-            let am_plane = &pool.argmax[plane * ho * wo..(plane + 1) * ho * wo];
-            for oy in 0..ho {
-                for ox in 0..wo {
-                    let g = dy_plane[oy * wo + ox];
-                    let a = am_plane[oy * wo + ox] as usize;
-                    let iy = 2 * oy + a / 2;
-                    let ix = 2 * ox + a % 2;
-                    dx_plane[iy * w + ix] += g;
-                }
+    dx.data_mut().par_chunks_mut(x_shape.hw()).enumerate().for_each(|(plane, dx_plane)| {
+        let dy_plane = &dy_data[plane * ho * wo..(plane + 1) * ho * wo];
+        let am_plane = &pool.argmax[plane * ho * wo..(plane + 1) * ho * wo];
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let g = dy_plane[oy * wo + ox];
+                let a = am_plane[oy * wo + ox] as usize;
+                let iy = 2 * oy + a / 2;
+                let ix = 2 * ox + a % 2;
+                dx_plane[iy * w + ix] += g;
             }
-        });
+        }
+    });
     dx
 }
 
@@ -100,10 +95,7 @@ mod tests {
 
     #[test]
     fn backward_routes_gradient_to_argmax() {
-        let x = Tensor::from_vec(
-            Shape4::new(1, 1, 2, 2),
-            vec![1.0, 9.0, 2.0, 3.0],
-        );
+        let x = Tensor::from_vec(Shape4::new(1, 1, 2, 2), vec![1.0, 9.0, 2.0, 3.0]);
         let out = maxpool2x2(&x);
         let dy = Tensor::full(Shape4::new(1, 1, 1, 1), 5.0);
         let dx = maxpool2x2_backward(x.shape(), &out, &dy);

@@ -98,7 +98,11 @@ pub fn requantize_i32(acc: i32, shift: i32) -> i8 {
         let acc = acc as i64;
         let half = 1i64 << (shift - 1);
         // Round half away from zero.
-        if acc >= 0 { (acc + half) >> shift } else { -((-acc + half) >> shift) }
+        if acc >= 0 {
+            (acc + half) >> shift
+        } else {
+            -((-acc + half) >> shift)
+        }
     } else {
         (acc as i64) << (-shift)
     };

@@ -32,33 +32,30 @@ pub fn tconv2x2(x: &Tensor, w: &Tensor, b: &[f32]) -> Tensor {
 
     // Parallel over (batch, output channel) pairs: each task owns one output
     // plane, so writes are disjoint.
-    out.data_mut()
-        .par_chunks_mut(oh * ow)
-        .enumerate()
-        .for_each(|(plane_idx, y_plane)| {
-            let n = plane_idx / c_out;
-            let co = plane_idx % c_out;
-            if !b.is_empty() {
-                y_plane.fill(b[co]);
-            }
-            for ci in 0..xs.c {
-                let x_plane = &x_data[(n * xs.c + ci) * h * wd..(n * xs.c + ci + 1) * h * wd];
-                let w_base = (ci * c_out + co) * 4;
-                let (w00, w01, w10, w11) =
-                    (w_data[w_base], w_data[w_base + 1], w_data[w_base + 2], w_data[w_base + 3]);
-                for iy in 0..h {
-                    let x_row = &x_plane[iy * wd..(iy + 1) * wd];
-                    let oy = iy * 2;
-                    for (ix, &xv) in x_row.iter().enumerate() {
-                        let ox = ix * 2;
-                        y_plane[oy * ow + ox] += xv * w00;
-                        y_plane[oy * ow + ox + 1] += xv * w01;
-                        y_plane[(oy + 1) * ow + ox] += xv * w10;
-                        y_plane[(oy + 1) * ow + ox + 1] += xv * w11;
-                    }
+    out.data_mut().par_chunks_mut(oh * ow).enumerate().for_each(|(plane_idx, y_plane)| {
+        let n = plane_idx / c_out;
+        let co = plane_idx % c_out;
+        if !b.is_empty() {
+            y_plane.fill(b[co]);
+        }
+        for ci in 0..xs.c {
+            let x_plane = &x_data[(n * xs.c + ci) * h * wd..(n * xs.c + ci + 1) * h * wd];
+            let w_base = (ci * c_out + co) * 4;
+            let (w00, w01, w10, w11) =
+                (w_data[w_base], w_data[w_base + 1], w_data[w_base + 2], w_data[w_base + 3]);
+            for iy in 0..h {
+                let x_row = &x_plane[iy * wd..(iy + 1) * wd];
+                let oy = iy * 2;
+                for (ix, &xv) in x_row.iter().enumerate() {
+                    let ox = ix * 2;
+                    y_plane[oy * ow + ox] += xv * w00;
+                    y_plane[oy * ow + ox + 1] += xv * w01;
+                    y_plane[(oy + 1) * ow + ox] += xv * w10;
+                    y_plane[(oy + 1) * ow + ox + 1] += xv * w11;
                 }
             }
-        });
+        }
+    });
     out
 }
 
@@ -90,66 +87,58 @@ pub fn tconv2x2_backward(x: &Tensor, w: &Tensor, dy: &Tensor) -> TconvGrads {
 
     // db
     for n in 0..ys.n {
-        for co in 0..c_out {
+        for (co, dbc) in db.iter_mut().enumerate() {
             let plane = &dy.data()[(n * c_out + co) * ys.hw()..(n * c_out + co + 1) * ys.hw()];
-            db[co] += plane.iter().sum::<f32>();
+            *dbc += plane.iter().sum::<f32>();
         }
     }
 
     // dx[n,ci,iy,ix] = Σ_co Σ_k dy[n,co,2iy+ky,2ix+kx] * w[ci,co,ky,kx]
     let w_data = w.data();
     let dy_data = dy.data();
-    dx.data_mut()
-        .par_chunks_mut(h * wd)
-        .enumerate()
-        .for_each(|(plane_idx, dx_plane)| {
-            let n = plane_idx / xs.c;
-            let ci = plane_idx % xs.c;
+    dx.data_mut().par_chunks_mut(h * wd).enumerate().for_each(|(plane_idx, dx_plane)| {
+        let n = plane_idx / xs.c;
+        let ci = plane_idx % xs.c;
+        for co in 0..c_out {
+            let dy_plane = &dy_data[(n * c_out + co) * ys.hw()..(n * c_out + co + 1) * ys.hw()];
+            let w_base = (ci * c_out + co) * 4;
+            let (w00, w01, w10, w11) =
+                (w_data[w_base], w_data[w_base + 1], w_data[w_base + 2], w_data[w_base + 3]);
+            for iy in 0..h {
+                let oy = iy * 2;
+                for ix in 0..wd {
+                    let ox = ix * 2;
+                    dx_plane[iy * wd + ix] += dy_plane[oy * ow + ox] * w00
+                        + dy_plane[oy * ow + ox + 1] * w01
+                        + dy_plane[(oy + 1) * ow + ox] * w10
+                        + dy_plane[(oy + 1) * ow + ox + 1] * w11;
+                }
+            }
+        }
+    });
+
+    // dw[ci,co,ky,kx] = Σ_n,iy,ix x[n,ci,iy,ix] * dy[n,co,2iy+ky,2ix+kx]
+    let x_data = x.data();
+    dw.data_mut().par_chunks_mut(c_out * 4).enumerate().for_each(|(ci, dw_ci)| {
+        for n in 0..xs.n {
+            let x_plane = &x_data[(n * xs.c + ci) * h * wd..(n * xs.c + ci + 1) * h * wd];
             for co in 0..c_out {
-                let dy_plane =
-                    &dy_data[(n * c_out + co) * ys.hw()..(n * c_out + co + 1) * ys.hw()];
-                let w_base = (ci * c_out + co) * 4;
-                let (w00, w01, w10, w11) =
-                    (w_data[w_base], w_data[w_base + 1], w_data[w_base + 2], w_data[w_base + 3]);
+                let dy_plane = &dy_data[(n * c_out + co) * ys.hw()..(n * c_out + co + 1) * ys.hw()];
+                let acc = &mut dw_ci[co * 4..(co + 1) * 4];
                 for iy in 0..h {
                     let oy = iy * 2;
                     for ix in 0..wd {
                         let ox = ix * 2;
-                        dx_plane[iy * wd + ix] += dy_plane[oy * ow + ox] * w00
-                            + dy_plane[oy * ow + ox + 1] * w01
-                            + dy_plane[(oy + 1) * ow + ox] * w10
-                            + dy_plane[(oy + 1) * ow + ox + 1] * w11;
+                        let xv = x_plane[iy * wd + ix];
+                        acc[0] += xv * dy_plane[oy * ow + ox];
+                        acc[1] += xv * dy_plane[oy * ow + ox + 1];
+                        acc[2] += xv * dy_plane[(oy + 1) * ow + ox];
+                        acc[3] += xv * dy_plane[(oy + 1) * ow + ox + 1];
                     }
                 }
             }
-        });
-
-    // dw[ci,co,ky,kx] = Σ_n,iy,ix x[n,ci,iy,ix] * dy[n,co,2iy+ky,2ix+kx]
-    let x_data = x.data();
-    dw.data_mut()
-        .par_chunks_mut(c_out * 4)
-        .enumerate()
-        .for_each(|(ci, dw_ci)| {
-            for n in 0..xs.n {
-                let x_plane = &x_data[(n * xs.c + ci) * h * wd..(n * xs.c + ci + 1) * h * wd];
-                for co in 0..c_out {
-                    let dy_plane =
-                        &dy_data[(n * c_out + co) * ys.hw()..(n * c_out + co + 1) * ys.hw()];
-                    let acc = &mut dw_ci[co * 4..(co + 1) * 4];
-                    for iy in 0..h {
-                        let oy = iy * 2;
-                        for ix in 0..wd {
-                            let ox = ix * 2;
-                            let xv = x_plane[iy * wd + ix];
-                            acc[0] += xv * dy_plane[oy * ow + ox];
-                            acc[1] += xv * dy_plane[oy * ow + ox + 1];
-                            acc[2] += xv * dy_plane[(oy + 1) * ow + ox];
-                            acc[3] += xv * dy_plane[(oy + 1) * ow + ox + 1];
-                        }
-                    }
-                }
-            }
-        });
+        }
+    });
 
     TconvGrads { dx, dw, db }
 }

@@ -137,10 +137,7 @@ impl Tensor {
     pub fn batch_item(&self, n: usize) -> Tensor {
         assert!(n < self.shape.n);
         let chw = self.shape.chw();
-        Tensor {
-            shape: self.shape.with_n(1),
-            data: self.data[n * chw..(n + 1) * chw].to_vec(),
-        }
+        Tensor { shape: self.shape.with_n(1), data: self.data[n * chw..(n + 1) * chw].to_vec() }
     }
 
     /// Stacks `1xCxHxW` tensors along the batch dimension.
@@ -217,8 +214,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         let t = Tensor::he_normal(Shape4::new(64, 32, 3, 3), &mut rng);
         let mean = t.mean();
-        let var = t.data().iter().map(|v| (v - mean).powi(2)).sum::<f32>()
-            / t.data().len() as f32;
+        let var = t.data().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / t.data().len() as f32;
         let expected_var = 2.0 / (32.0 * 9.0);
         assert!(mean.abs() < 0.01, "mean {mean}");
         assert!((var / expected_var - 1.0).abs() < 0.1, "var {var} vs {expected_var}");
@@ -240,9 +236,8 @@ mod tests {
 
     #[test]
     fn stack_and_slice_batch() {
-        let items: Vec<Tensor> = (0..3)
-            .map(|i| Tensor::full(Shape4::new(1, 2, 2, 2), i as f32))
-            .collect();
+        let items: Vec<Tensor> =
+            (0..3).map(|i| Tensor::full(Shape4::new(1, 2, 2, 2), i as f32)).collect();
         let stacked = Tensor::stack_batch(&items);
         assert_eq!(stacked.shape(), Shape4::new(3, 2, 2, 2));
         for i in 0..3 {

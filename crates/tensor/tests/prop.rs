@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use seneca_tensor::conv::{conv2d, Conv2dParams};
-use seneca_tensor::norm::{fold_bn_into_conv, batchnorm_inference, BnState};
+use seneca_tensor::norm::{batchnorm_inference, fold_bn_into_conv, BnState};
 use seneca_tensor::tconv::{tconv2x2, tconv2x2_backward};
 use seneca_tensor::{Shape4, Tensor};
 

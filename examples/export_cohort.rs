@@ -5,7 +5,7 @@
 //! cargo run --release --example export_cohort -- [out_dir] [n_patients]
 //! ```
 
-use seneca::render::{render_ct, render_overlay, hstack, write_ppm};
+use seneca::render::{hstack, render_ct, render_overlay, write_ppm};
 use seneca_data::nifti::{write_nifti, NiftiChannel};
 use seneca_data::preprocess::preprocess;
 use seneca_data::{SyntheticCtOrg, SyntheticCtOrgConfig};

@@ -41,9 +41,23 @@ fn main() {
     // 4. Throughput + energy on both targets.
     let fpga = dep.dpu_runner.run_throughput(wf.config.throughput_frames, 0);
     let gpu = dep.gpu_runner.run_throughput(wf.config.throughput_frames, 0);
-    println!("FPGA (sim): {:8.1} FPS at {:5.2} W -> EE {:5.2}", fpga.fps, fpga.watt, fpga.energy_efficiency());
-    println!("GPU  (sim): {:8.1} FPS at {:5.2} W -> EE {:5.2}", gpu.fps, gpu.watt, gpu.energy_efficiency());
-    println!("speedup: {:.2}x, EE gain: {:.2}x", fpga.fps / gpu.fps, fpga.energy_efficiency() / gpu.energy_efficiency());
+    println!(
+        "FPGA (sim): {:8.1} FPS at {:5.2} W -> EE {:5.2}",
+        fpga.fps,
+        fpga.watt,
+        fpga.energy_efficiency()
+    );
+    println!(
+        "GPU  (sim): {:8.1} FPS at {:5.2} W -> EE {:5.2}",
+        gpu.fps,
+        gpu.watt,
+        gpu.energy_efficiency()
+    );
+    println!(
+        "speedup: {:.2}x, EE gain: {:.2}x",
+        fpga.fps / gpu.fps,
+        fpga.energy_efficiency() / gpu.energy_efficiency()
+    );
 
     // 5. Accuracy: INT8 vs FP32 global Dice on the held-out patients.
     let int8 = evaluate_accuracy(&|img| dep.qgraph.predict(img), &data);

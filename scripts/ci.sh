@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# The repo's CI gate: formatting, lints (warnings are errors), tests.
+# Run from anywhere; operates on the workspace root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy --all-targets -- -D warnings =="
+cargo clippy --all-targets -- -D warnings
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "CI OK"

@@ -62,8 +62,7 @@ fn scan_mix_reproduces_bladder_and_brain_scarcity() {
 #[test]
 fn calibration_strategies_differ_as_in_table3() {
     let ds = cohort();
-    let pool: Vec<_> =
-        ds.slices(SplitKind::Train, 2).iter().map(|s| preprocess(s, 2)).collect();
+    let pool: Vec<_> = ds.slices(SplitKind::Train, 2).iter().map(|s| preprocess(s, 2)).collect();
     let rnd = random_calibration(&pool, 120, 9);
     let man = manual_calibration(&pool, 120, PAPER_MANUAL_TARGET, 9);
 

@@ -2,14 +2,19 @@
 //! PTQ → compile → functional DPU execution, checked for consistency at
 //! each hand-off.
 
+use proptest::prelude::*;
 use rand::SeedableRng;
+use seneca::backend::{Backend, Fp32RefBackend, QuantRefBackend};
 use seneca_dpu::arch::DpuArch;
 use seneca_dpu::executor::{DpuCore, ExecMode};
+use seneca_dpu::runtime::{DpuRunner, RuntimeConfig};
+use seneca_gpu::{GpuModel, GpuRunner};
 use seneca_nn::graph::Graph;
 use seneca_nn::unet::{UNet, UNetConfig};
 use seneca_quant::{fuse, quantize_post_training, PtqConfig};
 use seneca_tensor::activation::softmax_channels;
 use seneca_tensor::{Shape4, Tensor};
+use std::sync::Arc;
 
 fn tiny_net(seed: u64) -> UNet {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -79,13 +84,10 @@ fn quantization_works_across_resolutions() {
     let fg = fuse(&Graph::from_unet(&net, "t"));
     let (qg, _) = quantize_post_training(&fg, &calib_images(4, 16, 4), &PtqConfig::default());
     for size in [16usize, 32, 64] {
-        let xm =
-            seneca_dpu::compile(&qg, Shape4::new(1, 1, size, size), DpuArch::b4096_zcu104());
+        let xm = seneca_dpu::compile(&qg, Shape4::new(1, 1, size, size), DpuArch::b4096_zcu104());
         let img = &calib_images(1, size, 5)[0];
-        let out = DpuCore::new(ExecMode::Functional)
-            .run(&xm, &xm.quantize_input(img))
-            .output
-            .unwrap();
+        let out =
+            DpuCore::new(ExecMode::Functional).run(&xm, &xm.quantize_input(img)).output.unwrap();
         assert_eq!(out.shape(), Shape4::new(1, 6, size, size));
         // Cost model scales superlinearly-ish with resolution.
         if size > 16 {
@@ -118,6 +120,77 @@ fn ffq_and_qat_do_not_beat_ptq_dramatically() {
 }
 
 #[test]
+fn fp32_ref_backend_matches_gpu_runner_bit_for_bit() {
+    // The two FP32 backends share the inference graph, so their probability
+    // maps must be identical to the last bit — not just close.
+    let net = tiny_net(10);
+    let graph = Graph::from_unet(&net, "t");
+    let shape = Shape4::new(1, 1, 16, 16);
+    let images = calib_images(4, 16, 11);
+
+    let reference = Fp32RefBackend::new(graph.clone(), shape).with_threads(2);
+    let gpu = GpuRunner::new(graph, GpuModel::rtx2060_mobile(), shape);
+    let a = reference.infer_batch(&images);
+    let b = gpu.infer_batch(&images);
+    assert_eq!(a.len(), b.len());
+    for (pa, pb) in a.iter().zip(&b) {
+        assert_eq!(pa.labels, pb.labels);
+        assert_eq!(pa.as_f32().unwrap().data(), pb.as_f32().unwrap().data());
+    }
+}
+
+#[test]
+fn quant_ref_backend_matches_dpu_runner_bit_for_bit() {
+    // The host INT8 reference and the DPU functional runtime execute the same
+    // quantized graph; their fixed-point logits must agree bit for bit.
+    let net = tiny_net(12);
+    let fg = fuse(&Graph::from_unet(&net, "t"));
+    let calib = calib_images(6, 16, 13);
+    let (qg, _) = quantize_post_training(&fg, &calib, &PtqConfig::default());
+    let shape = Shape4::new(1, 1, 16, 16);
+
+    let reference = QuantRefBackend::new(qg.clone(), shape).with_threads(2);
+    let xm = Arc::new(seneca_dpu::compile(&qg, shape, DpuArch::b4096_zcu104()));
+    let dpu = DpuRunner::new(xm, RuntimeConfig { threads: 3, ..Default::default() });
+    let a = reference.infer_batch(&calib);
+    let b = dpu.infer_batch(&calib);
+    assert_eq!(a.len(), b.len());
+    for (pa, pb) in a.iter().zip(&b) {
+        assert_eq!(pa.labels, pb.labels);
+        let (qa, qb) = (pa.as_i8().unwrap(), pb.as_i8().unwrap());
+        assert_eq!(qa.fix_pos(), qb.fix_pos());
+        assert_eq!(qa.data(), qb.data());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The streaming session is a pure reordering device: batch output must
+    /// be invariant (order and content) under the worker thread count.
+    #[test]
+    fn session_output_invariant_under_thread_count(
+        n_images in 1usize..6, threads in 2usize..5, seed in 0u64..100
+    ) {
+        let net = tiny_net(14);
+        let fg = fuse(&Graph::from_unet(&net, "t"));
+        let calib = calib_images(2, 16, 15);
+        let (qg, _) = quantize_post_training(&fg, &calib, &PtqConfig::default());
+        let shape = Shape4::new(1, 1, 16, 16);
+        let images = calib_images(n_images, 16, seed);
+
+        let serial = QuantRefBackend::new(qg.clone(), shape).infer_batch(&images);
+        let pooled =
+            QuantRefBackend::new(qg, shape).with_threads(threads).infer_batch(&images);
+        prop_assert_eq!(serial.len(), pooled.len());
+        for (s, p) in serial.iter().zip(&pooled) {
+            prop_assert_eq!(&s.labels, &p.labels);
+            prop_assert_eq!(s.as_i8().unwrap().data(), p.as_i8().unwrap().data());
+        }
+    }
+}
+
+#[test]
 fn misaligned_channel_models_compile_with_penalties() {
     // f=6 channels are ICP-misaligned; the compiler must record that and the
     // cost model must charge for it (the 2M-vs-4M mechanism of Table IV).
@@ -132,8 +205,7 @@ fn misaligned_channel_models_compile_with_penalties() {
     );
     let mk = |net: &UNet, name: &str| {
         let fg = fuse(&Graph::from_unet(net, name));
-        let (qg, _) =
-            quantize_post_training(&fg, &calib_images(2, 32, 9), &PtqConfig::default());
+        let (qg, _) = quantize_post_training(&fg, &calib_images(2, 32, 9), &PtqConfig::default());
         seneca_dpu::compile(&qg, Shape4::new(1, 1, 64, 64), DpuArch::b4096_zcu104())
     };
     let xm6 = mk(&net6, "f6");

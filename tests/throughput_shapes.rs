@@ -7,9 +7,9 @@
 //! training is needed and the test runs in seconds.
 
 use rand::SeedableRng;
+use seneca::backend::Backend;
 use seneca_dpu::arch::DpuArch;
 use seneca_dpu::runtime::{DpuRunner, RuntimeConfig, ThroughputReport};
-use seneca_gpu::runner::GpuThroughputReport;
 use seneca_gpu::{GpuModel, GpuRunner};
 use seneca_nn::graph::Graph;
 use seneca_nn::unet::{ModelSize, UNet};
@@ -17,7 +17,7 @@ use seneca_quant::{fuse, quantize_post_training, PtqConfig};
 use seneca_tensor::{Shape4, Tensor};
 use std::sync::Arc;
 
-fn throughputs(size: ModelSize, threads: usize) -> (ThroughputReport, GpuThroughputReport) {
+fn throughputs(size: ModelSize, threads: usize) -> (ThroughputReport, ThroughputReport) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(17);
     let net = UNet::from_size(size, &mut rng);
     let graph = Graph::from_unet(&net, size.label());
@@ -26,15 +26,15 @@ fn throughputs(size: ModelSize, threads: usize) -> (ThroughputReport, GpuThrough
     let (qg, _) = quantize_post_training(&fg, &calib, &PtqConfig::default());
     let input = Shape4::new(1, 1, 256, 256);
     let xm = Arc::new(seneca_dpu::compile(&qg, input, DpuArch::b4096_zcu104()));
-    let dpu = DpuRunner::new(xm, RuntimeConfig { threads, ..Default::default() })
-        .run_throughput(2000, 3);
+    let dpu =
+        DpuRunner::new(xm, RuntimeConfig { threads, ..Default::default() }).run_throughput(2000, 3);
     let gpu = GpuRunner::new(graph, GpuModel::rtx2060_mobile(), input).run_throughput(2000, 3);
     (dpu, gpu)
 }
 
 #[test]
 fn table4_orderings_and_headline_ratios() {
-    let results: Vec<(ThroughputReport, GpuThroughputReport)> =
+    let results: Vec<(ThroughputReport, ThroughputReport)> =
         ModelSize::ALL.iter().map(|&s| throughputs(s, 4)).collect();
     let fps_int8: Vec<f64> = results.iter().map(|(d, _)| d.fps).collect();
     let fps_fp32: Vec<f64> = results.iter().map(|(_, g)| g.fps).collect();
@@ -106,12 +106,9 @@ fn throughput_sigma_is_paper_small() {
     let fg = fuse(&Graph::from_unet(&net, "1M"));
     let calib = vec![Tensor::he_normal(Shape4::new(1, 1, 32, 32), &mut rng)];
     let (qg, _) = quantize_post_training(&fg, &calib, &PtqConfig::default());
-    let xm = Arc::new(seneca_dpu::compile(
-        &qg,
-        Shape4::new(1, 1, 256, 256),
-        DpuArch::b4096_zcu104(),
-    ));
-    let stats = DpuRunner::new(xm, RuntimeConfig::default()).run_throughput_repeated(2000, 10, 5);
+    let xm =
+        Arc::new(seneca_dpu::compile(&qg, Shape4::new(1, 1, 256, 256), DpuArch::b4096_zcu104()));
+    let stats = DpuRunner::new(xm, RuntimeConfig::default()).throughput_repeated(2000, 10, 5);
     assert!(stats.fps_std / stats.fps_mean < 0.01, "σ/μ = {}", stats.fps_std / stats.fps_mean);
     assert_eq!(stats.runs.len(), 10);
 }
