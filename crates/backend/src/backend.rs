@@ -6,6 +6,18 @@ use crate::session::{resolve_worker_threads, InferenceEngine, InferenceSession, 
 use seneca_nn::graph::Graph;
 use seneca_quant::QuantizedGraph;
 use seneca_tensor::{Shape4, Tensor};
+use std::time::{Duration, Instant};
+
+/// Execution timing of one [`Backend::infer_batch_timed`] call.
+#[derive(Debug, Clone)]
+pub struct BatchTiming {
+    /// Wall clock of the whole batch.
+    pub wall: Duration,
+    /// Per-frame execution time, in input order. Backends without per-frame
+    /// visibility amortise `wall` evenly; session-backed backends report
+    /// each frame's actual time on its worker.
+    pub per_frame: Vec<Duration>,
+}
 
 /// A deployable inference target: every path through the SENECA pipeline —
 /// FP32 reference, GPU baseline, bit-exact INT8 reference, DPU runtime —
@@ -22,6 +34,19 @@ pub trait Backend: Send + Sync {
 
     /// Runs a batch of preprocessed FP32 images; outputs are in input order.
     fn infer_batch(&self, images: &[Tensor]) -> Vec<Prediction>;
+
+    /// [`Backend::infer_batch`] plus execution timing — the hook the serving
+    /// layer uses for per-request latency accounting. The default times the
+    /// whole batch and amortises it evenly across frames; backends with
+    /// per-frame visibility override it.
+    fn infer_batch_timed(&self, images: &[Tensor]) -> (Vec<Prediction>, BatchTiming) {
+        let t0 = Instant::now();
+        let preds = self.infer_batch(images);
+        let wall = t0.elapsed();
+        let n = images.len() as u32;
+        let per_frame = if n == 0 { Vec::new() } else { vec![wall / n; images.len()] };
+        (preds, BatchTiming { wall, per_frame })
+    }
 
     /// One throughput run over `n_frames` frames. Device-modelled backends
     /// use `seed` for measurement jitter; host-measured backends ignore it.
@@ -41,6 +66,7 @@ pub trait Backend: Send + Sync {
         ThroughputStats::from_runs(
             (0..n_runs).map(|r| self.throughput(n_frames, seed0 + r as u64)).collect(),
         )
+        .expect("n_runs >= 1")
     }
 }
 
@@ -124,9 +150,26 @@ impl Backend for Fp32RefBackend {
         InferenceSession::new(self, SessionConfig::new(self.threads)).run(images)
     }
 
+    fn infer_batch_timed(&self, images: &[Tensor]) -> (Vec<Prediction>, BatchTiming) {
+        session_timed(self, self.threads, images)
+    }
+
     fn throughput(&self, n_frames: usize, _seed: u64) -> ThroughputReport {
         measured_throughput(self, self.input_shape, self.threads, n_frames)
     }
+}
+
+/// Shared [`Backend::infer_batch_timed`] override for session-backed
+/// backends: per-frame worker timings from [`InferenceSession::run_timed`].
+fn session_timed<E: InferenceEngine>(
+    engine: &E,
+    threads: usize,
+    images: &[Tensor],
+) -> (Vec<Prediction>, BatchTiming) {
+    let t0 = Instant::now();
+    let (preds, per_frame) =
+        InferenceSession::new(engine, SessionConfig::new(threads)).run_timed(images);
+    (preds, BatchTiming { wall: t0.elapsed(), per_frame })
 }
 
 /// Host INT8 reference backend: executes the [`QuantizedGraph`] bit-exactly,
@@ -177,6 +220,10 @@ impl Backend for QuantRefBackend {
 
     fn infer_batch(&self, images: &[Tensor]) -> Vec<Prediction> {
         InferenceSession::new(self, SessionConfig::new(self.threads)).run(images)
+    }
+
+    fn infer_batch_timed(&self, images: &[Tensor]) -> (Vec<Prediction>, BatchTiming) {
+        session_timed(self, self.threads, images)
     }
 
     fn throughput(&self, n_frames: usize, _seed: u64) -> ThroughputReport {

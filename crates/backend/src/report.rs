@@ -58,9 +58,12 @@ pub struct ThroughputStats {
 }
 
 impl ThroughputStats {
-    /// Aggregates individual runs into mean ± (population) std.
-    pub fn from_runs(runs: Vec<ThroughputReport>) -> Self {
-        assert!(!runs.is_empty(), "need at least one run");
+    /// Aggregates individual runs into mean ± (population) std; `None` when
+    /// there are no runs to aggregate.
+    pub fn from_runs(runs: Vec<ThroughputReport>) -> Option<Self> {
+        if runs.is_empty() {
+            return None;
+        }
         let mean_std = |xs: Vec<f64>| -> (f64, f64) {
             let m = xs.iter().sum::<f64>() / xs.len() as f64;
             let v = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64;
@@ -69,7 +72,7 @@ impl ThroughputStats {
         let (fps_mean, fps_std) = mean_std(runs.iter().map(|r| r.fps).collect());
         let (watt_mean, watt_std) = mean_std(runs.iter().map(|r| r.watt).collect());
         let (ee_mean, ee_std) = mean_std(runs.iter().map(|r| r.energy_efficiency()).collect());
-        Self { fps_mean, fps_std, watt_mean, watt_std, ee_mean, ee_std, runs }
+        Some(Self { fps_mean, fps_std, watt_mean, watt_std, ee_mean, ee_std, runs })
     }
 }
 
@@ -96,8 +99,13 @@ mod tests {
     }
 
     #[test]
+    fn empty_runs_aggregate_to_none() {
+        assert!(ThroughputStats::from_runs(Vec::new()).is_none());
+    }
+
+    #[test]
     fn stats_aggregate_mean_and_std() {
-        let s = ThroughputStats::from_runs(vec![rep(90.0, 20.0), rep(110.0, 20.0)]);
+        let s = ThroughputStats::from_runs(vec![rep(90.0, 20.0), rep(110.0, 20.0)]).unwrap();
         assert!((s.fps_mean - 100.0).abs() < 1e-9);
         assert!((s.fps_std - 10.0).abs() < 1e-9);
         assert!((s.watt_std).abs() < 1e-9);

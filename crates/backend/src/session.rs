@@ -15,9 +15,14 @@
 //!   per-frame allocation.
 //!
 //! Results are returned in submission order regardless of completion order.
+//! A panic inside [`InferenceEngine::infer`] is captured on the worker and
+//! re-raised on the calling thread with the failing frame index attached,
+//! instead of surfacing as an unrelated "all jobs completed" failure.
 
 use crate::prediction::Prediction;
 use seneca_tensor::Tensor;
+use std::panic::AssertUnwindSafe;
+use std::time::{Duration, Instant};
 
 /// Resolves the number of worker threads for a job batch: never more threads
 /// than jobs, never fewer than one. The single source of truth used by both
@@ -40,7 +45,8 @@ pub struct SessionConfig {
 impl SessionConfig {
     /// A config with `threads` workers and a queue of twice that depth.
     pub fn new(threads: usize) -> Self {
-        Self { threads: threads.max(1), queue_depth: 2 * threads.max(1) }
+        let threads = threads.max(1);
+        Self { threads, queue_depth: 2 * threads }
     }
 }
 
@@ -64,6 +70,23 @@ pub struct InferenceSession<'e, E: InferenceEngine> {
     config: SessionConfig,
 }
 
+/// Re-raises a worker panic on the calling thread, annotated with the frame
+/// that caused it. String payloads are embedded in the new message; opaque
+/// payloads are re-propagated as-is after reporting the index.
+fn rethrow(frame: usize, payload: Box<dyn std::any::Any + Send>) -> ! {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned());
+    match msg {
+        Some(m) => panic!("inference worker panicked on frame {frame}: {m}"),
+        None => {
+            eprintln!("inference worker panicked on frame {frame} (non-string payload)");
+            std::panic::resume_unwind(payload)
+        }
+    }
+}
+
 impl<'e, E: InferenceEngine> InferenceSession<'e, E> {
     /// Creates a session.
     pub fn new(engine: &'e E, config: SessionConfig) -> Self {
@@ -72,6 +95,29 @@ impl<'e, E: InferenceEngine> InferenceSession<'e, E> {
 
     /// Runs a batch; outputs are in input order.
     pub fn run(&self, images: &[Tensor]) -> Vec<Prediction> {
+        self.run_map(images, |engine, worker, img| engine.infer(worker, img))
+    }
+
+    /// Runs a batch and reports each frame's wall-clock execution time as
+    /// observed on its worker (queueing excluded). This is the per-frame
+    /// timing hook the serving layer's latency accounting builds on.
+    pub fn run_timed(&self, images: &[Tensor]) -> (Vec<Prediction>, Vec<Duration>) {
+        self.run_map(images, |engine, worker, img| {
+            let t0 = Instant::now();
+            let pred = engine.infer(worker, img);
+            (pred, t0.elapsed())
+        })
+        .into_iter()
+        .unzip()
+    }
+
+    /// The shared batch executor: applies `work` to every frame on the
+    /// worker pool, preserving submission order and frame-indexed panics.
+    fn run_map<T, F>(&self, images: &[Tensor], work: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&E, &mut E::Worker, &Tensor) -> T + Sync,
+    {
         let n = images.len();
         if n == 0 {
             return Vec::new();
@@ -80,20 +126,35 @@ impl<'e, E: InferenceEngine> InferenceSession<'e, E> {
         if threads == 1 {
             // No pool needed; still reuses one worker's scratch across frames.
             let mut worker = self.engine.new_worker();
-            return images.iter().map(|img| self.engine.infer(&mut worker, img)).collect();
+            return images
+                .iter()
+                .enumerate()
+                .map(|(i, img)| {
+                    std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        work(self.engine, &mut worker, img)
+                    }))
+                    .unwrap_or_else(|payload| rethrow(i, payload))
+                })
+                .collect();
         }
 
+        type Outcome<T> = Result<T, Box<dyn std::any::Any + Send>>;
         let capacity = self.config.queue_depth.max(1);
         let (job_tx, job_rx) = std::sync::mpsc::sync_channel::<(usize, &Tensor)>(capacity);
-        let (res_tx, res_rx) = std::sync::mpsc::channel::<(usize, Prediction)>();
-        let job_rx = std::sync::Mutex::new(job_rx);
-        let mut results: Vec<Option<Prediction>> = (0..n).map(|_| None).collect();
+        let (res_tx, res_rx) = std::sync::mpsc::channel::<(usize, Outcome<T>)>();
+        // Workers co-own the receiver: when the last worker retires (normal
+        // drain or panic), the channel closes and the feeder's `send` errors
+        // instead of blocking on a queue nobody will ever empty.
+        let job_rx = std::sync::Arc::new(std::sync::Mutex::new(job_rx));
+        let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut panic: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
 
         std::thread::scope(|scope| {
             for _ in 0..threads {
-                let job_rx = &job_rx;
+                let job_rx = std::sync::Arc::clone(&job_rx);
                 let res_tx = res_tx.clone();
                 let engine = self.engine;
+                let work = &work;
                 scope.spawn(move || {
                     let mut worker = engine.new_worker();
                     loop {
@@ -103,24 +164,45 @@ impl<'e, E: InferenceEngine> InferenceSession<'e, E> {
                             Ok(j) => j,
                             Err(_) => break, // feeder done and queue drained
                         };
-                        let out = engine.infer(&mut worker, img);
-                        if res_tx.send((i, out)).is_err() {
+                        let out = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            work(engine, &mut worker, img)
+                        }));
+                        // A panic may have poisoned the worker state; report
+                        // it and retire this worker.
+                        let dead = out.is_err();
+                        if res_tx.send((i, out)).is_err() || dead {
                             break;
                         }
                     }
                 });
             }
             drop(res_tx);
-            // Feed lazily: blocks when the bounded queue is full, so at most
-            // `queue_depth` frames wait and `threads` frames execute at once.
+            drop(job_rx); // only workers hold the receiver now
+                          // Feed lazily: blocks when the bounded queue is full, so at most
+                          // `queue_depth` frames wait and `threads` frames execute at once.
+                          // Send errors mean every worker has retired (all panicked): stop
+                          // feeding and let the panic below surface.
             for (i, img) in images.iter().enumerate() {
-                job_tx.send((i, img)).expect("worker pool alive");
+                if job_tx.send((i, img)).is_err() {
+                    break;
+                }
             }
             drop(job_tx);
             while let Ok((i, out)) = res_rx.recv() {
-                results[i] = Some(out);
+                match out {
+                    Ok(v) => results[i] = Some(v),
+                    Err(payload) => {
+                        // Keep the earliest failing frame for the re-raise.
+                        if panic.as_ref().is_none_or(|(j, _)| i < *j) {
+                            panic = Some((i, payload));
+                        }
+                    }
+                }
             }
         });
+        if let Some((i, payload)) = panic {
+            rethrow(i, payload);
+        }
         results.into_iter().map(|r| r.expect("all jobs completed")).collect()
     }
 }
@@ -146,6 +228,17 @@ mod tests {
         }
     }
 
+    /// Engine that panics on frames whose first pixel is negative.
+    struct Fussy;
+    impl InferenceEngine for Fussy {
+        type Worker = ();
+        fn new_worker(&self) {}
+        fn infer(&self, _w: &mut (), image: &Tensor) -> Prediction {
+            assert!(image.data()[0] >= 0.0, "negative frame rejected");
+            Echo.infer(&mut 0, image)
+        }
+    }
+
     fn images(n: usize) -> Vec<Tensor> {
         (0..n).map(|i| Tensor::from_vec(Shape4::new(1, 1, 1, 1), vec![i as f32])).collect()
     }
@@ -166,10 +259,59 @@ mod tests {
     }
 
     #[test]
+    fn run_timed_returns_one_duration_per_frame() {
+        let imgs = images(9);
+        for threads in [1, 3] {
+            let (preds, times) =
+                InferenceSession::new(&Echo, SessionConfig::new(threads)).run_timed(&imgs);
+            assert_eq!(preds.len(), 9);
+            assert_eq!(times.len(), 9);
+            assert_eq!(preds[4].labels[0], 4, "timed path preserves order");
+        }
+    }
+
+    #[test]
+    fn worker_panic_reports_failing_frame() {
+        let mut imgs = images(12);
+        imgs[7] = Tensor::from_vec(Shape4::new(1, 1, 1, 1), vec![-1.0]);
+        for threads in [1, 4] {
+            let session_panic = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                InferenceSession::new(&Fussy, SessionConfig::new(threads)).run(&imgs)
+            }))
+            .expect_err("worker panic must propagate");
+            let msg =
+                session_panic.downcast_ref::<String>().cloned().expect("panic message is a string");
+            assert!(msg.contains("frame 7"), "threads={threads}: {msg}");
+            assert!(msg.contains("negative frame rejected"), "threads={threads}: {msg}");
+        }
+    }
+
+    #[test]
+    fn all_workers_panicking_still_reports_first_frame() {
+        let imgs: Vec<Tensor> =
+            (0..20).map(|_| Tensor::from_vec(Shape4::new(1, 1, 1, 1), vec![-1.0])).collect();
+        let session_panic = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            InferenceSession::new(&Fussy, SessionConfig::new(4)).run(&imgs)
+        }))
+        .expect_err("must propagate");
+        let msg = session_panic.downcast_ref::<String>().cloned().unwrap();
+        assert!(msg.contains("panicked on frame"), "{msg}");
+    }
+
+    #[test]
     fn resolve_worker_threads_clamps_both_ends() {
         assert_eq!(resolve_worker_threads(4, 2), 2);
         assert_eq!(resolve_worker_threads(4, 100), 4);
         assert_eq!(resolve_worker_threads(0, 3), 1);
         assert_eq!(resolve_worker_threads(2, 0), 1);
+    }
+
+    #[test]
+    fn session_config_defaults_queue_depth_to_twice_threads() {
+        let c = SessionConfig::new(3);
+        assert_eq!((c.threads, c.queue_depth), (3, 6));
+        // Zero threads clamps once, and the queue depth follows the clamp.
+        let z = SessionConfig::new(0);
+        assert_eq!((z.threads, z.queue_depth), (1, 2));
     }
 }

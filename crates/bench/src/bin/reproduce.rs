@@ -7,8 +7,9 @@
 //! ```
 //!
 //! Experiments: table1 table2 table3 table4 table5 fig3 fig4 fig5 fig6
-//! ablation-quant ablation-prune. Markdown output lands in
-//! `$SENECA_ARTIFACTS/experiments/` (default `target/seneca-artifacts`).
+//! ablation-quant ablation-prune ablation-arch boundary serve. Markdown
+//! output lands in `$SENECA_ARTIFACTS/experiments/` (default
+//! `target/seneca-artifacts`); `serve` also writes `BENCH_serve.json`.
 
 use seneca_bench::experiments;
 use seneca_bench::{ExperimentCtx, Scale};

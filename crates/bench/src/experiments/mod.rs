@@ -6,6 +6,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod serve;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -15,7 +16,7 @@ pub mod table5;
 use crate::ctx::ExperimentCtx;
 
 /// All experiment names in run order.
-pub const ALL: [&str; 13] = [
+pub const ALL: [&str; 14] = [
     "table1",
     "table2",
     "table3",
@@ -29,6 +30,7 @@ pub const ALL: [&str; 13] = [
     "ablation-prune",
     "ablation-arch",
     "boundary",
+    "serve",
 ];
 
 /// Dispatches one experiment by name. Returns false for unknown names.
@@ -47,6 +49,7 @@ pub fn run(name: &str, ctx: &mut ExperimentCtx) -> bool {
         "ablation-prune" => ablations::run_prune(ctx),
         "ablation-arch" => ablations::run_arch(ctx),
         "boundary" => boundary::run(ctx),
+        "serve" => serve::run(ctx),
         _ => return false,
     }
     true

@@ -1,0 +1,168 @@
+//! Serving saturation experiment: offered load × batch window per backend.
+//!
+//! For every inference path of the M1 deployment, the experiment first
+//! measures the saturation throughput with a closed-loop load (always-busy
+//! clients, admission blocking), then sweeps an open-loop Poisson arrival
+//! process at 0.5×/1×/2× that rate across three micro-batching windows with
+//! `RejectWhenFull` admission and a deadline on every request. The output is
+//! the saturation table (served FPS, loss rate, interactive p99) and a
+//! machine-readable `BENCH_serve.json`.
+
+use crate::ctx::ExperimentCtx;
+use crate::fmt::{emit, Table};
+use seneca_nn::unet::ModelSize;
+use seneca_serve::{run_load, AdmissionPolicy, LoadSpec, ServeConfig, Server};
+use serde_json::{json, Value};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Replicas in the pool — the ZCU104 runs two DPU cores.
+const REPLICAS: usize = 2;
+/// Batch-window sweep (ms).
+const WINDOWS_MS: [u64; 3] = [0, 2, 8];
+/// Offered-load multipliers over the measured saturation rate.
+const LOAD_X: [f64; 3] = [0.5, 1.0, 2.0];
+
+fn serve_config(window_ms: u64, admission: AdmissionPolicy) -> ServeConfig {
+    ServeConfig {
+        replicas: REPLICAS,
+        max_batch: 4,
+        max_delay: Duration::from_millis(window_ms),
+        queue_capacity: 8,
+        admission,
+    }
+}
+
+/// Deadline scaled to the measured service rate: enough slack for a full
+/// queue plus in-flight batches, with a floor for fast backends where the
+/// bound would dip under scheduler jitter.
+fn deadline_for(sat_fps: f64) -> Duration {
+    let cfg = serve_config(0, AdmissionPolicy::Block);
+    let backlog = (cfg.queue_capacity + cfg.replicas * cfg.max_batch) as f64;
+    Duration::from_secs_f64((4.0 * backlog / sat_fps.max(1.0)).max(0.05))
+}
+
+/// Regenerates the serving saturation table.
+pub fn run(ctx: &mut ExperimentCtx) {
+    // Modest request counts: every request is a real inference on the host.
+    let n_sat = ctx.wf.config.throughput_frames.clamp(16, 48);
+    let n_cell = ctx.wf.config.throughput_frames.clamp(16, 32);
+    let dep = ctx.deployment(ModelSize::M1);
+    let frame = {
+        let shape = dep.gpu_runner.input_shape;
+        let data = (0..shape.len()).map(|i| ((i * 37) % 255) as f32 / 127.0 - 1.0).collect();
+        seneca_tensor::Tensor::from_vec(shape, data)
+    };
+
+    let mut t = Table::new(vec![
+        "Backend",
+        "Sat FPS",
+        "Window",
+        "Offered",
+        "Served FPS",
+        "Loss %",
+        "Mean batch",
+        "Intact p50 ms",
+        "Intact p99 ms",
+        "Deadline ms",
+    ]);
+    let mut json_backends: Vec<Value> = Vec::new();
+
+    let mut backends = dep.backends();
+    for b in &mut backends {
+        b.prepare();
+    }
+    for backend in backends {
+        let name = backend.name();
+        let backend: Arc<dyn seneca::backend::Backend> = Arc::from(backend);
+        eprintln!("[serve] {name}: measuring saturation ...");
+
+        // Closed loop with more always-busy clients than replicas: the
+        // served rate is the service capacity at max_batch batching.
+        let server = Server::start(backend.clone(), serve_config(2, AdmissionPolicy::Block));
+        run_load(&server.handle(), &frame, &LoadSpec::closed(n_sat, 2 * REPLICAS, 0xE5));
+        let sat_stats = server.shutdown();
+        let sat_fps = sat_stats.served_fps.max(1.0);
+        let deadline = deadline_for(sat_fps);
+
+        let mut json_cells: Vec<Value> = Vec::new();
+        for window_ms in WINDOWS_MS {
+            for mult in LOAD_X {
+                let offered = mult * sat_fps;
+                let server = Server::start(
+                    backend.clone(),
+                    serve_config(window_ms, AdmissionPolicy::RejectWhenFull),
+                );
+                let spec = LoadSpec {
+                    deadline: Some(deadline),
+                    interactive_fraction: 0.5,
+                    ..LoadSpec::open(n_cell, offered, 0xE5 + window_ms)
+                };
+                let rep2 = run_load(&server.handle(), &frame, &spec);
+                let stats = server.shutdown();
+                t.row(vec![
+                    name.clone(),
+                    format!("{sat_fps:.1}"),
+                    format!("{window_ms} ms"),
+                    format!("{mult:.1}x"),
+                    format!("{:.1}", stats.served_fps),
+                    format!("{:.1}", 100.0 * stats.loss_rate()),
+                    format!("{:.2}", stats.mean_batch),
+                    format!("{:.1}", stats.total_interactive.p50_us as f64 / 1000.0),
+                    format!("{:.1}", stats.total_interactive.p99_us as f64 / 1000.0),
+                    format!("{:.0}", deadline.as_secs_f64() * 1000.0),
+                ]);
+                json_cells.push(json!({
+                    "window_ms": window_ms,
+                    "load_multiplier": mult,
+                    "offered_fps": rep2.offered_fps,
+                    "served_fps": stats.served_fps,
+                    "served": stats.served,
+                    "rejected": stats.rejected,
+                    "shed_expired": stats.shed_expired,
+                    "deadline_misses": stats.deadline_misses,
+                    "loss_rate": stats.loss_rate(),
+                    "mean_batch": stats.mean_batch,
+                    "p50_us": stats.total_interactive.p50_us,
+                    "p95_us": stats.total_interactive.p95_us,
+                    "p99_us": stats.total_interactive.p99_us,
+                    "deadline_ms": deadline.as_secs_f64() * 1000.0
+                }));
+            }
+        }
+        json_backends.push(json!({
+            "backend": name.clone(),
+            "saturation_fps": sat_fps,
+            "cells": Value::Array(json_cells)
+        }));
+    }
+
+    let body = format!(
+        "{}\nSaturation measured closed-loop ({n_sat} requests, {} clients, admission \
+         blocking); each cell is an open-loop Poisson run of {n_cell} requests with \
+         `RejectWhenFull` admission, 50% interactive traffic, and the listed deadline. \
+         At 2x offered load the service keeps running: excess arrivals are rejected at \
+         admission (loss %), and the interactive p99 stays under the deadline.\n",
+        t.markdown(),
+        2 * REPLICAS,
+    );
+    emit(&ctx.out_dir(), "serve-saturation", &body);
+
+    let doc = json!({
+        "experiment": "serve-saturation",
+        "model": "M1",
+        "replicas": REPLICAS,
+        "backends": Value::Array(json_backends)
+    });
+    let path = ctx.out_dir().join("BENCH_serve.json");
+    match serde_json::to_string(&doc) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&path, s) {
+                eprintln!("could not write {}: {e}", path.display());
+            } else {
+                eprintln!("[serve] wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("could not serialize BENCH_serve.json: {e}"),
+    }
+}

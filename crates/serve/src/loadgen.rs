@@ -1,0 +1,263 @@
+//! Synthetic load generation against a [`ServeHandle`].
+//!
+//! Two arrival disciplines, both seeded and deterministic in their draws:
+//!
+//! * **closed loop** — `clients` workers each keep exactly one request in
+//!   flight (submit → wait → think). Offered load self-regulates to the
+//!   service rate, so the measured served-FPS *is* the saturation
+//!   throughput when `clients` exceeds the replica count and think is 0;
+//! * **open loop** — requests arrive on a fixed schedule (uniform spacing
+//!   or a Poisson process) regardless of completions, which is what a
+//!   fleet of independent edge clients looks like. Offered load can exceed
+//!   capacity, which is exactly how admission control gets exercised.
+
+use crate::metrics::ServeStats;
+use crate::request::{Priority, Ticket};
+use crate::server::ServeHandle;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seneca_tensor::Tensor;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// How requests arrive.
+#[derive(Debug, Clone, Copy)]
+pub enum ArrivalProcess {
+    /// `clients` workers, one outstanding request each, `think` pause
+    /// between a response and the next submission.
+    ClosedLoop {
+        /// Concurrent workers.
+        clients: usize,
+        /// Pause between response and next request.
+        think: Duration,
+    },
+    /// Requests arrive at `rate_fps` regardless of completions.
+    OpenLoop {
+        /// Offered load in requests per second.
+        rate_fps: f64,
+        /// Exponential inter-arrivals (Poisson process) instead of uniform.
+        poisson: bool,
+    },
+}
+
+/// One load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Total requests to submit.
+    pub requests: usize,
+    /// Probability that a request is [`Priority::Interactive`].
+    pub interactive_fraction: f64,
+    /// Relative deadline attached to every request (`None` = no SLO).
+    pub deadline: Option<Duration>,
+    /// Arrival discipline.
+    pub arrival: ArrivalProcess,
+    /// Seed for priority draws and Poisson inter-arrivals.
+    pub seed: u64,
+}
+
+impl LoadSpec {
+    /// A full-throttle closed loop: `clients` workers, no think time.
+    pub fn closed(requests: usize, clients: usize, seed: u64) -> Self {
+        Self {
+            requests,
+            interactive_fraction: 1.0,
+            deadline: None,
+            arrival: ArrivalProcess::ClosedLoop { clients, think: Duration::ZERO },
+            seed,
+        }
+    }
+
+    /// An open loop at `rate_fps` with Poisson arrivals.
+    pub fn open(requests: usize, rate_fps: f64, seed: u64) -> Self {
+        Self {
+            requests,
+            interactive_fraction: 1.0,
+            deadline: None,
+            arrival: ArrivalProcess::OpenLoop { rate_fps, poisson: true },
+            seed,
+        }
+    }
+}
+
+/// Outcome of a load run, from the clients' point of view, plus the
+/// server-side statistics snapshot taken after the last response.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Offered load (requests / submission-schedule span).
+    pub offered_fps: f64,
+    /// First submission → last resolution (s).
+    pub wall_s: f64,
+    /// Requests answered with a prediction.
+    pub ok: u64,
+    /// Requests rejected, shed, or otherwise failed.
+    pub errored: u64,
+    /// Server statistics after the run.
+    pub stats: ServeStats,
+}
+
+/// Drives one load run; every request submits a clone of `frame`.
+pub fn run_load(handle: &ServeHandle, frame: &Tensor, spec: &LoadSpec) -> LoadReport {
+    match spec.arrival {
+        ArrivalProcess::ClosedLoop { clients, think } => {
+            run_closed(handle, frame, spec, clients, think)
+        }
+        ArrivalProcess::OpenLoop { rate_fps, poisson } => {
+            run_open(handle, frame, spec, rate_fps, poisson)
+        }
+    }
+}
+
+fn priority_for(rng: &mut StdRng, spec: &LoadSpec) -> Priority {
+    if spec.interactive_fraction >= 1.0 || rng.gen_bool(spec.interactive_fraction.clamp(0.0, 1.0)) {
+        Priority::Interactive
+    } else {
+        Priority::Batch
+    }
+}
+
+fn run_closed(
+    handle: &ServeHandle,
+    frame: &Tensor,
+    spec: &LoadSpec,
+    clients: usize,
+    think: Duration,
+) -> LoadReport {
+    let clients = clients.max(1);
+    let remaining = AtomicI64::new(spec.requests as i64);
+    let ok = AtomicU64::new(0);
+    let errored = AtomicU64::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let remaining = &remaining;
+            let ok = &ok;
+            let errored = &errored;
+            let handle = handle.clone();
+            scope.spawn(move || {
+                let mut rng =
+                    StdRng::seed_from_u64(spec.seed ^ (c as u64).wrapping_mul(0x9E37_79B9));
+                while remaining.fetch_sub(1, Ordering::Relaxed) > 0 {
+                    let pr = priority_for(&mut rng, spec);
+                    match handle.submit_wait(frame.clone(), pr, spec.deadline) {
+                        Ok(_) => ok.fetch_add(1, Ordering::Relaxed),
+                        Err(_) => errored.fetch_add(1, Ordering::Relaxed),
+                    };
+                    if !think.is_zero() {
+                        std::thread::sleep(think);
+                    }
+                }
+            });
+        }
+    });
+    let wall_s = t0.elapsed().as_secs_f64().max(1e-9);
+    let done = ok.load(Ordering::Relaxed) + errored.load(Ordering::Relaxed);
+    LoadReport {
+        // Closed loops offer exactly what completes.
+        offered_fps: done as f64 / wall_s,
+        wall_s,
+        ok: ok.load(Ordering::Relaxed),
+        errored: errored.load(Ordering::Relaxed),
+        stats: handle.stats(),
+    }
+}
+
+fn run_open(
+    handle: &ServeHandle,
+    frame: &Tensor,
+    spec: &LoadSpec,
+    rate_fps: f64,
+    poisson: bool,
+) -> LoadReport {
+    assert!(rate_fps > 0.0, "open-loop rate must be positive");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let t0 = Instant::now();
+    let mut next = t0;
+    let mut tickets: Vec<Ticket> = Vec::with_capacity(spec.requests);
+    let mut errored = 0u64;
+    for _ in 0..spec.requests {
+        let now = Instant::now();
+        // Absolute schedule: if we fall behind (sleep granularity, a Block
+        // admission), later submissions burst to restore the average rate.
+        if next > now {
+            std::thread::sleep(next - now);
+        }
+        let pr = priority_for(&mut rng, spec);
+        match handle.submit(frame.clone(), pr, spec.deadline) {
+            Ok(t) => tickets.push(t),
+            Err(_) => errored += 1,
+        }
+        let dt = if poisson {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            -u.ln() / rate_fps
+        } else {
+            1.0 / rate_fps
+        };
+        next += Duration::from_secs_f64(dt);
+    }
+    let schedule_s = (next - t0).as_secs_f64().max(1e-9);
+    let mut ok = 0u64;
+    for t in tickets {
+        match t.wait().result {
+            Ok(_) => ok += 1,
+            Err(_) => errored += 1,
+        }
+    }
+    LoadReport {
+        offered_fps: spec.requests as f64 / schedule_s,
+        wall_s: t0.elapsed().as_secs_f64(),
+        ok,
+        errored,
+        stats: handle.stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::AdmissionPolicy;
+    use crate::server::{ServeConfig, Server};
+    use crate::synthetic::SyntheticBackend;
+    use seneca_tensor::Shape4;
+    use std::sync::Arc;
+
+    fn tiny_frame() -> Tensor {
+        Tensor::from_vec(Shape4::new(1, 2, 2, 2), (0..8).map(|i| i as f32).collect())
+    }
+
+    #[test]
+    fn closed_loop_serves_every_request() {
+        let server = Server::start(
+            Arc::new(SyntheticBackend::new(Duration::from_micros(200))),
+            ServeConfig::default(),
+        );
+        let spec = LoadSpec::closed(40, 4, 7);
+        let rep = run_load(&server.handle(), &tiny_frame(), &spec);
+        assert_eq!(rep.ok, 40);
+        assert_eq!(rep.errored, 0);
+        assert_eq!(rep.stats.served, 40);
+        assert!(rep.offered_fps > 0.0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn open_loop_overload_rejects_some() {
+        let server = Server::start(
+            Arc::new(SyntheticBackend::new(Duration::from_millis(5))),
+            ServeConfig {
+                replicas: 1,
+                max_batch: 1,
+                max_delay: Duration::ZERO,
+                queue_capacity: 1,
+                admission: AdmissionPolicy::RejectWhenFull,
+            },
+        );
+        // Service rate ≈ 200/s; offer 2000/s.
+        let spec = LoadSpec::open(60, 2000.0, 11);
+        let rep = run_load(&server.handle(), &tiny_frame(), &spec);
+        assert!(rep.errored > 0, "overload must reject: {rep:?}");
+        assert!(rep.ok > 0, "some requests still get served");
+        assert_eq!(rep.ok + rep.errored, 60);
+        assert_eq!(rep.stats.rejected, rep.errored);
+        server.shutdown();
+    }
+}

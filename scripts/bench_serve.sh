@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Runs the serving saturation experiment and copies its machine-readable
+# result (BENCH_serve.json: per-backend saturation FPS plus p50/p95/p99,
+# served FPS and shed/rejected counts per offered-load x batch-window cell)
+# to the repo root.
+#
+#   scripts/bench_serve.sh [fast|reduced|paper]   (default: fast)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+scale="${1:-fast}"
+export SENECA_ARTIFACTS="${SENECA_ARTIFACTS:-target/seneca-artifacts}"
+
+cargo run --release -q -p seneca-bench --bin reproduce -- serve --scale "$scale"
+
+src="$SENECA_ARTIFACTS/experiments/BENCH_serve.json"
+[ -f "$src" ] || { echo "expected $src after the serve experiment" >&2; exit 1; }
+cp "$src" BENCH_serve.json
+echo "BENCH_serve.json updated (scale: $scale)"

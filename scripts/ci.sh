@@ -13,4 +13,7 @@ cargo clippy --all-targets -- -D warnings
 echo "== cargo test -q =="
 cargo test -q
 
+echo "== serve smoke (seneca-serve demo) =="
+cargo run --release -q -p seneca-serve --example serve_demo -- smoke
+
 echo "CI OK"
