@@ -1,9 +1,9 @@
 //! The [`Backend`] trait and the two host reference backends.
 
 use crate::prediction::Prediction;
-use crate::report::{ThroughputReport, ThroughputStats};
+use crate::report::{MemoryFootprint, ThroughputReport, ThroughputStats};
 use crate::session::{resolve_worker_threads, InferenceEngine, InferenceSession, SessionConfig};
-use seneca_nn::graph::Graph;
+use seneca_nn::graph::{FpScratch, Graph};
 use seneca_quant::QuantizedGraph;
 use seneca_tensor::{Shape4, Tensor};
 use std::time::{Duration, Instant};
@@ -84,6 +84,7 @@ fn measured_throughput<E: InferenceEngine>(
     shape: Shape4,
     threads: usize,
     n_frames: usize,
+    mem: MemoryFootprint,
 ) -> ThroughputReport {
     // Cap the measured frames: host execution of a 256x256 UNet is orders of
     // magnitude slower than the device models, and FPS converges quickly.
@@ -102,6 +103,8 @@ fn measured_throughput<E: InferenceEngine>(
         busy_cores: 0.0,
         util: 0.0,
         makespan_s,
+        peak_arena_bytes: mem.peak_arena_bytes,
+        total_activation_bytes: mem.total_activation_bytes,
     }
 }
 
@@ -129,15 +132,35 @@ impl Fp32RefBackend {
         self.threads = threads.max(1);
         self
     }
+
+    /// Planned per-worker activation memory (4 bytes per FP32 element).
+    pub fn memory_footprint(&self) -> MemoryFootprint {
+        let plan = self.graph.plan(self.input_shape);
+        MemoryFootprint {
+            peak_arena_bytes: plan.peak_arena_bytes(4),
+            total_activation_bytes: plan.total_activation_bytes(4),
+        }
+    }
+}
+
+/// Per-worker state of [`Fp32RefBackend`]: a liveness-planned scratch arena,
+/// reused across frames so the steady-state hot path never allocates.
+pub struct FpWorker {
+    scratch: FpScratch,
 }
 
 impl InferenceEngine for Fp32RefBackend {
-    type Worker = ();
+    type Worker = FpWorker;
 
-    fn new_worker(&self) {}
+    fn new_worker(&self) -> FpWorker {
+        FpWorker { scratch: self.graph.make_scratch(self.input_shape) }
+    }
 
-    fn infer(&self, _worker: &mut (), image: &Tensor) -> Prediction {
-        Prediction::from_f32(self.graph.execute(image))
+    fn infer(&self, worker: &mut FpWorker, image: &Tensor) -> Prediction {
+        if worker.scratch.input_shape() != image.shape() {
+            worker.scratch = self.graph.make_scratch(image.shape());
+        }
+        Prediction::from_f32(self.graph.execute_into(image, &mut worker.scratch).to_tensor())
     }
 }
 
@@ -155,7 +178,7 @@ impl Backend for Fp32RefBackend {
     }
 
     fn throughput(&self, n_frames: usize, _seed: u64) -> ThroughputReport {
-        measured_throughput(self, self.input_shape, self.threads, n_frames)
+        measured_throughput(self, self.input_shape, self.threads, n_frames, self.memory_footprint())
     }
 }
 
@@ -197,6 +220,15 @@ impl QuantRefBackend {
         self.threads = threads.max(1);
         self
     }
+
+    /// Planned per-worker activation memory (1 byte per INT8 element).
+    pub fn memory_footprint(&self) -> MemoryFootprint {
+        let plan = self.qgraph.plan(self.input_shape);
+        MemoryFootprint {
+            peak_arena_bytes: plan.peak_arena_bytes(1),
+            total_activation_bytes: plan.total_activation_bytes(1),
+        }
+    }
 }
 
 impl InferenceEngine for QuantRefBackend {
@@ -208,7 +240,7 @@ impl InferenceEngine for QuantRefBackend {
 
     fn infer(&self, scratch: &mut Self::Worker, image: &Tensor) -> Prediction {
         let q = self.qgraph.quantize_input(image);
-        let out = self.qgraph.execute_into(&q, scratch).clone();
+        let out = self.qgraph.execute_into(&q, scratch).to_qtensor();
         Prediction::from_i8(out)
     }
 }
@@ -227,6 +259,6 @@ impl Backend for QuantRefBackend {
     }
 
     fn throughput(&self, n_frames: usize, _seed: u64) -> ThroughputReport {
-        measured_throughput(self, self.input_shape, self.threads, n_frames)
+        measured_throughput(self, self.input_shape, self.threads, n_frames, self.memory_footprint())
     }
 }

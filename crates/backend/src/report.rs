@@ -8,6 +8,18 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Planned activation-memory footprint of a backend's executor, derived from
+/// the shared liveness plan (`seneca_nn::plan::ExecPlan`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryFootprint {
+    /// Activation arena bytes actually allocated per worker: the sum of the
+    /// liveness plan's slot capacities (peak-live, skip-aware).
+    pub peak_arena_bytes: u64,
+    /// Sum of every node's activation bytes — what a naive
+    /// one-buffer-per-node executor would hold.
+    pub total_activation_bytes: u64,
+}
+
 /// Result of one throughput run on any backend.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ThroughputReport {
@@ -26,6 +38,11 @@ pub struct ThroughputReport {
     pub util: f64,
     /// Wall-clock of the run (s) — simulated or measured.
     pub makespan_s: f64,
+    /// Per-worker activation arena bytes under the liveness plan (0 when the
+    /// backend does not report memory).
+    pub peak_arena_bytes: u64,
+    /// Sum-of-all-activations bytes for comparison (0 when not reported).
+    pub total_activation_bytes: u64,
 }
 
 impl ThroughputReport {
@@ -89,6 +106,8 @@ mod tests {
             busy_cores: 0.0,
             util: 0.0,
             makespan_s: 1.0,
+            peak_arena_bytes: 0,
+            total_activation_bytes: 0,
         }
     }
 

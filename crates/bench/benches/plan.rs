@@ -1,0 +1,43 @@
+//! Criterion benchmarks of the plan-based executors against the naive
+//! allocate-per-node paths: same graph, same frame, the only difference is
+//! the liveness-planned scratch arena (zero steady-state allocation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use seneca_nn::graph::Graph;
+use seneca_nn::unet::{UNet, UNetConfig};
+use seneca_quant::{fuse, quantize_post_training, PtqConfig};
+use seneca_tensor::{Shape4, Tensor};
+
+fn setup(depth: usize, base_filters: usize) -> (Graph, Tensor) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let cfg = UNetConfig { depth, base_filters, in_channels: 1, num_classes: 6, dropout: 0.0 };
+    let net = UNet::new(cfg, &mut rng);
+    let graph = Graph::from_unet(&net, format!("d{depth}f{base_filters}"));
+    let img = Tensor::he_normal(Shape4::new(1, 1, 64, 64), &mut rng);
+    (graph, img)
+}
+
+fn bench_fp32_naive_vs_planned(c: &mut Criterion) {
+    let (graph, img) = setup(3, 8);
+    c.bench_function("fp32/naive/d3f8@64", |b| b.iter(|| graph.execute(&img)));
+    let mut scratch = graph.make_scratch(img.shape());
+    c.bench_function("fp32/planned/d3f8@64", |b| {
+        b.iter(|| graph.execute_into(&img, &mut scratch).to_tensor())
+    });
+}
+
+fn bench_int8_naive_vs_planned(c: &mut Criterion) {
+    let (graph, img) = setup(3, 8);
+    let fg = fuse(&graph);
+    let (qg, _) = quantize_post_training(&fg, std::slice::from_ref(&img), &PtqConfig::default());
+    let q = qg.quantize_input(&img);
+    c.bench_function("int8/naive/d3f8@64", |b| b.iter(|| qg.execute(&q)));
+    let mut scratch = qg.make_scratch(img.shape());
+    c.bench_function("int8/planned/d3f8@64", |b| {
+        b.iter(|| qg.execute_into(&q, &mut scratch).to_qtensor())
+    });
+}
+
+criterion_group!(benches, bench_fp32_naive_vs_planned, bench_int8_naive_vs_planned);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Activation-memory accounting per model size at 256x256: per-worker arena
+//! bytes under the liveness plan vs the naive sum-of-all-activations pool.
+//! Used as a CI smoke check: the plan must beat the naive pool.
+
+use rand::SeedableRng;
+use seneca_nn::graph::Graph;
+use seneca_nn::unet::{ModelSize, UNet};
+use seneca_quant::{fuse, quantize_post_training, PtqConfig};
+use seneca_tensor::{Shape4, Tensor};
+
+fn mib(bytes: u64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let input = Shape4::new(1, 1, 256, 256);
+    let calib = vec![Tensor::he_normal(Shape4::new(1, 1, 32, 32), &mut rng)];
+    println!(
+        "{:>4} {:>6} | {:>11} {:>11} {:>6} | {:>11} {:>11} {:>6}",
+        "cfg", "slots", "fp32_peak", "fp32_total", "ratio", "int8_peak", "int8_total", "ratio"
+    );
+    for size in ModelSize::ALL {
+        let net = UNet::from_size(size, &mut rng);
+        let g = Graph::from_unet(&net, size.label());
+        let plan = g.plan(input);
+        let (qg, _) = quantize_post_training(&fuse(&g), &calib, &PtqConfig::default());
+        let qplan = qg.plan(input);
+        let (fp_peak, fp_total) = (plan.peak_arena_bytes(4), plan.total_activation_bytes(4));
+        let (q_peak, q_total) = (qplan.peak_arena_bytes(1), qplan.total_activation_bytes(1));
+        assert!(
+            fp_peak < fp_total && q_peak < q_total,
+            "{}: liveness plan must beat the naive activation pool",
+            size.label()
+        );
+        println!(
+            "{:>4} {:>6} | {:>10.2}M {:>10.2}M {:>5.2}x | {:>10.2}M {:>10.2}M {:>5.2}x",
+            size.label(),
+            plan.n_slots(),
+            mib(fp_peak),
+            mib(fp_total),
+            fp_total as f64 / fp_peak as f64,
+            mib(q_peak),
+            mib(q_total),
+            q_total as f64 / q_peak as f64,
+        );
+    }
+    println!("ok: peak_arena_bytes < total_activation_bytes for all model sizes");
+}

@@ -11,7 +11,7 @@ use crate::isa::DpuInstr;
 use crate::perf::{frame_cost, FrameCost};
 use crate::xmodel::XModel;
 use seneca_quant::{ExecScratch, QOp};
-use seneca_tensor::QTensor;
+use seneca_tensor::{QTensor, QTensorView};
 
 /// Execution mode of a core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,7 +73,7 @@ impl DpuCore {
         let cost = frame_cost(xm, &xm.arch);
         let output = match self.mode {
             ExecMode::TimingOnly => None,
-            ExecMode::Functional => Some(self.exec_instrs(xm, input, scratch).clone()),
+            ExecMode::Functional => Some(self.exec_instrs(xm, input, scratch).to_qtensor()),
         };
         JobResult { output, cost }
     }
@@ -84,7 +84,7 @@ impl DpuCore {
         xm: &XModel,
         input: &QTensor,
         scratch: &'s mut ExecScratch,
-    ) -> &'s QTensor {
+    ) -> QTensorView<'s> {
         assert_eq!(input.fix_pos(), xm.qgraph.input_fp, "input fix position");
         assert_eq!(input.shape(), xm.input_shape, "input geometry");
         scratch.load_input(input);

@@ -143,7 +143,17 @@ impl DpuRunner {
             threads,
         });
 
-        ThroughputReport { fps, watt, frames: rep.completed, threads, busy_cores, util, makespan_s }
+        ThroughputReport {
+            fps,
+            watt,
+            frames: rep.completed,
+            threads,
+            busy_cores,
+            util,
+            makespan_s,
+            peak_arena_bytes: xm.stats.peak_arena_bytes,
+            total_activation_bytes: xm.stats.total_activation_bytes,
+        }
     }
 
     /// Functional execution of a batch of preprocessed FP32 images through

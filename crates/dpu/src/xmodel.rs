@@ -28,6 +28,12 @@ pub struct CompileStats {
     pub compute_cycles: u64,
     /// Number of layers with ICP-misaligned channel counts.
     pub misaligned_layers: usize,
+    /// DDR feature-map arena bytes under the shared liveness plan
+    /// (channel-padded, slots reused once a map's last consumer retires).
+    pub peak_arena_bytes: u64,
+    /// Sum of every feature map's channel-padded bytes — what keeping all
+    /// maps resident in DDR simultaneously would cost.
+    pub total_activation_bytes: u64,
 }
 
 /// A compiled DPU model.

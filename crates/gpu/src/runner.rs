@@ -39,6 +39,7 @@ impl GpuRunner {
         // TDP-bound power with a whiff of measurement noise.
         let u: f64 = rng.gen_range(-1.0..1.0);
         let watt = self.device.load_power_w + 0.5 * u;
+        let plan = self.graph.plan(self.input_shape);
         ThroughputReport {
             fps,
             watt,
@@ -49,6 +50,8 @@ impl GpuRunner {
             busy_cores: 1.0,
             util: 1.0,
             makespan_s: total_ns * 1e-9,
+            peak_arena_bytes: plan.peak_arena_bytes(4),
+            total_activation_bytes: plan.total_activation_bytes(4),
         }
     }
 
@@ -70,8 +73,19 @@ impl Backend for GpuRunner {
 
     fn infer_batch(&self, images: &[Tensor]) -> Vec<Prediction> {
         // The baseline submits frames on one synchronous stream (like the
-        // paper's TF session), so the batch path is a plain sequential loop.
-        images.iter().map(|img| Prediction::from_f32(self.infer(img))).collect()
+        // paper's TF session), so the batch path is a plain sequential loop —
+        // with one liveness-planned scratch arena reused across the batch.
+        let mut scratch: Option<seneca_nn::FpScratch> = None;
+        images
+            .iter()
+            .map(|img| {
+                let s = match &mut scratch {
+                    Some(s) if s.input_shape() == img.shape() => s,
+                    slot => slot.insert(self.graph.make_scratch(img.shape())),
+                };
+                Prediction::from_f32(self.graph.execute_into(img, s).to_tensor())
+            })
+            .collect()
     }
 
     fn throughput(&self, n_frames: usize, seed: u64) -> ThroughputReport {

@@ -8,10 +8,13 @@
 //! those tools can demonstrate folding/removal, and it ships with a plain
 //! FP32 executor used by the GPU baseline.
 
+use crate::plan::ExecPlan;
 use crate::unet::UNet;
-use seneca_tensor::norm::BnState;
+use seneca_tensor::activation::softmax_channels_into;
+use seneca_tensor::norm::{batchnorm_inference_into, BnState};
 use seneca_tensor::prelude::*;
-use seneca_tensor::Tensor;
+use seneca_tensor::tensor::concat_channels_into;
+use seneca_tensor::{Tensor, TensorView};
 use serde::{Deserialize, Serialize};
 
 /// Graph operation.
@@ -230,6 +233,98 @@ impl Graph {
         vals[self.output].take().expect("output computed")
     }
 
+    /// Lowers the graph into a liveness-planned [`ExecPlan`] for the given
+    /// input geometry (slot-of/last-use per node, arena slot sizes).
+    pub fn plan(&self, input: Shape4) -> ExecPlan {
+        let shapes = self.shapes(input);
+        let inputs: Vec<&[usize]> = self.nodes.iter().map(|n| n.inputs.as_slice()).collect();
+        let elems: Vec<usize> = shapes.iter().map(|s| s.len()).collect();
+        ExecPlan::build(&inputs, &elems, self.output)
+    }
+
+    /// Allocates the per-worker arena for [`Graph::execute_into`]: one buffer
+    /// per plan slot (peak-live footprint) plus the shared im2col column
+    /// buffer. Build once per worker, reuse across frames.
+    pub fn make_scratch(&self, input: Shape4) -> FpScratch {
+        let plan = self.plan(input);
+        let shapes = self.shapes(input);
+        let slots = plan.slot_sizes().iter().map(|&e| vec![0.0f32; e]).collect();
+        FpScratch { plan, shapes, col: Vec::new(), slots }
+    }
+
+    /// Executes the graph through the liveness plan, bit-identical to
+    /// [`Graph::execute`] but with zero steady-state allocation: every node
+    /// writes into its assigned arena slot. The returned view borrows the
+    /// scratch and stays valid until the next frame.
+    pub fn execute_into<'s>(&self, input: &Tensor, scratch: &'s mut FpScratch) -> TensorView<'s> {
+        assert_eq!(input.shape(), scratch.shapes[0], "scratch built for a different input shape");
+        let s0 = scratch.plan.slot_of(0);
+        scratch.slots[s0][..input.data().len()].copy_from_slice(input.data());
+
+        for (i, node) in self.nodes.iter().enumerate().skip(1) {
+            let si = scratch.plan.slot_of(i);
+            // Take the output buffer out of the arena so input slots stay
+            // borrowable; the plan guarantees no live input shares `si`.
+            let mut out_buf = std::mem::take(&mut scratch.slots[si]);
+            let out = &mut out_buf[..scratch.plan.elems_of(i)];
+            {
+                let slots = &scratch.slots;
+                let shapes = &scratch.shapes;
+                let plan = &scratch.plan;
+                let view = |j: usize| -> (Shape4, &[f32]) {
+                    debug_assert_ne!(plan.slot_of(j), si, "output slot aliases live input {j}");
+                    (shapes[j], &slots[plan.slot_of(j)][..shapes[j].len()])
+                };
+                match &node.op {
+                    Op::Input => unreachable!("multiple inputs unsupported"),
+                    Op::Conv { w, b, relu: fused } => {
+                        let (xs, x) = view(node.inputs[0]);
+                        conv2d_into(xs, x, w, b, Conv2dParams::SAME_3X3, &mut scratch.col, out);
+                        if *fused {
+                            for v in out.iter_mut() {
+                                *v = v.max(0.0);
+                            }
+                        }
+                    }
+                    Op::BatchNorm { bn } => {
+                        let (xs, x) = view(node.inputs[0]);
+                        batchnorm_inference_into(xs, x, bn, out);
+                    }
+                    Op::Relu => {
+                        let (_, x) = view(node.inputs[0]);
+                        relu_into(x, out);
+                    }
+                    Op::MaxPool2x2 => {
+                        let (xs, x) = view(node.inputs[0]);
+                        maxpool2x2_into(xs, x, out);
+                    }
+                    Op::TConv { w, b } => {
+                        let (xs, x) = view(node.inputs[0]);
+                        tconv2x2_into(xs, x, w, b, out);
+                    }
+                    Op::Concat => {
+                        let (sa, a) = view(node.inputs[0]);
+                        let (sb, bb) = view(node.inputs[1]);
+                        concat_channels_into(sa, a, sb, bb, out);
+                    }
+                    Op::Dropout { .. } => {
+                        let (_, x) = view(node.inputs[0]);
+                        out.copy_from_slice(x);
+                    }
+                    Op::Softmax => {
+                        let (xs, x) = view(node.inputs[0]);
+                        softmax_channels_into(xs, x, out);
+                    }
+                }
+            }
+            scratch.slots[si] = out_buf;
+        }
+
+        let so = scratch.plan.slot_of(self.output);
+        let shape = scratch.shapes[self.output];
+        TensorView::new(shape, &scratch.slots[so][..shape.len()])
+    }
+
     /// Number of nodes per mnemonic (compiler statistics helper).
     pub fn op_histogram(&self) -> std::collections::BTreeMap<&'static str, usize> {
         let mut h = std::collections::BTreeMap::new();
@@ -237,6 +332,32 @@ impl Graph {
             *h.entry(n.op.mnemonic()).or_insert(0) += 1;
         }
         h
+    }
+}
+
+/// Per-worker FP32 execution arena for [`Graph::execute_into`].
+///
+/// Holds the liveness plan, the node shapes it was built for, one `f32`
+/// buffer per plan slot (total size = peak-live elements, not
+/// sum-of-all-activations) and the im2col column buffer shared by every conv
+/// in the graph. All buffers reach steady state after the first frame.
+#[derive(Debug, Clone)]
+pub struct FpScratch {
+    plan: ExecPlan,
+    shapes: Vec<Shape4>,
+    col: Vec<f32>,
+    slots: Vec<Vec<f32>>,
+}
+
+impl FpScratch {
+    /// The execution plan this arena was built from.
+    pub fn plan(&self) -> &ExecPlan {
+        &self.plan
+    }
+
+    /// The input geometry this arena was built for.
+    pub fn input_shape(&self) -> Shape4 {
+        self.shapes[0]
     }
 }
 
@@ -312,6 +433,74 @@ mod tests {
     fn push_rejects_forward_references() {
         let mut g = Graph::new("bad");
         g.push(Op::Relu, vec![7]);
+    }
+
+    #[test]
+    fn planned_execute_into_matches_execute_bit_exactly() {
+        let net = tiny_net(12);
+        let g = Graph::from_unet(&net, "tiny");
+        let mut scratch = g.make_scratch(Shape4::new(1, 1, 16, 16));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        // Several frames through the same arena: results must stay bit-equal
+        // to the naive executor (no stale-slot contamination).
+        for frame in 0..3 {
+            let x = Tensor::he_normal(Shape4::new(1, 1, 16, 16), &mut rng);
+            let naive = g.execute(&x);
+            let planned = g.execute_into(&x, &mut scratch);
+            assert_eq!(planned.shape(), naive.shape());
+            assert_eq!(planned.data(), naive.data(), "frame {frame} diverged");
+        }
+    }
+
+    #[test]
+    fn plan_reuses_slots_below_total_activations() {
+        // Depth-4 / 8-filter is the paper's 1M configuration: skip-aware
+        // liveness must cut the arena well below the per-node sum.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+        let cfg =
+            UNetConfig { depth: 4, base_filters: 8, in_channels: 1, num_classes: 6, dropout: 0.1 };
+        let g = Graph::from_unet(&UNet::new(cfg, &mut rng), "m1");
+        let plan = g.plan(Shape4::new(1, 1, 64, 64));
+        assert!(plan.n_slots() < plan.n_nodes());
+        assert!(
+            2 * plan.peak_arena_elems() < plan.total_activation_elems(),
+            "peak {} vs total {}",
+            plan.peak_arena_elems(),
+            plan.total_activation_elems()
+        );
+    }
+
+    #[test]
+    fn slot_reuse_never_aliases_live_skip_connection() {
+        let net = tiny_net(15);
+        let g = Graph::from_unet(&net, "tiny");
+        let plan = g.plan(Shape4::new(1, 1, 32, 32));
+        for (i, node) in g.nodes.iter().enumerate() {
+            if !matches!(node.op, Op::Concat) {
+                continue;
+            }
+            // The skip input was produced long before the concat; every node
+            // defined in between must avoid its slot.
+            let skip = node.inputs[0];
+            assert_eq!(plan.last_use_of(skip), i, "skip {skip} live exactly until concat {i}");
+            for j in (skip + 1)..i {
+                assert_ne!(
+                    plan.slot_of(j),
+                    plan.slot_of(skip),
+                    "node {j} clobbers skip {skip} before concat {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reports_its_input_shape() {
+        let net = tiny_net(16);
+        let g = Graph::from_unet(&net, "tiny");
+        let shape = Shape4::new(1, 1, 16, 16);
+        let scratch = g.make_scratch(shape);
+        assert_eq!(scratch.input_shape(), shape);
+        assert_eq!(scratch.plan().n_nodes(), g.nodes.len());
     }
 
     #[test]

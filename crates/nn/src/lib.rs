@@ -12,6 +12,9 @@
 //! * [`train`] — a mini-batch training loop with seeded shuffling;
 //! * [`graph`] — a small inference IR (the hand-off format to the quantizer
 //!   and the DPU compiler) and an FP32 executor for it;
+//! * [`plan`] — the shared execution-plan layer: liveness analysis and
+//!   buffer-slot assignment used by the FP32 and INT8 executors and the DPU
+//!   compiler's memory accounting;
 //! * [`prune`] — magnitude-based channel pruning (the paper's future-work
 //!   ablation);
 //! * [`augment`] — flip/translate/intensity-jitter training augmentation.
@@ -21,11 +24,13 @@ pub mod graph;
 pub mod layer;
 pub mod loss;
 pub mod optim;
+pub mod plan;
 pub mod prune;
 pub mod train;
 pub mod unet;
 
-pub use graph::{Graph, Node, Op};
+pub use graph::{FpScratch, Graph, Node, Op};
 pub use loss::FocalTverskyLoss;
 pub use optim::{Adam, Optimizer, Sgd};
+pub use plan::ExecPlan;
 pub use unet::{ModelSize, UNet, UNetConfig};

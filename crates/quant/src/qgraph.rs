@@ -6,11 +6,13 @@
 //! `fp_in + fp_w`, and each op's output is requantised to its calibrated
 //! activation fix position.
 
+use seneca_nn::plan::ExecPlan;
 use seneca_tensor::gemm::igemm;
 use seneca_tensor::im2col::{im2col_i8, ConvGeom};
-use seneca_tensor::quantized::{requantize_i32, QTensor};
+use seneca_tensor::quantized::{requantize_i32, QTensor, QTensorView};
 use seneca_tensor::{Shape4, Tensor};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// Parameters of a quantized (t)conv.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -102,21 +104,29 @@ impl QuantizedGraph {
         QTensor::quantize(x, self.input_fp)
     }
 
-    /// Output shapes per node.
+    /// Output shapes per node. Panics on structurally corrupt graphs
+    /// (mismatched conv `C_in`, unequal concat geometries) rather than
+    /// mis-executing — mirroring `Graph::shapes` on the FP32 side.
     pub fn shapes(&self, input: Shape4) -> Vec<Shape4> {
         let mut shapes: Vec<Shape4> = Vec::with_capacity(self.nodes.len());
         for node in &self.nodes {
             let s = match &node.op {
                 QOp::Input => input,
-                QOp::Conv(p) => shapes[node.inputs[0]].with_c(p.w.shape().n),
+                QOp::Conv(p) => {
+                    let i: Shape4 = shapes[node.inputs[0]];
+                    assert_eq!(p.w.shape().c, i.c, "qconv C_in mismatch");
+                    i.with_c(p.w.shape().n)
+                }
                 QOp::TConv(p) => {
                     let i: Shape4 = shapes[node.inputs[0]];
+                    assert_eq!(p.w.shape().n, i.c, "qtconv C_in mismatch");
                     i.with_c(p.w.shape().c).upsampled2x2()
                 }
                 QOp::MaxPool2x2 => shapes[node.inputs[0]].pooled2x2(),
                 QOp::Concat { .. } => {
                     let a = shapes[node.inputs[0]];
                     let b = shapes[node.inputs[1]];
+                    assert_eq!((a.n, a.h, a.w), (b.n, b.h, b.w), "qconcat geometry mismatch");
                     a.with_c(a.c + b.c)
                 }
             };
@@ -182,90 +192,164 @@ impl QuantizedGraph {
         fps
     }
 
-    /// Allocates the full per-worker scratch pool for this graph at the given
-    /// input geometry: one activation tensor per node plus the im2col/GEMM
-    /// work buffers. One scratch per worker thread makes repeated
-    /// [`QuantizedGraph::execute_into`] calls allocation-free.
-    pub fn make_scratch(&self, input: Shape4) -> ExecScratch {
-        let vals = self
-            .shapes(input)
-            .into_iter()
-            .zip(self.fix_positions())
-            .map(|(s, fp)| QTensor::zeros(s, fp))
-            .collect();
-        ExecScratch { col: Vec::new(), acc: Vec::new(), vals }
+    /// Lowers the graph into a liveness-planned [`ExecPlan`] for the given
+    /// input geometry — the same planner the FP32 executor uses.
+    pub fn plan(&self, input: Shape4) -> ExecPlan {
+        let elems: Vec<usize> = self.shapes(input).iter().map(|s| s.len()).collect();
+        self.plan_with_elems(&elems)
     }
 
-    /// Executes the graph into a pre-allocated scratch pool — bit-identical
+    /// Lowers the graph into an [`ExecPlan`] over caller-supplied per-node
+    /// element counts — the hook the DPU compiler uses to account DDR
+    /// feature-map arenas with channel-padded sizes.
+    pub fn plan_with_elems(&self, elems: &[usize]) -> ExecPlan {
+        let inputs: Vec<&[usize]> = self.nodes.iter().map(|n| n.inputs.as_slice()).collect();
+        ExecPlan::build(&inputs, elems, self.output)
+    }
+
+    /// Allocates the per-worker scratch arena for this graph at the given
+    /// input geometry: one INT8 buffer per liveness-plan slot (peak-live
+    /// footprint, not one-tensor-per-node) plus the im2col/GEMM work
+    /// buffers. One scratch per worker thread makes repeated
+    /// [`QuantizedGraph::execute_into`] calls allocation-free.
+    pub fn make_scratch(&self, input: Shape4) -> ExecScratch {
+        let plan = self.plan(input);
+        let shapes = self.shapes(input);
+        let fps = self.fix_positions();
+        let slots = plan.slot_sizes().iter().map(|&e| vec![0i8; e]).collect();
+        ExecScratch { plan, shapes, fps, col: Vec::new(), acc: Vec::new(), slots }
+    }
+
+    /// Executes the graph into a pre-allocated scratch arena — bit-identical
     /// to [`QuantizedGraph::execute`] but with zero per-frame allocation
     /// once the scratch work buffers have reached their steady-state size.
-    pub fn execute_into<'s>(&self, input: &QTensor, scratch: &'s mut ExecScratch) -> &'s QTensor {
+    /// The returned view borrows the arena and stays valid until the next
+    /// frame.
+    pub fn execute_into<'s>(
+        &self,
+        input: &QTensor,
+        scratch: &'s mut ExecScratch,
+    ) -> QTensorView<'s> {
         scratch.load_input(input);
-        for id in 0..self.nodes.len() {
+        for id in 1..self.nodes.len() {
             self.execute_node_into(id, scratch);
         }
         scratch.node_output(self.output)
     }
 
-    /// Executes one node out of the scratch pool (inputs must already be
-    /// materialised — node ids are topological, so running ids in order or
-    /// following a compiled instruction stream both satisfy this).
+    /// Executes one node out of the scratch arena. Inputs must still be live
+    /// under the plan — running ids in increasing order (as both
+    /// [`QuantizedGraph::execute_into`] and the compiled DPU instruction
+    /// stream do) satisfies this, because a slot is only recycled after its
+    /// value's last consumer has run.
     pub fn execute_node_into(&self, id: usize, scratch: &mut ExecScratch) {
         let node = &self.nodes[id];
-        let ExecScratch { col, acc, vals } = scratch;
-        let (before, rest) = vals.split_at_mut(id);
-        let out = &mut rest[0];
-        match &node.op {
-            QOp::Input => {} // seeded by `ExecScratch::load_input`
-            QOp::Conv(p) => qconv3x3_into(&before[node.inputs[0]], p, col, acc, out),
-            QOp::TConv(p) => qtconv2x2_into(&before[node.inputs[0]], p, out),
-            QOp::MaxPool2x2 => qmaxpool_into(&before[node.inputs[0]], out),
-            QOp::Concat { shift_a, shift_b, out_fp } => qconcat_into(
-                &before[node.inputs[0]],
-                &before[node.inputs[1]],
-                *shift_a,
-                *shift_b,
-                *out_fp,
-                out,
-            ),
+        if matches!(node.op, QOp::Input) {
+            return; // seeded by `ExecScratch::load_input`
         }
+        let si = scratch.plan.slot_of(id);
+        // Take the output buffer out of the arena so input slots stay
+        // borrowable; the plan guarantees no live input shares `si`.
+        let mut out_buf = std::mem::take(&mut scratch.slots[si]);
+        let out = &mut out_buf[..scratch.plan.elems_of(id)];
+        {
+            let slots = &scratch.slots;
+            let shapes = &scratch.shapes;
+            let fps = &scratch.fps;
+            let plan = &scratch.plan;
+            let view = |j: usize| -> (Shape4, &[i8]) {
+                debug_assert_ne!(plan.slot_of(j), si, "output slot aliases live input {j}");
+                (shapes[j], &slots[plan.slot_of(j)][..shapes[j].len()])
+            };
+            match &node.op {
+                QOp::Input => unreachable!(),
+                QOp::Conv(p) => {
+                    let j = node.inputs[0];
+                    let (xs, x) = view(j);
+                    debug_assert_eq!(fps[j], p.in_fp, "qconv input fix position");
+                    qconv3x3_core(xs, x, p, &mut scratch.col, &mut scratch.acc, out);
+                }
+                QOp::TConv(p) => {
+                    let j = node.inputs[0];
+                    let (xs, x) = view(j);
+                    debug_assert_eq!(fps[j], p.in_fp, "qtconv input fix position");
+                    qtconv2x2_core(xs, x, p, out);
+                }
+                QOp::MaxPool2x2 => {
+                    let (xs, x) = view(node.inputs[0]);
+                    qmaxpool_core(xs, x, out);
+                }
+                QOp::Concat { shift_a, shift_b, .. } => {
+                    let (sa, a) = view(node.inputs[0]);
+                    let (sb, b) = view(node.inputs[1]);
+                    qconcat_core(sa, a, sb, b, *shift_a, *shift_b, out);
+                }
+            }
+        }
+        scratch.slots[si] = out_buf;
     }
 }
 
-/// Per-worker execution scratch: every node's activation tensor plus the
-/// im2col column and GEMM accumulator buffers, all reused across frames.
+/// Per-worker execution arena: one INT8 buffer per liveness-plan slot plus
+/// the im2col column and GEMM accumulator buffers, all reused across frames.
 #[derive(Debug, Clone)]
 pub struct ExecScratch {
+    /// The liveness plan the arena is laid out by.
+    plan: ExecPlan,
+    /// Per-node output shapes at the planned input geometry.
+    shapes: Vec<Shape4>,
+    /// Per-node output fix positions.
+    fps: Vec<i32>,
     /// im2col column buffer (grown to the largest conv in the graph).
     col: Vec<i8>,
     /// INT32 GEMM accumulator buffer.
     acc: Vec<i32>,
-    /// Per-node activation tensors (index = node id).
-    vals: Vec<QTensor>,
+    /// Slot buffers (index = plan slot id); total size = peak-live bytes.
+    slots: Vec<Vec<i8>>,
 }
 
 impl ExecScratch {
-    /// Seeds the input node's buffer from a quantised frame.
-    pub fn load_input(&mut self, input: &QTensor) {
-        let slot = &mut self.vals[0];
-        assert_eq!(input.shape(), slot.shape(), "scratch input geometry");
-        assert_eq!(input.fix_pos(), slot.fix_pos(), "scratch input fix position");
-        slot.data_mut().copy_from_slice(input.data());
+    /// The execution plan this arena was built from.
+    pub fn plan(&self) -> &ExecPlan {
+        &self.plan
     }
 
-    /// Borrow of one node's output tensor.
-    pub fn node_output(&self, id: usize) -> &QTensor {
-        &self.vals[id]
+    /// Seeds the input node's slot from a quantised frame.
+    pub fn load_input(&mut self, input: &QTensor) {
+        assert_eq!(input.shape(), self.shapes[0], "scratch input geometry");
+        assert_eq!(input.fix_pos(), self.fps[0], "scratch input fix position");
+        let s0 = self.plan.slot_of(0);
+        self.slots[s0][..input.data().len()].copy_from_slice(input.data());
+    }
+
+    /// Borrowed view of one node's output. Valid only while the node's value
+    /// is live under the plan (always true for the graph output after a full
+    /// [`QuantizedGraph::execute_into`] walk).
+    pub fn node_output(&self, id: usize) -> QTensorView<'_> {
+        let s = self.shapes[id];
+        QTensorView::new(s, &self.slots[self.plan.slot_of(id)][..s.len()], self.fps[id])
     }
 }
 
-/// Quantized 3x3 same conv (allocating convenience wrapper).
+thread_local! {
+    /// Reusable im2col/accumulator work buffers for the allocating
+    /// [`qconv3x3`] wrapper, so one-off calls (calibration sweeps, the
+    /// fast-finetune reference pass) stop re-allocating the two largest work
+    /// buffers on every invocation.
+    static QCONV_WORK: RefCell<(Vec<i8>, Vec<i32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Quantized 3x3 same conv (allocating convenience wrapper; work buffers are
+/// reused from a thread-local pool, only the output is allocated).
 pub fn qconv3x3(x: &QTensor, p: &QConvParams) -> QTensor {
     let xs = x.shape();
     let geom = ConvGeom { c_in: xs.c, h: xs.h, w: xs.w, k: 3, pad: 1, stride: 1 };
     let mut out =
         QTensor::zeros(Shape4::new(xs.n, p.w.shape().n, geom.h_out(), geom.w_out()), p.out_fp);
-    qconv3x3_into(x, p, &mut Vec::new(), &mut Vec::new(), &mut out);
+    QCONV_WORK.with(|work| {
+        let (col, acc) = &mut *work.borrow_mut();
+        qconv3x3_into(x, p, col, acc, &mut out);
+    });
     out
 }
 
@@ -279,16 +363,33 @@ pub fn qconv3x3_into(
     acc: &mut Vec<i32>,
     out: &mut QTensor,
 ) {
-    let xs = x.shape();
-    let ws = p.w.shape();
-    assert_eq!(ws.c, xs.c, "qconv C_in");
     assert_eq!(x.fix_pos(), p.in_fp, "qconv input fix position");
+    assert_eq!(out.fix_pos(), p.out_fp, "qconv output fix position");
+    let xs = x.shape();
+    let geom = ConvGeom { c_in: xs.c, h: xs.h, w: xs.w, k: 3, pad: 1, stride: 1 };
+    let out_shape = Shape4::new(xs.n, p.w.shape().n, geom.h_out(), geom.w_out());
+    assert_eq!(out.shape(), out_shape, "qconv output geometry");
+    qconv3x3_core(xs, x.data(), p, col, acc, out.data_mut());
+}
+
+/// Quantized 3x3 same conv on raw arena slices — the planned executor's
+/// entry point. Returns the output shape.
+pub fn qconv3x3_core(
+    xs: Shape4,
+    x: &[i8],
+    p: &QConvParams,
+    col: &mut Vec<i8>,
+    acc: &mut Vec<i32>,
+    out: &mut [i8],
+) -> Shape4 {
+    let ws = p.w.shape();
+    assert_eq!(x.len(), xs.len(), "qconv input buffer/shape mismatch");
+    assert_eq!(ws.c, xs.c, "qconv C_in");
     let geom = ConvGeom { c_in: xs.c, h: xs.h, w: xs.w, k: 3, pad: 1, stride: 1 };
     let cols = geom.col_cols();
     let ckk = geom.col_rows();
     let out_shape = Shape4::new(xs.n, ws.n, geom.h_out(), geom.w_out());
-    assert_eq!(out.shape(), out_shape, "qconv output geometry");
-    assert_eq!(out.fix_pos(), p.out_fp, "qconv output fix position");
+    assert_eq!(out.len(), out_shape.len(), "qconv output buffer size");
     let shift = p.shift();
 
     // im2col fully overwrites and igemm zero-fills, so stale contents are
@@ -300,10 +401,10 @@ pub fn qconv3x3_into(
         acc.resize(ws.n * cols, 0);
     }
     for n in 0..xs.n {
-        let x_n = &x.data()[n * xs.chw()..(n + 1) * xs.chw()];
+        let x_n = &x[n * xs.chw()..(n + 1) * xs.chw()];
         im2col_i8(&geom, x_n, col);
         igemm(ws.n, ckk, cols, p.w.data(), col, acc);
-        let y_n = &mut out.data_mut()[n * out_shape.chw()..(n + 1) * out_shape.chw()];
+        let y_n = &mut out[n * out_shape.chw()..(n + 1) * out_shape.chw()];
         for co in 0..ws.n {
             let b = p.bias.get(co).copied().unwrap_or(0);
             for pix in 0..cols {
@@ -315,9 +416,12 @@ pub fn qconv3x3_into(
             }
         }
     }
+    out_shape
 }
 
-/// Quantized 2x2 stride-2 transpose conv (allocating convenience wrapper).
+/// Quantized 2x2 stride-2 transpose conv (allocating convenience wrapper;
+/// the direct-loop kernel needs no work buffers, so the returned output is
+/// the only allocation).
 pub fn qtconv2x2(x: &QTensor, p: &QConvParams) -> QTensor {
     let xs = x.shape();
     let mut out = QTensor::zeros(Shape4::new(xs.n, p.w.shape().c, xs.h * 2, xs.w * 2), p.out_fp);
@@ -327,14 +431,24 @@ pub fn qtconv2x2(x: &QTensor, p: &QConvParams) -> QTensor {
 
 /// Quantized 2x2 stride-2 transpose conv into a pre-allocated output.
 pub fn qtconv2x2_into(x: &QTensor, p: &QConvParams, out: &mut QTensor) {
-    let xs = x.shape();
-    let ws = p.w.shape(); // [C_in, C_out, 2, 2]
-    assert_eq!(ws.n, xs.c, "qtconv C_in");
     assert_eq!(x.fix_pos(), p.in_fp, "qtconv input fix position");
+    assert_eq!(out.fix_pos(), p.out_fp, "qtconv output fix position");
+    let xs = x.shape();
+    let out_shape = Shape4::new(xs.n, p.w.shape().c, xs.h * 2, xs.w * 2);
+    assert_eq!(out.shape(), out_shape, "qtconv output geometry");
+    qtconv2x2_core(xs, x.data(), p, out.data_mut());
+}
+
+/// Quantized transpose conv on raw arena slices — the planned executor's
+/// entry point. Every output element is written (bias or zero base), so
+/// stale slot contents are harmless. Returns the output shape.
+pub fn qtconv2x2_core(xs: Shape4, x: &[i8], p: &QConvParams, out: &mut [i8]) -> Shape4 {
+    let ws = p.w.shape(); // [C_in, C_out, 2, 2]
+    assert_eq!(x.len(), xs.len(), "qtconv input buffer/shape mismatch");
+    assert_eq!(ws.n, xs.c, "qtconv C_in");
     let c_out = ws.c;
     let out_shape = Shape4::new(xs.n, c_out, xs.h * 2, xs.w * 2);
-    assert_eq!(out.shape(), out_shape, "qtconv output geometry");
-    assert_eq!(out.fix_pos(), p.out_fp, "qtconv output fix position");
+    assert_eq!(out.len(), out_shape.len(), "qtconv output buffer size");
     let shift = p.shift();
     let (h, wd) = (xs.h, xs.w);
     let ow = out_shape.w;
@@ -347,7 +461,7 @@ pub fn qtconv2x2_into(x: &QTensor, p: &QConvParams, out: &mut QTensor) {
                 for ix in 0..wd {
                     let mut accs = [b; 4];
                     for ci in 0..xs.c {
-                        let xv = x.data()[(n * xs.c + ci) * h * wd + iy * wd + ix] as i32;
+                        let xv = x[(n * xs.c + ci) * h * wd + iy * wd + ix] as i32;
                         if xv == 0 {
                             continue;
                         }
@@ -358,18 +472,18 @@ pub fn qtconv2x2_into(x: &QTensor, p: &QConvParams, out: &mut QTensor) {
                         accs[3] += xv * p.w.data()[wb + 3] as i32;
                     }
                     let (oy, ox) = (iy * 2, ix * 2);
-                    let out_data = out.data_mut();
                     for (k, &a) in accs.iter().enumerate() {
                         let mut v = requantize_i32(a, shift);
                         if p.relu && v < 0 {
                             v = 0;
                         }
-                        out_data[y_plane_base + (oy + k / 2) * ow + ox + k % 2] = v;
+                        out[y_plane_base + (oy + k / 2) * ow + ox + k % 2] = v;
                     }
                 }
             }
         }
     }
+    out_shape
 }
 
 /// INT8 max pool (fix position preserved; allocating convenience wrapper).
@@ -381,23 +495,31 @@ pub fn qmaxpool(x: &QTensor) -> QTensor {
 
 /// INT8 max pool into a pre-allocated output.
 pub fn qmaxpool_into(x: &QTensor, out: &mut QTensor) {
-    let xs = x.shape();
-    let out_shape = xs.pooled2x2();
-    assert_eq!(out.shape(), out_shape, "qmaxpool output geometry");
+    assert_eq!(out.shape(), x.shape().pooled2x2(), "qmaxpool output geometry");
     assert_eq!(out.fix_pos(), x.fix_pos(), "qmaxpool fix position");
+    qmaxpool_core(x.shape(), x.data(), out.data_mut());
+}
+
+/// INT8 max pool on raw arena slices — the planned executor's entry point.
+/// Returns the output shape.
+pub fn qmaxpool_core(xs: Shape4, x: &[i8], out: &mut [i8]) -> Shape4 {
+    let out_shape = xs.pooled2x2();
+    assert_eq!(x.len(), xs.len(), "qmaxpool input buffer/shape mismatch");
+    assert_eq!(out.len(), out_shape.len(), "qmaxpool output buffer size");
     let (ho, wo) = (out_shape.h, out_shape.w);
     for plane in 0..xs.n * xs.c {
-        let x_plane = &x.data()[plane * xs.hw()..(plane + 1) * xs.hw()];
+        let x_plane = &x[plane * xs.hw()..(plane + 1) * xs.hw()];
         for oy in 0..ho {
             for ox in 0..wo {
                 let v = x_plane[2 * oy * xs.w + 2 * ox]
                     .max(x_plane[2 * oy * xs.w + 2 * ox + 1])
                     .max(x_plane[(2 * oy + 1) * xs.w + 2 * ox])
                     .max(x_plane[(2 * oy + 1) * xs.w + 2 * ox + 1]);
-                out.data_mut()[plane * ho * wo + oy * wo + ox] = v;
+                out[plane * ho * wo + oy * wo + ox] = v;
             }
         }
     }
+    out_shape
 }
 
 /// INT8 concat with alignment shifts (allocating convenience wrapper).
@@ -418,20 +540,38 @@ pub fn qconcat_into(
     out: &mut QTensor,
 ) {
     let (sa, sb) = (a.shape(), b.shape());
-    assert_eq!((sa.n, sa.h, sa.w), (sb.n, sb.h, sb.w), "qconcat geometry");
-    let out_shape = Shape4::new(sa.n, sa.c + sb.c, sa.h, sa.w);
-    assert_eq!(out.shape(), out_shape, "qconcat output geometry");
+    assert_eq!(out.shape(), Shape4::new(sa.n, sa.c + sb.c, sa.h, sa.w), "qconcat output geometry");
     assert_eq!(out.fix_pos(), out_fp, "qconcat fix position");
+    qconcat_core(sa, a.data(), sb, b.data(), shift_a, shift_b, out.data_mut());
+}
+
+/// INT8 concat on raw arena slices — the planned executor's entry point.
+/// Returns the output shape.
+pub fn qconcat_core(
+    sa: Shape4,
+    a: &[i8],
+    sb: Shape4,
+    b: &[i8],
+    shift_a: i32,
+    shift_b: i32,
+    out: &mut [i8],
+) -> Shape4 {
+    assert_eq!((sa.n, sa.h, sa.w), (sb.n, sb.h, sb.w), "qconcat geometry");
+    assert_eq!(a.len(), sa.len(), "qconcat first input buffer/shape mismatch");
+    assert_eq!(b.len(), sb.len(), "qconcat second input buffer/shape mismatch");
+    let out_shape = Shape4::new(sa.n, sa.c + sb.c, sa.h, sa.w);
+    assert_eq!(out.len(), out_shape.len(), "qconcat output buffer size");
     let hw = sa.hw();
     for n in 0..sa.n {
         let dst = n * out_shape.chw();
-        for (i, &v) in a.data()[n * sa.chw()..(n + 1) * sa.chw()].iter().enumerate() {
-            out.data_mut()[dst + i] = requantize_i32(v as i32, shift_a);
+        for (i, &v) in a[n * sa.chw()..(n + 1) * sa.chw()].iter().enumerate() {
+            out[dst + i] = requantize_i32(v as i32, shift_a);
         }
-        for (i, &v) in b.data()[n * sb.chw()..(n + 1) * sb.chw()].iter().enumerate() {
-            out.data_mut()[dst + sa.c * hw + i] = requantize_i32(v as i32, shift_b);
+        for (i, &v) in b[n * sb.chw()..(n + 1) * sb.chw()].iter().enumerate() {
+            out[dst + sa.c * hw + i] = requantize_i32(v as i32, shift_b);
         }
     }
+    out_shape
 }
 
 #[cfg(test)]
@@ -551,6 +691,77 @@ mod tests {
             assert_eq!(y_pooled.data(), y_alloc.data(), "scratch reuse must not change bits");
             assert_eq!(y_pooled.fix_pos(), y_alloc.fix_pos());
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "qconv C_in mismatch")]
+    fn corrupted_conv_c_in_panics_in_shapes() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        // Weights expect 5 input channels but the upstream value has 2.
+        let conv =
+            qp(Tensor::he_normal(Shape4::new(3, 5, 3, 3), &mut rng), &[0.0, 0.0, 0.0], false, 6, 5);
+        let g = QuantizedGraph {
+            nodes: vec![
+                QNode { op: QOp::Input, inputs: vec![] },
+                QNode { op: QOp::Conv(conv), inputs: vec![0] },
+            ],
+            output: 1,
+            input_fp: 6,
+            output_fp: 5,
+            name: "corrupt".into(),
+        };
+        let _ = g.shapes(Shape4::new(1, 2, 8, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "qconcat geometry mismatch")]
+    fn corrupted_concat_geometry_panics_in_shapes() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        let conv =
+            qp(Tensor::he_normal(Shape4::new(2, 2, 3, 3), &mut rng), &[0.0, 0.0], false, 6, 5);
+        // Concat of a full-res value with its pooled half-res sibling.
+        let g = QuantizedGraph {
+            nodes: vec![
+                QNode { op: QOp::Input, inputs: vec![] },
+                QNode { op: QOp::Conv(conv), inputs: vec![0] },
+                QNode { op: QOp::MaxPool2x2, inputs: vec![1] },
+                QNode { op: QOp::Concat { shift_a: 0, shift_b: 0, out_fp: 5 }, inputs: vec![1, 2] },
+            ],
+            output: 3,
+            input_fp: 6,
+            output_fp: 5,
+            name: "corrupt".into(),
+        };
+        let _ = g.shapes(Shape4::new(1, 2, 8, 8));
+    }
+
+    #[test]
+    fn scratch_arena_is_smaller_than_per_node_pool() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let in_fp = choose_fix_pos(1.0);
+        let conv1 =
+            qp(Tensor::he_normal(Shape4::new(4, 2, 3, 3), &mut rng), &[0.0; 4], true, in_fp, 5);
+        let conv2 = qp(Tensor::he_normal(Shape4::new(4, 4, 3, 3), &mut rng), &[0.0; 4], true, 5, 5);
+        let conv3 = qp(Tensor::he_normal(Shape4::new(4, 4, 3, 3), &mut rng), &[0.0; 4], true, 5, 4);
+        let g = QuantizedGraph {
+            nodes: vec![
+                QNode { op: QOp::Input, inputs: vec![] },
+                QNode { op: QOp::Conv(conv1), inputs: vec![0] },
+                QNode { op: QOp::Conv(conv2), inputs: vec![1] },
+                QNode { op: QOp::Conv(conv3), inputs: vec![2] },
+            ],
+            output: 3,
+            input_fp: in_fp,
+            output_fp: 4,
+            name: "chain".into(),
+        };
+        let plan = g.plan(Shape4::new(1, 2, 16, 16));
+        // A 3-conv chain ping-pongs: peak-live well below the per-node sum.
+        assert!(plan.n_slots() < plan.n_nodes());
+        assert!(plan.peak_arena_elems() < plan.total_activation_elems());
     }
 
     #[test]

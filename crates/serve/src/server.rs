@@ -271,6 +271,8 @@ mod tests {
                 busy_cores: 0.0,
                 util: 0.0,
                 makespan_s: 0.0,
+                peak_arena_bytes: 0,
+                total_activation_bytes: 0,
             }
         }
     }

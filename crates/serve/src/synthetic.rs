@@ -50,6 +50,8 @@ impl Backend for SyntheticBackend {
             busy_cores: 0.0,
             util: 0.0,
             makespan_s: per_s * n_frames as f64,
+            peak_arena_bytes: 0,
+            total_activation_bytes: 0,
         }
     }
 }

@@ -11,6 +11,12 @@ pub fn relu(x: &Tensor) -> Tensor {
     y
 }
 
+/// Elementwise ReLU into a caller-owned output slice ([`relu`] bit for bit).
+pub fn relu_into(x: &[f32], out: &mut [f32]) {
+    assert_eq!(x.len(), out.len(), "buffer length mismatch");
+    out.par_iter_mut().zip(x.par_iter()).for_each(|(o, &v)| *o = v.max(0.0));
+}
+
 /// ReLU backward: gradient passes where the forward *input* was positive.
 pub fn relu_backward(x: &Tensor, dy: &Tensor) -> Tensor {
     assert_eq!(x.shape(), dy.shape());
@@ -26,12 +32,19 @@ pub fn relu_backward(x: &Tensor, dy: &Tensor) -> Tensor {
 /// Softmax over the channel dimension, independently at each `(n, h, w)`
 /// pixel — the form used by the SENECA output head (6 probability maps).
 pub fn softmax_channels(x: &Tensor) -> Tensor {
-    let s = x.shape();
-    let mut y = Tensor::zeros(s);
+    let mut y = Tensor::zeros(x.shape());
+    softmax_channels_into(x.shape(), x.data(), y.data_mut());
+    y
+}
+
+/// Channel softmax into a caller-owned output slice ([`softmax_channels`]
+/// bit for bit; every output element is written, stale contents are fine).
+pub fn softmax_channels_into(s: Shape4, x: &[f32], out: &mut [f32]) {
+    assert_eq!(x.len(), s.len(), "input buffer/shape mismatch");
+    assert_eq!(out.len(), s.len(), "output buffer size");
     let hw = s.hw();
-    let x_data = x.data();
-    y.data_mut().par_chunks_mut(s.chw()).enumerate().for_each(|(n, y_n)| {
-        let x_n = &x_data[n * s.chw()..(n + 1) * s.chw()];
+    out.par_chunks_mut(s.chw()).enumerate().for_each(|(n, y_n)| {
+        let x_n = &x[n * s.chw()..(n + 1) * s.chw()];
         for pix in 0..hw {
             let mut maxv = f32::NEG_INFINITY;
             for c in 0..s.c {
@@ -49,7 +62,6 @@ pub fn softmax_channels(x: &Tensor) -> Tensor {
             }
         }
     });
-    y
 }
 
 /// Backward of [`softmax_channels`]: given the forward output `y` and the

@@ -43,8 +43,31 @@ impl Conv2dParams {
 ///
 /// Returns `[N, C_out, H_out, W_out]`.
 pub fn conv2d(x: &Tensor, w: &Tensor, b: &[f32], p: Conv2dParams) -> Tensor {
-    let xs = x.shape();
+    let geom = p.geom(x.shape());
+    let out_shape = Shape4::new(x.shape().n, w.shape().n, geom.h_out(), geom.w_out());
+    let mut out = Tensor::zeros(out_shape);
+    let mut col = Vec::new();
+    conv2d_into(x.shape(), x.data(), w, b, p, &mut col, out.data_mut());
+    out
+}
+
+/// Forward convolution into a caller-owned output slice — the arithmetic of
+/// [`conv2d`] bit for bit, but the im2col column buffer and the output
+/// storage come from the caller (per-worker scratch), so steady-state
+/// execution performs no allocation. `col` is resized on first use and
+/// reused afterwards; `out` must be exactly the output length. Returns the
+/// output shape.
+pub fn conv2d_into(
+    xs: Shape4,
+    x: &[f32],
+    w: &Tensor,
+    b: &[f32],
+    p: Conv2dParams,
+    col: &mut Vec<f32>,
+    out: &mut [f32],
+) -> Shape4 {
     let ws = w.shape();
+    assert_eq!(x.len(), xs.len(), "input buffer/shape mismatch");
     assert_eq!(ws.c, xs.c, "C_in mismatch: weights {} input {}", ws.c, xs.c);
     assert_eq!(ws.h, p.k);
     assert_eq!(ws.w, p.k);
@@ -53,16 +76,20 @@ pub fn conv2d(x: &Tensor, w: &Tensor, b: &[f32], p: Conv2dParams) -> Tensor {
     let geom = p.geom(xs);
     let (ho, wo) = (geom.h_out(), geom.w_out());
     let out_shape = Shape4::new(xs.n, ws.n, ho, wo);
-    let mut out = Tensor::zeros(out_shape);
+    assert_eq!(out.len(), out_shape.len(), "output buffer size");
 
     let ckk = geom.col_rows();
     let cols = geom.col_cols();
-    let mut col = vec![0.0f32; ckk * cols];
+    // im2col fully overwrites and sgemm zero-fills, so stale contents are
+    // harmless; resizing only reallocates until the steady-state size.
+    if col.len() != ckk * cols {
+        col.resize(ckk * cols, 0.0);
+    }
     for n in 0..xs.n {
-        let x_n = &x.data()[n * xs.chw()..(n + 1) * xs.chw()];
-        im2col(&geom, x_n, &mut col);
-        let y_n = &mut out.data_mut()[n * out_shape.chw()..(n + 1) * out_shape.chw()];
-        sgemm(ws.n, ckk, cols, w.data(), &col, y_n);
+        let x_n = &x[n * xs.chw()..(n + 1) * xs.chw()];
+        im2col(&geom, x_n, col);
+        let y_n = &mut out[n * out_shape.chw()..(n + 1) * out_shape.chw()];
+        sgemm(ws.n, ckk, cols, w.data(), col, y_n);
         if !b.is_empty() {
             for (co, &bias) in b.iter().enumerate() {
                 for v in &mut y_n[co * cols..(co + 1) * cols] {
@@ -71,7 +98,7 @@ pub fn conv2d(x: &Tensor, w: &Tensor, b: &[f32], p: Conv2dParams) -> Tensor {
             }
         }
     }
-    out
+    out_shape
 }
 
 /// Gradients produced by [`conv2d_backward`].

@@ -26,18 +26,18 @@ pub mod shape;
 pub mod tconv;
 pub mod tensor;
 
-pub use quantized::QTensor;
+pub use quantized::{QTensor, QTensorView};
 pub use shape::Shape4;
-pub use tensor::Tensor;
+pub use tensor::{Tensor, TensorView};
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
-    pub use crate::activation::{relu, relu_backward, softmax_channels};
-    pub use crate::conv::{conv2d, conv2d_backward, Conv2dParams};
+    pub use crate::activation::{relu, relu_backward, relu_into, softmax_channels};
+    pub use crate::conv::{conv2d, conv2d_backward, conv2d_into, Conv2dParams};
     pub use crate::norm::{batchnorm_backward, batchnorm_forward, BnState};
-    pub use crate::pool::{maxpool2x2, maxpool2x2_backward};
-    pub use crate::quantized::QTensor;
+    pub use crate::pool::{maxpool2x2, maxpool2x2_backward, maxpool2x2_into};
+    pub use crate::quantized::{QTensor, QTensorView};
     pub use crate::shape::Shape4;
-    pub use crate::tconv::{tconv2x2, tconv2x2_backward};
-    pub use crate::tensor::Tensor;
+    pub use crate::tconv::{tconv2x2, tconv2x2_backward, tconv2x2_into};
+    pub use crate::tensor::{Tensor, TensorView};
 }

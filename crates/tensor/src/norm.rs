@@ -112,19 +112,28 @@ pub fn batchnorm_forward(
 pub fn batchnorm_inference(x: &Tensor, bn: &BnState) -> Tensor {
     let s = x.shape();
     let mut y = Tensor::zeros(s);
+    batchnorm_inference_into(s, x.data(), bn, y.data_mut());
+    y
+}
+
+/// Inference-mode BatchNorm into a caller-owned output slice
+/// ([`batchnorm_inference`] bit for bit: same per-channel `scale`/`shift`
+/// folding, same accumulation order).
+pub fn batchnorm_inference_into(s: crate::shape::Shape4, x: &[f32], bn: &BnState, out: &mut [f32]) {
+    assert_eq!(s.c, bn.channels(), "BN channel count");
+    assert_eq!(x.len(), s.len(), "input buffer/shape mismatch");
+    assert_eq!(out.len(), s.len(), "output buffer size");
     for c in 0..s.c {
         let inv = 1.0 / (bn.running_var[c] + bn.eps).sqrt();
         let scale = bn.gamma[c] * inv;
         let shift = bn.beta[c] - bn.running_mean[c] * scale;
         for n in 0..s.n {
             let base = s.idx(n, c, 0, 0);
-            let src = plane(x, n, c).to_vec();
-            for (i, v) in src.iter().enumerate() {
-                y.data_mut()[base + i] = scale * v + shift;
+            for i in 0..s.hw() {
+                out[base + i] = scale * x[base + i] + shift;
             }
         }
     }
-    y
 }
 
 /// Gradients from [`batchnorm_backward`].

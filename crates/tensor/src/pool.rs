@@ -47,6 +47,36 @@ pub fn maxpool2x2(x: &Tensor) -> PoolOut {
     PoolOut { y, argmax }
 }
 
+/// 2x2/stride-2 max pool into a caller-owned output slice — the inference
+/// form used by the planned executor: same window selection as
+/// [`maxpool2x2`] (strict `>`, first max wins) but without the argmax
+/// bookkeeping. Returns the output shape.
+pub fn maxpool2x2_into(xs: Shape4, x: &[f32], out: &mut [f32]) -> Shape4 {
+    let out_shape = xs.pooled2x2();
+    assert_eq!(x.len(), xs.len(), "input buffer/shape mismatch");
+    assert_eq!(out.len(), out_shape.len(), "output buffer size");
+    let (ho, wo) = (out_shape.h, out_shape.w);
+
+    out.par_chunks_mut(ho * wo).enumerate().for_each(|(plane, y_plane)| {
+        let x_plane = &x[plane * xs.hw()..(plane + 1) * xs.hw()];
+        for oy in 0..ho {
+            let r0 = &x_plane[(2 * oy) * xs.w..(2 * oy) * xs.w + xs.w];
+            let r1 = &x_plane[(2 * oy + 1) * xs.w..(2 * oy + 1) * xs.w + xs.w];
+            for ox in 0..wo {
+                let vals = [r0[2 * ox], r0[2 * ox + 1], r1[2 * ox], r1[2 * ox + 1]];
+                let mut best = vals[0];
+                for &v in vals.iter().skip(1) {
+                    if v > best {
+                        best = v;
+                    }
+                }
+                y_plane[oy * wo + ox] = best;
+            }
+        }
+    });
+    out_shape
+}
+
 /// Backward max pool: routes each upstream gradient to the input position
 /// that won the forward max. `x_shape` is the original input shape.
 pub fn maxpool2x2_backward(x_shape: Shape4, pool: &PoolOut, dy: &Tensor) -> Tensor {

@@ -78,6 +78,50 @@ impl QTensor {
     }
 }
 
+/// A borrowed quantised tensor: shape and fix position over a slice of a
+/// larger INT8 buffer (the planned executor's slot arena). Valid only until
+/// the arena runs another frame; copy out with [`QTensorView::to_qtensor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QTensorView<'a> {
+    shape: Shape4,
+    data: &'a [i8],
+    fix_pos: i32,
+}
+
+impl<'a> QTensorView<'a> {
+    /// Wraps a raw slice. Panics if the slice length mismatches the shape.
+    pub fn new(shape: Shape4, data: &'a [i8], fix_pos: i32) -> Self {
+        assert_eq!(data.len(), shape.len(), "view buffer/shape mismatch");
+        Self { shape, data, fix_pos }
+    }
+
+    /// Shape accessor.
+    pub fn shape(&self) -> Shape4 {
+        self.shape
+    }
+
+    /// Fix position (`real = int * 2^(-fix_pos)`).
+    pub fn fix_pos(&self) -> i32 {
+        self.fix_pos
+    }
+
+    /// Raw INT8 buffer.
+    pub fn data(&self) -> &'a [i8] {
+        self.data
+    }
+
+    /// Copies the view into an owning [`QTensor`].
+    pub fn to_qtensor(&self) -> QTensor {
+        QTensor::from_vec(self.shape, self.data.to_vec(), self.fix_pos)
+    }
+
+    /// Reconstructs the `f32` tensor (see [`QTensor::dequantize`]).
+    pub fn dequantize(&self) -> Tensor {
+        let scale = (-self.fix_pos as f32).exp2();
+        Tensor::from_vec(self.shape, self.data.iter().map(|&v| v as f32 * scale).collect())
+    }
+}
+
 /// Picks the largest fix position such that `abs_max` still fits in INT8,
 /// i.e. `abs_max * 2^fp <= 127`. An `abs_max` of zero maps to the maximum
 /// useful position for activations (15).

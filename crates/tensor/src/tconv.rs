@@ -17,29 +17,37 @@ use rayon::prelude::*;
 /// Returns `[N, C_out, 2H, 2W]`.
 pub fn tconv2x2(x: &Tensor, w: &Tensor, b: &[f32]) -> Tensor {
     let xs = x.shape();
+    let mut out = Tensor::zeros(Shape4::new(xs.n, w.shape().c, xs.h * 2, xs.w * 2));
+    tconv2x2_into(xs, x.data(), w, b, out.data_mut());
+    out
+}
+
+/// Transpose convolution into a caller-owned output slice ([`tconv2x2`]
+/// semantics, bit for bit). The output buffer may hold stale data: every
+/// plane is filled (with the bias, or zero without one) before accumulation.
+/// Returns the output shape.
+pub fn tconv2x2_into(xs: Shape4, x: &[f32], w: &Tensor, b: &[f32], out: &mut [f32]) -> Shape4 {
     let ws = w.shape();
+    assert_eq!(x.len(), xs.len(), "input buffer/shape mismatch");
     assert_eq!(ws.n, xs.c, "C_in mismatch");
     assert_eq!((ws.h, ws.w), (2, 2), "kernel must be 2x2");
     let c_out = ws.c;
     assert!(b.is_empty() || b.len() == c_out);
 
     let out_shape = Shape4::new(xs.n, c_out, xs.h * 2, xs.w * 2);
-    let mut out = Tensor::zeros(out_shape);
+    assert_eq!(out.len(), out_shape.len(), "output buffer size");
     let (h, wd) = (xs.h, xs.w);
     let (oh, ow) = (out_shape.h, out_shape.w);
-    let x_data = x.data();
     let w_data = w.data();
 
     // Parallel over (batch, output channel) pairs: each task owns one output
     // plane, so writes are disjoint.
-    out.data_mut().par_chunks_mut(oh * ow).enumerate().for_each(|(plane_idx, y_plane)| {
+    out.par_chunks_mut(oh * ow).enumerate().for_each(|(plane_idx, y_plane)| {
         let n = plane_idx / c_out;
         let co = plane_idx % c_out;
-        if !b.is_empty() {
-            y_plane.fill(b[co]);
-        }
+        y_plane.fill(if b.is_empty() { 0.0 } else { b[co] });
         for ci in 0..xs.c {
-            let x_plane = &x_data[(n * xs.c + ci) * h * wd..(n * xs.c + ci + 1) * h * wd];
+            let x_plane = &x[(n * xs.c + ci) * h * wd..(n * xs.c + ci + 1) * h * wd];
             let w_base = (ci * c_out + co) * 4;
             let (w00, w01, w10, w11) =
                 (w_data[w_base], w_data[w_base + 1], w_data[w_base + 2], w_data[w_base + 3]);
@@ -56,7 +64,7 @@ pub fn tconv2x2(x: &Tensor, w: &Tensor, b: &[f32]) -> Tensor {
             }
         }
     });
-    out
+    out_shape
 }
 
 /// Gradients produced by [`tconv2x2_backward`].

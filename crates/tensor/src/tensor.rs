@@ -157,16 +157,8 @@ impl Tensor {
     pub fn concat_channels(a: &Tensor, b: &Tensor) -> Tensor {
         let (sa, sb) = (a.shape, b.shape);
         assert_eq!((sa.n, sa.h, sa.w), (sb.n, sb.h, sb.w), "concat requires equal N/H/W");
-        let out_shape = Shape4::new(sa.n, sa.c + sb.c, sa.h, sa.w);
-        let mut out = Tensor::zeros(out_shape);
-        let hw = sa.hw();
-        for n in 0..sa.n {
-            let dst_base = n * out_shape.chw();
-            out.data[dst_base..dst_base + sa.c * hw]
-                .copy_from_slice(&a.data[n * sa.chw()..(n + 1) * sa.chw()]);
-            out.data[dst_base + sa.c * hw..dst_base + (sa.c + sb.c) * hw]
-                .copy_from_slice(&b.data[n * sb.chw()..(n + 1) * sb.chw()]);
-        }
+        let mut out = Tensor::zeros(Shape4::new(sa.n, sa.c + sb.c, sa.h, sa.w));
+        concat_channels_into(sa, &a.data, sb, &b.data, &mut out.data);
         out
     }
 
@@ -186,6 +178,65 @@ impl Tensor {
                 .copy_from_slice(&self.data[src + c_first * hw..src + s.chw()]);
         }
         (a, b)
+    }
+}
+
+/// Channel concatenation into a caller-owned output slice
+/// ([`Tensor::concat_channels`] semantics; every output element is written).
+/// Returns the output shape.
+pub fn concat_channels_into(
+    sa: Shape4,
+    a: &[f32],
+    sb: Shape4,
+    b: &[f32],
+    out: &mut [f32],
+) -> Shape4 {
+    assert_eq!((sa.n, sa.h, sa.w), (sb.n, sb.h, sb.w), "concat requires equal N/H/W");
+    assert_eq!(a.len(), sa.len(), "first input buffer/shape mismatch");
+    assert_eq!(b.len(), sb.len(), "second input buffer/shape mismatch");
+    let out_shape = Shape4::new(sa.n, sa.c + sb.c, sa.h, sa.w);
+    assert_eq!(out.len(), out_shape.len(), "output buffer size");
+    let hw = sa.hw();
+    for n in 0..sa.n {
+        let dst_base = n * out_shape.chw();
+        out[dst_base..dst_base + sa.c * hw].copy_from_slice(&a[n * sa.chw()..(n + 1) * sa.chw()]);
+        out[dst_base + sa.c * hw..dst_base + (sa.c + sb.c) * hw]
+            .copy_from_slice(&b[n * sb.chw()..(n + 1) * sb.chw()]);
+    }
+    out_shape
+}
+
+/// A borrowed NCHW tensor: a [`Shape4`] over a slice of a larger buffer.
+///
+/// The planned executors hand out views into their per-worker slot arenas;
+/// a view stays valid only until the arena runs another frame. Callers that
+/// need an owning value copy out with [`TensorView::to_tensor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TensorView<'a> {
+    shape: Shape4,
+    data: &'a [f32],
+}
+
+impl<'a> TensorView<'a> {
+    /// Wraps a slice. Panics if the slice length mismatches the shape.
+    pub fn new(shape: Shape4, data: &'a [f32]) -> Self {
+        assert_eq!(data.len(), shape.len(), "view buffer/shape mismatch");
+        Self { shape, data }
+    }
+
+    /// The view's shape.
+    pub fn shape(&self) -> Shape4 {
+        self.shape
+    }
+
+    /// The underlying flat buffer.
+    pub fn data(&self) -> &'a [f32] {
+        self.data
+    }
+
+    /// Copies the view into an owning [`Tensor`].
+    pub fn to_tensor(&self) -> Tensor {
+        Tensor::from_vec(self.shape, self.data.to_vec())
     }
 }
 

@@ -16,4 +16,7 @@ cargo test -q
 echo "== serve smoke (seneca-serve demo) =="
 cargo run --release -q -p seneca-serve --example serve_demo -- smoke
 
+echo "== plan smoke (peak arena < total activations) =="
+cargo run --release -q -p seneca-bench --example plan_stats
+
 echo "CI OK"

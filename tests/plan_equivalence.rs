@@ -1,0 +1,96 @@
+//! Property tests for the plan-based executors: for random U-Net
+//! configurations, the liveness-planned FP32 and INT8 executors must be
+//! bit-identical to the naive allocate-per-node paths, across repeated
+//! frames through the same scratch arena (stale slot contents must never
+//! leak into a frame).
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use seneca_nn::graph::Graph;
+use seneca_nn::unet::{UNet, UNetConfig};
+use seneca_quant::{fuse, quantize_post_training, PtqConfig};
+use seneca_tensor::{Shape4, Tensor};
+
+fn random_net(depth: usize, base_filters: usize, seed: u64) -> UNet {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let cfg = UNetConfig { depth, base_filters, in_channels: 1, num_classes: 6, dropout: 0.0 };
+    UNet::new(cfg, &mut rng)
+}
+
+fn random_frame(shape: Shape4, seed: u64) -> Tensor {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut img = Tensor::he_normal(shape, &mut rng);
+    for v in img.data_mut() {
+        *v = v.clamp(-1.0, 1.0);
+    }
+    img
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// FP32: planned executor == naive executor, bit for bit, over several
+    /// frames through one reused scratch arena.
+    #[test]
+    fn planned_fp32_matches_naive(
+        depth in 1usize..=3,
+        base_filters in 2usize..6,
+        scale in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        let net = random_net(depth, base_filters, seed);
+        let graph = Graph::from_unet(&net, "prop");
+        let side = (1 << depth) * scale.max(1);
+        let shape = Shape4::new(1, 1, side, side);
+        let mut scratch = graph.make_scratch(shape);
+        for frame in 0..2u64 {
+            let img = random_frame(shape, seed.wrapping_mul(31).wrapping_add(frame));
+            let naive = graph.execute(&img);
+            let planned = graph.execute_into(&img, &mut scratch);
+            prop_assert_eq!(planned.shape(), naive.shape());
+            prop_assert_eq!(planned.data(), naive.data());
+        }
+    }
+
+    /// INT8: the planned executor runs the exact same integer arithmetic as
+    /// the naive one — outputs and fix positions are identical.
+    #[test]
+    fn planned_int8_matches_naive(
+        depth in 1usize..=3,
+        base_filters in 2usize..6,
+        seed in 0u64..1000,
+    ) {
+        let net = random_net(depth, base_filters, seed);
+        let fg = fuse(&Graph::from_unet(&net, "prop"));
+        let side = 1 << (depth + 1);
+        let shape = Shape4::new(1, 1, side, side);
+        let calib = vec![random_frame(shape, seed ^ 0xABCD)];
+        let (qg, _) = quantize_post_training(&fg, &calib, &PtqConfig::default());
+        let mut scratch = qg.make_scratch(shape);
+        for frame in 0..2u64 {
+            let q = qg.quantize_input(&random_frame(shape, seed.wrapping_mul(17).wrapping_add(frame)));
+            let naive = qg.execute(&q);
+            let planned = qg.execute_into(&q, &mut scratch);
+            prop_assert_eq!(planned.fix_pos(), naive.fix_pos());
+            prop_assert_eq!(planned.shape(), naive.shape());
+            prop_assert_eq!(planned.data(), naive.data());
+        }
+    }
+
+    /// The plan never maps two simultaneously-live values to one slot, and
+    /// its arena never exceeds the naive per-node total.
+    #[test]
+    fn plan_is_valid_and_never_larger_than_naive(
+        depth in 1usize..=3,
+        base_filters in 2usize..6,
+        seed in 0u64..1000,
+    ) {
+        let net = random_net(depth, base_filters, seed);
+        let graph = Graph::from_unet(&net, "prop");
+        let shape = Shape4::new(1, 1, 1 << depth, 1 << depth);
+        let plan = graph.plan(shape);
+        plan.assert_valid();
+        prop_assert!(plan.peak_arena_elems() <= plan.total_activation_elems());
+        prop_assert!(plan.n_slots() <= plan.n_nodes());
+    }
+}
