@@ -1,0 +1,425 @@
+//! GEMM micro-kernel throughput on the conv shapes of the five Table II
+//! models at 256x256, packed engine vs the pre-PR baseline and the naive
+//! reference. Emits `BENCH_kernels.json` and doubles as a CI smoke gate.
+//!
+//! Modes (first CLI argument):
+//!
+//! * `smoke` — CI gate: igemm bit-exactness against the naive kernel on a
+//!   fixed seed, and packed-beats-reference on the largest shape, both
+//!   dtypes. Fast; no JSON.
+//! * `baseline <out.txt>` — measure ONLY the pre-PR kernels and write their
+//!   throughputs to a text file. `scripts/bench_kernels.sh` runs this mode
+//!   with `RUSTFLAGS=""` so the pre-PR kernels are compiled exactly as the
+//!   pre-PR tree built them (no `.cargo/config.toml` existed, so the default
+//!   x86-64 target, not `target-cpu=native`).
+//! * `full <baseline.txt>` — measure the packed engine (and, for reference,
+//!   the pre-PR kernels under the current flags), merge the pre-PR-build
+//!   numbers from `baseline.txt`, assert the PR's >= 2x acceptance bar on
+//!   the largest shape, and write `BENCH_kernels.json`.
+//!
+//! The `baseline_*` kernels below are verbatim copies of the repo's GEMMs
+//! before the packed rewrite (blocked ikj loops with the `aik == 0`
+//! zero-skip), so the committed JSON records an honest same-machine
+//! pre-PR/post-PR comparison rather than numbers imported from an older
+//! checkout. Two baseline columns are recorded: `baseline` (pre-PR kernel,
+//! pre-PR build flags — what the repo actually shipped) and
+//! `baseline_sameflags` (pre-PR kernel under this PR's build flags —
+//! isolating the algorithmic gain from the `-C target-cpu=native` gain).
+
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use seneca_nn::graph::{Graph, Op};
+use seneca_nn::unet::{ModelSize, UNet};
+use seneca_tensor::gemm::{igemm, igemm_reference, sgemm, sgemm_reference};
+use seneca_tensor::Shape4;
+use serde_json::{json, Value};
+use std::time::Instant;
+
+const ROW_BLOCK: usize = 64;
+const K_BLOCK: usize = 256;
+
+/// The pre-PR `sgemm` (blocked ikj, zero-skip, no packing).
+fn baseline_sgemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    c.fill(0.0);
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    c.par_chunks_mut(ROW_BLOCK * n).enumerate().for_each(|(blk, c_blk)| {
+        let row0 = blk * ROW_BLOCK;
+        let rows = c_blk.len() / n;
+        for k0 in (0..k).step_by(K_BLOCK) {
+            let k1 = (k0 + K_BLOCK).min(k);
+            for i in 0..rows {
+                let a_row = &a[(row0 + i) * k..(row0 + i) * k + k];
+                let c_row = &mut c_blk[i * n..(i + 1) * n];
+                for kk in k0..k1 {
+                    let aik = a_row[kk];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[kk * n..(kk + 1) * n];
+                    for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += aik * *bv;
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// The pre-PR `igemm` (row-blocked, zero-skip, no packing).
+fn baseline_igemm(m: usize, k: usize, n: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
+    c.fill(0);
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    c.par_chunks_mut(ROW_BLOCK * n).enumerate().for_each(|(blk, c_blk)| {
+        let row0 = blk * ROW_BLOCK;
+        let rows = c_blk.len() / n;
+        for i in 0..rows {
+            let a_row = &a[(row0 + i) * k..(row0 + i) * k + k];
+            let c_row = &mut c_blk[i * n..(i + 1) * n];
+            for (kk, &aik) in a_row.iter().enumerate() {
+                if aik == 0 {
+                    continue;
+                }
+                let aik = aik as i32;
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += aik * bv as i32;
+                }
+            }
+        }
+    });
+}
+
+/// Seconds per call: one warmup, then timed iterations until `min_time`
+/// elapses (at least `min_iters`).
+fn time_per_call(min_time: f64, min_iters: u32, mut f: impl FnMut()) -> f64 {
+    f();
+    let start = Instant::now();
+    let mut iters = 0u32;
+    while iters < min_iters || start.elapsed().as_secs_f64() < min_time {
+        f();
+        iters += 1;
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+#[derive(Clone, Copy)]
+struct ConvShape {
+    model: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+}
+
+impl ConvShape {
+    fn macs(&self) -> u64 {
+        (self.m * self.k * self.n) as u64
+    }
+}
+
+/// The highest-MAC 3x3-conv GEMM shape of each Table II model at 256x256.
+/// Ties in total MACs (the deep decoder GEMM of a large model vs the wide
+/// early-layer GEMM of a small one) resolve to the larger model, whose deep
+/// shape is the end-to-end bottleneck.
+fn table2_conv_shapes() -> Vec<ConvShape> {
+    let input = Shape4::new(1, 1, 256, 256);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    ModelSize::ALL
+        .iter()
+        .map(|&size| {
+            let net = UNet::from_size(size, &mut rng);
+            let g = Graph::from_unet(&net, size.label());
+            let shapes = g.shapes(input);
+            let mut best = ConvShape { model: size.label(), m: 0, k: 0, n: 0 };
+            for node in &g.nodes {
+                if let Op::Conv { w, .. } = &node.op {
+                    let s = shapes[node.inputs[0]];
+                    let cand = ConvShape {
+                        model: size.label(),
+                        m: w.shape().n,
+                        k: w.shape().c * 9,
+                        n: s.h * s.w,
+                    };
+                    if cand.macs() > best.macs() {
+                        best = cand;
+                    }
+                }
+            }
+            assert!(best.macs() > 0, "{}: no conv nodes found", size.label());
+            best
+        })
+        .collect()
+}
+
+fn make_f32(shape: ConvShape) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let (m, k, n) = (shape.m, shape.k, shape.n);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(shape.macs());
+    let a = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let b = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    (a, b, vec![0.0; m * n])
+}
+
+fn make_i8(shape: ConvShape) -> (Vec<i8>, Vec<i8>, Vec<i32>) {
+    let (m, k, n) = (shape.m, shape.k, shape.n);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(shape.macs() ^ 0xF00D);
+    let a = (0..m * k).map(|_| rng.gen_range(-128i32..128) as i8).collect();
+    let b = (0..k * n).map(|_| rng.gen_range(-128i32..128) as i8).collect();
+    (a, b, vec![0; m * n])
+}
+
+/// igemm bit-exactness gate on a fixed seed, independent of timing noise.
+fn check_igemm_bit_exact(largest: ConvShape) {
+    let (m, k, n) = (largest.m, largest.k, largest.n.min(4096));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let a: Vec<i8> = (0..m * k).map(|_| rng.gen_range(-128i32..128) as i8).collect();
+    let b: Vec<i8> = (0..k * n).map(|_| rng.gen_range(-128i32..128) as i8).collect();
+    let mut c = vec![0i32; m * n];
+    let mut c_ref = vec![0i32; m * n];
+    igemm(m, k, n, &a, &b, &mut c);
+    igemm_reference(m, k, n, &a, &b, &mut c_ref);
+    assert_eq!(c, c_ref, "igemm packed != naive on fixed seed ({m}x{k}x{n})");
+    println!("igemm bit-exactness: packed == naive on {m}x{k}x{n} (seed 99)");
+}
+
+/// Pre-PR throughputs loaded from the `baseline` mode's output file, keyed
+/// by `(m, k, n)`.
+fn load_baseline(path: &str) -> Vec<(usize, usize, usize, f64, f64)> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read pre-PR baseline file {path}: {e}\n\
+             (run scripts/bench_kernels.sh, which generates it with the \
+             pre-PR build flags first)"
+        )
+    });
+    text.lines()
+        .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let f: Vec<&str> = l.split_whitespace().collect();
+            assert!(f.len() == 6, "malformed baseline line: {l}");
+            (
+                f[1].parse().expect("m"),
+                f[2].parse().expect("k"),
+                f[3].parse().expect("n"),
+                f[4].parse().expect("sgemm"),
+                f[5].parse().expect("igemm"),
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "full".to_string());
+    let path_arg = std::env::args().nth(2);
+    let (min_time, min_iters) = if mode == "smoke" { (0.05, 1) } else { (0.4, 3) };
+
+    let mut shapes = table2_conv_shapes();
+    shapes.sort_by_key(|s| s.macs());
+    let largest = *shapes.last().expect("five models");
+
+    match mode.as_str() {
+        "baseline" => {
+            // Pre-PR kernels only; meant to be compiled with the pre-PR
+            // build flags (RUSTFLAGS="" — see scripts/bench_kernels.sh).
+            let path = path_arg.expect("usage: kernel_stats baseline <out.txt>");
+            let mut out = String::from("# model m k n sgemm_gflops igemm_gmacs (pre-PR build)\n");
+            for s in &shapes {
+                let (af, bf, mut cf) = make_f32(*s);
+                let gflop = 2.0 * s.macs() as f64 / 1e9;
+                let sg = gflop
+                    / time_per_call(min_time, min_iters, || {
+                        baseline_sgemm(s.m, s.k, s.n, &af, &bf, &mut cf)
+                    });
+                let (ai, bi, mut ci) = make_i8(*s);
+                let gmac = s.macs() as f64 / 1e9;
+                let ig = gmac
+                    / time_per_call(min_time, min_iters, || {
+                        baseline_igemm(s.m, s.k, s.n, &ai, &bi, &mut ci)
+                    });
+                println!(
+                    "{:>4} {:>5}x{:>5}x{:>6}: sgemm {:6.2} GFLOP/s  igemm {:6.2} GMAC/s",
+                    s.model, s.m, s.k, s.n, sg, ig
+                );
+                out.push_str(&format!("{} {} {} {} {:.4} {:.4}\n", s.model, s.m, s.k, s.n, sg, ig));
+            }
+            std::fs::write(&path, out).unwrap_or_else(|e| panic!("write {path}: {e}"));
+            println!("wrote {path}");
+            return;
+        }
+        "smoke" => {
+            check_igemm_bit_exact(largest);
+            let (af, bf, mut cf) = make_f32(largest);
+            let gflop = 2.0 * largest.macs() as f64 / 1e9;
+            let (m, k, n) = (largest.m, largest.k, largest.n);
+            let packed_f =
+                gflop / time_per_call(min_time, min_iters, || sgemm(m, k, n, &af, &bf, &mut cf));
+            let ref_f = gflop
+                / time_per_call(min_time, min_iters, || {
+                    sgemm_reference(m, k, n, &af, &bf, &mut cf)
+                });
+            let (ai, bi, mut ci) = make_i8(largest);
+            let gmac = largest.macs() as f64 / 1e9;
+            let packed_i =
+                gmac / time_per_call(min_time, min_iters, || igemm(m, k, n, &ai, &bi, &mut ci));
+            let ref_i = gmac
+                / time_per_call(min_time, min_iters, || {
+                    igemm_reference(m, k, n, &ai, &bi, &mut ci)
+                });
+            println!(
+                "largest {m}x{k}x{n}: sgemm packed {packed_f:.2} ref {ref_f:.2} GFLOP/s | \
+                 igemm packed {packed_i:.2} ref {ref_i:.2} GMAC/s"
+            );
+            assert!(
+                packed_f > ref_f,
+                "packed sgemm ({packed_f:.2}) must beat reference ({ref_f:.2}) GFLOP/s"
+            );
+            assert!(
+                packed_i > ref_i,
+                "packed igemm ({packed_i:.2}) must beat reference ({ref_i:.2}) GMAC/s"
+            );
+            println!("kernel_stats smoke OK");
+            return;
+        }
+        "full" => {}
+        other => panic!("unknown mode {other}; expected smoke | baseline <out> | full <baseline>"),
+    }
+
+    // Full mode: packed + reference + same-flags baseline, merged with the
+    // pre-PR-build baseline file.
+    let prepr =
+        load_baseline(path_arg.as_deref().expect("usage: kernel_stats full <baseline.txt>"));
+    check_igemm_bit_exact(largest);
+
+    println!(
+        "{:>4} {:>22} | {:>8} {:>8} {:>8} {:>8} {:>7} | {:>8} {:>8} {:>8} {:>8} {:>7}",
+        "cfg",
+        "m x k x n",
+        "sgemm",
+        "base",
+        "basefl",
+        "ref",
+        "vs base",
+        "igemm",
+        "base",
+        "basefl",
+        "ref",
+        "vs base"
+    );
+
+    let mut json_shapes: Vec<Value> = Vec::new();
+    let mut largest_speedups: Option<(f64, f64)> = None;
+    for s in &shapes {
+        let (m, k, n) = (s.m, s.k, s.n);
+        let &(_, _, _, pre_sg, pre_ig) = prepr
+            .iter()
+            .find(|&&(bm, bk, bn, _, _)| (bm, bk, bn) == (m, k, n))
+            .unwrap_or_else(|| panic!("no pre-PR baseline entry for {m}x{k}x{n}"));
+
+        let (af, bf, mut cf) = make_f32(*s);
+        let gflop = 2.0 * s.macs() as f64 / 1e9;
+        let f_packed =
+            gflop / time_per_call(min_time, min_iters, || sgemm(m, k, n, &af, &bf, &mut cf));
+        let f_basefl = gflop
+            / time_per_call(min_time, min_iters, || baseline_sgemm(m, k, n, &af, &bf, &mut cf));
+        let f_ref = gflop
+            / time_per_call(min_time, min_iters, || sgemm_reference(m, k, n, &af, &bf, &mut cf));
+
+        let (ai, bi, mut ci) = make_i8(*s);
+        let gmac = s.macs() as f64 / 1e9;
+        let i_packed =
+            gmac / time_per_call(min_time, min_iters, || igemm(m, k, n, &ai, &bi, &mut ci));
+        let i_basefl = gmac
+            / time_per_call(min_time, min_iters, || baseline_igemm(m, k, n, &ai, &bi, &mut ci));
+        let i_ref = gmac
+            / time_per_call(min_time, min_iters, || igemm_reference(m, k, n, &ai, &bi, &mut ci));
+
+        println!(
+            "{:>4} {:>9}x{:>5}x{:>6} | {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>6.2}x | {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>6.2}x",
+            s.model,
+            m,
+            k,
+            n,
+            f_packed,
+            pre_sg,
+            f_basefl,
+            f_ref,
+            f_packed / pre_sg,
+            i_packed,
+            pre_ig,
+            i_basefl,
+            i_ref,
+            i_packed / pre_ig,
+        );
+
+        json_shapes.push(json!({
+            "model": s.model,
+            "kind": "conv3x3 im2col GEMM",
+            "m": m,
+            "k": k,
+            "n": n,
+            "gmacs": gmac,
+            "sgemm_gflops": {
+                "packed": f_packed,
+                "baseline": pre_sg,
+                "baseline_sameflags": f_basefl,
+                "reference": f_ref,
+                "speedup_vs_baseline": f_packed / pre_sg,
+                "speedup_vs_baseline_sameflags": f_packed / f_basefl,
+                "speedup_vs_reference": f_packed / f_ref
+            },
+            "igemm_gmacs": {
+                "packed": i_packed,
+                "baseline": pre_ig,
+                "baseline_sameflags": i_basefl,
+                "reference": i_ref,
+                "speedup_vs_baseline": i_packed / pre_ig,
+                "speedup_vs_baseline_sameflags": i_packed / i_basefl,
+                "speedup_vs_reference": i_packed / i_ref
+            }
+        }));
+
+        if s.macs() == largest.macs() && (m, k, n) == (largest.m, largest.k, largest.n) {
+            assert!(
+                f_packed > f_ref,
+                "packed sgemm ({f_packed:.2}) must beat reference ({f_ref:.2}) GFLOP/s"
+            );
+            assert!(
+                i_packed > i_ref,
+                "packed igemm ({i_packed:.2}) must beat reference ({i_ref:.2}) GMAC/s"
+            );
+            largest_speedups = Some((f_packed / pre_sg, i_packed / pre_ig));
+        }
+    }
+
+    let (sg_speedup, ig_speedup) = largest_speedups.expect("largest shape benchmarked");
+    println!(
+        "largest shape ({} {}x{}x{}): sgemm {:.2}x vs pre-PR, igemm {:.2}x vs pre-PR",
+        largest.model, largest.m, largest.k, largest.n, sg_speedup, ig_speedup,
+    );
+    // The PR's acceptance bar, enforced whenever the JSON is regenerated.
+    assert!(sg_speedup >= 2.0, "sgemm speedup {sg_speedup:.2}x < 2x on largest shape");
+    assert!(ig_speedup >= 2.0, "igemm speedup {ig_speedup:.2}x < 2x on largest shape");
+
+    let doc = json!({
+        "bench": "kernel_stats",
+        "input": "1x1x256x256",
+        "note": "highest-MAC conv GEMM shape per Table II model; baseline = pre-PR blocked ikj kernels with zero-skip, compiled with the pre-PR build flags (no .cargo/config.toml) and measured on the same machine in the same bench run; baseline_sameflags = the same pre-PR kernels compiled with this PR's target-cpu=native flags",
+        "tile": { "mr": seneca_tensor::gemm::MR, "nr": seneca_tensor::gemm::NR },
+        "threads": rayon::current_num_threads(),
+        "shapes": Value::Array(json_shapes),
+        "largest": {
+            "model": largest.model,
+            "m": largest.m,
+            "k": largest.k,
+            "n": largest.n,
+            "sgemm_speedup_vs_baseline": sg_speedup,
+            "igemm_speedup_vs_baseline": ig_speedup
+        }
+    });
+    std::fs::write("BENCH_kernels.json", serde_json::to_string(&doc).expect("serialize"))
+        .unwrap_or_else(|e| panic!("could not write BENCH_kernels.json: {e}"));
+    println!("wrote BENCH_kernels.json");
+    println!("kernel_stats OK");
+}

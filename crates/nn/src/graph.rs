@@ -279,12 +279,18 @@ impl Graph {
                     Op::Input => unreachable!("multiple inputs unsupported"),
                     Op::Conv { w, b, relu: fused } => {
                         let (xs, x) = view(node.inputs[0]);
-                        conv2d_into(xs, x, w, b, Conv2dParams::SAME_3X3, &mut scratch.col, out);
-                        if *fused {
-                            for v in out.iter_mut() {
-                                *v = v.max(0.0);
-                            }
-                        }
+                        // Bias and fused ReLU ride the GEMM epilogue — one
+                        // pass over the output instead of three.
+                        conv2d_fused_into(
+                            xs,
+                            x,
+                            w,
+                            b,
+                            *fused,
+                            Conv2dParams::SAME_3X3,
+                            &mut scratch.col,
+                            out,
+                        );
                     }
                     Op::BatchNorm { bn } => {
                         let (xs, x) = view(node.inputs[0]);

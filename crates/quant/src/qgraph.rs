@@ -7,7 +7,7 @@
 //! activation fix position.
 
 use seneca_nn::plan::ExecPlan;
-use seneca_tensor::gemm::igemm;
+use seneca_tensor::gemm::igemm_fused;
 use seneca_tensor::im2col::{im2col_i8, ConvGeom};
 use seneca_tensor::quantized::{requantize_i32, QTensor, QTensorView};
 use seneca_tensor::{Shape4, Tensor};
@@ -217,7 +217,7 @@ impl QuantizedGraph {
         let shapes = self.shapes(input);
         let fps = self.fix_positions();
         let slots = plan.slot_sizes().iter().map(|&e| vec![0i8; e]).collect();
-        ExecScratch { plan, shapes, fps, col: Vec::new(), acc: Vec::new(), slots }
+        ExecScratch { plan, shapes, fps, col: Vec::new(), slots }
     }
 
     /// Executes the graph into a pre-allocated scratch arena — bit-identical
@@ -267,7 +267,7 @@ impl QuantizedGraph {
                     let j = node.inputs[0];
                     let (xs, x) = view(j);
                     debug_assert_eq!(fps[j], p.in_fp, "qconv input fix position");
-                    qconv3x3_core(xs, x, p, &mut scratch.col, &mut scratch.acc, out);
+                    qconv3x3_core(xs, x, p, &mut scratch.col, out);
                 }
                 QOp::TConv(p) => {
                     let j = node.inputs[0];
@@ -291,7 +291,9 @@ impl QuantizedGraph {
 }
 
 /// Per-worker execution arena: one INT8 buffer per liveness-plan slot plus
-/// the im2col column and GEMM accumulator buffers, all reused across frames.
+/// the im2col column buffer, all reused across frames. (The former INT32
+/// accumulator buffer is gone: the GEMM requantises from its register
+/// accumulators via the fused epilogue and writes `i8` directly.)
 #[derive(Debug, Clone)]
 pub struct ExecScratch {
     /// The liveness plan the arena is laid out by.
@@ -302,8 +304,6 @@ pub struct ExecScratch {
     fps: Vec<i32>,
     /// im2col column buffer (grown to the largest conv in the graph).
     col: Vec<i8>,
-    /// INT32 GEMM accumulator buffer.
-    acc: Vec<i32>,
     /// Slot buffers (index = plan slot id); total size = peak-live bytes.
     slots: Vec<Vec<i8>>,
 }
@@ -332,54 +332,48 @@ impl ExecScratch {
 }
 
 thread_local! {
-    /// Reusable im2col/accumulator work buffers for the allocating
-    /// [`qconv3x3`] wrapper, so one-off calls (calibration sweeps, the
-    /// fast-finetune reference pass) stop re-allocating the two largest work
-    /// buffers on every invocation.
-    static QCONV_WORK: RefCell<(Vec<i8>, Vec<i32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+    /// Reusable im2col work buffer for the allocating [`qconv3x3`] wrapper,
+    /// so one-off calls (calibration sweeps, the fast-finetune reference
+    /// pass) stop re-allocating the largest work buffer on every invocation.
+    static QCONV_WORK: RefCell<Vec<i8>> = const { RefCell::new(Vec::new()) };
 }
 
-/// Quantized 3x3 same conv (allocating convenience wrapper; work buffers are
-/// reused from a thread-local pool, only the output is allocated).
+/// Quantized 3x3 same conv (allocating convenience wrapper; the work buffer
+/// is reused from a thread-local pool, only the output is allocated).
 pub fn qconv3x3(x: &QTensor, p: &QConvParams) -> QTensor {
     let xs = x.shape();
     let geom = ConvGeom { c_in: xs.c, h: xs.h, w: xs.w, k: 3, pad: 1, stride: 1 };
     let mut out =
         QTensor::zeros(Shape4::new(xs.n, p.w.shape().n, geom.h_out(), geom.w_out()), p.out_fp);
     QCONV_WORK.with(|work| {
-        let (col, acc) = &mut *work.borrow_mut();
-        qconv3x3_into(x, p, col, acc, &mut out);
+        let col = &mut *work.borrow_mut();
+        qconv3x3_into(x, p, col, &mut out);
     });
     out
 }
 
-/// Quantized 3x3 same conv into pre-allocated buffers. `col` / `acc` are
-/// resized on first use and reused afterwards; `out` must have the conv's
-/// output geometry and fix position.
-pub fn qconv3x3_into(
-    x: &QTensor,
-    p: &QConvParams,
-    col: &mut Vec<i8>,
-    acc: &mut Vec<i32>,
-    out: &mut QTensor,
-) {
+/// Quantized 3x3 same conv into pre-allocated buffers. `col` is resized on
+/// first use and reused afterwards; `out` must have the conv's output
+/// geometry and fix position.
+pub fn qconv3x3_into(x: &QTensor, p: &QConvParams, col: &mut Vec<i8>, out: &mut QTensor) {
     assert_eq!(x.fix_pos(), p.in_fp, "qconv input fix position");
     assert_eq!(out.fix_pos(), p.out_fp, "qconv output fix position");
     let xs = x.shape();
     let geom = ConvGeom { c_in: xs.c, h: xs.h, w: xs.w, k: 3, pad: 1, stride: 1 };
     let out_shape = Shape4::new(xs.n, p.w.shape().n, geom.h_out(), geom.w_out());
     assert_eq!(out.shape(), out_shape, "qconv output geometry");
-    qconv3x3_core(xs, x.data(), p, col, acc, out.data_mut());
+    qconv3x3_core(xs, x.data(), p, col, out.data_mut());
 }
 
 /// Quantized 3x3 same conv on raw arena slices — the planned executor's
-/// entry point. Returns the output shape.
+/// entry point. The bias add, requantisation, and ReLU clamp all run in the
+/// GEMM's fused epilogue, so there is no INT32 accumulator buffer and no
+/// second pass over the output. Returns the output shape.
 pub fn qconv3x3_core(
     xs: Shape4,
     x: &[i8],
     p: &QConvParams,
     col: &mut Vec<i8>,
-    acc: &mut Vec<i32>,
     out: &mut [i8],
 ) -> Shape4 {
     let ws = p.w.shape();
@@ -392,29 +386,17 @@ pub fn qconv3x3_core(
     assert_eq!(out.len(), out_shape.len(), "qconv output buffer size");
     let shift = p.shift();
 
-    // im2col fully overwrites and igemm zero-fills, so stale contents are
-    // harmless; resizing only reallocates until the steady-state size.
+    // im2col fully overwrites and the GEMM store covers every element, so
+    // stale contents are harmless; resizing only reallocates until the
+    // steady-state size.
     if col.len() != ckk * cols {
         col.resize(ckk * cols, 0);
-    }
-    if acc.len() != ws.n * cols {
-        acc.resize(ws.n * cols, 0);
     }
     for n in 0..xs.n {
         let x_n = &x[n * xs.chw()..(n + 1) * xs.chw()];
         im2col_i8(&geom, x_n, col);
-        igemm(ws.n, ckk, cols, p.w.data(), col, acc);
         let y_n = &mut out[n * out_shape.chw()..(n + 1) * out_shape.chw()];
-        for co in 0..ws.n {
-            let b = p.bias.get(co).copied().unwrap_or(0);
-            for pix in 0..cols {
-                let mut v = requantize_i32(acc[co * cols + pix] + b, shift);
-                if p.relu && v < 0 {
-                    v = 0;
-                }
-                y_n[co * cols + pix] = v;
-            }
-        }
+        igemm_fused(ws.n, ckk, cols, p.w.data(), col, &p.bias, shift, p.relu, y_n);
     }
     out_shape
 }
@@ -439,9 +421,27 @@ pub fn qtconv2x2_into(x: &QTensor, p: &QConvParams, out: &mut QTensor) {
     qtconv2x2_core(xs, x.data(), p, out.data_mut());
 }
 
+thread_local! {
+    /// Per-thread scratch for [`qtconv2x2_core`]: the `[4*C_out, C_in]`
+    /// repacked weights, the kidx-replicated bias, and the pre-scatter GEMM
+    /// output — reused across calls so steady-state execution stays
+    /// allocation-free.
+    static QTCONV_WORK: RefCell<(Vec<i8>, Vec<i32>, Vec<i8>)> =
+        const { RefCell::new((Vec::new(), Vec::new(), Vec::new())) };
+}
+
 /// Quantized transpose conv on raw arena slices — the planned executor's
-/// entry point. Every output element is written (bias or zero base), so
-/// stale slot contents are harmless. Returns the output shape.
+/// entry point. Every output element is written by the scatter, so stale
+/// slot contents are harmless.
+///
+/// With kernel size = stride there is no output overlap, so the op is four
+/// independent 1x1 convolutions: one `[4*C_out, C_in] x [C_in, H*W]`
+/// [`igemm_fused`] per image (the input plane is already the column matrix,
+/// bias/requantise/ReLU fused into the GEMM store) followed by a stride-2
+/// INT8 scatter. Bit-identical to the former direct loops because i32
+/// addition is associative — the bias joining the sum at the end instead of
+/// seeding the accumulator cannot change the value. Returns the output
+/// shape.
 pub fn qtconv2x2_core(xs: Shape4, x: &[i8], p: &QConvParams, out: &mut [i8]) -> Shape4 {
     let ws = p.w.shape(); // [C_in, C_out, 2, 2]
     assert_eq!(x.len(), xs.len(), "qtconv input buffer/shape mismatch");
@@ -451,38 +451,74 @@ pub fn qtconv2x2_core(xs: Shape4, x: &[i8], p: &QConvParams, out: &mut [i8]) -> 
     assert_eq!(out.len(), out_shape.len(), "qtconv output buffer size");
     let shift = p.shift();
     let (h, wd) = (xs.h, xs.w);
-    let ow = out_shape.w;
+    let (oh, ow) = (out_shape.h, out_shape.w);
+    let hw = h * wd;
+    let w_data = p.w.data();
 
-    for n in 0..xs.n {
-        for co in 0..c_out {
-            let b = p.bias.get(co).copied().unwrap_or(0);
-            let y_plane_base = (n * c_out + co) * out_shape.hw();
-            for iy in 0..h {
-                for ix in 0..wd {
-                    let mut accs = [b; 4];
-                    for ci in 0..xs.c {
-                        let xv = x[(n * xs.c + ci) * h * wd + iy * wd + ix] as i32;
-                        if xv == 0 {
-                            continue;
+    QTCONV_WORK.with(|cell| {
+        let (wk, bias4, y_tmp) = &mut *cell.borrow_mut();
+
+        // Repack `[C_in, C_out, 2, 2]` weights into a `[4*C_out, C_in]` GEMM
+        // operand: row `kidx*C_out + co` holds the (ky, kx) tap of every
+        // input channel.
+        let wk_len = 4 * c_out * xs.c;
+        if wk.len() < wk_len {
+            wk.resize(wk_len, 0);
+        }
+        for kidx in 0..4 {
+            for co in 0..c_out {
+                let row = &mut wk[(kidx * c_out + co) * xs.c..][..xs.c];
+                for (ci, v) in row.iter_mut().enumerate() {
+                    *v = w_data[(ci * c_out + co) * 4 + kidx];
+                }
+            }
+        }
+
+        // Bias replicated per kernel position so the epilogue can index it by
+        // GEMM row; each output pixel gets it exactly once.
+        if bias4.len() < 4 * c_out {
+            bias4.resize(4 * c_out, 0);
+        }
+        for (i, v) in bias4[..4 * c_out].iter_mut().enumerate() {
+            *v = p.bias.get(i % c_out).copied().unwrap_or(0);
+        }
+
+        if y_tmp.len() < 4 * c_out * hw {
+            y_tmp.resize(4 * c_out * hw, 0);
+        }
+
+        for n in 0..xs.n {
+            let x_n = &x[n * xs.chw()..(n + 1) * xs.chw()];
+            igemm_fused(
+                4 * c_out,
+                xs.c,
+                hw,
+                &wk[..wk_len],
+                x_n,
+                &bias4[..4 * c_out],
+                shift,
+                p.relu,
+                &mut y_tmp[..4 * c_out * hw],
+            );
+
+            // Stride-2 scatter: plane (n, co) position (2iy+ky, 2ix+kx) comes
+            // from GEMM row kidx*C_out+co, element iy*W+ix.
+            let out_n = &mut out[n * out_shape.chw()..(n + 1) * out_shape.chw()];
+            for (co, y_plane) in out_n.chunks_exact_mut(oh * ow).enumerate() {
+                for kidx in 0..4 {
+                    let (ky, kx) = (kidx / 2, kidx % 2);
+                    let src = &y_tmp[(kidx * c_out + co) * hw..][..hw];
+                    for iy in 0..h {
+                        let srow = &src[iy * wd..(iy + 1) * wd];
+                        let drow = &mut y_plane[(2 * iy + ky) * ow..][..ow];
+                        for (d, &v) in drow[kx..].iter_mut().step_by(2).zip(srow) {
+                            *d = v;
                         }
-                        let wb = (ci * c_out + co) * 4;
-                        accs[0] += xv * p.w.data()[wb] as i32;
-                        accs[1] += xv * p.w.data()[wb + 1] as i32;
-                        accs[2] += xv * p.w.data()[wb + 2] as i32;
-                        accs[3] += xv * p.w.data()[wb + 3] as i32;
-                    }
-                    let (oy, ox) = (iy * 2, ix * 2);
-                    for (k, &a) in accs.iter().enumerate() {
-                        let mut v = requantize_i32(a, shift);
-                        if p.relu && v < 0 {
-                            v = 0;
-                        }
-                        out[y_plane_base + (oy + k / 2) * ow + ox + k % 2] = v;
                     }
                 }
             }
         }
-    }
+    });
     out_shape
 }
 

@@ -1,6 +1,6 @@
 //! 2-D convolution (forward + backward) via `im2col` + GEMM.
 
-use crate::gemm::{sgemm, sgemm_at, sgemm_bt};
+use crate::gemm::{sgemm_at, sgemm_bt, sgemm_fused, GemmEpilogue};
 use crate::im2col::{col2im, im2col, ConvGeom};
 use crate::shape::Shape4;
 use crate::tensor::Tensor;
@@ -66,6 +66,24 @@ pub fn conv2d_into(
     col: &mut Vec<f32>,
     out: &mut [f32],
 ) -> Shape4 {
+    conv2d_fused_into(xs, x, w, b, false, p, col, out)
+}
+
+/// [`conv2d_into`] with an optional fused ReLU: bias and activation are
+/// applied by the GEMM epilogue straight from the register accumulators, so
+/// the fused-Conv+ReLU graph node makes a single pass over the output
+/// instead of three (GEMM store, bias pass, ReLU pass).
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_fused_into(
+    xs: Shape4,
+    x: &[f32],
+    w: &Tensor,
+    b: &[f32],
+    relu: bool,
+    p: Conv2dParams,
+    col: &mut Vec<f32>,
+    out: &mut [f32],
+) -> Shape4 {
     let ws = w.shape();
     assert_eq!(x.len(), xs.len(), "input buffer/shape mismatch");
     assert_eq!(ws.c, xs.c, "C_in mismatch: weights {} input {}", ws.c, xs.c);
@@ -78,10 +96,18 @@ pub fn conv2d_into(
     let out_shape = Shape4::new(xs.n, ws.n, ho, wo);
     assert_eq!(out.len(), out_shape.len(), "output buffer size");
 
+    let epi = match (b.is_empty(), relu) {
+        (true, false) => GemmEpilogue::None,
+        (false, false) => GemmEpilogue::Bias(b),
+        // BiasRelu with an empty slice is a plain ReLU (missing bias reads 0).
+        (_, true) => GemmEpilogue::BiasRelu(b),
+    };
+
     let ckk = geom.col_rows();
     let cols = geom.col_cols();
-    // im2col fully overwrites and sgemm zero-fills, so stale contents are
-    // harmless; resizing only reallocates until the steady-state size.
+    // im2col fully overwrites and the GEMM store covers every element, so
+    // stale contents are harmless; resizing only reallocates until the
+    // steady-state size.
     if col.len() != ckk * cols {
         col.resize(ckk * cols, 0.0);
     }
@@ -89,14 +115,7 @@ pub fn conv2d_into(
         let x_n = &x[n * xs.chw()..(n + 1) * xs.chw()];
         im2col(&geom, x_n, col);
         let y_n = &mut out[n * out_shape.chw()..(n + 1) * out_shape.chw()];
-        sgemm(ws.n, ckk, cols, w.data(), col, y_n);
-        if !b.is_empty() {
-            for (co, &bias) in b.iter().enumerate() {
-                for v in &mut y_n[co * cols..(co + 1) * cols] {
-                    *v += bias;
-                }
-            }
-        }
+        sgemm_fused(ws.n, ckk, cols, w.data(), col, y_n, epi);
     }
     out_shape
 }

@@ -1,91 +1,363 @@
-//! Blocked, rayon-parallel matrix multiplication kernels.
+//! Packed, register-tiled matrix multiplication kernels with fused epilogues.
 //!
 //! Two flavours are provided:
 //!
-//! * [`sgemm`] — `f32` GEMM used by the training path and the FP32 (GPU
-//!   baseline) executor;
-//! * [`igemm`] — `i8 x i8 -> i32` GEMM used by the functional DPU executor.
+//! * [`sgemm`] / [`sgemm_fused`] — `f32` GEMM used by the training path and
+//!   the FP32 (GPU baseline) executor;
+//! * [`igemm`] / [`igemm_fused`] — `i8 x i8 -> i32` GEMM used by the
+//!   functional DPU executor, with an optional fused requantise-clamp
+//!   epilogue producing `i8` directly.
 //!
-//! Both compute `C = A * B` with `A: [m x k]`, `B: [k x n]`, `C: [m x n]`,
-//! all row-major. Parallelism is over row blocks of `C`, which keeps each
-//! rayon task writing to a disjoint slice (no locks, no unsafe). The inner
-//! loops use an ikj ordering so the innermost loop streams both `B` and `C`
-//! rows sequentially — the cache-friendly layout the perf-book recommends.
+//! All kernels compute `C = A * B` with `A: [m x k]`, `B: [k x n]`,
+//! `C: [m x n]`, row-major (the `_at`/`_bt` variants read a transposed
+//! operand). The implementation is a BLIS-style blocked engine:
+//!
+//! 1. **Packing.** `B` is packed once per call into `NR`-wide column panels
+//!    stored k-major (`[jp][kk][NR]`), and `A` into `MR`-tall row panels
+//!    (`[ip][kk][MR]`), both in thread-local scratch reused across calls.
+//!    Edge panels are zero-padded to the full tile width, so the micro-kernel
+//!    never sees a remainder and stays branch-free; padded lanes contribute
+//!    exact zeros and are clipped at store time.
+//! 2. **Micro-kernel.** An `MR x NR` register-accumulator tile walks the two
+//!    panels contiguously over the whole `k` extent. The inner loops have
+//!    constant trip counts, so LLVM unrolls the tile and autovectorizes the
+//!    `NR` dimension (FMA-shaped f32; i8→i32 widening multiply-accumulate).
+//! 3. **Fused epilogue.** Bias add, ReLU, and the DPU requantise-clamp are
+//!    applied to the register accumulators as the tile is stored, removing
+//!    the extra full passes over `C` that `conv2d`/`qconv3x3` used to make.
+//!
+//! Parallelism is over disjoint `MC`-row blocks of `C` via rayon — no locks,
+//! no `unsafe`. Each output element is accumulated in ascending-`k` order
+//! regardless of the thread count or block split, so results are
+//! deterministic and thread-count invariant; `igemm` is bit-exact under any
+//! regrouping because integer addition is associative.
+//!
+//! Note there is deliberately **no** `a[i][k] == 0` sparse-skip branch in the
+//! inner loops (the previous implementation had one): a data-dependent branch
+//! inside the innermost loop defeats autovectorization for *every* input and
+//! makes latency input-dependent, while the skip only pays off when an entire
+//! SIMD lane-group of multiplies would be saved — essentially never for dense
+//! activations. Dense branch-free MACs are strictly faster here.
 
+use crate::quantized::requantize_i32;
+use crate::zero::Zero;
 use rayon::prelude::*;
+use std::cell::RefCell;
 
-/// Rows of `C` handled per parallel task. 64 rows x 256 f32 columns ≈ 64 KiB,
-/// comfortably inside L2 while giving rayon enough tasks to balance.
-const ROW_BLOCK: usize = 64;
+/// Rows of the register-accumulator micro-tile.
+pub const MR: usize = 8;
 
-/// Panel width of `k` processed per pass, sized so a `ROW_BLOCK x K_BLOCK`
-/// panel of `A` stays cache-resident.
-const K_BLOCK: usize = 256;
+/// Columns of the register-accumulator micro-tile. With AVX-512 this is two
+/// vector registers per tile row (16 accumulator registers total for the
+/// 8x32 tile), which measures fastest on both the f32 and the widening-i8
+/// kernels; with AVX2 it is four.
+pub const NR: usize = 32;
+
+/// Rows of `C` handled per parallel task (a multiple of `MR`); small enough
+/// to give rayon tasks to balance, large enough to amortise task dispatch.
+const MC: usize = 32;
+
+const _: () = assert!(MC.is_multiple_of(MR), "MC must be a multiple of MR");
+
+/// Fused epilogue applied to the register accumulators at store time.
+///
+/// The bias is indexed by the **row** of `C` (the output channel in the
+/// im2col convolution lowering); a missing entry (short or empty slice)
+/// contributes `0.0`, so `Bias(&[])` is equivalent to `None`.
+#[derive(Debug, Clone, Copy)]
+pub enum GemmEpilogue<'a> {
+    /// Store the raw accumulators.
+    None,
+    /// `c[i][j] = acc[i][j] + bias[i]`.
+    Bias(&'a [f32]),
+    /// `c[i][j] = max(acc[i][j] + bias[i], 0.0)`.
+    BiasRelu(&'a [f32]),
+}
+
+/// One micro-tile's position within the output matrix.
+#[derive(Debug, Clone, Copy)]
+struct Tile {
+    /// Global row of the tile's first row (bias index base).
+    row: usize,
+    /// Row offset of the tile within the current row-block slice.
+    ip0: usize,
+    /// First column.
+    j0: usize,
+    /// Valid rows (`<= MR`; the rest is zero padding).
+    rows: usize,
+    /// Valid columns (`<= NR`).
+    cols: usize,
+}
+
+thread_local! {
+    /// Reusable packing scratch (A panels, B panels) for the f32 kernels.
+    static PACK_F32: RefCell<(Vec<f32>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+    /// Reusable packing scratch for the INT8 kernels.
+    static PACK_I8: RefCell<(Vec<i8>, Vec<i8>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+fn packed_a_len(m: usize, k: usize) -> usize {
+    m.div_ceil(MR) * MR * k
+}
+
+fn packed_b_len(k: usize, n: usize) -> usize {
+    n.div_ceil(NR) * NR * k
+}
+
+/// Packs `A` (via `get(i, kk)`) into `MR`-tall row panels, k-major, zero
+/// padding the tail panel's missing rows.
+fn pack_a<T: Zero>(m: usize, k: usize, get: impl Fn(usize, usize) -> T, buf: &mut [T]) {
+    for ip in 0..m.div_ceil(MR) {
+        let i0 = ip * MR;
+        let rows = MR.min(m - i0);
+        let panel = &mut buf[ip * MR * k..(ip + 1) * MR * k];
+        for (kk, dst) in panel.chunks_exact_mut(MR).enumerate() {
+            for (ii, d) in dst.iter_mut().enumerate() {
+                *d = if ii < rows { get(i0 + ii, kk) } else { T::ZERO };
+            }
+        }
+    }
+}
+
+/// Packs `B` (via `get(kk, j)`) into `NR`-wide column panels, k-major, zero
+/// padding the tail panel's missing columns.
+fn pack_b<T: Zero>(k: usize, n: usize, get: impl Fn(usize, usize) -> T, buf: &mut [T]) {
+    for jp in 0..n.div_ceil(NR) {
+        let j0 = jp * NR;
+        let cols = NR.min(n - j0);
+        let panel = &mut buf[jp * NR * k..(jp + 1) * NR * k];
+        for (kk, dst) in panel.chunks_exact_mut(NR).enumerate() {
+            for (jj, d) in dst.iter_mut().enumerate() {
+                *d = if jj < cols { get(kk, j0 + jj) } else { T::ZERO };
+            }
+        }
+    }
+}
+
+/// Walks the packed panels and hands each `MR x NR` tile's accumulators to
+/// `store`. Parallel over `MC`-row blocks of `C`; tiles never overlap, so
+/// every task writes a disjoint slice.
+///
+/// The f32 driver hands tiles to a `store` closure; the INT8 drivers below
+/// are standalone monolithic functions instead. The difference is deliberate:
+/// LLVM's vectorization of the widening-i8 micro-kernel is extremely
+/// sensitive to its surrounding code — inlined into the rayon worker closure
+/// (with or without a `store` closure in the loop) it picks a
+/// vectorize-over-k strategy that assembles operands byte-by-byte
+/// (`vpinsrb`) and keeps every accumulator row in a stack slot, roughly
+/// halving INT8 throughput. Compiled as an isolated `#[inline(never)]`
+/// function with direct stores, the same source autovectorizes the intended
+/// way (broadcast row scalar x widened B vector, accumulators in registers).
+fn block_driver_f32<T: Send>(
+    k: usize,
+    n: usize,
+    pa: &[f32],
+    pb: &[f32],
+    c: &mut [T],
+    store: impl Fn(&[[f32; NR]; MR], &mut [T], Tile) + Sync,
+) {
+    let n_jp = n.div_ceil(NR);
+    c.par_chunks_mut(MC * n).enumerate().for_each(|(blk, c_blk)| {
+        let row0 = blk * MC;
+        let rows_blk = c_blk.len() / n;
+        let mut ip0 = 0;
+        while ip0 < rows_blk {
+            let tile_rows = MR.min(rows_blk - ip0);
+            let apanel = &pa[(row0 + ip0) / MR * (MR * k)..][..MR * k];
+            for jp in 0..n_jp {
+                let j0 = jp * NR;
+                let bpanel = &pb[jp * (NR * k)..][..NR * k];
+                let acc = microkernel_f32(apanel, bpanel);
+                let tile = Tile { row: row0 + ip0, ip0, j0, rows: tile_rows, cols: NR.min(n - j0) };
+                store(&acc, c_blk, tile);
+            }
+            ip0 += MR;
+        }
+    });
+}
+
+/// One `MC`-row block of the INT8 GEMM with the given store statement,
+/// expanded as an isolated `#[inline(never)]` function (see
+/// [`block_driver_f32`] for why). `$store` receives `acc` (the finished
+/// tile), `ii` (tile row), `row` (global `C` row) and `dst` (the clipped
+/// output row slice) in scope.
+macro_rules! i8_block_fn {
+    ($name:ident, $t:ty, ($($extra:ident: $ty:ty),*), $store:expr) => {
+        #[allow(clippy::too_many_arguments)]
+        #[inline(never)]
+        fn $name(
+            k: usize,
+            n: usize,
+            row0: usize,
+            pa: &[i8],
+            pb: &[i8],
+            c_blk: &mut [$t],
+            $($extra: $ty,)*
+        ) {
+            let rows_blk = c_blk.len() / n;
+            let n_jp = n.div_ceil(NR);
+            let mut ip0 = 0;
+            while ip0 < rows_blk {
+                let tile_rows = MR.min(rows_blk - ip0);
+                let apanel = &pa[(row0 + ip0) / MR * (MR * k)..][..MR * k];
+                for jp in 0..n_jp {
+                    let j0 = jp * NR;
+                    let cols = NR.min(n - j0);
+                    let bpanel = &pb[jp * (NR * k)..][..NR * k];
+                    let mut acc = [[0i32; NR]; MR];
+                    for (a, b) in apanel.chunks_exact(MR).zip(bpanel.chunks_exact(NR)) {
+                        let mut bw = [0i32; NR];
+                        for (w, &v) in bw.iter_mut().zip(b) {
+                            *w = v as i32;
+                        }
+                        for (i, acc_i) in acc.iter_mut().enumerate() {
+                            let ai = a[i] as i32;
+                            for (acc_ij, &bv) in acc_i.iter_mut().zip(&bw) {
+                                *acc_ij += ai * bv;
+                            }
+                        }
+                    }
+                    for ii in 0..tile_rows {
+                        let row = row0 + ip0 + ii;
+                        let dst = &mut c_blk[(ip0 + ii) * n + j0..][..cols];
+                        #[allow(clippy::redundant_closure_call)]
+                        ($store)(&acc, ii, row, dst);
+                    }
+                }
+                ip0 += MR;
+            }
+        }
+    };
+}
+
+i8_block_fn!(i8_block_raw, i32, (), |acc: &[[i32; NR]; MR],
+                                     ii: usize,
+                                     _row: usize,
+                                     dst: &mut [i32]| {
+    dst.copy_from_slice(&acc[ii][..dst.len()]);
+});
+
+i8_block_fn!(
+    i8_block_requant,
+    i8,
+    (bias: &[i32], shift: i32, relu: bool),
+    |acc: &[[i32; NR]; MR], ii: usize, row: usize, dst: &mut [i8]| {
+        let bi = bias.get(row).copied().unwrap_or(0);
+        for (d, &v) in dst.iter_mut().zip(&acc[ii]) {
+            let mut q = requantize_i32(v + bi, shift);
+            if relu && q < 0 {
+                q = 0;
+            }
+            *d = q;
+        }
+    }
+);
+
+/// The f32 micro-kernel: an `MR x NR` accumulator tile over the full `k`
+/// extent of one A row panel and one B column panel. Branch-free with
+/// constant trip counts so LLVM keeps the tile in vector registers.
+#[inline(always)]
+fn microkernel_f32(ap: &[f32], bp: &[f32]) -> [[f32; NR]; MR] {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (a, b) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+        let a: &[f32; MR] = a.try_into().expect("panel chunk");
+        let b: &[f32; NR] = b.try_into().expect("panel chunk");
+        for (i, acc_i) in acc.iter_mut().enumerate() {
+            let aik = a[i];
+            for (acc_ij, &bv) in acc_i.iter_mut().zip(b) {
+                *acc_ij += aik * bv;
+            }
+        }
+    }
+    acc
+}
+
+/// Shared f32 entry: packs both operands and runs the tiled driver with the
+/// requested epilogue. `ga(i, kk)` / `gb(kk, j)` adapt the operand layouts
+/// (row-major or transposed) without separate kernel copies.
+fn gemm_f32(
+    m: usize,
+    k: usize,
+    n: usize,
+    ga: impl Fn(usize, usize) -> f32,
+    gb: impl Fn(usize, usize) -> f32,
+    c: &mut [f32],
+    epi: GemmEpilogue<'_>,
+) {
+    assert_eq!(c.len(), m * n, "C size");
+    if m == 0 || n == 0 {
+        return;
+    }
+    PACK_F32.with(|cell| {
+        let (pa, pb) = &mut *cell.borrow_mut();
+        let (la, lb) = (packed_a_len(m, k), packed_b_len(k, n));
+        if pa.len() < la {
+            pa.resize(la, 0.0);
+        }
+        if pb.len() < lb {
+            pb.resize(lb, 0.0);
+        }
+        pack_a(m, k, ga, &mut pa[..la]);
+        pack_b(k, n, gb, &mut pb[..lb]);
+        let store = |acc: &[[f32; NR]; MR], c_blk: &mut [f32], t: Tile| {
+            for ii in 0..t.rows {
+                let dst = &mut c_blk[(t.ip0 + ii) * n + t.j0..][..t.cols];
+                match epi {
+                    GemmEpilogue::None => {
+                        for (d, &v) in dst.iter_mut().zip(&acc[ii]) {
+                            *d = v;
+                        }
+                    }
+                    GemmEpilogue::Bias(b) => {
+                        let bias = b.get(t.row + ii).copied().unwrap_or(0.0);
+                        for (d, &v) in dst.iter_mut().zip(&acc[ii]) {
+                            *d = v + bias;
+                        }
+                    }
+                    GemmEpilogue::BiasRelu(b) => {
+                        let bias = b.get(t.row + ii).copied().unwrap_or(0.0);
+                        for (d, &v) in dst.iter_mut().zip(&acc[ii]) {
+                            *d = (v + bias).max(0.0);
+                        }
+                    }
+                }
+            }
+        };
+        block_driver_f32(k, n, &pa[..la], &pb[..lb], c, store);
+    });
+}
 
 /// `f32` GEMM: `c = a * b` (`a: m x k`, `b: k x n`, row-major).
 ///
 /// Panics if slice lengths are inconsistent with the given dimensions.
 pub fn sgemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    sgemm_fused(m, k, n, a, b, c, GemmEpilogue::None);
+}
+
+/// [`sgemm`] with a fused epilogue applied from the register accumulators —
+/// no extra pass over `C`.
+pub fn sgemm_fused(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    epi: GemmEpilogue<'_>,
+) {
     assert_eq!(a.len(), m * k, "A size");
     assert_eq!(b.len(), k * n, "B size");
-    assert_eq!(c.len(), m * n, "C size");
-    c.fill(0.0);
-    if m == 0 || k == 0 || n == 0 {
-        return;
-    }
-
-    c.par_chunks_mut(ROW_BLOCK * n).enumerate().for_each(|(blk, c_blk)| {
-        let row0 = blk * ROW_BLOCK;
-        let rows = c_blk.len() / n;
-        for k0 in (0..k).step_by(K_BLOCK) {
-            let k1 = (k0 + K_BLOCK).min(k);
-            for i in 0..rows {
-                let a_row = &a[(row0 + i) * k..(row0 + i) * k + k];
-                let c_row = &mut c_blk[i * n..(i + 1) * n];
-                for kk in k0..k1 {
-                    let aik = a_row[kk];
-                    if aik == 0.0 {
-                        continue;
-                    }
-                    let b_row = &b[kk * n..(kk + 1) * n];
-                    for (cv, bv) in c_row.iter_mut().zip(b_row) {
-                        *cv += aik * *bv;
-                    }
-                }
-            }
-        }
-    });
+    gemm_f32(m, k, n, |i, kk| a[i * k + kk], |kk, j| b[kk * n + j], c, epi);
 }
 
 /// `f32` GEMM with `A` transposed: `c = a^T * b` where `a: k x m` row-major.
 ///
-/// Used by the convolution backward pass (`dX = W^T * dY`).
+/// Used by the convolution backward pass (`dX = W^T * dY`). The transposition
+/// is absorbed by the packing step — the micro-kernel is shared.
 pub fn sgemm_at(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     assert_eq!(a.len(), k * m, "A size (transposed)");
     assert_eq!(b.len(), k * n, "B size");
-    assert_eq!(c.len(), m * n, "C size");
-    c.fill(0.0);
-    if m == 0 || k == 0 || n == 0 {
-        return;
-    }
-    c.par_chunks_mut(ROW_BLOCK * n).enumerate().for_each(|(blk, c_blk)| {
-        let row0 = blk * ROW_BLOCK;
-        let rows = c_blk.len() / n;
-        for kk in 0..k {
-            let a_row = &a[kk * m..(kk + 1) * m];
-            let b_row = &b[kk * n..(kk + 1) * n];
-            for i in 0..rows {
-                let aik = a_row[row0 + i];
-                if aik == 0.0 {
-                    continue;
-                }
-                let c_row = &mut c_blk[i * n..(i + 1) * n];
-                for (cv, bv) in c_row.iter_mut().zip(b_row) {
-                    *cv += aik * *bv;
-                }
-            }
-        }
-    });
+    gemm_f32(m, k, n, |i, kk| a[kk * m + i], |kk, j| b[kk * n + j], c, GemmEpilogue::None);
 }
 
 /// `f32` GEMM with `B` transposed: `c = a * b^T` where `b: n x k` row-major.
@@ -94,57 +366,83 @@ pub fn sgemm_at(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32
 pub fn sgemm_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     assert_eq!(a.len(), m * k, "A size");
     assert_eq!(b.len(), n * k, "B size (transposed)");
+    gemm_f32(m, k, n, |i, kk| a[i * k + kk], |kk, j| b[j * k + kk], c, GemmEpilogue::None);
+}
+
+/// Shared INT8 entry: packs both i8 operands into the thread-local scratch
+/// and hands the panels to `run` (which fans out over `MC`-row blocks).
+fn with_packed_i8<T>(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[i8],
+    b: &[i8],
+    c: &mut [T],
+    run: impl FnOnce(&[i8], &[i8], &mut [T]),
+) {
+    assert_eq!(a.len(), m * k, "A size");
+    assert_eq!(b.len(), k * n, "B size");
     assert_eq!(c.len(), m * n, "C size");
-    if m == 0 || k == 0 || n == 0 {
-        c.fill(0.0);
+    if m == 0 || n == 0 {
         return;
     }
-    c.par_chunks_mut(n).enumerate().for_each(|(i, c_row)| {
-        let a_row = &a[i * k..(i + 1) * k];
-        for (j, cv) in c_row.iter_mut().enumerate() {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (av, bv) in a_row.iter().zip(b_row) {
-                acc += av * bv;
-            }
-            *cv = acc;
+    PACK_I8.with(|cell| {
+        let (pa, pb) = &mut *cell.borrow_mut();
+        let (la, lb) = (packed_a_len(m, k), packed_b_len(k, n));
+        if pa.len() < la {
+            pa.resize(la, 0);
         }
+        if pb.len() < lb {
+            pb.resize(lb, 0);
+        }
+        pack_a(m, k, |i, kk| a[i * k + kk], &mut pa[..la]);
+        pack_b(k, n, |kk, j| b[kk * n + j], &mut pb[..lb]);
+        run(&pa[..la], &pb[..lb], c);
     });
 }
 
 /// INT8 GEMM with `i32` accumulation: `c = a * b`.
 ///
 /// Mirrors the DPU's MAC array arithmetic: 8-bit operands, 32-bit
-/// accumulators, no saturation until the requantisation step.
+/// accumulators, no saturation until the requantisation step. Bit-identical
+/// to the naive triple loop for any tiling, because i32 addition is
+/// associative and the zero padding contributes exact zeros.
 pub fn igemm(m: usize, k: usize, n: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
-    assert_eq!(a.len(), m * k, "A size");
-    assert_eq!(b.len(), k * n, "B size");
-    assert_eq!(c.len(), m * n, "C size");
-    c.fill(0);
-    if m == 0 || k == 0 || n == 0 {
-        return;
-    }
-    c.par_chunks_mut(ROW_BLOCK * n).enumerate().for_each(|(blk, c_blk)| {
-        let row0 = blk * ROW_BLOCK;
-        let rows = c_blk.len() / n;
-        for i in 0..rows {
-            let a_row = &a[(row0 + i) * k..(row0 + i) * k + k];
-            let c_row = &mut c_blk[i * n..(i + 1) * n];
-            for (kk, &aik) in a_row.iter().enumerate() {
-                if aik == 0 {
-                    continue;
-                }
-                let aik = aik as i32;
-                let b_row = &b[kk * n..(kk + 1) * n];
-                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                    *cv += aik * bv as i32;
-                }
-            }
-        }
+    with_packed_i8(m, k, n, a, b, c, |pa, pb, c| {
+        c.par_chunks_mut(MC * n).enumerate().for_each(|(blk, c_blk)| {
+            i8_block_raw(k, n, blk * MC, pa, pb, c_blk);
+        });
     });
 }
 
-/// Reference (naive, sequential) f32 GEMM used by tests.
+/// [`igemm`] with the DPU requantise-clamp epilogue fused into the store:
+/// `out[i][j] = clamp(round((acc[i][j] + bias[i]) >> shift))`, optionally
+/// ReLU-clamped, written directly as `i8`. The per-row bias is at
+/// accumulator scale; a short or empty slice contributes `0`.
+///
+/// Bit-identical to `igemm` followed by `requantize_i32` over the full
+/// accumulator buffer — the i32 sum is exact, so fusing the epilogue cannot
+/// change a single output byte.
+#[allow(clippy::too_many_arguments)]
+pub fn igemm_fused(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[i8],
+    b: &[i8],
+    bias: &[i32],
+    shift: i32,
+    relu: bool,
+    out: &mut [i8],
+) {
+    with_packed_i8(m, k, n, a, b, out, |pa, pb, out| {
+        out.par_chunks_mut(MC * n).enumerate().for_each(|(blk, out_blk)| {
+            i8_block_requant(k, n, blk * MC, pa, pb, out_blk, bias, shift, relu);
+        });
+    });
+}
+
+/// Reference (naive, sequential) f32 GEMM used by tests and benchmarks.
 pub fn sgemm_reference(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     for i in 0..m {
         for j in 0..n {
@@ -157,14 +455,34 @@ pub fn sgemm_reference(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &m
     }
 }
 
+/// Reference (naive, sequential) INT8 GEMM; [`igemm`] must match it bit for
+/// bit.
+pub fn igemm_reference(m: usize, k: usize, n: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0i32;
+            for kk in 0..k {
+                acc += a[i * k + kk] as i32 * b[kk * n + j] as i32;
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::quantized::requantize_slice;
     use rand::{Rng, SeedableRng};
 
     fn rand_vec(len: usize, seed: u64) -> Vec<f32> {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    fn rand_i8(len: usize, seed: u64) -> Vec<i8> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.gen_range(-128i32..128) as i8).collect()
     }
 
     fn assert_close(a: &[f32], b: &[f32], tol: f32) {
@@ -176,7 +494,8 @@ mod tests {
 
     #[test]
     fn sgemm_matches_reference() {
-        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (65, 300, 33), (130, 64, 130)] {
+        // Mix of tile-aligned and deliberately misaligned sizes.
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (65, 300, 33), (130, 64, 130), (8, 16, 16)] {
             let a = rand_vec(m * k, 1);
             let b = rand_vec(k * n, 2);
             let mut c = vec![0.0; m * n];
@@ -225,6 +544,79 @@ mod tests {
     }
 
     #[test]
+    fn fused_bias_and_relu_match_separate_passes() {
+        let (m, k, n) = (13, 37, 22); // off-tile on purpose
+        let a = rand_vec(m * k, 7);
+        let b = rand_vec(k * n, 8);
+        let bias = rand_vec(m, 9);
+        let mut plain = vec![0.0; m * n];
+        sgemm(m, k, n, &a, &b, &mut plain);
+
+        let mut fused_bias = vec![0.0; m * n];
+        sgemm_fused(m, k, n, &a, &b, &mut fused_bias, GemmEpilogue::Bias(&bias));
+        let mut fused_relu = vec![0.0; m * n];
+        sgemm_fused(m, k, n, &a, &b, &mut fused_relu, GemmEpilogue::BiasRelu(&bias));
+
+        for i in 0..m {
+            for j in 0..n {
+                let v = plain[i * n + j] + bias[i];
+                assert_eq!(fused_bias[i * n + j], v, "bias epilogue at ({i},{j})");
+                assert_eq!(fused_relu[i * n + j], v.max(0.0), "relu epilogue at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_bias_is_identity() {
+        let (m, k, n) = (5, 9, 11);
+        let a = rand_vec(m * k, 10);
+        let b = rand_vec(k * n, 11);
+        let mut plain = vec![0.0; m * n];
+        let mut fused = vec![0.0; m * n];
+        sgemm(m, k, n, &a, &b, &mut plain);
+        sgemm_fused(m, k, n, &a, &b, &mut fused, GemmEpilogue::Bias(&[]));
+        assert_eq!(plain, fused);
+    }
+
+    #[test]
+    fn igemm_matches_naive_bit_exactly() {
+        for &(m, k, n) in &[(1, 1, 1), (7, 13, 5), (64, 576, 100), (33, 100, 47)] {
+            let a = rand_i8(m * k, 20);
+            let b = rand_i8(k * n, 21);
+            let mut c = vec![0i32; m * n];
+            let mut c_ref = vec![0i32; m * n];
+            igemm(m, k, n, &a, &b, &mut c);
+            igemm_reference(m, k, n, &a, &b, &mut c_ref);
+            assert_eq!(c, c_ref, "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn igemm_fused_matches_unfused_requant_bit_exactly() {
+        let (m, k, n) = (11, 90, 23);
+        let a = rand_i8(m * k, 22);
+        let b = rand_i8(k * n, 23);
+        let bias: Vec<i32> = (0..m as i32).map(|i| i * 37 - 100).collect();
+        for &(shift, relu) in &[(4, false), (4, true), (0, false), (-1, true), (9, false)] {
+            let mut acc = vec![0i32; m * n];
+            igemm(m, k, n, &a, &b, &mut acc);
+            for (i, v) in acc.iter_mut().enumerate() {
+                *v += bias[i / n];
+            }
+            let mut expect = vec![0i8; m * n];
+            requantize_slice(&acc, shift, &mut expect);
+            if relu {
+                for v in &mut expect {
+                    *v = (*v).max(0);
+                }
+            }
+            let mut fused = vec![0i8; m * n];
+            igemm_fused(m, k, n, &a, &b, &bias, shift, relu, &mut fused);
+            assert_eq!(fused, expect, "shift {shift} relu {relu}");
+        }
+    }
+
+    #[test]
     fn igemm_exact_small_case() {
         // 2x3 * 3x2
         let a: Vec<i8> = vec![1, -2, 3, 0, 5, -6];
@@ -255,5 +647,13 @@ mod tests {
         let mut c2 = vec![1.0f32; 4];
         sgemm(2, 0, 2, &[], &[], &mut c2);
         assert_eq!(c2, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn k_zero_with_epilogue_writes_bias() {
+        let bias = vec![1.5f32, -2.0];
+        let mut c = vec![9.0f32; 6];
+        sgemm_fused(2, 0, 3, &[], &[], &mut c, GemmEpilogue::BiasRelu(&bias));
+        assert_eq!(c, vec![1.5, 1.5, 1.5, 0.0, 0.0, 0.0]);
     }
 }

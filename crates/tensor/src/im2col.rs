@@ -5,6 +5,8 @@
 //! column `o` holds the receptive field of output pixel `o`. Convolution then
 //! becomes a GEMM with the `[C_out, C*K*K]` weight matrix.
 
+use crate::zero::Zero;
+
 /// Geometry of a 2-D convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ConvGeom {
@@ -45,9 +47,10 @@ impl ConvGeom {
 }
 
 /// Lowers one `[C, H, W]` input plane into the column matrix `col`
-/// (`[C*K*K, H_out*W_out]`, row-major). `col` must be pre-sized; it is fully
-/// overwritten.
-pub fn im2col(geom: &ConvGeom, input: &[f32], col: &mut [f32]) {
+/// (`[C*K*K, H_out*W_out]`, row-major), generic over the element type —
+/// padding writes `T::ZERO`. `col` must be pre-sized; it is fully
+/// overwritten. [`im2col`] (f32) and [`im2col_i8`] are thin wrappers.
+pub fn im2col_t<T: Zero>(geom: &ConvGeom, input: &[T], col: &mut [T]) {
     let (h_out, w_out) = (geom.h_out(), geom.w_out());
     let cols = h_out * w_out;
     assert_eq!(input.len(), geom.c_in * geom.h * geom.w, "input size");
@@ -63,14 +66,14 @@ pub fn im2col(geom: &ConvGeom, input: &[f32], col: &mut [f32]) {
                     let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
                     let dst = &mut out_row[oy * w_out..(oy + 1) * w_out];
                     if iy < 0 || iy >= geom.h as isize {
-                        dst.fill(0.0);
+                        dst.fill(T::ZERO);
                         continue;
                     }
                     let src_row = &plane[iy as usize * geom.w..(iy as usize + 1) * geom.w];
                     for (ox, d) in dst.iter_mut().enumerate() {
                         let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
                         *d = if ix < 0 || ix >= geom.w as isize {
-                            0.0
+                            T::ZERO
                         } else {
                             src_row[ix as usize]
                         };
@@ -81,35 +84,14 @@ pub fn im2col(geom: &ConvGeom, input: &[f32], col: &mut [f32]) {
     }
 }
 
-/// INT8 variant of [`im2col`] (zero padding maps to 0).
-pub fn im2col_i8(geom: &ConvGeom, input: &[i8], col: &mut [i8]) {
-    let (h_out, w_out) = (geom.h_out(), geom.w_out());
-    let cols = h_out * w_out;
-    assert_eq!(input.len(), geom.c_in * geom.h * geom.w, "input size");
-    assert_eq!(col.len(), geom.col_rows() * cols, "col size");
+/// `f32` [`im2col_t`] (zero padding maps to `0.0`).
+pub fn im2col(geom: &ConvGeom, input: &[f32], col: &mut [f32]) {
+    im2col_t(geom, input, col);
+}
 
-    for c in 0..geom.c_in {
-        let plane = &input[c * geom.h * geom.w..(c + 1) * geom.h * geom.w];
-        for ky in 0..geom.k {
-            for kx in 0..geom.k {
-                let row = (c * geom.k + ky) * geom.k + kx;
-                let out_row = &mut col[row * cols..(row + 1) * cols];
-                for oy in 0..h_out {
-                    let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
-                    let dst = &mut out_row[oy * w_out..(oy + 1) * w_out];
-                    if iy < 0 || iy >= geom.h as isize {
-                        dst.fill(0);
-                        continue;
-                    }
-                    let src_row = &plane[iy as usize * geom.w..(iy as usize + 1) * geom.w];
-                    for (ox, d) in dst.iter_mut().enumerate() {
-                        let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
-                        *d = if ix < 0 || ix >= geom.w as isize { 0 } else { src_row[ix as usize] };
-                    }
-                }
-            }
-        }
-    }
+/// INT8 [`im2col_t`] (zero padding maps to `0`).
+pub fn im2col_i8(geom: &ConvGeom, input: &[i8], col: &mut [i8]) {
+    im2col_t(geom, input, col);
 }
 
 /// Scatters a column matrix back into an input plane, accumulating overlaps.

@@ -2,11 +2,26 @@
 //!
 //! With kernel size equal to stride there is no output overlap: each output
 //! pixel `(2h+ky, 2w+kx)` receives exactly one contribution per input
-//! channel, which keeps both directions embarrassingly parallel.
+//! channel and belongs to exactly one kernel position `(ky, kx)`. That makes
+//! the forward pass four independent 1x1 convolutions — lowered here to a
+//! single GEMM per image (`[4*C_out, C_in] x [C_in, H*W]`, the input plane
+//! already *is* the column matrix) followed by a stride-2 scatter, instead of
+//! the former scalar accumulation loops.
 
+use crate::gemm::{sgemm_fused, GemmEpilogue};
 use crate::shape::Shape4;
 use crate::tensor::Tensor;
 use rayon::prelude::*;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread scratch for [`tconv2x2_into`]: the `[4*C_out, C_in]`
+    /// repacked weights, the kidx-replicated bias, and the pre-scatter GEMM
+    /// output — reused across calls so steady-state execution stays
+    /// allocation-free.
+    static TCONV_WORK: RefCell<(Vec<f32>, Vec<f32>, Vec<f32>)> =
+        const { RefCell::new((Vec::new(), Vec::new(), Vec::new())) };
+}
 
 /// Forward transpose convolution.
 ///
@@ -23,9 +38,8 @@ pub fn tconv2x2(x: &Tensor, w: &Tensor, b: &[f32]) -> Tensor {
 }
 
 /// Transpose convolution into a caller-owned output slice ([`tconv2x2`]
-/// semantics, bit for bit). The output buffer may hold stale data: every
-/// plane is filled (with the bias, or zero without one) before accumulation.
-/// Returns the output shape.
+/// semantics). The output buffer may hold stale data: every element is
+/// overwritten by the scatter. Returns the output shape.
 pub fn tconv2x2_into(xs: Shape4, x: &[f32], w: &Tensor, b: &[f32], out: &mut [f32]) -> Shape4 {
     let ws = w.shape();
     assert_eq!(x.len(), xs.len(), "input buffer/shape mismatch");
@@ -38,30 +52,69 @@ pub fn tconv2x2_into(xs: Shape4, x: &[f32], w: &Tensor, b: &[f32], out: &mut [f3
     assert_eq!(out.len(), out_shape.len(), "output buffer size");
     let (h, wd) = (xs.h, xs.w);
     let (oh, ow) = (out_shape.h, out_shape.w);
+    let hw = h * wd;
     let w_data = w.data();
 
-    // Parallel over (batch, output channel) pairs: each task owns one output
-    // plane, so writes are disjoint.
-    out.par_chunks_mut(oh * ow).enumerate().for_each(|(plane_idx, y_plane)| {
-        let n = plane_idx / c_out;
-        let co = plane_idx % c_out;
-        y_plane.fill(if b.is_empty() { 0.0 } else { b[co] });
-        for ci in 0..xs.c {
-            let x_plane = &x[(n * xs.c + ci) * h * wd..(n * xs.c + ci + 1) * h * wd];
-            let w_base = (ci * c_out + co) * 4;
-            let (w00, w01, w10, w11) =
-                (w_data[w_base], w_data[w_base + 1], w_data[w_base + 2], w_data[w_base + 3]);
-            for iy in 0..h {
-                let x_row = &x_plane[iy * wd..(iy + 1) * wd];
-                let oy = iy * 2;
-                for (ix, &xv) in x_row.iter().enumerate() {
-                    let ox = ix * 2;
-                    y_plane[oy * ow + ox] += xv * w00;
-                    y_plane[oy * ow + ox + 1] += xv * w01;
-                    y_plane[(oy + 1) * ow + ox] += xv * w10;
-                    y_plane[(oy + 1) * ow + ox + 1] += xv * w11;
+    TCONV_WORK.with(|cell| {
+        let (wk, bias4, y_tmp) = &mut *cell.borrow_mut();
+
+        // Repack `[C_in, C_out, 2, 2]` weights into a `[4*C_out, C_in]` GEMM
+        // operand: row `kidx*C_out + co` holds the (ky, kx) tap of every input
+        // channel. One GEMM then computes all four kernel positions at once.
+        let wk_len = 4 * c_out * xs.c;
+        if wk.len() < wk_len {
+            wk.resize(wk_len, 0.0);
+        }
+        for kidx in 0..4 {
+            for co in 0..c_out {
+                let row = &mut wk[(kidx * c_out + co) * xs.c..][..xs.c];
+                for (ci, v) in row.iter_mut().enumerate() {
+                    *v = w_data[(ci * c_out + co) * 4 + kidx];
                 }
             }
+        }
+
+        // Bias replicated per kernel position so the GEMM epilogue can index
+        // it by row; each output pixel gets it exactly once.
+        let epi = if b.is_empty() {
+            GemmEpilogue::None
+        } else {
+            if bias4.len() < 4 * c_out {
+                bias4.resize(4 * c_out, 0.0);
+            }
+            for (i, v) in bias4[..4 * c_out].iter_mut().enumerate() {
+                *v = b[i % c_out];
+            }
+            GemmEpilogue::Bias(&bias4[..4 * c_out])
+        };
+
+        if y_tmp.len() < 4 * c_out * hw {
+            y_tmp.resize(4 * c_out * hw, 0.0);
+        }
+
+        for n in 0..xs.n {
+            let x_n = &x[n * xs.chw()..(n + 1) * xs.chw()];
+            // The `[C_in, H*W]` input plane is already the column matrix.
+            sgemm_fused(4 * c_out, xs.c, hw, &wk[..wk_len], x_n, &mut y_tmp[..4 * c_out * hw], epi);
+
+            // Stride-2 scatter: plane (n, co) position (2iy+ky, 2ix+kx) comes
+            // from GEMM row kidx*C_out+co, element iy*W+ix. Parallel over
+            // output planes; writes are disjoint.
+            let y_src = &y_tmp[..4 * c_out * hw];
+            let out_n = &mut out[n * out_shape.chw()..(n + 1) * out_shape.chw()];
+            out_n.par_chunks_mut(oh * ow).enumerate().for_each(|(co, y_plane)| {
+                for kidx in 0..4 {
+                    let (ky, kx) = (kidx / 2, kidx % 2);
+                    let src = &y_src[(kidx * c_out + co) * hw..][..hw];
+                    for iy in 0..h {
+                        let srow = &src[iy * wd..(iy + 1) * wd];
+                        let drow = &mut y_plane[(2 * iy + ky) * ow..][..ow];
+                        for (d, &v) in drow[kx..].iter_mut().step_by(2).zip(srow) {
+                            *d = v;
+                        }
+                    }
+                }
+            });
         }
     });
     out_shape

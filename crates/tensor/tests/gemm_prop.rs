@@ -1,0 +1,160 @@
+//! Property tests for the packed GEMM engine's remainder handling.
+//!
+//! The micro-kernel only ever sees full `MR x NR` tiles — edge handling lives
+//! entirely in the zero-padded packing and the clipped store. These tests
+//! hammer exactly that seam: random `(m, k, n)` drawn to be deliberately NOT
+//! multiples of the tile sizes (odd sizes, primes, 1xKx1 slivers), checked
+//! against the naive reference kernels.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use seneca_tensor::gemm::{
+    igemm, igemm_fused, igemm_reference, sgemm, sgemm_at, sgemm_bt, sgemm_reference, MR, NR,
+};
+use seneca_tensor::quantized::requantize_i32;
+
+fn rand_f32(len: usize, seed: u64) -> Vec<f32> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+fn rand_i8(len: usize, seed: u64) -> Vec<i8> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(-128i32..128) as i8).collect()
+}
+
+/// Primes around and above the tile sizes (MR = 8, NR = 16), so every draw
+/// exercises partial tiles in both dimensions.
+const PRIMES: [usize; 8] = [1, 3, 7, 13, 17, 23, 31, 53];
+
+fn close(a: &[f32], b: &[f32]) -> Result<(), (usize, f32, f32)> {
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        if (x - y).abs() > 1e-4 * (1.0 + x.abs().max(y.abs())) {
+            return Err((i, *x, *y));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Packed sgemm == reference for sizes that straddle tile boundaries.
+    #[test]
+    fn sgemm_remainder_tiles_match_reference(
+        mi in 0usize..8, ki in 0usize..8, ni in 0usize..8, seed in 0u64..1000
+    ) {
+        let (m, k, n) = (PRIMES[mi], PRIMES[ki], PRIMES[ni]);
+        // Primes are never multiples of MR/NR (except 1 trivially dividing).
+        prop_assert!(m == 1 || m % MR != 0);
+        prop_assert!(n == 1 || n % NR != 0);
+        let a = rand_f32(m * k, seed);
+        let b = rand_f32(k * n, seed + 1);
+        let mut c = vec![0.0; m * n];
+        let mut c_ref = vec![0.0; m * n];
+        sgemm(m, k, n, &a, &b, &mut c);
+        sgemm_reference(m, k, n, &a, &b, &mut c_ref);
+        if let Err((i, x, y)) = close(&c, &c_ref) {
+            prop_assert!(false, "{m}x{k}x{n} idx {i}: {x} vs {y}");
+        }
+    }
+
+    /// The degenerate 1xKx1 sliver (single row, single column) for any K.
+    #[test]
+    fn sgemm_one_by_k_by_one(k in 1usize..600, seed in 0u64..1000) {
+        let a = rand_f32(k, seed);
+        let b = rand_f32(k, seed + 1);
+        let mut c = vec![0.0; 1];
+        let mut c_ref = vec![0.0; 1];
+        sgemm(1, k, 1, &a, &b, &mut c);
+        sgemm_reference(1, k, 1, &a, &b, &mut c_ref);
+        prop_assert!((c[0] - c_ref[0]).abs() < 1e-4 * (1.0 + c_ref[0].abs()), "{} vs {}", c[0], c_ref[0]);
+    }
+
+    /// Transposed-A variant over off-tile sizes.
+    #[test]
+    fn sgemm_at_remainder_tiles_match_reference(
+        mi in 0usize..8, ki in 0usize..8, ni in 0usize..8, seed in 0u64..1000
+    ) {
+        let (m, k, n) = (PRIMES[mi], PRIMES[ki], PRIMES[ni]);
+        let a_t = rand_f32(k * m, seed); // stored k x m
+        let b = rand_f32(k * n, seed + 1);
+        let mut a = vec![0.0; m * k];
+        for i in 0..m {
+            for kk in 0..k {
+                a[i * k + kk] = a_t[kk * m + i];
+            }
+        }
+        let mut c = vec![0.0; m * n];
+        let mut c_ref = vec![0.0; m * n];
+        sgemm_at(m, k, n, &a_t, &b, &mut c);
+        sgemm_reference(m, k, n, &a, &b, &mut c_ref);
+        if let Err((i, x, y)) = close(&c, &c_ref) {
+            prop_assert!(false, "{m}x{k}x{n} idx {i}: {x} vs {y}");
+        }
+    }
+
+    /// Transposed-B variant over off-tile sizes.
+    #[test]
+    fn sgemm_bt_remainder_tiles_match_reference(
+        mi in 0usize..8, ki in 0usize..8, ni in 0usize..8, seed in 0u64..1000
+    ) {
+        let (m, k, n) = (PRIMES[mi], PRIMES[ki], PRIMES[ni]);
+        let a = rand_f32(m * k, seed);
+        let b_t = rand_f32(n * k, seed + 1); // stored n x k
+        let mut b = vec![0.0; k * n];
+        for kk in 0..k {
+            for j in 0..n {
+                b[kk * n + j] = b_t[j * k + kk];
+            }
+        }
+        let mut c = vec![0.0; m * n];
+        let mut c_ref = vec![0.0; m * n];
+        sgemm_bt(m, k, n, &a, &b_t, &mut c);
+        sgemm_reference(m, k, n, &a, &b, &mut c_ref);
+        if let Err((i, x, y)) = close(&c, &c_ref) {
+            prop_assert!(false, "{m}x{k}x{n} idx {i}: {x} vs {y}");
+        }
+    }
+
+    /// Packed igemm is BIT-EXACT against the naive kernel for arbitrary
+    /// off-tile sizes — i32 addition is associative, so no tolerance.
+    #[test]
+    fn igemm_packed_is_bit_exact(
+        m in 1usize..40, k in 1usize..80, n in 1usize..40, seed in 0u64..1000
+    ) {
+        let a = rand_i8(m * k, seed);
+        let b = rand_i8(k * n, seed + 1);
+        let mut c = vec![0i32; m * n];
+        let mut c_ref = vec![0i32; m * n];
+        igemm(m, k, n, &a, &b, &mut c);
+        igemm_reference(m, k, n, &a, &b, &mut c_ref);
+        prop_assert_eq!(c, c_ref, "{}x{}x{}", m, k, n);
+    }
+
+    /// The fused requantise epilogue is bit-exact against the unfused
+    /// accumulate-then-requantise sequence for arbitrary shifts and sizes.
+    #[test]
+    fn igemm_fused_is_bit_exact(
+        m in 1usize..24, k in 1usize..60, n in 1usize..24,
+        shift in -2i32..10, relu_bit in 0u32..2, seed in 0u64..1000
+    ) {
+        let relu = relu_bit == 1;
+        let a = rand_i8(m * k, seed);
+        let b = rand_i8(k * n, seed + 1);
+        let bias: Vec<i32> = (0..m as i32).map(|i| i * 91 - 777).collect();
+        let mut acc = vec![0i32; m * n];
+        igemm_reference(m, k, n, &a, &b, &mut acc);
+        let expect: Vec<i8> = acc
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let q = requantize_i32(v + bias[i / n], shift);
+                if relu { q.max(0) } else { q }
+            })
+            .collect();
+        let mut fused = vec![0i8; m * n];
+        igemm_fused(m, k, n, &a, &b, &bias, shift, relu, &mut fused);
+        prop_assert_eq!(fused, expect, "{}x{}x{} shift {} relu {}", m, k, n, shift, relu);
+    }
+}

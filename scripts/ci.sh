@@ -19,4 +19,7 @@ cargo run --release -q -p seneca-serve --example serve_demo -- smoke
 echo "== plan smoke (peak arena < total activations) =="
 cargo run --release -q -p seneca-bench --example plan_stats
 
+echo "== kernel smoke (packed GEMM beats reference; igemm bit-exact) =="
+cargo run --release -q -p seneca-bench --example kernel_stats -- smoke
+
 echo "CI OK"
