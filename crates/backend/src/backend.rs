@@ -239,7 +239,11 @@ impl InferenceEngine for QuantRefBackend {
     }
 
     fn infer(&self, scratch: &mut Self::Worker, image: &Tensor) -> Prediction {
-        let q = self.qgraph.quantize_input(image);
+        let q = {
+            let _sp =
+                seneca_trace::span_bytes("session", "quantize", image.data().len() as u64 * 4);
+            self.qgraph.quantize_input(image)
+        };
         let out = self.qgraph.execute_into(&q, scratch).to_qtensor();
         Prediction::from_i8(out)
     }

@@ -26,12 +26,14 @@ pub struct Prediction {
 impl Prediction {
     /// Builds a prediction from FP32 class maps.
     pub fn from_f32(y: Tensor) -> Self {
+        let _sp = seneca_trace::span_bytes("session", "argmax", y.data().len() as u64 * 4);
         let labels = seneca_tensor::activation::argmax_channels(&y);
         Self { labels, logits: Logits::F32(y) }
     }
 
     /// Builds a prediction from INT8 logits.
     pub fn from_i8(q: QTensor) -> Self {
+        let _sp = seneca_trace::span_bytes("session", "argmax", q.data().len() as u64);
         let labels = seneca_tensor::activation::argmax_channels_i8(q.shape(), q.data());
         Self { labels, logits: Logits::I8(q) }
     }

@@ -130,6 +130,7 @@ impl<'e, E: InferenceEngine> InferenceSession<'e, E> {
                 .iter()
                 .enumerate()
                 .map(|(i, img)| {
+                    let _sp = seneca_trace::span("session", "infer");
                     std::panic::catch_unwind(AssertUnwindSafe(|| {
                         work(self.engine, &mut worker, img)
                     }))
@@ -159,14 +160,18 @@ impl<'e, E: InferenceEngine> InferenceSession<'e, E> {
                     let mut worker = engine.new_worker();
                     loop {
                         // Hold the lock only for the dequeue, not the inference.
+                        let wait = seneca_trace::span("session", "dequeue_wait");
                         let job = job_rx.lock().expect("job queue lock").recv();
+                        drop(wait);
                         let (i, img) = match job {
                             Ok(j) => j,
                             Err(_) => break, // feeder done and queue drained
                         };
+                        let infer_sp = seneca_trace::span("session", "infer");
                         let out = std::panic::catch_unwind(AssertUnwindSafe(|| {
                             work(engine, &mut worker, img)
                         }));
+                        drop(infer_sp);
                         // A panic may have poisoned the worker state; report
                         // it and retire this worker.
                         let dead = out.is_err();

@@ -7,9 +7,10 @@
 //! ```
 //!
 //! Experiments: table1 table2 table3 table4 table5 fig3 fig4 fig5 fig6
-//! ablation-quant ablation-prune ablation-arch boundary serve. Markdown
-//! output lands in `$SENECA_ARTIFACTS/experiments/` (default
-//! `target/seneca-artifacts`); `serve` also writes `BENCH_serve.json`.
+//! ablation-quant ablation-prune ablation-arch boundary serve profile.
+//! Markdown output lands in `$SENECA_ARTIFACTS/experiments/` (default
+//! `target/seneca-artifacts`); `serve` also writes `BENCH_serve.json` and
+//! `profile` writes `BENCH_profile.json` (measured per-op trace tables).
 
 use seneca_bench::experiments;
 use seneca_bench::{ExperimentCtx, Scale};

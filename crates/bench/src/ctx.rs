@@ -34,6 +34,15 @@ impl Scale {
         }
     }
 
+    /// The CLI spelling (used in machine-readable artifacts).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Fast => "fast",
+            Scale::Reduced => "reduced",
+            Scale::Paper => "paper",
+        }
+    }
+
     /// The matching workflow configuration.
     pub fn config(self) -> SenecaConfig {
         match self {
@@ -50,6 +59,8 @@ pub struct ExperimentCtx {
     pub wf: Workflow,
     /// Stage-A data (built once).
     pub data: PreparedData,
+    /// The scale this context was built at (recorded in artifacts).
+    pub scale: Scale,
     deployments: HashMap<ModelSize, Arc<Deployment>>,
     accuracy_fp32: HashMap<ModelSize, Arc<AccuracyReport>>,
     accuracy_int8: HashMap<ModelSize, Arc<AccuracyReport>>,
@@ -70,6 +81,7 @@ impl ExperimentCtx {
         Self {
             wf,
             data,
+            scale,
             deployments: HashMap::new(),
             accuracy_fp32: HashMap::new(),
             accuracy_int8: HashMap::new(),

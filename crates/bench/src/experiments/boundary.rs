@@ -26,13 +26,13 @@ pub fn run(ctx: &mut ExperimentCtx) {
         [Vec::new(), Vec::new()],
     ];
     let mut assd = hd.clone();
-    for (_, samples) in &ctx.data.test_by_patient {
-        for s in samples {
-            let int8 = dep.qgraph.predict(&s.image);
-            let fp32 = dep.gpu_runner.predict(&s.image);
+    for patient in &ctx.data.test_by_patient {
+        for (image, labels) in patient.images.iter().zip(&patient.labels) {
+            let int8 = dep.qgraph.predict(image);
+            let fp32 = dep.gpu_runner.predict(image);
             for (k, organ) in Organ::TARGETS.iter().enumerate() {
                 for (which, pred) in [&int8, &fp32].into_iter().enumerate() {
-                    if let Some((h, a)) = hausdorff(pred, &s.labels, size, size, organ.label()) {
+                    if let Some((h, a)) = hausdorff(pred, labels, size, size, organ.label()) {
                         hd[k][which].push(h as f64);
                         assd[k][which].push(a as f64);
                     }

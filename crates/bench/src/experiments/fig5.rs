@@ -14,10 +14,10 @@ pub fn run(ctx: &mut ExperimentCtx) {
 
     // Pick slices with the most distinct organs from different patients.
     let mut candidates: Vec<(usize, usize, usize)> = Vec::new(); // (patient idx, slice idx, organ count)
-    for (pi, (_, samples)) in ctx.data.test_by_patient.iter().enumerate() {
-        for (si, s) in samples.iter().enumerate() {
+    for (pi, patient) in ctx.data.test_by_patient.iter().enumerate() {
+        for (si, labels) in patient.labels.iter().enumerate() {
             let mut organs = [false; 6];
-            for &l in &s.labels {
+            for &l in labels {
                 if l > 0 {
                     organs[(l as usize).min(5)] = true;
                 }
@@ -32,14 +32,15 @@ pub fn run(ctx: &mut ExperimentCtx) {
     candidates.truncate(4);
 
     for (row, (pi, si, organs)) in candidates.iter().enumerate() {
-        let s = &ctx.data.test_by_patient[*pi].1[*si];
-        let int8 = dep.qgraph.predict(&s.image);
-        let fp32 = dep.gpu_runner.predict(&s.image);
+        let patient = &ctx.data.test_by_patient[*pi];
+        let (image, labels) = (&patient.images[*si], &patient.labels[*si]);
+        let int8 = dep.qgraph.predict(image);
+        let fp32 = dep.gpu_runner.predict(image);
         let panels = vec![
-            render_ct(&s.image),
-            render_overlay(&s.image, &s.labels),
-            render_overlay(&s.image, &int8),
-            render_overlay(&s.image, &fp32),
+            render_ct(image),
+            render_overlay(image, labels),
+            render_overlay(image, &int8),
+            render_overlay(image, &fp32),
         ];
         let (w, h, rgb) = hstack(&panels);
         let path = out_dir.join(format!("fig5-row{row}.ppm"));
@@ -47,7 +48,7 @@ pub fn run(ctx: &mut ExperimentCtx) {
             Ok(()) => written.push(format!(
                 "- `{}` (patient {}, slice {}, {} organs): CT | GT | INT8 | FP32",
                 path.display(),
-                ctx.data.test_by_patient[*pi].0,
+                ctx.data.test_by_patient[*pi].id,
                 si,
                 organs
             )),

@@ -6,6 +6,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod profile;
 pub mod serve;
 pub mod table1;
 pub mod table2;
@@ -16,7 +17,7 @@ pub mod table5;
 use crate::ctx::ExperimentCtx;
 
 /// All experiment names in run order.
-pub const ALL: [&str; 14] = [
+pub const ALL: [&str; 15] = [
     "table1",
     "table2",
     "table3",
@@ -31,6 +32,7 @@ pub const ALL: [&str; 14] = [
     "ablation-arch",
     "boundary",
     "serve",
+    "profile",
 ];
 
 /// Dispatches one experiment by name. Returns false for unknown names.
@@ -50,6 +52,7 @@ pub fn run(name: &str, ctx: &mut ExperimentCtx) -> bool {
         "ablation-arch" => ablations::run_arch(ctx),
         "boundary" => boundary::run(ctx),
         "serve" => serve::run(ctx),
+        "profile" => profile::run(ctx),
         _ => return false,
     }
     true

@@ -8,7 +8,7 @@ use crate::workflow::PreparedData;
 use seneca_backend::Backend;
 use seneca_data::volume::Organ;
 use seneca_metrics::agg::{BoxplotStats, MeanStd};
-use seneca_metrics::seg::{global_weighted_dice, Confusion};
+use seneca_metrics::seg::{global_weighted_dice, weighted_global_rates, Confusion};
 use seneca_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -81,28 +81,32 @@ pub fn evaluate_backend(backend: &dyn Backend, data: &PreparedData) -> AccuracyR
 }
 
 /// Evaluates a batch predictor over the prepared test split.
+///
+/// Each patient's prepared images are handed to the predictor as one
+/// borrowed `&[Tensor]` batch — evaluation never copies the test set, and
+/// the tensors a predictor sees are *the* prepared tensors (stable buffer
+/// addresses across evaluation passes).
 pub fn evaluate_batches(predict: &BatchPredictor<'_>, data: &PreparedData) -> AccuracyReport {
     let mut per_organ_pct: Vec<Vec<f64>> = vec![Vec::new(); 5];
     let mut global_pct = Vec::new();
     let mut tpr_pct = Vec::new();
     let mut tnr_pct = Vec::new();
 
-    for (_patient, samples) in &data.test_by_patient {
-        let images: Vec<Tensor> = samples.iter().map(|s| s.image.clone()).collect();
-        let preds = predict(&images);
-        assert_eq!(preds.len(), samples.len(), "predictor batch length");
+    for patient in &data.test_by_patient {
+        let preds = predict(&patient.images);
+        assert_eq!(preds.len(), patient.images.len(), "predictor batch length");
 
         // Accumulate confusion counts across the patient's slices.
         let mut organ_conf = [Confusion::default(); 5];
         let mut pred_all: Vec<u8> = Vec::new();
         let mut truth_all: Vec<u8> = Vec::new();
-        for (s, pred) in samples.iter().zip(&preds) {
-            assert_eq!(pred.len(), s.labels.len(), "predictor output length");
+        for (truth, pred) in patient.labels.iter().zip(&preds) {
+            assert_eq!(pred.len(), truth.len(), "predictor output length");
             for (k, conf) in organ_conf.iter_mut().enumerate() {
-                conf.merge(&seneca_metrics::seg::confusion(pred, &s.labels, k as u8 + 1));
+                conf.merge(&seneca_metrics::seg::confusion(pred, truth, k as u8 + 1));
             }
             pred_all.extend_from_slice(pred);
-            truth_all.extend_from_slice(&s.labels);
+            truth_all.extend_from_slice(truth);
         }
         for (k, conf) in organ_conf.iter().enumerate() {
             // Only count organs present in the patient's ground truth.
@@ -115,27 +119,14 @@ pub fn evaluate_batches(predict: &BatchPredictor<'_>, data: &PreparedData) -> Ac
         if let Some(g) = global_weighted_dice(&pred_all, &truth_all, 5) {
             global_pct.push(100.0 * g);
         }
-        // Global TPR/TNR: frequency-weighted over organs present.
-        let (mut tpr_num, mut tpr_den) = (0.0f64, 0.0f64);
-        let (mut tnr_num, mut tnr_den) = (0.0f64, 0.0f64);
-        for conf in &organ_conf {
-            let w = (conf.tp + conf.fn_) as f64;
-            if w > 0.0 {
-                if let Some(t) = conf.tpr() {
-                    tpr_num += w * t;
-                    tpr_den += w;
-                }
-                if let Some(t) = conf.tnr() {
-                    tnr_num += w * t;
-                    tnr_den += w;
-                }
-            }
+        // Global TPR/TNR over organs present, each rate weighted by its own
+        // support (positives for TPR, negatives for TNR).
+        let (tpr, tnr) = weighted_global_rates(&organ_conf);
+        if let Some(t) = tpr {
+            tpr_pct.push(100.0 * t);
         }
-        if tpr_den > 0.0 {
-            tpr_pct.push(100.0 * tpr_num / tpr_den);
-        }
-        if tnr_den > 0.0 {
-            tnr_pct.push(100.0 * tnr_num / tnr_den);
+        if let Some(t) = tnr {
+            tnr_pct.push(100.0 * t);
         }
     }
 
@@ -160,8 +151,8 @@ mod tests {
         let lookup: std::collections::HashMap<usize, Vec<u8>> = data
             .test_by_patient
             .iter()
-            .flat_map(|(_, ss)| ss.iter())
-            .map(|s| (s.image.data().as_ptr() as usize, s.labels.clone()))
+            .flat_map(|p| p.images.iter().zip(&p.labels))
+            .map(|(img, labels)| (img.data().as_ptr() as usize, labels.clone()))
             .collect();
         let oracle =
             move |img: &Tensor| -> Vec<u8> { lookup[&(img.data().as_ptr() as usize)].clone() };

@@ -20,6 +20,20 @@ use seneca_quant::{fuse, quantize_post_training, PtqConfig, QuantizedGraph};
 use seneca_tensor::{Shape4, Tensor};
 use std::sync::Arc;
 
+/// One test patient's prepared evaluation batch: preprocessed slice images
+/// and their ground-truth label maps, in slice order. Images and labels are
+/// stored as parallel vectors so evaluation can hand `&images` straight to
+/// `Backend::infer_batch` — borrowing the prepared tensors instead of
+/// copying the test set on every evaluation pass.
+pub struct TestPatient {
+    /// Patient id within the cohort.
+    pub id: usize,
+    /// Preprocessed slice images (one batch per patient).
+    pub images: Vec<Tensor>,
+    /// Ground-truth label maps, parallel to `images`.
+    pub labels: Vec<Vec<u8>>,
+}
+
 /// Stage-A output: preprocessed slices ready for training and evaluation.
 pub struct PreparedData {
     /// Training samples (preprocessed slices + labels).
@@ -27,7 +41,7 @@ pub struct PreparedData {
     /// Calibration images (unlabeled use; frequency-leveled per Table III).
     pub calibration: Vec<Tensor>,
     /// Test slices (preprocessed, labels kept for metrics), grouped by patient.
-    pub test_by_patient: Vec<(usize, Vec<Sample>)>,
+    pub test_by_patient: Vec<TestPatient>,
     /// Organ frequencies of the training slices (drives the loss weights).
     pub frequencies: OrganFrequencies,
     /// Inverse-frequency class weights (background weight prepended).
@@ -128,11 +142,14 @@ impl Workflow {
         let mut test_by_patient = Vec::new();
         for id in ds.patients(SplitKind::Test) {
             let vol = ds.volume(id);
-            let mut samples = Vec::new();
+            let mut images = Vec::new();
+            let mut labels = Vec::new();
             for z in (0..vol.depth).step_by(self.config.test_stride) {
-                samples.push(slice_to_sample(&preprocess(&vol.slice(z), factor)));
+                let s = slice_to_sample(&preprocess(&vol.slice(z), factor));
+                images.push(s.image);
+                labels.push(s.labels);
             }
-            test_by_patient.push((id, samples));
+            test_by_patient.push(TestPatient { id, images, labels });
         }
 
         PreparedData {
@@ -272,7 +289,7 @@ mod tests {
         let (wf, data) = fast_workflow();
         let dep = wf.deploy(ModelSize::M1, &data);
         // All artifacts line up on shapes.
-        let img = &data.test_by_patient[0].1[0].image;
+        let img = &data.test_by_patient[0].images[0];
         let fp32 = dep.gpu_runner.predict(img);
         let int8 = dep.dpu_runner.predict(std::slice::from_ref(img));
         assert_eq!(fp32.len(), 32 * 32);

@@ -186,7 +186,11 @@ impl InferenceEngine for DpuRunner {
     fn infer(&self, worker: &mut DpuWorker, image: &Tensor) -> Prediction {
         // Worker-side quantisation: the FP32 frame crosses the queue, the
         // INT8 copy is created on the thread that consumes it.
-        let input = self.xmodel.quantize_input(image);
+        let input = {
+            let _sp =
+                seneca_trace::span_bytes("session", "quantize", image.data().len() as u64 * 4);
+            self.xmodel.quantize_input(image)
+        };
         let out = worker
             .core
             .run_with_scratch(&self.xmodel, &input, &mut worker.scratch)

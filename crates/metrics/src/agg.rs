@@ -93,14 +93,16 @@ impl BoxplotStats {
             (((v - lo) / (hi - lo)).clamp(0.0, 1.0) * (width - 1) as f64).round() as usize
         };
         let mut row = vec![b' '; width];
+        // Outliers go down first so the structural glyphs win: an outlier
+        // that rounds onto a whisker/median column must not erase `|`/`#`.
+        for o in &self.outliers {
+            row[col(*o)] = b'o';
+        }
         row[col(self.whisker_lo)..=col(self.whisker_hi)].fill(b'-');
         row[col(self.q1)..=col(self.q3)].fill(b'=');
         row[col(self.whisker_lo)] = b'|';
         row[col(self.whisker_hi)] = b'|';
         row[col(self.median)] = b'#';
-        for o in &self.outliers {
-            row[col(*o)] = b'o';
-        }
         String::from_utf8(row).expect("ascii")
     }
 }
@@ -157,6 +159,25 @@ mod tests {
         assert!(row.contains('='));
         assert!(row.starts_with('|'));
         assert!(row.ends_with('|'));
+    }
+
+    #[test]
+    fn ascii_row_outlier_never_overwrites_structure() {
+        // xs in [0, 20] plus an outlier at 35 (fence = q3 + 1.5·IQR = 31.5).
+        let mut xs: Vec<f64> = (0..=20).map(|i| i as f64).collect();
+        xs.push(35.0);
+        let b = BoxplotStats::of(&xs);
+        assert_eq!(b.outliers, vec![35.0]);
+        assert_eq!(b.whisker_hi, 20.0);
+        // Narrow scale: both the whisker (20) and the outlier (35) round to
+        // column 1 of 10 over [0, 300]. The whisker must win the collision.
+        let narrow = b.ascii_row(0.0, 300.0, 10);
+        assert_eq!(&narrow[1..2], "|", "whisker survives outlier collision: {narrow:?}");
+        assert!(!narrow.contains('o'));
+        // Wide scale: columns separate and the outlier glyph is visible.
+        let wide = b.ascii_row(0.0, 40.0, 41);
+        assert!(wide.contains('o'), "{wide:?}");
+        assert!(wide.contains('#') && wide.contains('|'));
     }
 
     #[test]

@@ -115,6 +115,38 @@ pub fn global_weighted_dice(pred: &[u8], truth: &[u8], n_classes: u8) -> Option<
     }
 }
 
+/// Global TPR/TNR as support-weighted means over per-organ confusions,
+/// gated on organ presence in the ground truth (`tp + fn_ > 0`), matching
+/// the paper's per-patient sensitivity/specificity aggregation (§IV-D).
+///
+/// Each rate is weighted by its *own* support: TPR by positive pixels
+/// (`tp + fn_`), TNR by negative pixels (`tn + fp`). Weighting specificity
+/// by positive support would let a tiny organ's poor TNR vanish behind a
+/// large organ's pixel count (and vice versa).
+pub fn weighted_global_rates(confs: &[Confusion]) -> (Option<f64>, Option<f64>) {
+    let (mut tpr_num, mut tpr_den) = (0.0f64, 0.0f64);
+    let (mut tnr_num, mut tnr_den) = (0.0f64, 0.0f64);
+    for conf in confs {
+        let pos = (conf.tp + conf.fn_) as f64;
+        if pos == 0.0 {
+            continue; // organ absent from this ground truth
+        }
+        if let Some(t) = conf.tpr() {
+            tpr_num += pos * t;
+            tpr_den += pos;
+        }
+        let neg = (conf.tn + conf.fp) as f64;
+        if neg > 0.0 {
+            if let Some(t) = conf.tnr() {
+                tnr_num += neg * t;
+                tnr_den += neg;
+            }
+        }
+    }
+    let rate = |num: f64, den: f64| if den > 0.0 { Some(num / den) } else { None };
+    (rate(tpr_num, tpr_den), rate(tnr_num, tnr_den))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +217,37 @@ mod tests {
         assert_eq!(m.tp, a.tp + b.tp);
         assert_eq!(m.fp, a.fp + b.fp);
         assert_eq!(m.fn_, a.fn_ + b.fn_);
+    }
+
+    #[test]
+    fn weighted_rates_use_matching_support() {
+        // Hand-computed two-organ case where positive- and negative-support
+        // weightings of TNR disagree badly:
+        //   A: 100 GT px, 90 hit, clean background    -> tpr 0.9,  tnr 1.0
+        //   B: 1 GT px hit, 300 FP over 900 negatives -> tpr 1.0,  tnr 2/3
+        let a = Confusion { tp: 90, fn_: 10, fp: 0, tn: 900 };
+        let b = Confusion { tp: 1, fn_: 0, fp: 300, tn: 600 };
+        let (tpr, tnr) = weighted_global_rates(&[a, b]);
+        // TPR weighted by positive support: (100·0.9 + 1·1.0) / 101.
+        assert!((tpr.unwrap() - 91.0 / 101.0).abs() < 1e-12);
+        // TNR weighted by negative support: (900·1.0 + 900·(2/3)) / 1800 = 5/6.
+        assert!((tnr.unwrap() - 5.0 / 6.0).abs() < 1e-12);
+        // The old positive-support weighting would report ≈ 0.9967 instead,
+        // hiding B's 300 false positives behind A's pixel count.
+        let buggy = (100.0 * 1.0 + 1.0 * (2.0 / 3.0)) / 101.0;
+        assert!((tnr.unwrap() - buggy).abs() > 0.15);
+    }
+
+    #[test]
+    fn weighted_rates_gate_on_presence() {
+        // An organ absent from the ground truth contributes to neither rate,
+        // even though its background pixels would carry TNR weight.
+        let absent = Confusion { tp: 0, fn_: 0, fp: 5, tn: 5 };
+        assert_eq!(weighted_global_rates(&[absent]), (None, None));
+        let present = Confusion { tp: 4, fn_: 0, fp: 0, tn: 6 };
+        let (tpr, tnr) = weighted_global_rates(&[present, absent]);
+        assert_eq!(tpr, Some(1.0));
+        assert_eq!(tnr, Some(1.0)); // only the present organ's negatives count
     }
 
     #[test]

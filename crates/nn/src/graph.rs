@@ -263,6 +263,11 @@ impl Graph {
 
         for (i, node) in self.nodes.iter().enumerate().skip(1) {
             let si = scratch.plan.slot_of(i);
+            let _sp = seneca_trace::span_bytes(
+                "fp32-op",
+                node.op.mnemonic(),
+                (scratch.plan.elems_of(i) * std::mem::size_of::<f32>()) as u64,
+            );
             // Take the output buffer out of the arena so input slots stay
             // borrowable; the plan guarantees no live input shares `si`.
             let mut out_buf = std::mem::take(&mut scratch.slots[si]);

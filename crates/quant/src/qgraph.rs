@@ -247,6 +247,11 @@ impl QuantizedGraph {
         if matches!(node.op, QOp::Input) {
             return; // seeded by `ExecScratch::load_input`
         }
+        let _sp = seneca_trace::span_bytes(
+            "int8-op",
+            node.op.mnemonic(),
+            scratch.plan.elems_of(id) as u64,
+        );
         let si = scratch.plan.slot_of(id);
         // Take the output buffer out of the arena so input slots stay
         // borrowable; the plan guarantees no live input shares `si`.

@@ -173,7 +173,20 @@ impl Drop for Server {
 
 /// One replica: pull micro-batches until the queue closes.
 fn replica_loop(shared: &Shared, backend: &dyn Backend, max_batch: usize, max_delay: Duration) {
-    while let Some(batch) = shared.queue.pop_batch(max_batch, max_delay, &shared.metrics) {
+    loop {
+        // Batch formation covers idle wait for the first request plus the
+        // dynamic batching window; recorded only for batches that formed
+        // (the final `None` is shutdown, not formation time).
+        let t0 = seneca_trace::now_ns();
+        let Some(batch) = shared.queue.pop_batch(max_batch, max_delay, &shared.metrics) else {
+            break;
+        };
+        seneca_trace::record_ns(
+            "serve",
+            "batch_form",
+            seneca_trace::now_ns().saturating_sub(t0),
+            batch.len() as u64,
+        );
         run_batch(shared, backend, batch);
     }
 }
@@ -187,6 +200,7 @@ fn run_batch(shared: &Shared, backend: &dyn Backend, batch: Vec<ServeRequest>) {
         deadline: Option<Instant>,
         resp: mpsc::Sender<ServeResponse>,
     }
+    let dispatch_sp = seneca_trace::span("serve", "dispatch");
     let mut metas = Vec::with_capacity(batch.len());
     let mut images = Vec::with_capacity(batch.len());
     for r in batch {
@@ -194,13 +208,27 @@ fn run_batch(shared: &Shared, backend: &dyn Backend, batch: Vec<ServeRequest>) {
         metas.push(Meta { id, priority, submitted_at, deadline, resp });
         images.push(image);
     }
+    drop(dispatch_sp);
 
     let exec_start = Instant::now();
+    for m in &metas {
+        // Queue wait crosses threads (submission → this replica), so it is
+        // recorded as a measured duration rather than a span.
+        let waited = exec_start.saturating_duration_since(m.submitted_at);
+        seneca_trace::record_ns(
+            "serve",
+            "queue_wait",
+            u64::try_from(waited.as_nanos()).unwrap_or(u64::MAX),
+            0,
+        );
+    }
+    let exec_sp = seneca_trace::span_bytes("serve", "replica_exec", images.len() as u64);
     // A panicking backend must not take the replica (and with it the whole
     // pool) down: fail the batch, keep serving.
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         backend.infer_batch_timed(&images)
     }));
+    drop(exec_sp);
     let (preds, timing) = match outcome {
         Ok(out) => out,
         Err(_) => {

@@ -297,8 +297,14 @@ fn gemm_f32(
         if pb.len() < lb {
             pb.resize(lb, 0.0);
         }
-        pack_a(m, k, ga, &mut pa[..la]);
-        pack_b(k, n, gb, &mut pb[..lb]);
+        {
+            #[cfg(feature = "trace-gemm")]
+            let _sp = seneca_trace::span_bytes("gemm", "pack", ((la + lb) * 4) as u64);
+            pack_a(m, k, ga, &mut pa[..la]);
+            pack_b(k, n, gb, &mut pb[..lb]);
+        }
+        #[cfg(feature = "trace-gemm")]
+        let _sp = seneca_trace::span_bytes("gemm", "kernel", (m * n * 4) as u64);
         let store = |acc: &[[f32; NR]; MR], c_blk: &mut [f32], t: Tile| {
             for ii in 0..t.rows {
                 let dst = &mut c_blk[(t.ip0 + ii) * n + t.j0..][..t.cols];
@@ -395,8 +401,14 @@ fn with_packed_i8<T>(
         if pb.len() < lb {
             pb.resize(lb, 0);
         }
-        pack_a(m, k, |i, kk| a[i * k + kk], &mut pa[..la]);
-        pack_b(k, n, |kk, j| b[kk * n + j], &mut pb[..lb]);
+        {
+            #[cfg(feature = "trace-gemm")]
+            let _sp = seneca_trace::span_bytes("gemm", "pack", (la + lb) as u64);
+            pack_a(m, k, |i, kk| a[i * k + kk], &mut pa[..la]);
+            pack_b(k, n, |kk, j| b[kk * n + j], &mut pb[..lb]);
+        }
+        #[cfg(feature = "trace-gemm")]
+        let _sp = seneca_trace::span_bytes("gemm", "kernel", (m * n) as u64);
         run(&pa[..la], &pb[..lb], c);
     });
 }

@@ -58,9 +58,9 @@ fn main() {
     let sweep: Vec<_> = data
         .test_by_patient
         .iter()
-        .flat_map(|(_, ss)| ss.iter())
+        .flat_map(|p| p.images.iter())
         .take(SLICES_PER_SWEEP)
-        .map(|s| s.image.clone())
+        .cloned()
         .collect();
     println!("\nsegmenting one sweep functionally ({} slices) ...", sweep.len());
     let t0 = std::time::Instant::now();

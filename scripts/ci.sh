@@ -11,6 +11,8 @@ echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 
 echo "== cargo test -q =="
+# The whole suite is expected green — including the eval-driver oracle test
+# that the pre-PR-5 seed shipped broken. No known-failure carve-outs.
 cargo test -q
 
 echo "== serve smoke (seneca-serve demo) =="
@@ -21,5 +23,8 @@ cargo run --release -q -p seneca-bench --example plan_stats
 
 echo "== kernel smoke (packed GEMM beats reference; igemm bit-exact) =="
 cargo run --release -q -p seneca-bench --example kernel_stats -- smoke
+
+echo "== trace smoke (measured profile: op spans fit the wall on 1 thread) =="
+cargo run --release -q -p seneca-bench --bin reproduce -- profile --scale fast
 
 echo "CI OK"

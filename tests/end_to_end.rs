@@ -50,12 +50,8 @@ fn functional_dpu_runner_is_bit_exact_and_order_preserving() {
     let data = wf.prepare_data();
     let dep = wf.deploy(ModelSize::M1, &data);
 
-    let images: Vec<_> = data
-        .test_by_patient
-        .iter()
-        .flat_map(|(_, ss)| ss.iter().map(|s| s.image.clone()))
-        .take(6)
-        .collect();
+    let images: Vec<_> =
+        data.test_by_patient.iter().flat_map(|p| p.images.iter().cloned()).take(6).collect();
     // Multi-threaded VART path == single-shot quantized-graph execution.
     let outs = dep.dpu_runner.run_functional(&images);
     for (img, out) in images.iter().zip(&outs) {
