@@ -3,9 +3,11 @@
 use crate::prediction::Prediction;
 use crate::report::{MemoryFootprint, ThroughputReport, ThroughputStats};
 use crate::session::{resolve_worker_threads, InferenceEngine, InferenceSession, SessionConfig};
-use seneca_nn::graph::{FpScratch, Graph};
+use seneca_ir::{lower, FpScratch, LowerOptions, Lowered, QScratch};
+use seneca_nn::graph::Graph;
 use seneca_quant::QuantizedGraph;
 use seneca_tensor::{Shape4, Tensor};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Execution timing of one [`Backend::infer_batch_timed`] call.
@@ -119,12 +121,16 @@ pub struct Fp32RefBackend {
     pub input_shape: Shape4,
     /// Host worker threads for batch inference.
     pub threads: usize,
+    /// IR lowering of `graph` at `input_shape` (packed weight panels +
+    /// liveness plan), shared by every worker.
+    lowered: Arc<Lowered>,
 }
 
 impl Fp32RefBackend {
     /// Creates a single-threaded reference backend.
     pub fn new(graph: Graph, input_shape: Shape4) -> Self {
-        Self { graph, input_shape, threads: 1 }
+        let lowered = Arc::new(lower(graph.to_ir(), input_shape, &LowerOptions::reference()));
+        Self { graph, input_shape, threads: 1, lowered }
     }
 
     /// Sets the host thread count.
@@ -135,7 +141,7 @@ impl Fp32RefBackend {
 
     /// Planned per-worker activation memory (4 bytes per FP32 element).
     pub fn memory_footprint(&self) -> MemoryFootprint {
-        let plan = self.graph.plan(self.input_shape);
+        let plan = self.lowered.plan();
         MemoryFootprint {
             peak_arena_bytes: plan.peak_arena_bytes(4),
             total_activation_bytes: plan.total_activation_bytes(4),
@@ -153,14 +159,14 @@ impl InferenceEngine for Fp32RefBackend {
     type Worker = FpWorker;
 
     fn new_worker(&self) -> FpWorker {
-        FpWorker { scratch: self.graph.make_scratch(self.input_shape) }
+        FpWorker { scratch: self.lowered.make_scratch_f32() }
     }
 
     fn infer(&self, worker: &mut FpWorker, image: &Tensor) -> Prediction {
         if worker.scratch.input_shape() != image.shape() {
-            worker.scratch = self.graph.make_scratch(image.shape());
+            worker.scratch = self.lowered.make_scratch_for(image.shape());
         }
-        Prediction::from_f32(self.graph.execute_into(image, &mut worker.scratch).to_tensor())
+        Prediction::from_f32(self.lowered.execute_f32_into(image, &mut worker.scratch).to_tensor())
     }
 }
 
@@ -207,12 +213,16 @@ pub struct QuantRefBackend {
     pub input_shape: Shape4,
     /// Host worker threads for batch inference.
     pub threads: usize,
+    /// IR lowering of `qgraph` at `input_shape` (packed weight panels +
+    /// liveness plan), shared by every worker.
+    lowered: Arc<Lowered>,
 }
 
 impl QuantRefBackend {
     /// Creates a single-threaded reference backend.
     pub fn new(qgraph: QuantizedGraph, input_shape: Shape4) -> Self {
-        Self { qgraph, input_shape, threads: 1 }
+        let lowered = Arc::new(lower(qgraph.to_ir(), input_shape, &LowerOptions::reference()));
+        Self { qgraph, input_shape, threads: 1, lowered }
     }
 
     /// Sets the host thread count.
@@ -223,7 +233,7 @@ impl QuantRefBackend {
 
     /// Planned per-worker activation memory (1 byte per INT8 element).
     pub fn memory_footprint(&self) -> MemoryFootprint {
-        let plan = self.qgraph.plan(self.input_shape);
+        let plan = self.lowered.plan();
         MemoryFootprint {
             peak_arena_bytes: plan.peak_arena_bytes(1),
             total_activation_bytes: plan.total_activation_bytes(1),
@@ -232,10 +242,10 @@ impl QuantRefBackend {
 }
 
 impl InferenceEngine for QuantRefBackend {
-    type Worker = seneca_quant::ExecScratch;
+    type Worker = QScratch;
 
     fn new_worker(&self) -> Self::Worker {
-        self.qgraph.make_scratch(self.input_shape)
+        self.lowered.make_scratch_i8()
     }
 
     fn infer(&self, scratch: &mut Self::Worker, image: &Tensor) -> Prediction {
@@ -244,7 +254,7 @@ impl InferenceEngine for QuantRefBackend {
                 seneca_trace::span_bytes("session", "quantize", image.data().len() as u64 * 4);
             self.qgraph.quantize_input(image)
         };
-        let out = self.qgraph.execute_into(&q, scratch).to_qtensor();
+        let out = self.lowered.execute_i8_into(&q, scratch).to_qtensor();
         Prediction::from_i8(out)
     }
 }

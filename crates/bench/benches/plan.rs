@@ -1,9 +1,11 @@
-//! Criterion benchmarks of the plan-based executors against the naive
-//! allocate-per-node paths: same graph, same frame, the only difference is
-//! the liveness-planned scratch arena (zero steady-state allocation).
+//! Criterion benchmarks of the IR-lowered executors against the naive
+//! allocate-per-node paths: same graph, same frame, the differences are the
+//! liveness-planned scratch arena (zero steady-state allocation) and the
+//! pack-once weight panels (per-frame GEMMs pack activations only).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
+use seneca_ir::{lower, LowerOptions};
 use seneca_nn::graph::Graph;
 use seneca_nn::unet::{UNet, UNetConfig};
 use seneca_quant::{fuse, quantize_post_training, PtqConfig};
@@ -18,26 +20,35 @@ fn setup(depth: usize, base_filters: usize) -> (Graph, Tensor) {
     (graph, img)
 }
 
-fn bench_fp32_naive_vs_planned(c: &mut Criterion) {
+fn bench_fp32_naive_vs_lowered(c: &mut Criterion) {
     let (graph, img) = setup(3, 8);
     c.bench_function("fp32/naive/d3f8@64", |b| b.iter(|| graph.execute(&img)));
-    let mut scratch = graph.make_scratch(img.shape());
-    c.bench_function("fp32/planned/d3f8@64", |b| {
-        b.iter(|| graph.execute_into(&img, &mut scratch).to_tensor())
+    let lowered = lower(graph.to_ir(), img.shape(), &LowerOptions::reference());
+    let mut scratch = lowered.make_scratch_f32();
+    c.bench_function("fp32/lowered/d3f8@64", |b| {
+        b.iter(|| lowered.execute_f32_into(&img, &mut scratch).to_tensor())
     });
 }
 
-fn bench_int8_naive_vs_planned(c: &mut Criterion) {
+fn bench_int8_naive_vs_lowered(c: &mut Criterion) {
     let (graph, img) = setup(3, 8);
     let fg = fuse(&graph);
     let (qg, _) = quantize_post_training(&fg, std::slice::from_ref(&img), &PtqConfig::default());
     let q = qg.quantize_input(&img);
     c.bench_function("int8/naive/d3f8@64", |b| b.iter(|| qg.execute(&q)));
-    let mut scratch = qg.make_scratch(img.shape());
-    c.bench_function("int8/planned/d3f8@64", |b| {
-        b.iter(|| qg.execute_into(&q, &mut scratch).to_qtensor())
+    let lowered = lower(qg.to_ir(), img.shape(), &LowerOptions::reference());
+    let mut scratch = lowered.make_scratch_i8();
+    c.bench_function("int8/lowered/d3f8@64", |b| {
+        b.iter(|| lowered.execute_i8_into(&q, &mut scratch).to_qtensor())
+    });
+    // The pack-share baseline arm: same lowering minus pack-slot caching,
+    // so every GEMM re-packs its weight panels per call.
+    let unpacked = lower(qg.to_ir(), img.shape(), &LowerOptions::reference_unpacked());
+    let mut scratch_u = unpacked.make_scratch_i8();
+    c.bench_function("int8/lowered-unpacked/d3f8@64", |b| {
+        b.iter(|| unpacked.execute_i8_into(&q, &mut scratch_u).to_qtensor())
     });
 }
 
-criterion_group!(benches, bench_fp32_naive_vs_planned, bench_int8_naive_vs_planned);
+criterion_group!(benches, bench_fp32_naive_vs_lowered, bench_int8_naive_vs_lowered);
 criterion_main!(benches);

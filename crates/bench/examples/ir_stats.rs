@@ -1,0 +1,99 @@
+//! IR pass-pipeline and activation-memory smoke check over the five
+//! Table II model sizes at 256x256. Used as a CI gate: on every model the
+//! frontend pipeline must fold all BN nodes, fuse all standalone ReLUs,
+//! strip all inference identities, give every conv/tconv weight a pack
+//! slot — and the planned arena must beat the naive sum-of-all-activations
+//! pool on both the FP32 and INT8 lowerings.
+
+use rand::SeedableRng;
+use seneca_ir::{lower, LowerOptions};
+use seneca_nn::graph::Graph;
+use seneca_nn::unet::{ModelSize, UNet};
+use seneca_quant::{fuse, quantize_post_training, PtqConfig};
+use seneca_tensor::{Shape4, Tensor};
+
+fn mib(bytes: u64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let input = Shape4::new(1, 1, 256, 256);
+    let calib = vec![Tensor::he_normal(Shape4::new(1, 1, 32, 32), &mut rng)];
+    println!(
+        "{:>4} {:>5} {:>5} | {:>3} {:>4} {:>3} {:>4} | {:>11} {:>11} {:>6} | {:>11} {:>6}",
+        "cfg",
+        "nodes",
+        "low",
+        "bn",
+        "relu",
+        "id",
+        "pack",
+        "fp32_peak",
+        "fp32_total",
+        "ratio",
+        "int8_peak",
+        "ratio"
+    );
+    for size in ModelSize::ALL {
+        let net = UNet::from_size(size, &mut rng);
+        let g = Graph::from_unet(&net, size.label());
+        let hist = g.op_histogram();
+        let count = |op: &str| hist.get(op).copied().unwrap_or(0);
+        let n_conv = count("conv3x3") + count("tconv2x2");
+
+        // Frontend pipeline: every BN folds, every ReLU fuses, every
+        // inference identity (dropout + softmax) strips, every weight
+        // tensor gets exactly one pack slot.
+        let fp = lower(g.to_ir(), input, &LowerOptions::frontend());
+        let stats = fp.stats();
+        assert_eq!(stats.bn_folded, count("batchnorm"), "{}: unfolded BN", size.label());
+        assert_eq!(stats.relu_fused, count("relu"), "{}: unfused ReLU", size.label());
+        assert_eq!(
+            stats.identities_removed,
+            count("dropout") + count("softmax"),
+            "{}: identity left in the program",
+            size.label()
+        );
+        assert_eq!(stats.pack_slots, n_conv, "{}: pack slot per weight tensor", size.label());
+        fp.plan().assert_valid();
+
+        // Arena accounting on the reference lowerings (what the host
+        // executors actually run): the liveness plan must beat the naive
+        // per-node activation pool.
+        let fp_ref = lower(g.to_ir(), input, &LowerOptions::reference());
+        let plan = fp_ref.plan();
+        let (qg, _) = quantize_post_training(&fuse(&g), &calib, &PtqConfig::default());
+        let q_ref = lower(qg.to_ir(), input, &LowerOptions::reference());
+        assert_eq!(
+            q_ref.stats().pack_slots,
+            n_conv,
+            "{}: INT8 pack slot per weight tensor",
+            size.label()
+        );
+        let qplan = q_ref.plan();
+        let (fp_peak, fp_total) = (plan.peak_arena_bytes(4), plan.total_activation_bytes(4));
+        let (q_peak, q_total) = (qplan.peak_arena_bytes(1), qplan.total_activation_bytes(1));
+        assert!(
+            fp_peak < fp_total && q_peak < q_total,
+            "{}: liveness plan must beat the naive activation pool",
+            size.label()
+        );
+        println!(
+            "{:>4} {:>5} {:>5} | {:>3} {:>4} {:>3} {:>4} | {:>10.2}M {:>10.2}M {:>5.2}x | {:>10.2}M {:>5.2}x",
+            size.label(),
+            g.nodes.len(),
+            fp.module().nodes.len(),
+            stats.bn_folded,
+            stats.relu_fused,
+            stats.identities_removed,
+            stats.pack_slots,
+            mib(fp_peak),
+            mib(fp_total),
+            fp_total as f64 / fp_peak as f64,
+            mib(q_peak),
+            q_total as f64 / q_peak as f64,
+        );
+    }
+    println!("ok: pass pipeline clean and peak arena < total activations for all model sizes");
+}

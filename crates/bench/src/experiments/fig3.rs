@@ -28,7 +28,7 @@ pub fn run(ctx: &mut ExperimentCtx) {
         eprintln!("[fig3] {size}: thread sweep ...");
         // Backends in list order: [gpu, dpu@1thr, dpu@2thr, dpu@4thr, dpu@8thr].
         let backends = ctx.backends_256(size, &threads_list);
-        let reps: Vec<_> = backends.iter().map(|b| b.throughput(frames, 0xF16_3)).collect();
+        let reps: Vec<_> = backends.iter().map(|b| b.throughput(frames, 0xF163)).collect();
         let gee = reps[0].energy_efficiency();
         let ees: Vec<f64> = reps[1..].iter().map(|r| r.energy_efficiency()).collect();
         let fps: Vec<f64> = reps[1..].iter().map(|r| r.fps).collect();

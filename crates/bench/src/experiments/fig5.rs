@@ -28,7 +28,7 @@ pub fn run(ctx: &mut ExperimentCtx) {
             }
         }
     }
-    candidates.sort_by(|a, b| b.2.cmp(&a.2));
+    candidates.sort_by_key(|c| std::cmp::Reverse(c.2));
     candidates.truncate(4);
 
     for (row, (pi, si, organs)) in candidates.iter().enumerate() {

@@ -81,6 +81,33 @@ fn modeled_op_ns(xm: &XModel) -> BTreeMap<&'static str, u64> {
     by_op
 }
 
+/// Per-frame GEMM pack-vs-kernel time split of one INT8 lowering: runs
+/// `frames` frames through a reused scratch arena with only the `gemm`
+/// domain spans in the window. Compiled only with the `trace-gemm` feature,
+/// which makes the GEMM engine price its pack and kernel sections.
+#[cfg(feature = "trace-gemm")]
+fn gemm_pack_split(
+    qg: &seneca_quant::QuantizedGraph,
+    shape: Shape4,
+    frames: usize,
+    opts: &seneca_ir::LowerOptions,
+) -> (u64, u64) {
+    let lowered = seneca_ir::lower(qg.to_ir(), shape, opts);
+    let mut scratch = lowered.make_scratch_i8();
+    let q = qg.quantize_input(&frame(shape));
+    let _ = lowered.execute_i8_into(&q, &mut scratch); // warm-up outside the window
+    seneca_trace::reset();
+    seneca_trace::set_enabled(true);
+    for _ in 0..frames {
+        let _ = lowered.execute_i8_into(&q, &mut scratch);
+    }
+    seneca_trace::set_enabled(false);
+    let rep = seneca_trace::report();
+    let pack = rep.get("gemm", "pack").map_or(0, |r| r.total_ns);
+    let kernel = rep.get("gemm", "kernel").map_or(0, |r| r.total_ns);
+    (pack, kernel)
+}
+
 /// Regenerates the measured cross-stack profile (`profile.md` +
 /// `BENCH_profile.json`).
 pub fn run(ctx: &mut ExperimentCtx) {
@@ -226,6 +253,61 @@ pub fn run(ctx: &mut ExperimentCtx) {
         }));
     }
 
+    // GEMM pack-vs-kernel split on the 16M INT8 model: pack-slot caching
+    // (weight panels packed once at lowering) must cut the per-frame pack
+    // share against the per-call baseline. This is the CI gate for the
+    // pack-once optimisation; it needs the `trace-gemm` feature.
+    #[cfg(feature = "trace-gemm")]
+    let gemm_pack_share = {
+        let dep = ctx.deployment(ModelSize::M16);
+        let shape = dep.gpu_runner.input_shape;
+        eprintln!("[profile] M16: tracing GEMM pack share, pack-once vs per-call ...");
+        let packed =
+            gemm_pack_split(&dep.qgraph, shape, frames, &seneca_ir::LowerOptions::reference());
+        let percall = gemm_pack_split(
+            &dep.qgraph,
+            shape,
+            frames,
+            &seneca_ir::LowerOptions::reference_unpacked(),
+        );
+        let share = |(p, k): (u64, u64)| p as f64 / (p + k).max(1) as f64;
+        assert!(
+            share(packed) < share(percall),
+            "pack-slot caching must cut the 16M per-frame pack share: \
+             pack-once {:.1}% vs per-call {:.1}%",
+            100.0 * share(packed),
+            100.0 * share(percall)
+        );
+        let mut t = Table::new(vec!["Lowering", "Pack ms", "Kernel ms", "Pack share %"]);
+        for (label, (p, k)) in
+            [("pack-once (reference)", packed), ("per-call (reference_unpacked)", percall)]
+        {
+            t.row(vec![
+                label.to_string(),
+                format!("{:.2}", p as f64 / 1e6),
+                format!("{:.2}", k as f64 / 1e6),
+                format!("{:.1}", 100.0 * share((p, k))),
+            ]);
+        }
+        body.push_str(&format!(
+            "### M16 INT8: per-frame GEMM pack share, pack-once vs per-call ({frames} frames)\n\n\
+             {}\nWeights are immutable at inference, so the reference lowering packs their \
+             GEMM panels once at model load; each frame then only packs activation panels. \
+             The gate asserts the pack share drops against the per-call baseline.\n\n",
+            t.markdown()
+        ));
+        json!({
+            "model": "M16",
+            "frames": frames,
+            "pack_once": { "pack_ns": packed.0, "kernel_ns": packed.1,
+                           "pack_share": share(packed) },
+            "per_call": { "pack_ns": percall.0, "kernel_ns": percall.1,
+                          "pack_share": share(percall) }
+        })
+    };
+    #[cfg(not(feature = "trace-gemm"))]
+    let gemm_pack_share = Value::Null;
+
     // Serving-stage spans: a short closed-loop burst against the M1 INT8
     // reference exercises the queue/batcher/replica probes.
     let dep = ctx.deployment(ModelSize::M1);
@@ -271,6 +353,7 @@ pub fn run(ctx: &mut ExperimentCtx) {
         "scale": ctx.scale.name(),
         "frames_per_backend": frames,
         "models": Value::Array(json_models),
+        "gemm_pack_share_16m": gemm_pack_share,
         "serve": json!({
             "model": "M1",
             "requests": n_serve,

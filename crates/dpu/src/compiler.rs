@@ -116,14 +116,21 @@ pub fn compile(qg: &QuantizedGraph, input_shape: Shape4, arch: DpuArch) -> XMode
     stats.compute_cycles = instrs.iter().map(|i| perf::compute_cycles(i, &arch)).sum();
 
     // DDR feature-map arena accounting: the same liveness plan the host
-    // executors use, over channel-padded element counts (1 byte each).
-    let plan = qg.plan_with_elems(
-        &shapes.iter().map(|s| s.hw() * arch.pad_channels(s.c)).collect::<Vec<_>>(),
-    );
+    // executors use, over channel-padded element counts (1 byte each) via
+    // the IR's single ICP-padding hook.
+    let plan = qg.to_ir().plan_padded(input_shape, |c| arch.pad_channels(c));
     stats.peak_arena_bytes = plan.peak_arena_bytes(1);
     stats.total_activation_bytes = plan.total_activation_bytes(1);
 
-    XModel { name: qg.name.clone(), arch, input_shape, instrs, qgraph: qg.clone(), stats }
+    XModel {
+        name: qg.name.clone(),
+        arch,
+        input_shape,
+        instrs,
+        qgraph: qg.clone(),
+        stats,
+        lowered: Default::default(),
+    }
 }
 
 #[cfg(test)]

@@ -10,7 +10,8 @@
 use crate::isa::DpuInstr;
 use crate::perf::{frame_cost, FrameCost};
 use crate::xmodel::XModel;
-use seneca_quant::{ExecScratch, QOp};
+use seneca_ir::QScratch;
+use seneca_quant::QOp;
 use seneca_tensor::{QTensor, QTensorView};
 
 /// Execution mode of a core.
@@ -45,8 +46,8 @@ impl DpuCore {
     }
 
     /// Allocates a per-worker scratch pool sized for this xmodel.
-    pub fn make_scratch(xm: &XModel) -> ExecScratch {
-        xm.qgraph.make_scratch(xm.input_shape)
+    pub fn make_scratch(xm: &XModel) -> QScratch {
+        xm.lowered().make_scratch_i8()
     }
 
     /// Runs one frame through the xmodel, allocating a one-shot scratch pool
@@ -68,7 +69,7 @@ impl DpuCore {
         &self,
         xm: &XModel,
         input: &QTensor,
-        scratch: &mut ExecScratch,
+        scratch: &mut QScratch,
     ) -> JobResult {
         let cost = frame_cost(xm, &xm.arch);
         let output = match self.mode {
@@ -78,16 +79,19 @@ impl DpuCore {
         JobResult { output, cost }
     }
 
-    /// Instruction-driven functional execution into the scratch pool.
+    /// Instruction-driven functional execution into the scratch pool. The
+    /// IR lowering preserves quantized-graph node ids one-to-one, so the
+    /// compiled instruction stream indexes the lowered program directly.
     fn exec_instrs<'s>(
         &self,
         xm: &XModel,
         input: &QTensor,
-        scratch: &'s mut ExecScratch,
+        scratch: &'s mut QScratch,
     ) -> QTensorView<'s> {
         assert_eq!(input.fix_pos(), xm.qgraph.input_fp, "input fix position");
         assert_eq!(input.shape(), xm.input_shape, "input geometry");
-        scratch.load_input(input);
+        let lowered = xm.lowered();
+        lowered.load_input_i8(input, scratch);
 
         for instr in &xm.instrs {
             match instr {
@@ -99,7 +103,7 @@ impl DpuCore {
                         "CONV instr maps to {:?}",
                         qnode.op.mnemonic()
                     );
-                    xm.qgraph.execute_node_into(*node, scratch);
+                    lowered.execute_node_i8(*node, scratch);
                 }
                 DpuInstr::Pool { node, .. } => {
                     let qnode = &xm.qgraph.nodes[*node];
@@ -108,7 +112,7 @@ impl DpuCore {
                         "POOL instr maps to {:?}",
                         qnode.op.mnemonic()
                     );
-                    xm.qgraph.execute_node_into(*node, scratch);
+                    lowered.execute_node_i8(*node, scratch);
                 }
                 DpuInstr::Elew { node, .. } => {
                     let qnode = &xm.qgraph.nodes[*node];
@@ -117,7 +121,7 @@ impl DpuCore {
                         "ELEW instr maps to {:?}",
                         qnode.op.mnemonic()
                     );
-                    xm.qgraph.execute_node_into(*node, scratch);
+                    lowered.execute_node_i8(*node, scratch);
                 }
             }
         }

@@ -23,7 +23,7 @@ use crate::xmodel::XModel;
 use rand::{Rng, SeedableRng};
 use seneca_backend::{Backend, InferenceEngine, InferenceSession, Prediction, SessionConfig};
 use seneca_hwsim::{simulate_closed_pipeline, Resource, StageSpec};
-use seneca_quant::ExecScratch;
+use seneca_ir::QScratch;
 use seneca_tensor::{QTensor, Tensor};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -83,7 +83,7 @@ pub struct DpuRunner {
 /// scratch pool (per-node activations, im2col columns, GEMM accumulators).
 pub struct DpuWorker {
     core: DpuCore,
-    scratch: ExecScratch,
+    scratch: QScratch,
 }
 
 impl DpuRunner {

@@ -9,9 +9,11 @@
 
 use crate::arch::DpuArch;
 use crate::isa::DpuInstr;
+use seneca_ir::{lower, LowerOptions, Lowered};
 use seneca_quant::QuantizedGraph;
 use seneca_tensor::{Shape4, Tensor};
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, OnceLock};
 
 /// Compile-time statistics embedded in the artifact.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -51,9 +53,24 @@ pub struct XModel {
     pub qgraph: QuantizedGraph,
     /// Compile statistics.
     pub stats: CompileStats,
+    /// Lazily lowered IR program (pre-packed weight panels, liveness plan);
+    /// rebuilt on demand after deserialisation, shared by every worker.
+    #[serde(skip, default)]
+    pub(crate) lowered: Arc<OnceLock<Arc<Lowered>>>,
 }
 
 impl XModel {
+    /// The IR lowering of the functional payload: packed weight panels and
+    /// the liveness plan, built once per xmodel (first use) and shared by
+    /// every executor worker.
+    pub fn lowered(&self) -> Arc<Lowered> {
+        self.lowered
+            .get_or_init(|| {
+                Arc::new(lower(self.qgraph.to_ir(), self.input_shape, &LowerOptions::reference()))
+            })
+            .clone()
+    }
+
     /// The input scale factor `2^fix_pos` stored by the compiler: multiply
     /// preprocessed `[-1, 1]` pixels by this and round to get INT8 input.
     pub fn input_scale(&self) -> f32 {

@@ -3,8 +3,10 @@
 use crate::model::GpuModel;
 use rand::{Rng, SeedableRng};
 use seneca_backend::{Backend, Prediction, ThroughputReport};
+use seneca_ir::{lower, LowerOptions, Lowered};
 use seneca_nn::graph::Graph;
 use seneca_tensor::{Shape4, Tensor};
+use std::sync::Arc;
 
 /// The GPU runner: owns the FP32 graph and the device model.
 #[derive(Clone)]
@@ -15,12 +17,16 @@ pub struct GpuRunner {
     pub device: GpuModel,
     /// Input geometry.
     pub input_shape: Shape4,
+    /// IR lowering of `graph` at `input_shape` (packed weight panels +
+    /// liveness plan) for the functional batch path.
+    lowered: Arc<Lowered>,
 }
 
 impl GpuRunner {
     /// Creates a runner.
     pub fn new(graph: Graph, device: GpuModel, input_shape: Shape4) -> Self {
-        Self { graph, device, input_shape }
+        let lowered = Arc::new(lower(graph.to_ir(), input_shape, &LowerOptions::reference()));
+        Self { graph, device, input_shape, lowered }
     }
 
     /// One throughput run: modelled frame latency with seeded measurement
@@ -39,7 +45,7 @@ impl GpuRunner {
         // TDP-bound power with a whiff of measurement noise.
         let u: f64 = rng.gen_range(-1.0..1.0);
         let watt = self.device.load_power_w + 0.5 * u;
-        let plan = self.graph.plan(self.input_shape);
+        let plan = self.lowered.plan();
         ThroughputReport {
             fps,
             watt,
@@ -75,15 +81,15 @@ impl Backend for GpuRunner {
         // The baseline submits frames on one synchronous stream (like the
         // paper's TF session), so the batch path is a plain sequential loop —
         // with one liveness-planned scratch arena reused across the batch.
-        let mut scratch: Option<seneca_nn::FpScratch> = None;
+        let mut scratch: Option<seneca_ir::FpScratch> = None;
         images
             .iter()
             .map(|img| {
                 let s = match &mut scratch {
                     Some(s) if s.input_shape() == img.shape() => s,
-                    slot => slot.insert(self.graph.make_scratch(img.shape())),
+                    slot => slot.insert(self.lowered.make_scratch_for(img.shape())),
                 };
-                Prediction::from_f32(self.graph.execute_into(img, s).to_tensor())
+                Prediction::from_f32(self.lowered.execute_f32_into(img, s).to_tensor())
             })
             .collect()
     }

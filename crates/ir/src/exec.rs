@@ -1,0 +1,710 @@
+//! The one planned executor behind every host backend.
+//!
+//! A [`crate::lower::Lowered`] program executes out of a per-worker slot
+//! arena ([`FpScratch`] / [`QScratch`]): every node writes into its
+//! liveness-plan slot, so steady-state inference allocates nothing and the
+//! arena holds the peak-live footprint instead of one buffer per node.
+//! FP32 and INT8 share the walk; only the kernel dispatch differs. Conv and
+//! transpose-conv nodes with a pack slot run their GEMM against the
+//! panels packed once at lowering time — per frame only the activation
+//! (B-panel) side is packed.
+//!
+//! Outputs are bit-identical to the legacy per-graph executors: the packed
+//! GEMM entry points store the same panel bytes the per-call pack did, and
+//! the node arithmetic is byte-for-byte the same kernels.
+
+use crate::lower::{Lowered, PackedKernel};
+use crate::module::{ConvKernel, DType, IrOp, Module};
+use crate::plan::ExecPlan;
+use seneca_tensor::activation::{relu_into, softmax_channels_into};
+use seneca_tensor::conv::{conv2d_fused_into, Conv2dParams};
+use seneca_tensor::gemm::{igemm_fused, igemm_fused_packed, sgemm_fused_packed, GemmEpilogue};
+use seneca_tensor::im2col::{im2col, im2col_i8, ConvGeom};
+use seneca_tensor::norm::batchnorm_inference_into;
+use seneca_tensor::pool::maxpool2x2_into;
+use seneca_tensor::quantized::{concat_requant_i8, maxpool2x2_i8};
+use seneca_tensor::tconv::{repack_tconv_weights, scatter_tconv2x2, tconv2x2_into};
+use seneca_tensor::tensor::concat_channels_into;
+use seneca_tensor::{QTensor, QTensorView, Shape4, Tensor, TensorView};
+
+/// Per-worker FP32 execution arena: one `f32` buffer per plan slot plus the
+/// im2col column buffer and the pre-scatter tconv buffer, all reused across
+/// frames. Built by [`Lowered::make_scratch_f32`].
+#[derive(Debug, Clone)]
+pub struct FpScratch {
+    plan: ExecPlan,
+    shapes: Vec<Shape4>,
+    col: Vec<f32>,
+    ytmp: Vec<f32>,
+    slots: Vec<Vec<f32>>,
+}
+
+impl FpScratch {
+    pub(crate) fn new(plan: ExecPlan, shapes: Vec<Shape4>) -> Self {
+        let slots = plan.slot_sizes().iter().map(|&e| vec![0.0f32; e]).collect();
+        Self { plan, shapes, col: Vec::new(), ytmp: Vec::new(), slots }
+    }
+
+    /// The execution plan this arena was built from.
+    pub fn plan(&self) -> &ExecPlan {
+        &self.plan
+    }
+
+    /// The input geometry this arena was built for.
+    pub fn input_shape(&self) -> Shape4 {
+        self.shapes[0]
+    }
+}
+
+/// Per-worker INT8 execution arena: one `i8` buffer per plan slot plus the
+/// im2col/repack/pre-scatter work buffers. Built by
+/// [`Lowered::make_scratch_i8`].
+#[derive(Debug, Clone)]
+pub struct QScratch {
+    plan: ExecPlan,
+    shapes: Vec<Shape4>,
+    fps: Vec<i32>,
+    col: Vec<i8>,
+    ytmp: Vec<i8>,
+    wk: Vec<i8>,
+    bias4: Vec<i32>,
+    slots: Vec<Vec<i8>>,
+}
+
+impl QScratch {
+    pub(crate) fn new(plan: ExecPlan, shapes: Vec<Shape4>, fps: Vec<i32>) -> Self {
+        let slots = plan.slot_sizes().iter().map(|&e| vec![0i8; e]).collect();
+        Self {
+            plan,
+            shapes,
+            fps,
+            col: Vec::new(),
+            ytmp: Vec::new(),
+            wk: Vec::new(),
+            bias4: Vec::new(),
+            slots,
+        }
+    }
+
+    /// The execution plan this arena was built from.
+    pub fn plan(&self) -> &ExecPlan {
+        &self.plan
+    }
+
+    /// The input geometry this arena was built for.
+    pub fn input_shape(&self) -> Shape4 {
+        self.shapes[0]
+    }
+
+    /// Seeds the input node's slot from a quantised frame.
+    pub fn load_input(&mut self, input: &QTensor) {
+        assert_eq!(input.shape(), self.shapes[0], "scratch input geometry");
+        assert_eq!(input.fix_pos(), self.fps[0], "scratch input fix position");
+        let s0 = self.plan.slot_of(0);
+        self.slots[s0][..input.data().len()].copy_from_slice(input.data());
+    }
+
+    /// Borrowed view of one node's output. Valid only while the node's
+    /// value is live under the plan (always true for the graph output after
+    /// a full walk).
+    pub fn node_output(&self, id: usize) -> QTensorView<'_> {
+        let s = self.shapes[id];
+        QTensorView::new(s, &self.slots[self.plan.slot_of(id)][..s.len()], self.fps[id])
+    }
+}
+
+impl Lowered {
+    /// Executes an FP32 program through the liveness plan. Bit-identical to
+    /// the legacy naive walk (dropout is the identity the strip pass
+    /// removed); the returned view borrows the scratch and stays valid
+    /// until the next frame.
+    pub fn execute_f32_into<'s>(
+        &self,
+        input: &Tensor,
+        scratch: &'s mut FpScratch,
+    ) -> TensorView<'s> {
+        assert_eq!(self.module().dtype, DType::F32, "FP32 execution of a non-FP32 module");
+        assert_eq!(input.shape(), scratch.shapes[0], "scratch built for a different input shape");
+        let s0 = scratch.plan.slot_of(0);
+        scratch.slots[s0][..input.data().len()].copy_from_slice(input.data());
+        for i in 1..self.module().nodes.len() {
+            self.exec_node_f32(i, scratch);
+        }
+        let m = self.module();
+        let so = scratch.plan.slot_of(m.output);
+        let shape = scratch.shapes[m.output];
+        TensorView::new(shape, &scratch.slots[so][..shape.len()])
+    }
+
+    /// Allocating convenience wrapper around [`Lowered::execute_f32_into`].
+    pub fn execute_f32(&self, input: &Tensor) -> Tensor {
+        let mut scratch = self.make_scratch_for(input.shape());
+        self.execute_f32_into(input, &mut scratch).to_tensor()
+    }
+
+    fn exec_node_f32(&self, i: usize, scratch: &mut FpScratch) {
+        let m = self.module();
+        let node = &m.nodes[i];
+        let _sp = seneca_trace::span_bytes(
+            "fp32-op",
+            node.op.mnemonic(m.dtype),
+            (scratch.plan.elems_of(i) * std::mem::size_of::<f32>()) as u64,
+        );
+        let FpScratch { plan, shapes, col, ytmp, slots } = scratch;
+        let si = plan.slot_of(i);
+        // Take the output buffer out of the arena so input slots stay
+        // borrowable; the plan guarantees no live input shares `si`.
+        let mut out_buf = std::mem::take(&mut slots[si]);
+        let out = &mut out_buf[..plan.elems_of(i)];
+        {
+            let slots = &*slots;
+            let view = |j: usize| -> (Shape4, &[f32]) {
+                debug_assert_ne!(plan.slot_of(j), si, "output slot aliases live input {j}");
+                (shapes[j], &slots[plan.slot_of(j)][..shapes[j].len()])
+            };
+            match &node.op {
+                IrOp::Input => unreachable!("multiple inputs unsupported"),
+                IrOp::Conv(a) => {
+                    let (xs, x) = view(node.inputs[0]);
+                    let ConvKernel::F32 { w, b } = &a.kernel else {
+                        panic!("INT8 kernel in an FP32 module")
+                    };
+                    match a.pack.map(|s| &self.packs()[s]) {
+                        Some(PackedKernel::ConvF32(pa)) => {
+                            conv3x3_f32_packed(xs, x, pa, b, a.relu, col, out);
+                        }
+                        None => {
+                            conv2d_fused_into(
+                                xs,
+                                x,
+                                w,
+                                b,
+                                a.relu,
+                                Conv2dParams::SAME_3X3,
+                                col,
+                                out,
+                            );
+                        }
+                        Some(_) => panic!("pack slot holds the wrong kernel kind"),
+                    }
+                }
+                IrOp::TConv(a) => {
+                    let (xs, x) = view(node.inputs[0]);
+                    let ConvKernel::F32 { w, b } = &a.kernel else {
+                        panic!("INT8 kernel in an FP32 module")
+                    };
+                    assert!(!a.relu, "fused ReLU on an FP32 tconv is unsupported");
+                    match a.pack.map(|s| &self.packs()[s]) {
+                        Some(PackedKernel::TConvF32 { pa, bias4 }) => {
+                            tconv2x2_f32_packed(xs, x, pa, bias4, ytmp, out);
+                        }
+                        None => {
+                            tconv2x2_into(xs, x, w, b, out);
+                        }
+                        Some(_) => panic!("pack slot holds the wrong kernel kind"),
+                    }
+                }
+                IrOp::BatchNorm { bn } => {
+                    let (xs, x) = view(node.inputs[0]);
+                    batchnorm_inference_into(xs, x, bn, out);
+                }
+                IrOp::Relu => {
+                    let (_, x) = view(node.inputs[0]);
+                    relu_into(x, out);
+                }
+                IrOp::MaxPool2x2 => {
+                    let (xs, x) = view(node.inputs[0]);
+                    maxpool2x2_into(xs, x, out);
+                }
+                IrOp::Concat { requant } => {
+                    assert!(requant.is_none(), "requantising concat in an FP32 module");
+                    let (sa, a) = view(node.inputs[0]);
+                    let (sb, b) = view(node.inputs[1]);
+                    concat_channels_into(sa, a, sb, b, out);
+                }
+                IrOp::Dropout { .. } => {
+                    let (_, x) = view(node.inputs[0]);
+                    out.copy_from_slice(x);
+                }
+                IrOp::Softmax => {
+                    let (xs, x) = view(node.inputs[0]);
+                    softmax_channels_into(xs, x, out);
+                }
+            }
+        }
+        scratch.slots[si] = out_buf;
+    }
+
+    /// Executes an INT8 program through the liveness plan — bit-identical
+    /// to the legacy quantized node walk. The returned view borrows the
+    /// arena and stays valid until the next frame.
+    pub fn execute_i8_into<'s>(
+        &self,
+        input: &QTensor,
+        scratch: &'s mut QScratch,
+    ) -> QTensorView<'s> {
+        scratch.load_input(input);
+        for id in 1..self.module().nodes.len() {
+            self.execute_node_i8(id, scratch);
+        }
+        scratch.node_output(self.module().output)
+    }
+
+    /// Allocating convenience wrapper around [`Lowered::execute_i8_into`].
+    pub fn execute_i8(&self, input: &QTensor) -> QTensor {
+        let mut scratch = self.make_scratch_i8_for(input.shape());
+        self.execute_i8_into(input, &mut scratch).to_qtensor()
+    }
+
+    /// Seeds the input node's slot from a quantised frame (DPU runtime
+    /// entry point; pairs with [`Lowered::execute_node_i8`]).
+    pub fn load_input_i8(&self, input: &QTensor, scratch: &mut QScratch) {
+        scratch.load_input(input);
+    }
+
+    /// Borrowed view of one node's output (DPU runtime entry point).
+    pub fn node_output_i8<'s>(&self, id: usize, scratch: &'s QScratch) -> QTensorView<'s> {
+        scratch.node_output(id)
+    }
+
+    /// Executes one INT8 node out of the scratch arena. Inputs must still
+    /// be live under the plan — running ids in increasing order (as both
+    /// [`Lowered::execute_i8_into`] and the compiled DPU instruction stream
+    /// do) satisfies this, because a slot is only recycled after its
+    /// value's last consumer has run.
+    pub fn execute_node_i8(&self, id: usize, scratch: &mut QScratch) {
+        let m = self.module();
+        assert_eq!(m.dtype, DType::I8, "INT8 execution of a non-INT8 module");
+        let node = &m.nodes[id];
+        if matches!(node.op, IrOp::Input) {
+            return; // seeded by `QScratch::load_input`
+        }
+        let _sp = seneca_trace::span_bytes(
+            "int8-op",
+            node.op.mnemonic(m.dtype),
+            scratch.plan.elems_of(id) as u64,
+        );
+        let QScratch { plan, shapes, fps, col, ytmp, wk, bias4, slots } = scratch;
+        let si = plan.slot_of(id);
+        // Take the output buffer out of the arena so input slots stay
+        // borrowable; the plan guarantees no live input shares `si`.
+        let mut out_buf = std::mem::take(&mut slots[si]);
+        let out = &mut out_buf[..plan.elems_of(id)];
+        {
+            let slots = &*slots;
+            let view = |j: usize| -> (Shape4, &[i8]) {
+                debug_assert_ne!(plan.slot_of(j), si, "output slot aliases live input {j}");
+                (shapes[j], &slots[plan.slot_of(j)][..shapes[j].len()])
+            };
+            match &node.op {
+                IrOp::Input => unreachable!(),
+                IrOp::Conv(a) => {
+                    let j = node.inputs[0];
+                    let (xs, x) = view(j);
+                    let ConvKernel::I8 { w, bias, in_fp, .. } = &a.kernel else {
+                        panic!("FP32 kernel in an INT8 module")
+                    };
+                    debug_assert_eq!(fps[j], *in_fp, "qconv input fix position");
+                    let shift = a.kernel.shift();
+                    let pa = match a.pack.map(|s| &self.packs()[s]) {
+                        Some(PackedKernel::ConvI8(pa)) => Some(pa),
+                        None => None,
+                        Some(_) => panic!("pack slot holds the wrong kernel kind"),
+                    };
+                    qconv3x3_i8(xs, x, w, pa, bias, shift, a.relu, col, out);
+                }
+                IrOp::TConv(a) => {
+                    let j = node.inputs[0];
+                    let (xs, x) = view(j);
+                    let ConvKernel::I8 { w, bias, in_fp, .. } = &a.kernel else {
+                        panic!("FP32 kernel in an INT8 module")
+                    };
+                    debug_assert_eq!(fps[j], *in_fp, "qtconv input fix position");
+                    let shift = a.kernel.shift();
+                    match a.pack.map(|s| &self.packs()[s]) {
+                        Some(PackedKernel::TConvI8 { pa, bias4 }) => {
+                            qtconv2x2_i8_packed(xs, x, pa, bias4, shift, a.relu, ytmp, out);
+                        }
+                        None => {
+                            qtconv2x2_i8(xs, x, w, bias, shift, a.relu, wk, bias4, ytmp, out);
+                        }
+                        Some(_) => panic!("pack slot holds the wrong kernel kind"),
+                    }
+                }
+                IrOp::MaxPool2x2 => {
+                    let (xs, x) = view(node.inputs[0]);
+                    maxpool2x2_i8(xs, x, out);
+                }
+                IrOp::Concat { requant } => {
+                    let q = requant.as_ref().expect("INT8 concat without requant attributes");
+                    let (sa, a) = view(node.inputs[0]);
+                    let (sb, b) = view(node.inputs[1]);
+                    concat_requant_i8(sa, a, sb, b, q.shift_a, q.shift_b, out);
+                }
+                IrOp::BatchNorm { .. } | IrOp::Relu | IrOp::Dropout { .. } | IrOp::Softmax => {
+                    panic!("{} unsupported in an INT8 module", node.op.mnemonic(m.dtype))
+                }
+            }
+        }
+        scratch.slots[si] = out_buf;
+    }
+}
+
+/// FP32 3x3 same conv against pre-packed weight panels — the arithmetic of
+/// [`conv2d_fused_into`] bit for bit, minus the per-call A-pack.
+fn conv3x3_f32_packed(
+    xs: Shape4,
+    x: &[f32],
+    pa: &seneca_tensor::gemm::PackedA<f32>,
+    b: &[f32],
+    relu: bool,
+    col: &mut Vec<f32>,
+    out: &mut [f32],
+) -> Shape4 {
+    let geom = ConvGeom { c_in: xs.c, h: xs.h, w: xs.w, k: 3, pad: 1, stride: 1 };
+    let (ckk, cols) = (geom.col_rows(), geom.col_cols());
+    assert_eq!(pa.k(), ckk, "packed conv panel K");
+    let out_shape = Shape4::new(xs.n, pa.m(), geom.h_out(), geom.w_out());
+    assert_eq!(out.len(), out_shape.len(), "output buffer size");
+    let epi = match (b.is_empty(), relu) {
+        (true, false) => GemmEpilogue::None,
+        (false, false) => GemmEpilogue::Bias(b),
+        // BiasRelu with an empty slice is a plain ReLU (missing bias reads 0).
+        (_, true) => GemmEpilogue::BiasRelu(b),
+    };
+    if col.len() != ckk * cols {
+        col.resize(ckk * cols, 0.0);
+    }
+    for n in 0..xs.n {
+        let x_n = &x[n * xs.chw()..(n + 1) * xs.chw()];
+        im2col(&geom, x_n, col);
+        let y_n = &mut out[n * out_shape.chw()..(n + 1) * out_shape.chw()];
+        sgemm_fused_packed(pa, cols, col, y_n, epi);
+    }
+    out_shape
+}
+
+/// FP32 transpose conv against pre-packed `[4*C_out, C_in]` panels — the
+/// arithmetic of [`tconv2x2_into`] bit for bit, minus the per-call
+/// repack-and-pack.
+fn tconv2x2_f32_packed(
+    xs: Shape4,
+    x: &[f32],
+    pa: &seneca_tensor::gemm::PackedA<f32>,
+    bias4: &[f32],
+    ytmp: &mut Vec<f32>,
+    out: &mut [f32],
+) -> Shape4 {
+    let c_out = pa.m() / 4;
+    assert_eq!(pa.k(), xs.c, "packed tconv panel C_in");
+    let hw = xs.hw();
+    let out_shape = Shape4::new(xs.n, c_out, xs.h * 2, xs.w * 2);
+    assert_eq!(out.len(), out_shape.len(), "output buffer size");
+    let epi = if bias4.is_empty() { GemmEpilogue::None } else { GemmEpilogue::Bias(bias4) };
+    if ytmp.len() < 4 * c_out * hw {
+        ytmp.resize(4 * c_out * hw, 0.0);
+    }
+    for n in 0..xs.n {
+        let x_n = &x[n * xs.chw()..(n + 1) * xs.chw()];
+        // The `[C_in, H*W]` input plane is already the column matrix.
+        sgemm_fused_packed(pa, hw, x_n, &mut ytmp[..4 * c_out * hw], epi);
+        let out_n = &mut out[n * out_shape.chw()..(n + 1) * out_shape.chw()];
+        scatter_tconv2x2(c_out, xs.h, xs.w, &ytmp[..4 * c_out * hw], out_n);
+    }
+    out_shape
+}
+
+/// INT8 3x3 same conv: im2col + fused-epilogue GEMM (bias add,
+/// requantisation and ReLU clamp in the store). With `pa` the weight panels
+/// were packed at lowering time; without, the GEMM packs per call.
+#[allow(clippy::too_many_arguments)]
+fn qconv3x3_i8(
+    xs: Shape4,
+    x: &[i8],
+    w: &seneca_tensor::QTensor,
+    pa: Option<&seneca_tensor::gemm::PackedA<i8>>,
+    bias: &[i32],
+    shift: i32,
+    relu: bool,
+    col: &mut Vec<i8>,
+    out: &mut [i8],
+) -> Shape4 {
+    let ws = w.shape();
+    assert_eq!(x.len(), xs.len(), "qconv input buffer/shape mismatch");
+    assert_eq!(ws.c, xs.c, "qconv C_in");
+    let geom = ConvGeom { c_in: xs.c, h: xs.h, w: xs.w, k: 3, pad: 1, stride: 1 };
+    let (ckk, cols) = (geom.col_rows(), geom.col_cols());
+    let out_shape = Shape4::new(xs.n, ws.n, geom.h_out(), geom.w_out());
+    assert_eq!(out.len(), out_shape.len(), "qconv output buffer size");
+    if col.len() != ckk * cols {
+        col.resize(ckk * cols, 0);
+    }
+    for n in 0..xs.n {
+        let x_n = &x[n * xs.chw()..(n + 1) * xs.chw()];
+        im2col_i8(&geom, x_n, col);
+        let y_n = &mut out[n * out_shape.chw()..(n + 1) * out_shape.chw()];
+        match pa {
+            Some(pa) => igemm_fused_packed(pa, cols, col, bias, shift, relu, y_n),
+            None => igemm_fused(ws.n, ckk, cols, w.data(), col, bias, shift, relu, y_n),
+        }
+    }
+    out_shape
+}
+
+/// INT8 transpose conv against pre-packed panels: one fused GEMM per image
+/// plus the stride-2 scatter.
+#[allow(clippy::too_many_arguments)]
+fn qtconv2x2_i8_packed(
+    xs: Shape4,
+    x: &[i8],
+    pa: &seneca_tensor::gemm::PackedA<i8>,
+    bias4: &[i32],
+    shift: i32,
+    relu: bool,
+    ytmp: &mut Vec<i8>,
+    out: &mut [i8],
+) -> Shape4 {
+    let c_out = pa.m() / 4;
+    assert_eq!(pa.k(), xs.c, "packed qtconv panel C_in");
+    let hw = xs.hw();
+    let out_shape = Shape4::new(xs.n, c_out, xs.h * 2, xs.w * 2);
+    assert_eq!(out.len(), out_shape.len(), "qtconv output buffer size");
+    if ytmp.len() < 4 * c_out * hw {
+        ytmp.resize(4 * c_out * hw, 0);
+    }
+    for n in 0..xs.n {
+        let x_n = &x[n * xs.chw()..(n + 1) * xs.chw()];
+        igemm_fused_packed(pa, hw, x_n, bias4, shift, relu, &mut ytmp[..4 * c_out * hw]);
+        let out_n = &mut out[n * out_shape.chw()..(n + 1) * out_shape.chw()];
+        scatter_tconv2x2(c_out, xs.h, xs.w, &ytmp[..4 * c_out * hw], out_n);
+    }
+    out_shape
+}
+
+/// INT8 transpose conv without pack-slot caching: repack the
+/// `[C_in, C_out, 2, 2]` weights into the `[4*C_out, C_in]` GEMM operand
+/// per call (scratch-buffered), then GEMM + scatter as above.
+#[allow(clippy::too_many_arguments)]
+fn qtconv2x2_i8(
+    xs: Shape4,
+    x: &[i8],
+    w: &seneca_tensor::QTensor,
+    bias: &[i32],
+    shift: i32,
+    relu: bool,
+    wk: &mut Vec<i8>,
+    bias4: &mut Vec<i32>,
+    ytmp: &mut Vec<i8>,
+    out: &mut [i8],
+) -> Shape4 {
+    let ws = w.shape(); // [C_in, C_out, 2, 2]
+    assert_eq!(x.len(), xs.len(), "qtconv input buffer/shape mismatch");
+    assert_eq!(ws.n, xs.c, "qtconv C_in");
+    let c_out = ws.c;
+    let out_shape = Shape4::new(xs.n, c_out, xs.h * 2, xs.w * 2);
+    assert_eq!(out.len(), out_shape.len(), "qtconv output buffer size");
+    let hw = xs.hw();
+
+    let wk_len = 4 * c_out * xs.c;
+    if wk.len() < wk_len {
+        wk.resize(wk_len, 0);
+    }
+    repack_tconv_weights(xs.c, c_out, w.data(), wk);
+
+    // Bias replicated per kernel position so the epilogue can index it by
+    // GEMM row; each output pixel gets it exactly once.
+    if bias4.len() < 4 * c_out {
+        bias4.resize(4 * c_out, 0);
+    }
+    for (i, v) in bias4[..4 * c_out].iter_mut().enumerate() {
+        *v = bias.get(i % c_out).copied().unwrap_or(0);
+    }
+
+    if ytmp.len() < 4 * c_out * hw {
+        ytmp.resize(4 * c_out * hw, 0);
+    }
+    for n in 0..xs.n {
+        let x_n = &x[n * xs.chw()..(n + 1) * xs.chw()];
+        igemm_fused(
+            4 * c_out,
+            xs.c,
+            hw,
+            &wk[..wk_len],
+            x_n,
+            &bias4[..4 * c_out],
+            shift,
+            relu,
+            &mut ytmp[..4 * c_out * hw],
+        );
+        let out_n = &mut out[n * out_shape.chw()..(n + 1) * out_shape.chw()];
+        scatter_tconv2x2(c_out, xs.h, xs.w, &ytmp[..4 * c_out * hw], out_n);
+    }
+    out_shape
+}
+
+/// Lowers `m` with [`crate::lower::LowerOptions::reference`] and executes
+/// it on one FP32 frame (test/diagnostic convenience).
+pub fn execute_f32(m: &Module, x: &Tensor) -> Tensor {
+    let lowered =
+        crate::lower::lower(m.clone(), x.shape(), &crate::lower::LowerOptions::reference());
+    lowered.execute_f32(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::{lower, LowerOptions};
+    use crate::module::{ConcatQ, ConvAttrs};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use seneca_tensor::norm::BnState;
+    use seneca_tensor::quantized::choose_fix_pos;
+
+    fn rand_tensor(shape: Shape4, rng: &mut StdRng) -> Tensor {
+        Tensor::from_vec(shape, (0..shape.len()).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+    }
+
+    /// A small FP32 module covering every op: conv(+relu attr), bn,
+    /// standalone relu, pool, tconv, concat, dropout, softmax.
+    fn f32_module(rng: &mut StdRng) -> Module {
+        let conv = |c_in: usize, c_out: usize, relu: bool, rng: &mut StdRng| {
+            let w = rand_tensor(Shape4::new(c_out, c_in, 3, 3), rng);
+            let b: Vec<f32> = (0..c_out).map(|_| rng.gen_range(-0.2f32..0.2)).collect();
+            IrOp::Conv(ConvAttrs { kernel: ConvKernel::F32 { w, b }, relu, pack: None })
+        };
+        let mut m = Module::new("exec-f32", DType::F32);
+        let c1 = m.push(conv(2, 4, true, rng), vec![0]);
+        let mut bn = BnState::new(4);
+        for i in 0..4 {
+            bn.gamma[i] = rng.gen_range(0.5f32..1.5);
+            bn.beta[i] = rng.gen_range(-0.3f32..0.3);
+            bn.running_mean[i] = rng.gen_range(-0.3f32..0.3);
+            bn.running_var[i] = rng.gen_range(0.3f32..1.5);
+        }
+        let b1 = m.push(IrOp::BatchNorm { bn }, vec![c1]);
+        let r1 = m.push(IrOp::Relu, vec![b1]);
+        let p1 = m.push(IrOp::MaxPool2x2, vec![r1]);
+        let c2 = m.push(conv(4, 6, true, rng), vec![p1]);
+        let wt = rand_tensor(Shape4::new(6, 4, 2, 2), rng);
+        let bt: Vec<f32> = (0..4).map(|_| rng.gen_range(-0.2f32..0.2)).collect();
+        let t = m.push(
+            IrOp::TConv(ConvAttrs {
+                kernel: ConvKernel::F32 { w: wt, b: bt },
+                relu: false,
+                pack: None,
+            }),
+            vec![c2],
+        );
+        let cat = m.push(IrOp::Concat { requant: None }, vec![r1, t]);
+        let d = m.push(IrOp::Dropout { rate: 0.5 }, vec![cat]);
+        let sm = m.push(IrOp::Softmax, vec![d]);
+        m.output = sm;
+        m
+    }
+
+    /// Packed (pack-once) and unpacked (pack-per-call) lowerings are
+    /// bit-exact — the pack-slot pass is purely a latency optimisation.
+    #[test]
+    fn packed_lowering_is_bit_exact_f32() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let m = f32_module(&mut rng);
+        let s = Shape4::new(2, 2, 8, 8);
+        let x = rand_tensor(s, &mut rng);
+        let packed = lower(m.clone(), s, &LowerOptions::reference());
+        let unpacked = lower(m, s, &LowerOptions::reference_unpacked());
+        assert!(packed.stats().pack_slots > 0);
+        assert_eq!(unpacked.stats().pack_slots, 0);
+        let y_p = packed.execute_f32(&x);
+        let y_u = unpacked.execute_f32(&x);
+        assert_eq!(y_p.data(), y_u.data());
+    }
+
+    fn qconv_kernel(
+        c_in: usize,
+        c_out: usize,
+        in_fp: i32,
+        out_fp: i32,
+        rng: &mut StdRng,
+    ) -> ConvKernel {
+        let w = rand_tensor(Shape4::new(c_out, c_in, 3, 3), rng);
+        let w_fp = choose_fix_pos(w.abs_max());
+        let wq = QTensor::quantize(&w, w_fp);
+        let bias: Vec<i32> = (0..c_out).map(|_| rng.gen_range(-40i32..40)).collect();
+        ConvKernel::I8 { w: wq, bias, in_fp, out_fp }
+    }
+
+    /// A small INT8 module: qconv → qmaxpool → qtconv → qconcat.
+    fn i8_module(rng: &mut StdRng) -> Module {
+        let mut m = Module::new("exec-i8", DType::I8);
+        m.input_fp = 6;
+        let c1 = m.push(
+            IrOp::Conv(ConvAttrs { kernel: qconv_kernel(2, 4, 6, 5, rng), relu: true, pack: None }),
+            vec![0],
+        );
+        let p1 = m.push(IrOp::MaxPool2x2, vec![c1]);
+        let wt = rand_tensor(Shape4::new(4, 3, 2, 2), rng);
+        let wt_fp = choose_fix_pos(wt.abs_max());
+        let wq = QTensor::quantize(&wt, wt_fp);
+        let bias: Vec<i32> = (0..3).map(|_| rng.gen_range(-30i32..30)).collect();
+        let t = m.push(
+            IrOp::TConv(ConvAttrs {
+                kernel: ConvKernel::I8 { w: wq, bias, in_fp: 5, out_fp: 4 },
+                relu: false,
+                pack: None,
+            }),
+            vec![p1],
+        );
+        let cat = m.push(
+            IrOp::Concat { requant: Some(ConcatQ { shift_a: 1, shift_b: 0, out_fp: 4 }) },
+            vec![c1, t],
+        );
+        m.output = cat;
+        m.output_fp = 4;
+        m
+    }
+
+    #[test]
+    fn packed_lowering_is_bit_exact_i8() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let m = i8_module(&mut rng);
+        let s = Shape4::new(1, 2, 8, 8);
+        let x = QTensor::quantize(&rand_tensor(s, &mut rng), 6);
+        let packed = lower(m.clone(), s, &LowerOptions::reference());
+        let unpacked = lower(m, s, &LowerOptions::reference_unpacked());
+        let y_p = packed.execute_i8(&x);
+        let y_u = unpacked.execute_i8(&x);
+        assert_eq!(y_p.data(), y_u.data());
+        assert_eq!(y_p.fix_pos(), 4);
+    }
+
+    /// Scratch arenas replan for a new geometry; the packed weights are
+    /// shape-independent and shared.
+    #[test]
+    fn scratch_adapts_to_new_input_shape() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let m = f32_module(&mut rng);
+        let lowered = lower(m, Shape4::new(1, 2, 8, 8), &LowerOptions::reference());
+        let s2 = Shape4::new(1, 2, 16, 16);
+        let x = rand_tensor(s2, &mut rng);
+        let mut scratch = lowered.make_scratch_for(s2);
+        assert_eq!(scratch.input_shape(), s2);
+        let y = lowered.execute_f32_into(&x, &mut scratch);
+        assert_eq!(y.shape().hw(), s2.hw());
+    }
+
+    /// Frame-to-frame reuse of one scratch stays bit-exact.
+    #[test]
+    fn reused_scratch_is_bit_exact_across_frames() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let m = f32_module(&mut rng);
+        let s = Shape4::new(1, 2, 8, 8);
+        let lowered = lower(m, s, &LowerOptions::reference());
+        let mut scratch = lowered.make_scratch_f32();
+        for _ in 0..3 {
+            let x = rand_tensor(s, &mut rng);
+            let fresh = lowered.execute_f32(&x);
+            let reused = lowered.execute_f32_into(&x, &mut scratch).to_tensor();
+            assert_eq!(fresh.data(), reused.data());
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Lowering: IR module → executable program.
+//!
+//! [`lower`] runs the pass pipeline selected by [`LowerOptions`]
+//! (BN fold → ReLU fusion → identity strip → pack-slot assignment), then
+//! materialises everything the executors need per model — shapes, fix
+//! positions, the liveness [`ExecPlan`] and the **pre-packed weight
+//! panels**. Weights are immutable at inference, so their GEMM A-operand
+//! panels are packed exactly once here; each frame then only packs the
+//! activation (B) panels, which is where the per-frame pack share of the
+//! 16M model drops measurably.
+
+use crate::exec::{FpScratch, QScratch};
+use crate::module::{ConvKernel, IrOp, Module};
+use crate::passes::{assign_pack_slots, fold_batchnorm, fuse_relu, strip_identities, PassStats};
+use crate::plan::ExecPlan;
+use seneca_tensor::gemm::PackedA;
+use seneca_tensor::tconv::repack_tconv_weights;
+use seneca_tensor::Shape4;
+
+/// Which rewrite passes a lowering runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LowerOptions {
+    /// Fold inference BatchNorm into the preceding conv's weights.
+    pub fold_bn: bool,
+    /// Fuse exclusive standalone ReLUs into the conv/tconv epilogue.
+    pub fuse_relu: bool,
+    /// Strip softmax too (DPU-bound / quantizer-bound lowerings; dropout is
+    /// always stripped — it is the identity at inference).
+    pub strip_softmax: bool,
+    /// Pre-pack weight GEMM panels at lowering time (pack-once caching).
+    pub pack_weights: bool,
+}
+
+impl LowerOptions {
+    /// Bit-exact lowering of the graph as given: no semantic rewrites, only
+    /// pack-slot caching. The FP32/INT8 host executors use this — packed
+    /// GEMM panels hold the same bytes as the per-call pack, so outputs are
+    /// bit-identical to the legacy node-walk executors.
+    pub fn reference() -> Self {
+        Self { fold_bn: false, fuse_relu: false, strip_softmax: false, pack_weights: true }
+    }
+
+    /// [`LowerOptions::reference`] without pack-slot caching: weights pack
+    /// per GEMM call, as the legacy executors did. Kept as the baseline arm
+    /// of the pack-share profile comparison.
+    pub fn reference_unpacked() -> Self {
+        Self { pack_weights: false, ..Self::reference() }
+    }
+
+    /// The quantizer/compiler frontend pipeline: BN fold + ReLU fusion +
+    /// identity strip (softmax included), mirroring what Vitis AI does
+    /// before calibration.
+    pub fn frontend() -> Self {
+        Self { fold_bn: true, fuse_relu: true, strip_softmax: true, pack_weights: true }
+    }
+}
+
+/// Pre-packed GEMM panels of one conv/tconv weight tensor, indexed by the
+/// node's pack slot.
+#[derive(Debug, Clone)]
+pub enum PackedKernel {
+    /// FP32 conv: `[C_out, C_in*K*K]` panels.
+    ConvF32(PackedA<f32>),
+    /// INT8 conv: `[C_out, C_in*K*K]` panels.
+    ConvI8(PackedA<i8>),
+    /// FP32 transpose conv: `[4*C_out, C_in]` panels plus the
+    /// kidx-replicated bias (empty when the conv has no bias).
+    TConvF32 {
+        /// Packed repacked weights.
+        pa: PackedA<f32>,
+        /// Bias replicated per kernel position (`4*C_out`, or empty).
+        bias4: Vec<f32>,
+    },
+    /// INT8 transpose conv: `[4*C_out, C_in]` panels plus the
+    /// kidx-replicated accumulator-scale bias.
+    TConvI8 {
+        /// Packed repacked weights.
+        pa: PackedA<i8>,
+        /// Bias replicated per kernel position (`4*C_out`).
+        bias4: Vec<i32>,
+    },
+}
+
+impl PackedKernel {
+    /// Bytes held by the packed panels (memory accounting).
+    pub fn bytes(&self) -> u64 {
+        match self {
+            PackedKernel::ConvF32(pa) => (pa.panel_len() * 4) as u64,
+            PackedKernel::ConvI8(pa) => pa.panel_len() as u64,
+            PackedKernel::TConvF32 { pa, bias4 } => ((pa.panel_len() + bias4.len()) * 4) as u64,
+            PackedKernel::TConvI8 { pa, bias4 } => (pa.panel_len() + bias4.len() * 4) as u64,
+        }
+    }
+}
+
+/// A lowered program: the rewritten module plus everything the executors
+/// derive from it once per model — shapes, fix positions, the liveness
+/// plan and the pre-packed weight panels.
+#[derive(Debug, Clone)]
+pub struct Lowered {
+    module: Module,
+    input: Shape4,
+    shapes: Vec<Shape4>,
+    fps: Vec<i32>,
+    plan: ExecPlan,
+    packs: Vec<PackedKernel>,
+    stats: PassStats,
+}
+
+/// Runs the pass pipeline on `module` and materialises the lowered program
+/// for the given input geometry.
+pub fn lower(mut module: Module, input: Shape4, opts: &LowerOptions) -> Lowered {
+    let mut stats = PassStats::default();
+    if opts.fold_bn {
+        stats.bn_folded = fold_batchnorm(&mut module);
+    }
+    if opts.fuse_relu {
+        stats.relu_fused = fuse_relu(&mut module);
+    }
+    stats.identities_removed = strip_identities(&mut module, opts.strip_softmax);
+    if opts.pack_weights {
+        stats.pack_slots = assign_pack_slots(&mut module);
+    }
+    let shapes = module.shapes(input);
+    let fps = module.fix_positions();
+    let plan = module.plan(input);
+    let packs = build_packs(&module);
+    Lowered { module, input, shapes, fps, plan, packs, stats }
+}
+
+/// Packs every pack-slotted weight tensor once (model load time).
+fn build_packs(m: &Module) -> Vec<PackedKernel> {
+    let mut packs: Vec<Option<PackedKernel>> = Vec::new();
+    for node in &m.nodes {
+        let (attrs, transpose) = match &node.op {
+            IrOp::Conv(a) => (a, false),
+            IrOp::TConv(a) => (a, true),
+            _ => continue,
+        };
+        let Some(slot) = attrs.pack else { continue };
+        let packed = if transpose {
+            let c_in = attrs.kernel.c_in(true);
+            let c_out = attrs.kernel.c_out(true);
+            match &attrs.kernel {
+                ConvKernel::F32 { w, b } => {
+                    let mut wk = vec![0.0f32; 4 * c_out * c_in];
+                    repack_tconv_weights(c_in, c_out, w.data(), &mut wk);
+                    let bias4: Vec<f32> = if b.is_empty() {
+                        Vec::new()
+                    } else {
+                        (0..4 * c_out).map(|i| b[i % c_out]).collect()
+                    };
+                    PackedKernel::TConvF32 { pa: PackedA::pack(4 * c_out, c_in, &wk), bias4 }
+                }
+                ConvKernel::I8 { w, bias, .. } => {
+                    let mut wk = vec![0i8; 4 * c_out * c_in];
+                    repack_tconv_weights(c_in, c_out, w.data(), &mut wk);
+                    let bias4: Vec<i32> =
+                        (0..4 * c_out).map(|i| bias.get(i % c_out).copied().unwrap_or(0)).collect();
+                    PackedKernel::TConvI8 { pa: PackedA::pack(4 * c_out, c_in, &wk), bias4 }
+                }
+            }
+        } else {
+            match &attrs.kernel {
+                ConvKernel::F32 { w, .. } => {
+                    let ws = w.shape();
+                    PackedKernel::ConvF32(PackedA::pack(ws.n, ws.c * ws.h * ws.w, w.data()))
+                }
+                ConvKernel::I8 { w, .. } => {
+                    let ws = w.shape();
+                    PackedKernel::ConvI8(PackedA::pack(ws.n, ws.c * ws.h * ws.w, w.data()))
+                }
+            }
+        };
+        if packs.len() <= slot {
+            packs.resize_with(slot + 1, || None);
+        }
+        assert!(packs[slot].is_none(), "pack slot {slot} assigned twice");
+        packs[slot] = Some(packed);
+    }
+    packs.into_iter().map(|p| p.expect("pack slot without kernel")).collect()
+}
+
+impl Lowered {
+    /// The rewritten module this program executes.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// The input geometry the program was lowered for.
+    pub fn input_shape(&self) -> Shape4 {
+        self.input
+    }
+
+    /// Per-node output shapes at the lowered input geometry.
+    pub fn shapes(&self) -> &[Shape4] {
+        &self.shapes
+    }
+
+    /// Per-node output fix positions (all zero for FP32 modules).
+    pub fn fix_positions(&self) -> &[i32] {
+        &self.fps
+    }
+
+    /// The liveness plan at the lowered input geometry.
+    pub fn plan(&self) -> &ExecPlan {
+        &self.plan
+    }
+
+    /// What the pass pipeline did.
+    pub fn stats(&self) -> PassStats {
+        self.stats
+    }
+
+    /// The pre-packed weight panels, indexed by pack slot.
+    pub fn packs(&self) -> &[PackedKernel] {
+        &self.packs
+    }
+
+    /// Bytes held by all pre-packed weight panels.
+    pub fn packed_weight_bytes(&self) -> u64 {
+        self.packs.iter().map(|p| p.bytes()).sum()
+    }
+
+    /// Allocates the per-worker FP32 arena at the lowered input geometry.
+    pub fn make_scratch_f32(&self) -> FpScratch {
+        self.make_scratch_for(self.input)
+    }
+
+    /// Allocates an FP32 arena for a different input geometry (replans; the
+    /// packed weights are shape-independent and stay shared).
+    pub fn make_scratch_for(&self, input: Shape4) -> FpScratch {
+        let shapes = self.module.shapes(input);
+        let plan = self.module.plan(input);
+        FpScratch::new(plan, shapes)
+    }
+
+    /// Allocates the per-worker INT8 arena at the lowered input geometry.
+    pub fn make_scratch_i8(&self) -> QScratch {
+        self.make_scratch_i8_for(self.input)
+    }
+
+    /// Allocates an INT8 arena for a different input geometry.
+    pub fn make_scratch_i8_for(&self, input: Shape4) -> QScratch {
+        let shapes = self.module.shapes(input);
+        let plan = self.module.plan(input);
+        QScratch::new(plan, shapes, self.fps.clone())
+    }
+}

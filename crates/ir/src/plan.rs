@@ -1,9 +1,10 @@
 //! The execution-plan layer: liveness analysis + buffer-slot assignment.
 //!
-//! Both executors (the FP32 [`crate::graph::Graph`] and the INT8
-//! `QuantizedGraph` in `seneca-quant`) lower into the same [`ExecPlan`]: a
-//! topologically ordered walk annotated with each value's *last use* and an
-//! assignment of values to reusable **buffer slots**. A per-worker arena
+//! Liveness planning is the final pass of the IR pipeline: every lowered
+//! program — the FP32 executor, the bit-exact INT8 executor and the DPU
+//! compiler's channel-padded DDR layout — reduces to the same [`ExecPlan`],
+//! a topologically ordered walk annotated with each value's *last use* and
+//! an assignment of values to reusable **buffer slots**. A per-worker arena
 //! then holds one buffer per slot — sized to the peak-live footprint —
 //! instead of one buffer per node (sum-of-all-activations). Skip
 //! connections naturally stay live across the encoder–decoder span and keep
@@ -11,8 +12,7 @@
 //! consumer has run.
 //!
 //! The planner is graph-agnostic: it sees only each node's input ids and
-//! output element count, so the FP32 graph, the quantized graph and the DPU
-//! compiler's channel-padded DDR layout all reuse the same pass.
+//! output element count, so every dtype and layout reuses the same pass.
 
 use serde::{Deserialize, Serialize};
 

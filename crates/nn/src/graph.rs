@@ -1,20 +1,23 @@
-//! Inference graph IR.
+//! The trained-model export graph.
 //!
 //! After training, a [`crate::unet::UNet`] is exported to this small
 //! single-input / single-output DAG. The IR is the hand-off format consumed
 //! by the quantizer (`seneca-quant`) and the DPU compiler (`seneca-dpu`) —
 //! mirroring how a TensorFlow graph flows into the Vitis AI quantizer and
 //! VAI_C. It deliberately keeps BatchNorm and Dropout as *separate nodes* so
-//! those tools can demonstrate folding/removal, and it ships with a plain
-//! FP32 executor used by the GPU baseline.
+//! those tools can demonstrate folding/removal, and it ships with a naive
+//! FP32 executor kept as the bit-exactness anchor for everything downstream.
+//!
+//! All optimised execution lowers through `seneca-ir`: [`Graph::to_ir`]
+//! converts into the typed IR [`seneca_ir::Module`], whose pass pipeline and
+//! planned executor replace the per-graph node walk this module used to
+//! carry. Shape inference delegates to the same IR pass.
 
-use crate::plan::ExecPlan;
 use crate::unet::UNet;
-use seneca_tensor::activation::softmax_channels_into;
-use seneca_tensor::norm::{batchnorm_inference_into, BnState};
+use seneca_ir::shape::{infer_shapes_ops, ShapeOp};
+use seneca_ir::{ConvAttrs, ConvKernel, DType, IrOp, Module};
 use seneca_tensor::prelude::*;
-use seneca_tensor::tensor::concat_channels_into;
-use seneca_tensor::{Tensor, TensorView};
+use seneca_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
 /// Graph operation.
@@ -150,36 +153,58 @@ impl Graph {
         g
     }
 
-    /// Infers every node's output shape for a given input shape.
+    /// Infers every node's output shape for a given input shape (delegates
+    /// to the IR shape-inference pass — one walk for every graph type).
     pub fn shapes(&self, input: Shape4) -> Vec<Shape4> {
-        let mut shapes = Vec::with_capacity(self.nodes.len());
-        for node in &self.nodes {
-            let s = match &node.op {
-                Op::Input => input,
-                Op::Conv { w, .. } => {
-                    let i: Shape4 = shapes[node.inputs[0]];
-                    assert_eq!(w.shape().c, i.c, "conv C_in mismatch");
-                    i.with_c(w.shape().n)
-                }
-                Op::BatchNorm { .. } | Op::Relu | Op::Dropout { .. } | Op::Softmax => {
-                    shapes[node.inputs[0]]
-                }
-                Op::MaxPool2x2 => shapes[node.inputs[0]].pooled2x2(),
-                Op::TConv { w, .. } => {
-                    let i: Shape4 = shapes[node.inputs[0]];
-                    assert_eq!(w.shape().n, i.c, "tconv C_in mismatch");
-                    i.with_c(w.shape().c).upsampled2x2()
-                }
-                Op::Concat => {
-                    let a = shapes[node.inputs[0]];
-                    let b = shapes[node.inputs[1]];
-                    assert_eq!((a.n, a.h, a.w), (b.n, b.h, b.w), "concat mismatch");
-                    a.with_c(a.c + b.c)
-                }
+        let ops: Vec<(ShapeOp, &[usize])> = self
+            .nodes
+            .iter()
+            .map(|node| {
+                let op = match &node.op {
+                    Op::Input => ShapeOp::Input,
+                    Op::Conv { w, .. } => ShapeOp::Conv { c_in: w.shape().c, c_out: w.shape().n },
+                    Op::TConv { w, .. } => ShapeOp::TConv { c_in: w.shape().n, c_out: w.shape().c },
+                    Op::BatchNorm { .. } | Op::Relu | Op::Dropout { .. } | Op::Softmax => {
+                        ShapeOp::PassThrough
+                    }
+                    Op::MaxPool2x2 => ShapeOp::MaxPool2x2,
+                    Op::Concat => ShapeOp::Concat,
+                };
+                (op, node.inputs.as_slice())
+            })
+            .collect();
+        infer_shapes_ops(&ops, DType::F32, input)
+    }
+
+    /// Converts the export graph into the typed IR. Node ids are preserved
+    /// one-to-one; every downstream executor (FP32 host, GPU baseline) and
+    /// the quantizer frontend lower from the returned [`Module`].
+    pub fn to_ir(&self) -> Module {
+        let mut m = Module::new(self.name.clone(), DType::F32);
+        for node in self.nodes.iter().skip(1) {
+            let op = match &node.op {
+                Op::Input => unreachable!("input is always node 0"),
+                Op::Conv { w, b, relu } => IrOp::Conv(ConvAttrs {
+                    kernel: ConvKernel::F32 { w: w.clone(), b: b.clone() },
+                    relu: *relu,
+                    pack: None,
+                }),
+                Op::BatchNorm { bn } => IrOp::BatchNorm { bn: bn.clone() },
+                Op::Relu => IrOp::Relu,
+                Op::MaxPool2x2 => IrOp::MaxPool2x2,
+                Op::TConv { w, b } => IrOp::TConv(ConvAttrs {
+                    kernel: ConvKernel::F32 { w: w.clone(), b: b.clone() },
+                    relu: false,
+                    pack: None,
+                }),
+                Op::Concat => IrOp::Concat { requant: None },
+                Op::Dropout { rate } => IrOp::Dropout { rate: *rate },
+                Op::Softmax => IrOp::Softmax,
             };
-            shapes.push(s);
+            m.push(op, node.inputs.clone());
         }
-        shapes
+        m.output = self.output;
+        m
     }
 
     /// Multiply-accumulate count per node for a given input shape (conv,
@@ -233,109 +258,6 @@ impl Graph {
         vals[self.output].take().expect("output computed")
     }
 
-    /// Lowers the graph into a liveness-planned [`ExecPlan`] for the given
-    /// input geometry (slot-of/last-use per node, arena slot sizes).
-    pub fn plan(&self, input: Shape4) -> ExecPlan {
-        let shapes = self.shapes(input);
-        let inputs: Vec<&[usize]> = self.nodes.iter().map(|n| n.inputs.as_slice()).collect();
-        let elems: Vec<usize> = shapes.iter().map(|s| s.len()).collect();
-        ExecPlan::build(&inputs, &elems, self.output)
-    }
-
-    /// Allocates the per-worker arena for [`Graph::execute_into`]: one buffer
-    /// per plan slot (peak-live footprint) plus the shared im2col column
-    /// buffer. Build once per worker, reuse across frames.
-    pub fn make_scratch(&self, input: Shape4) -> FpScratch {
-        let plan = self.plan(input);
-        let shapes = self.shapes(input);
-        let slots = plan.slot_sizes().iter().map(|&e| vec![0.0f32; e]).collect();
-        FpScratch { plan, shapes, col: Vec::new(), slots }
-    }
-
-    /// Executes the graph through the liveness plan, bit-identical to
-    /// [`Graph::execute`] but with zero steady-state allocation: every node
-    /// writes into its assigned arena slot. The returned view borrows the
-    /// scratch and stays valid until the next frame.
-    pub fn execute_into<'s>(&self, input: &Tensor, scratch: &'s mut FpScratch) -> TensorView<'s> {
-        assert_eq!(input.shape(), scratch.shapes[0], "scratch built for a different input shape");
-        let s0 = scratch.plan.slot_of(0);
-        scratch.slots[s0][..input.data().len()].copy_from_slice(input.data());
-
-        for (i, node) in self.nodes.iter().enumerate().skip(1) {
-            let si = scratch.plan.slot_of(i);
-            let _sp = seneca_trace::span_bytes(
-                "fp32-op",
-                node.op.mnemonic(),
-                (scratch.plan.elems_of(i) * std::mem::size_of::<f32>()) as u64,
-            );
-            // Take the output buffer out of the arena so input slots stay
-            // borrowable; the plan guarantees no live input shares `si`.
-            let mut out_buf = std::mem::take(&mut scratch.slots[si]);
-            let out = &mut out_buf[..scratch.plan.elems_of(i)];
-            {
-                let slots = &scratch.slots;
-                let shapes = &scratch.shapes;
-                let plan = &scratch.plan;
-                let view = |j: usize| -> (Shape4, &[f32]) {
-                    debug_assert_ne!(plan.slot_of(j), si, "output slot aliases live input {j}");
-                    (shapes[j], &slots[plan.slot_of(j)][..shapes[j].len()])
-                };
-                match &node.op {
-                    Op::Input => unreachable!("multiple inputs unsupported"),
-                    Op::Conv { w, b, relu: fused } => {
-                        let (xs, x) = view(node.inputs[0]);
-                        // Bias and fused ReLU ride the GEMM epilogue — one
-                        // pass over the output instead of three.
-                        conv2d_fused_into(
-                            xs,
-                            x,
-                            w,
-                            b,
-                            *fused,
-                            Conv2dParams::SAME_3X3,
-                            &mut scratch.col,
-                            out,
-                        );
-                    }
-                    Op::BatchNorm { bn } => {
-                        let (xs, x) = view(node.inputs[0]);
-                        batchnorm_inference_into(xs, x, bn, out);
-                    }
-                    Op::Relu => {
-                        let (_, x) = view(node.inputs[0]);
-                        relu_into(x, out);
-                    }
-                    Op::MaxPool2x2 => {
-                        let (xs, x) = view(node.inputs[0]);
-                        maxpool2x2_into(xs, x, out);
-                    }
-                    Op::TConv { w, b } => {
-                        let (xs, x) = view(node.inputs[0]);
-                        tconv2x2_into(xs, x, w, b, out);
-                    }
-                    Op::Concat => {
-                        let (sa, a) = view(node.inputs[0]);
-                        let (sb, bb) = view(node.inputs[1]);
-                        concat_channels_into(sa, a, sb, bb, out);
-                    }
-                    Op::Dropout { .. } => {
-                        let (_, x) = view(node.inputs[0]);
-                        out.copy_from_slice(x);
-                    }
-                    Op::Softmax => {
-                        let (xs, x) = view(node.inputs[0]);
-                        softmax_channels_into(xs, x, out);
-                    }
-                }
-            }
-            scratch.slots[si] = out_buf;
-        }
-
-        let so = scratch.plan.slot_of(self.output);
-        let shape = scratch.shapes[self.output];
-        TensorView::new(shape, &scratch.slots[so][..shape.len()])
-    }
-
     /// Number of nodes per mnemonic (compiler statistics helper).
     pub fn op_histogram(&self) -> std::collections::BTreeMap<&'static str, usize> {
         let mut h = std::collections::BTreeMap::new();
@@ -343,32 +265,6 @@ impl Graph {
             *h.entry(n.op.mnemonic()).or_insert(0) += 1;
         }
         h
-    }
-}
-
-/// Per-worker FP32 execution arena for [`Graph::execute_into`].
-///
-/// Holds the liveness plan, the node shapes it was built for, one `f32`
-/// buffer per plan slot (total size = peak-live elements, not
-/// sum-of-all-activations) and the im2col column buffer shared by every conv
-/// in the graph. All buffers reach steady state after the first frame.
-#[derive(Debug, Clone)]
-pub struct FpScratch {
-    plan: ExecPlan,
-    shapes: Vec<Shape4>,
-    col: Vec<f32>,
-    slots: Vec<Vec<f32>>,
-}
-
-impl FpScratch {
-    /// The execution plan this arena was built from.
-    pub fn plan(&self) -> &ExecPlan {
-        &self.plan
-    }
-
-    /// The input geometry this arena was built for.
-    pub fn input_shape(&self) -> Shape4 {
-        self.shapes[0]
     }
 }
 
@@ -447,17 +343,19 @@ mod tests {
     }
 
     #[test]
-    fn planned_execute_into_matches_execute_bit_exactly() {
+    fn ir_lowered_execution_matches_execute_bit_exactly() {
         let net = tiny_net(12);
         let g = Graph::from_unet(&net, "tiny");
-        let mut scratch = g.make_scratch(Shape4::new(1, 1, 16, 16));
+        let shape = Shape4::new(1, 1, 16, 16);
+        let lowered = seneca_ir::lower(g.to_ir(), shape, &seneca_ir::LowerOptions::reference());
+        let mut scratch = lowered.make_scratch_f32();
         let mut rng = rand::rngs::StdRng::seed_from_u64(13);
         // Several frames through the same arena: results must stay bit-equal
         // to the naive executor (no stale-slot contamination).
         for frame in 0..3 {
-            let x = Tensor::he_normal(Shape4::new(1, 1, 16, 16), &mut rng);
+            let x = Tensor::he_normal(shape, &mut rng);
             let naive = g.execute(&x);
-            let planned = g.execute_into(&x, &mut scratch);
+            let planned = lowered.execute_f32_into(&x, &mut scratch);
             assert_eq!(planned.shape(), naive.shape());
             assert_eq!(planned.data(), naive.data(), "frame {frame} diverged");
         }
@@ -471,7 +369,7 @@ mod tests {
         let cfg =
             UNetConfig { depth: 4, base_filters: 8, in_channels: 1, num_classes: 6, dropout: 0.1 };
         let g = Graph::from_unet(&UNet::new(cfg, &mut rng), "m1");
-        let plan = g.plan(Shape4::new(1, 1, 64, 64));
+        let plan = g.to_ir().plan(Shape4::new(1, 1, 64, 64));
         assert!(plan.n_slots() < plan.n_nodes());
         assert!(
             2 * plan.peak_arena_elems() < plan.total_activation_elems(),
@@ -485,7 +383,8 @@ mod tests {
     fn slot_reuse_never_aliases_live_skip_connection() {
         let net = tiny_net(15);
         let g = Graph::from_unet(&net, "tiny");
-        let plan = g.plan(Shape4::new(1, 1, 32, 32));
+        // `Module::plan` runs no rewrite passes, so ids map 1:1 onto `g`.
+        let plan = g.to_ir().plan(Shape4::new(1, 1, 32, 32));
         for (i, node) in g.nodes.iter().enumerate() {
             if !matches!(node.op, Op::Concat) {
                 continue;
@@ -509,9 +408,13 @@ mod tests {
         let net = tiny_net(16);
         let g = Graph::from_unet(&net, "tiny");
         let shape = Shape4::new(1, 1, 16, 16);
-        let scratch = g.make_scratch(shape);
+        let lowered = seneca_ir::lower(g.to_ir(), shape, &seneca_ir::LowerOptions::reference());
+        let scratch = lowered.make_scratch_f32();
         assert_eq!(scratch.input_shape(), shape);
-        assert_eq!(scratch.plan().n_nodes(), g.nodes.len());
+        // Reference lowering strips dropout identities, so the lowered module
+        // is strictly smaller than the export graph.
+        assert_eq!(scratch.plan().n_nodes(), lowered.module().nodes.len());
+        assert!(lowered.module().nodes.len() < g.nodes.len());
     }
 
     #[test]

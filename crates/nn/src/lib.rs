@@ -10,11 +10,10 @@
 //!   cross-entropy for ablations;
 //! * [`optim`] — SGD-with-momentum and Adam;
 //! * [`train`] — a mini-batch training loop with seeded shuffling;
-//! * [`graph`] — a small inference IR (the hand-off format to the quantizer
-//!   and the DPU compiler) and an FP32 executor for it;
-//! * [`plan`] — the shared execution-plan layer: liveness analysis and
-//!   buffer-slot assignment used by the FP32 and INT8 executors and the DPU
-//!   compiler's memory accounting;
+//! * [`graph`] — the trained-model export graph (the hand-off format to the
+//!   quantizer and the DPU compiler) with a naive FP32 reference executor;
+//!   optimised execution converts to `seneca-ir` via [`Graph::to_ir`] and
+//!   lowers through the shared pass pipeline and liveness planner;
 //! * [`prune`] — magnitude-based channel pruning (the paper's future-work
 //!   ablation);
 //! * [`augment`] — flip/translate/intensity-jitter training augmentation.
@@ -24,13 +23,16 @@ pub mod graph;
 pub mod layer;
 pub mod loss;
 pub mod optim;
-pub mod plan;
 pub mod prune;
 pub mod train;
 pub mod unet;
 
-pub use graph::{FpScratch, Graph, Node, Op};
+/// Liveness planning now lives in `seneca-ir`; re-exported so historical
+/// `seneca_nn::plan::ExecPlan` paths keep resolving.
+pub use seneca_ir::plan;
+
+pub use graph::{Graph, Node, Op};
 pub use loss::FocalTverskyLoss;
 pub use optim::{Adam, Optimizer, Sgd};
-pub use plan::ExecPlan;
+pub use seneca_ir::ExecPlan;
 pub use unet::{ModelSize, UNet, UNetConfig};

@@ -6,9 +6,16 @@
 //! * standalone ReLU fuses into the preceding conv;
 //! * the trailing softmax is stripped — per §III-E the compiled model
 //!   "returns INT8 masks", the argmax runs on the host.
+//!
+//! The rewrites themselves live in `seneca-ir`'s pass pipeline
+//! ([`seneca_ir::fold_batchnorm`], [`seneca_ir::fuse_relu`],
+//! [`seneca_ir::strip_identities`]); [`fuse`] runs them on the export
+//! graph's IR form and projects the result into the quantizer's
+//! [`FusedGraph`] hand-off type.
 
-use seneca_nn::graph::{Graph, Op};
-use seneca_tensor::norm::fold_bn_into_conv;
+use seneca_ir::shape::{infer_shapes_ops, ShapeOp};
+use seneca_ir::{ConvKernel, DType, IrOp};
+use seneca_nn::graph::Graph;
 use seneca_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -74,27 +81,27 @@ pub struct FusedGraph {
 }
 
 impl FusedGraph {
-    /// Output shapes per node.
+    /// Output shapes per node (delegates to the IR shape-inference pass).
     pub fn shapes(&self, input: seneca_tensor::Shape4) -> Vec<seneca_tensor::Shape4> {
-        let mut shapes: Vec<seneca_tensor::Shape4> = Vec::with_capacity(self.nodes.len());
-        for node in &self.nodes {
-            let s = match &node.op {
-                FusedOp::Input => input,
-                FusedOp::Conv { w, .. } => shapes[node.inputs[0]].with_c(w.shape().n),
-                FusedOp::TConv { w, .. } => {
-                    let i: seneca_tensor::Shape4 = shapes[node.inputs[0]];
-                    i.with_c(w.shape().c).upsampled2x2()
-                }
-                FusedOp::MaxPool2x2 => shapes[node.inputs[0]].pooled2x2(),
-                FusedOp::Concat => {
-                    let a = shapes[node.inputs[0]];
-                    let b = shapes[node.inputs[1]];
-                    a.with_c(a.c + b.c)
-                }
-            };
-            shapes.push(s);
-        }
-        shapes
+        let ops: Vec<(ShapeOp, &[usize])> = self
+            .nodes
+            .iter()
+            .map(|node| {
+                let op = match &node.op {
+                    FusedOp::Input => ShapeOp::Input,
+                    FusedOp::Conv { w, .. } => {
+                        ShapeOp::Conv { c_in: w.shape().c, c_out: w.shape().n }
+                    }
+                    FusedOp::TConv { w, .. } => {
+                        ShapeOp::TConv { c_in: w.shape().n, c_out: w.shape().c }
+                    }
+                    FusedOp::MaxPool2x2 => ShapeOp::MaxPool2x2,
+                    FusedOp::Concat => ShapeOp::Concat,
+                };
+                (op, node.inputs.as_slice())
+            })
+            .collect();
+        infer_shapes_ops(&ops, DType::F32, input)
     }
 
     /// FP32 reference execution of the fused graph (used for calibration and
@@ -130,84 +137,41 @@ impl FusedGraph {
     }
 }
 
-/// Fuses a training-time graph into the DPU-executable form.
+/// Fuses a training-time graph into the DPU-executable form by running the
+/// shared IR rewrite passes and projecting the result.
 pub fn fuse(graph: &Graph) -> FusedGraph {
-    // Map from old node id to the fused node id that produces its value.
-    let mut remap: Vec<usize> = vec![usize::MAX; graph.nodes.len()];
-    let mut out = FusedGraph {
-        nodes: vec![FusedNode { op: FusedOp::Input, inputs: vec![] }],
-        output: 0,
-        name: graph.name.clone(),
-    };
-    remap[0] = 0;
+    let mut m = graph.to_ir();
+    seneca_ir::fold_batchnorm(&mut m);
+    seneca_ir::fuse_relu(&mut m);
+    seneca_ir::strip_identities(&mut m, /* strip_softmax = */ true);
 
-    for (i, node) in graph.nodes.iter().enumerate().skip(1) {
-        match &node.op {
-            Op::Input => unreachable!("input must be node 0"),
-            Op::Conv { w, b, relu } => {
-                out.nodes.push(FusedNode {
-                    op: FusedOp::Conv { w: w.clone(), b: b.clone(), relu: *relu },
-                    inputs: vec![remap[node.inputs[0]]],
-                });
-                remap[i] = out.nodes.len() - 1;
-            }
-            Op::BatchNorm { bn } => {
-                // Fold into the producing conv (the exporter always places BN
-                // directly after a conv).
-                let src = remap[node.inputs[0]];
-                match &mut out.nodes[src].op {
-                    FusedOp::Conv { w, b, .. } => {
-                        let (w2, b2) = fold_bn_into_conv(w, b, bn);
-                        *w = w2;
-                        *b = b2;
+    let nodes = m
+        .nodes
+        .iter()
+        .map(|node| {
+            let op = match &node.op {
+                IrOp::Input => FusedOp::Input,
+                IrOp::Conv(a) => match &a.kernel {
+                    ConvKernel::F32 { w, b } => {
+                        FusedOp::Conv { w: w.clone(), b: b.clone(), relu: a.relu }
                     }
-                    other => {
-                        panic!("BatchNorm after {:?} unsupported (expected conv)", other.mnemonic())
-                    }
-                }
-                remap[i] = src;
-            }
-            Op::Relu => {
-                let src = remap[node.inputs[0]];
-                match &mut out.nodes[src].op {
-                    FusedOp::Conv { relu, .. } => *relu = true,
-                    other => panic!("standalone ReLU after {:?} unsupported", other.mnemonic()),
-                }
-                remap[i] = src;
-            }
-            Op::MaxPool2x2 => {
-                out.nodes.push(FusedNode {
-                    op: FusedOp::MaxPool2x2,
-                    inputs: vec![remap[node.inputs[0]]],
-                });
-                remap[i] = out.nodes.len() - 1;
-            }
-            Op::TConv { w, b } => {
-                out.nodes.push(FusedNode {
-                    op: FusedOp::TConv { w: w.clone(), b: b.clone() },
-                    inputs: vec![remap[node.inputs[0]]],
-                });
-                remap[i] = out.nodes.len() - 1;
-            }
-            Op::Concat => {
-                out.nodes.push(FusedNode {
-                    op: FusedOp::Concat,
-                    inputs: vec![remap[node.inputs[0]], remap[node.inputs[1]]],
-                });
-                remap[i] = out.nodes.len() - 1;
-            }
-            Op::Dropout { .. } => {
-                // Deleted: value passes straight through.
-                remap[i] = remap[node.inputs[0]];
-            }
-            Op::Softmax => {
-                // Stripped: output becomes the pre-softmax logits.
-                remap[i] = remap[node.inputs[0]];
-            }
-        }
-    }
-    out.output = remap[graph.output];
-    out
+                    ConvKernel::I8 { .. } => unreachable!("export graphs are FP32"),
+                },
+                IrOp::TConv(a) => match &a.kernel {
+                    ConvKernel::F32 { w, b } => FusedOp::TConv { w: w.clone(), b: b.clone() },
+                    ConvKernel::I8 { .. } => unreachable!("export graphs are FP32"),
+                },
+                IrOp::MaxPool2x2 => FusedOp::MaxPool2x2,
+                IrOp::Concat { .. } => FusedOp::Concat,
+                other => panic!(
+                    "{} survived fusion (unsupported placement in export graph)",
+                    other.mnemonic(DType::F32)
+                ),
+            };
+            FusedNode { op, inputs: node.inputs.clone() }
+        })
+        .collect();
+    FusedGraph { nodes, output: m.output, name: m.name }
 }
 
 #[cfg(test)]

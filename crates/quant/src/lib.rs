@@ -30,4 +30,4 @@ pub mod qgraph;
 pub use fuse::{fuse, FusedGraph, FusedNode, FusedOp};
 pub use observer::{ObserverKind, RangeObserver};
 pub use ptq::{quantize_post_training, PtqConfig};
-pub use qgraph::{ExecScratch, QConvParams, QNode, QOp, QuantizedGraph};
+pub use qgraph::{QConvParams, QNode, QOp, QuantizedGraph};

@@ -6,10 +6,11 @@
 //! `fp_in + fp_w`, and each op's output is requantised to its calibrated
 //! activation fix position.
 
-use seneca_nn::plan::ExecPlan;
+use seneca_ir::shape::{infer_shapes_ops, ShapeOp};
+use seneca_ir::{ConcatQ, ConvAttrs, ConvKernel, DType, IrOp, Module};
 use seneca_tensor::gemm::igemm_fused;
 use seneca_tensor::im2col::{im2col_i8, ConvGeom};
-use seneca_tensor::quantized::{requantize_i32, QTensor, QTensorView};
+use seneca_tensor::quantized::{concat_requant_i8, maxpool2x2_i8, QTensor};
 use seneca_tensor::{Shape4, Tensor};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
@@ -104,35 +105,71 @@ impl QuantizedGraph {
         QTensor::quantize(x, self.input_fp)
     }
 
-    /// Output shapes per node. Panics on structurally corrupt graphs
+    /// Output shapes per node (delegates to the IR shape-inference pass —
+    /// one walk for every graph type). Panics on structurally corrupt graphs
     /// (mismatched conv `C_in`, unequal concat geometries) rather than
     /// mis-executing — mirroring `Graph::shapes` on the FP32 side.
     pub fn shapes(&self, input: Shape4) -> Vec<Shape4> {
-        let mut shapes: Vec<Shape4> = Vec::with_capacity(self.nodes.len());
-        for node in &self.nodes {
-            let s = match &node.op {
-                QOp::Input => input,
-                QOp::Conv(p) => {
-                    let i: Shape4 = shapes[node.inputs[0]];
-                    assert_eq!(p.w.shape().c, i.c, "qconv C_in mismatch");
-                    i.with_c(p.w.shape().n)
-                }
-                QOp::TConv(p) => {
-                    let i: Shape4 = shapes[node.inputs[0]];
-                    assert_eq!(p.w.shape().n, i.c, "qtconv C_in mismatch");
-                    i.with_c(p.w.shape().c).upsampled2x2()
-                }
-                QOp::MaxPool2x2 => shapes[node.inputs[0]].pooled2x2(),
-                QOp::Concat { .. } => {
-                    let a = shapes[node.inputs[0]];
-                    let b = shapes[node.inputs[1]];
-                    assert_eq!((a.n, a.h, a.w), (b.n, b.h, b.w), "qconcat geometry mismatch");
-                    a.with_c(a.c + b.c)
-                }
+        let ops: Vec<(ShapeOp, &[usize])> = self
+            .nodes
+            .iter()
+            .map(|node| {
+                let op = match &node.op {
+                    QOp::Input => ShapeOp::Input,
+                    QOp::Conv(p) => ShapeOp::Conv { c_in: p.w.shape().c, c_out: p.w.shape().n },
+                    QOp::TConv(p) => ShapeOp::TConv { c_in: p.w.shape().n, c_out: p.w.shape().c },
+                    QOp::MaxPool2x2 => ShapeOp::MaxPool2x2,
+                    QOp::Concat { .. } => ShapeOp::Concat,
+                };
+                (op, node.inputs.as_slice())
+            })
+            .collect();
+        infer_shapes_ops(&ops, DType::I8, input)
+    }
+
+    /// Converts the quantized graph into the typed IR. Node ids are
+    /// preserved one-to-one; the INT8 host executor and the DPU compiler
+    /// both lower from the returned [`Module`].
+    pub fn to_ir(&self) -> Module {
+        let mut m = Module::new(self.name.clone(), DType::I8);
+        m.input_fp = self.input_fp;
+        m.output_fp = self.output_fp;
+        for node in self.nodes.iter().skip(1) {
+            let op = match &node.op {
+                QOp::Input => unreachable!("input is always node 0"),
+                QOp::Conv(p) => IrOp::Conv(ConvAttrs {
+                    kernel: ConvKernel::I8 {
+                        w: p.w.clone(),
+                        bias: p.bias.clone(),
+                        in_fp: p.in_fp,
+                        out_fp: p.out_fp,
+                    },
+                    relu: p.relu,
+                    pack: None,
+                }),
+                QOp::TConv(p) => IrOp::TConv(ConvAttrs {
+                    kernel: ConvKernel::I8 {
+                        w: p.w.clone(),
+                        bias: p.bias.clone(),
+                        in_fp: p.in_fp,
+                        out_fp: p.out_fp,
+                    },
+                    relu: p.relu,
+                    pack: None,
+                }),
+                QOp::MaxPool2x2 => IrOp::MaxPool2x2,
+                QOp::Concat { shift_a, shift_b, out_fp } => IrOp::Concat {
+                    requant: Some(ConcatQ {
+                        shift_a: *shift_a,
+                        shift_b: *shift_b,
+                        out_fp: *out_fp,
+                    }),
+                },
             };
-            shapes.push(s);
+            m.push(op, node.inputs.clone());
         }
-        shapes
+        m.output = self.output;
+        m
     }
 
     /// Executes the graph on an INT8 input, returning the INT8 logits.
@@ -190,149 +227,6 @@ impl QuantizedGraph {
             fps.push(fp);
         }
         fps
-    }
-
-    /// Lowers the graph into a liveness-planned [`ExecPlan`] for the given
-    /// input geometry — the same planner the FP32 executor uses.
-    pub fn plan(&self, input: Shape4) -> ExecPlan {
-        let elems: Vec<usize> = self.shapes(input).iter().map(|s| s.len()).collect();
-        self.plan_with_elems(&elems)
-    }
-
-    /// Lowers the graph into an [`ExecPlan`] over caller-supplied per-node
-    /// element counts — the hook the DPU compiler uses to account DDR
-    /// feature-map arenas with channel-padded sizes.
-    pub fn plan_with_elems(&self, elems: &[usize]) -> ExecPlan {
-        let inputs: Vec<&[usize]> = self.nodes.iter().map(|n| n.inputs.as_slice()).collect();
-        ExecPlan::build(&inputs, elems, self.output)
-    }
-
-    /// Allocates the per-worker scratch arena for this graph at the given
-    /// input geometry: one INT8 buffer per liveness-plan slot (peak-live
-    /// footprint, not one-tensor-per-node) plus the im2col/GEMM work
-    /// buffers. One scratch per worker thread makes repeated
-    /// [`QuantizedGraph::execute_into`] calls allocation-free.
-    pub fn make_scratch(&self, input: Shape4) -> ExecScratch {
-        let plan = self.plan(input);
-        let shapes = self.shapes(input);
-        let fps = self.fix_positions();
-        let slots = plan.slot_sizes().iter().map(|&e| vec![0i8; e]).collect();
-        ExecScratch { plan, shapes, fps, col: Vec::new(), slots }
-    }
-
-    /// Executes the graph into a pre-allocated scratch arena — bit-identical
-    /// to [`QuantizedGraph::execute`] but with zero per-frame allocation
-    /// once the scratch work buffers have reached their steady-state size.
-    /// The returned view borrows the arena and stays valid until the next
-    /// frame.
-    pub fn execute_into<'s>(
-        &self,
-        input: &QTensor,
-        scratch: &'s mut ExecScratch,
-    ) -> QTensorView<'s> {
-        scratch.load_input(input);
-        for id in 1..self.nodes.len() {
-            self.execute_node_into(id, scratch);
-        }
-        scratch.node_output(self.output)
-    }
-
-    /// Executes one node out of the scratch arena. Inputs must still be live
-    /// under the plan — running ids in increasing order (as both
-    /// [`QuantizedGraph::execute_into`] and the compiled DPU instruction
-    /// stream do) satisfies this, because a slot is only recycled after its
-    /// value's last consumer has run.
-    pub fn execute_node_into(&self, id: usize, scratch: &mut ExecScratch) {
-        let node = &self.nodes[id];
-        if matches!(node.op, QOp::Input) {
-            return; // seeded by `ExecScratch::load_input`
-        }
-        let _sp = seneca_trace::span_bytes(
-            "int8-op",
-            node.op.mnemonic(),
-            scratch.plan.elems_of(id) as u64,
-        );
-        let si = scratch.plan.slot_of(id);
-        // Take the output buffer out of the arena so input slots stay
-        // borrowable; the plan guarantees no live input shares `si`.
-        let mut out_buf = std::mem::take(&mut scratch.slots[si]);
-        let out = &mut out_buf[..scratch.plan.elems_of(id)];
-        {
-            let slots = &scratch.slots;
-            let shapes = &scratch.shapes;
-            let fps = &scratch.fps;
-            let plan = &scratch.plan;
-            let view = |j: usize| -> (Shape4, &[i8]) {
-                debug_assert_ne!(plan.slot_of(j), si, "output slot aliases live input {j}");
-                (shapes[j], &slots[plan.slot_of(j)][..shapes[j].len()])
-            };
-            match &node.op {
-                QOp::Input => unreachable!(),
-                QOp::Conv(p) => {
-                    let j = node.inputs[0];
-                    let (xs, x) = view(j);
-                    debug_assert_eq!(fps[j], p.in_fp, "qconv input fix position");
-                    qconv3x3_core(xs, x, p, &mut scratch.col, out);
-                }
-                QOp::TConv(p) => {
-                    let j = node.inputs[0];
-                    let (xs, x) = view(j);
-                    debug_assert_eq!(fps[j], p.in_fp, "qtconv input fix position");
-                    qtconv2x2_core(xs, x, p, out);
-                }
-                QOp::MaxPool2x2 => {
-                    let (xs, x) = view(node.inputs[0]);
-                    qmaxpool_core(xs, x, out);
-                }
-                QOp::Concat { shift_a, shift_b, .. } => {
-                    let (sa, a) = view(node.inputs[0]);
-                    let (sb, b) = view(node.inputs[1]);
-                    qconcat_core(sa, a, sb, b, *shift_a, *shift_b, out);
-                }
-            }
-        }
-        scratch.slots[si] = out_buf;
-    }
-}
-
-/// Per-worker execution arena: one INT8 buffer per liveness-plan slot plus
-/// the im2col column buffer, all reused across frames. (The former INT32
-/// accumulator buffer is gone: the GEMM requantises from its register
-/// accumulators via the fused epilogue and writes `i8` directly.)
-#[derive(Debug, Clone)]
-pub struct ExecScratch {
-    /// The liveness plan the arena is laid out by.
-    plan: ExecPlan,
-    /// Per-node output shapes at the planned input geometry.
-    shapes: Vec<Shape4>,
-    /// Per-node output fix positions.
-    fps: Vec<i32>,
-    /// im2col column buffer (grown to the largest conv in the graph).
-    col: Vec<i8>,
-    /// Slot buffers (index = plan slot id); total size = peak-live bytes.
-    slots: Vec<Vec<i8>>,
-}
-
-impl ExecScratch {
-    /// The execution plan this arena was built from.
-    pub fn plan(&self) -> &ExecPlan {
-        &self.plan
-    }
-
-    /// Seeds the input node's slot from a quantised frame.
-    pub fn load_input(&mut self, input: &QTensor) {
-        assert_eq!(input.shape(), self.shapes[0], "scratch input geometry");
-        assert_eq!(input.fix_pos(), self.fps[0], "scratch input fix position");
-        let s0 = self.plan.slot_of(0);
-        self.slots[s0][..input.data().len()].copy_from_slice(input.data());
-    }
-
-    /// Borrowed view of one node's output. Valid only while the node's value
-    /// is live under the plan (always true for the graph output after a full
-    /// [`QuantizedGraph::execute_into`] walk).
-    pub fn node_output(&self, id: usize) -> QTensorView<'_> {
-        let s = self.shapes[id];
-        QTensorView::new(s, &self.slots[self.plan.slot_of(id)][..s.len()], self.fps[id])
     }
 }
 
@@ -541,26 +435,10 @@ pub fn qmaxpool_into(x: &QTensor, out: &mut QTensor) {
     qmaxpool_core(x.shape(), x.data(), out.data_mut());
 }
 
-/// INT8 max pool on raw arena slices — the planned executor's entry point.
-/// Returns the output shape.
+/// INT8 max pool on raw arena slices (delegates to the shared tensor-crate
+/// kernel the IR executor also uses). Returns the output shape.
 pub fn qmaxpool_core(xs: Shape4, x: &[i8], out: &mut [i8]) -> Shape4 {
-    let out_shape = xs.pooled2x2();
-    assert_eq!(x.len(), xs.len(), "qmaxpool input buffer/shape mismatch");
-    assert_eq!(out.len(), out_shape.len(), "qmaxpool output buffer size");
-    let (ho, wo) = (out_shape.h, out_shape.w);
-    for plane in 0..xs.n * xs.c {
-        let x_plane = &x[plane * xs.hw()..(plane + 1) * xs.hw()];
-        for oy in 0..ho {
-            for ox in 0..wo {
-                let v = x_plane[2 * oy * xs.w + 2 * ox]
-                    .max(x_plane[2 * oy * xs.w + 2 * ox + 1])
-                    .max(x_plane[(2 * oy + 1) * xs.w + 2 * ox])
-                    .max(x_plane[(2 * oy + 1) * xs.w + 2 * ox + 1]);
-                out[plane * ho * wo + oy * wo + ox] = v;
-            }
-        }
-    }
-    out_shape
+    maxpool2x2_i8(xs, x, out)
 }
 
 /// INT8 concat with alignment shifts (allocating convenience wrapper).
@@ -586,8 +464,8 @@ pub fn qconcat_into(
     qconcat_core(sa, a.data(), sb, b.data(), shift_a, shift_b, out.data_mut());
 }
 
-/// INT8 concat on raw arena slices — the planned executor's entry point.
-/// Returns the output shape.
+/// INT8 concat on raw arena slices (delegates to the shared tensor-crate
+/// kernel the IR executor also uses). Returns the output shape.
 pub fn qconcat_core(
     sa: Shape4,
     a: &[i8],
@@ -597,22 +475,7 @@ pub fn qconcat_core(
     shift_b: i32,
     out: &mut [i8],
 ) -> Shape4 {
-    assert_eq!((sa.n, sa.h, sa.w), (sb.n, sb.h, sb.w), "qconcat geometry");
-    assert_eq!(a.len(), sa.len(), "qconcat first input buffer/shape mismatch");
-    assert_eq!(b.len(), sb.len(), "qconcat second input buffer/shape mismatch");
-    let out_shape = Shape4::new(sa.n, sa.c + sb.c, sa.h, sa.w);
-    assert_eq!(out.len(), out_shape.len(), "qconcat output buffer size");
-    let hw = sa.hw();
-    for n in 0..sa.n {
-        let dst = n * out_shape.chw();
-        for (i, &v) in a[n * sa.chw()..(n + 1) * sa.chw()].iter().enumerate() {
-            out[dst + i] = requantize_i32(v as i32, shift_a);
-        }
-        for (i, &v) in b[n * sb.chw()..(n + 1) * sb.chw()].iter().enumerate() {
-            out[dst + sa.c * hw + i] = requantize_i32(v as i32, shift_b);
-        }
-    }
-    out_shape
+    concat_requant_i8(sa, a, sb, b, shift_a, shift_b, out)
 }
 
 #[cfg(test)]
@@ -691,7 +554,7 @@ mod tests {
     }
 
     #[test]
-    fn execute_into_matches_execute_bit_exactly_across_frames() {
+    fn ir_lowered_execution_matches_execute_bit_exactly_across_frames() {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
         let in_fp = choose_fix_pos(1.0);
@@ -720,7 +583,8 @@ mod tests {
             name: "scratch-test".into(),
         };
         let shape = Shape4::new(1, 2, 8, 8);
-        let mut scratch = g.make_scratch(shape);
+        let lowered = seneca_ir::lower(g.to_ir(), shape, &seneca_ir::LowerOptions::reference());
+        let mut scratch = lowered.make_scratch_i8();
         for _frame in 0..3 {
             let x = Tensor::from_vec(
                 shape,
@@ -728,7 +592,7 @@ mod tests {
             );
             let xq = g.quantize_input(&x);
             let y_alloc = g.execute(&xq);
-            let y_pooled = g.execute_into(&xq, &mut scratch);
+            let y_pooled = lowered.execute_i8_into(&xq, &mut scratch);
             assert_eq!(y_pooled.data(), y_alloc.data(), "scratch reuse must not change bits");
             assert_eq!(y_pooled.fix_pos(), y_alloc.fix_pos());
         }
@@ -799,7 +663,7 @@ mod tests {
             output_fp: 4,
             name: "chain".into(),
         };
-        let plan = g.plan(Shape4::new(1, 2, 16, 16));
+        let plan = g.to_ir().plan(Shape4::new(1, 2, 16, 16));
         // A 3-conv chain ping-pongs: peak-live well below the per-node sum.
         assert!(plan.n_slots() < plan.n_nodes());
         assert!(plan.peak_arena_elems() < plan.total_activation_elems());

@@ -96,6 +96,50 @@ thread_local! {
     static PACK_I8: RefCell<(Vec<i8>, Vec<i8>)> = const { RefCell::new((Vec::new(), Vec::new())) };
 }
 
+/// A pre-packed `A` operand: the `MR`-tall k-major row panels the micro-kernel
+/// consumes, built once and reused across calls.
+///
+/// Inference weights are immutable, so re-packing them on every frame (as
+/// [`sgemm_fused`] / [`igemm_fused`] must, since they only see flat slices) is
+/// pure per-frame overhead. The pack-slot pass in `seneca-ir` builds one
+/// `PackedA` per weight tensor at lowering time and routes frames through
+/// [`sgemm_fused_packed`] / [`igemm_fused_packed`], whose per-call pack work
+/// covers only the activation (`B`) panels.
+///
+/// The panel bytes are identical to what the unpacked entry points produce
+/// internally, so packed and unpacked calls are bit-identical.
+#[derive(Debug, Clone)]
+pub struct PackedA<T> {
+    m: usize,
+    k: usize,
+    panels: Vec<T>,
+}
+
+impl<T: Zero> PackedA<T> {
+    /// Packs a row-major `m x k` matrix.
+    pub fn pack(m: usize, k: usize, a: &[T]) -> Self {
+        assert_eq!(a.len(), m * k, "A size");
+        let mut panels = vec![T::ZERO; packed_a_len(m, k)];
+        pack_a(m, k, |i, kk| a[i * k + kk], &mut panels);
+        Self { m, k, panels }
+    }
+
+    /// Rows of the packed matrix.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Shared (`k`) extent of the packed matrix.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Bytes held by the panel buffer (for memory accounting).
+    pub fn panel_len(&self) -> usize {
+        self.panels.len()
+    }
+}
+
 fn packed_a_len(m: usize, k: usize) -> usize {
     m.div_ceil(MR) * MR * k
 }
@@ -305,32 +349,45 @@ fn gemm_f32(
         }
         #[cfg(feature = "trace-gemm")]
         let _sp = seneca_trace::span_bytes("gemm", "kernel", (m * n * 4) as u64);
-        let store = |acc: &[[f32; NR]; MR], c_blk: &mut [f32], t: Tile| {
-            for ii in 0..t.rows {
-                let dst = &mut c_blk[(t.ip0 + ii) * n + t.j0..][..t.cols];
-                match epi {
-                    GemmEpilogue::None => {
-                        for (d, &v) in dst.iter_mut().zip(&acc[ii]) {
-                            *d = v;
-                        }
+        run_f32_blocks(k, n, &pa[..la], &pb[..lb], c, epi);
+    });
+}
+
+/// Runs the tiled f32 driver over already-packed panels, applying `epi` at
+/// store time. Shared by the pack-per-call and pre-packed-A entry points.
+fn run_f32_blocks(
+    k: usize,
+    n: usize,
+    pa: &[f32],
+    pb: &[f32],
+    c: &mut [f32],
+    epi: GemmEpilogue<'_>,
+) {
+    let store = |acc: &[[f32; NR]; MR], c_blk: &mut [f32], t: Tile| {
+        for ii in 0..t.rows {
+            let dst = &mut c_blk[(t.ip0 + ii) * n + t.j0..][..t.cols];
+            match epi {
+                GemmEpilogue::None => {
+                    for (d, &v) in dst.iter_mut().zip(&acc[ii]) {
+                        *d = v;
                     }
-                    GemmEpilogue::Bias(b) => {
-                        let bias = b.get(t.row + ii).copied().unwrap_or(0.0);
-                        for (d, &v) in dst.iter_mut().zip(&acc[ii]) {
-                            *d = v + bias;
-                        }
+                }
+                GemmEpilogue::Bias(b) => {
+                    let bias = b.get(t.row + ii).copied().unwrap_or(0.0);
+                    for (d, &v) in dst.iter_mut().zip(&acc[ii]) {
+                        *d = v + bias;
                     }
-                    GemmEpilogue::BiasRelu(b) => {
-                        let bias = b.get(t.row + ii).copied().unwrap_or(0.0);
-                        for (d, &v) in dst.iter_mut().zip(&acc[ii]) {
-                            *d = (v + bias).max(0.0);
-                        }
+                }
+                GemmEpilogue::BiasRelu(b) => {
+                    let bias = b.get(t.row + ii).copied().unwrap_or(0.0);
+                    for (d, &v) in dst.iter_mut().zip(&acc[ii]) {
+                        *d = (v + bias).max(0.0);
                     }
                 }
             }
-        };
-        block_driver_f32(k, n, &pa[..la], &pb[..lb], c, store);
-    });
+        }
+    };
+    block_driver_f32(k, n, pa, pb, c, store);
 }
 
 /// `f32` GEMM: `c = a * b` (`a: m x k`, `b: k x n`, row-major).
@@ -373,6 +430,76 @@ pub fn sgemm_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32
     assert_eq!(a.len(), m * k, "A size");
     assert_eq!(b.len(), n * k, "B size (transposed)");
     gemm_f32(m, k, n, |i, kk| a[i * k + kk], |kk, j| b[j * k + kk], c, GemmEpilogue::None);
+}
+
+/// [`sgemm_fused`] with a pre-packed `A` operand: only `B` is packed per
+/// call, so the per-call pack traffic drops to the activation panels.
+/// Bit-identical to the unpacked call — the `A` panel bytes are the same.
+pub fn sgemm_fused_packed(
+    pa: &PackedA<f32>,
+    n: usize,
+    b: &[f32],
+    c: &mut [f32],
+    epi: GemmEpilogue<'_>,
+) {
+    let (m, k) = (pa.m, pa.k);
+    assert_eq!(b.len(), k * n, "B size");
+    assert_eq!(c.len(), m * n, "C size");
+    if m == 0 || n == 0 {
+        return;
+    }
+    PACK_F32.with(|cell| {
+        let (_, pb) = &mut *cell.borrow_mut();
+        let lb = packed_b_len(k, n);
+        if pb.len() < lb {
+            pb.resize(lb, 0.0);
+        }
+        {
+            #[cfg(feature = "trace-gemm")]
+            let _sp = seneca_trace::span_bytes("gemm", "pack", (lb * 4) as u64);
+            pack_b(k, n, |kk, j| b[kk * n + j], &mut pb[..lb]);
+        }
+        #[cfg(feature = "trace-gemm")]
+        let _sp = seneca_trace::span_bytes("gemm", "kernel", (m * n * 4) as u64);
+        run_f32_blocks(k, n, &pa.panels, &pb[..lb], c, epi);
+    });
+}
+
+/// [`igemm_fused`] with a pre-packed `A` operand (see
+/// [`sgemm_fused_packed`]); bit-identical to the unpacked call.
+pub fn igemm_fused_packed(
+    pa: &PackedA<i8>,
+    n: usize,
+    b: &[i8],
+    bias: &[i32],
+    shift: i32,
+    relu: bool,
+    out: &mut [i8],
+) {
+    let (m, k) = (pa.m, pa.k);
+    assert_eq!(b.len(), k * n, "B size");
+    assert_eq!(out.len(), m * n, "C size");
+    if m == 0 || n == 0 {
+        return;
+    }
+    PACK_I8.with(|cell| {
+        let (_, pb) = &mut *cell.borrow_mut();
+        let lb = packed_b_len(k, n);
+        if pb.len() < lb {
+            pb.resize(lb, 0);
+        }
+        {
+            #[cfg(feature = "trace-gemm")]
+            let _sp = seneca_trace::span_bytes("gemm", "pack", lb as u64);
+            pack_b(k, n, |kk, j| b[kk * n + j], &mut pb[..lb]);
+        }
+        #[cfg(feature = "trace-gemm")]
+        let _sp = seneca_trace::span_bytes("gemm", "kernel", (m * n) as u64);
+        let pbs = &pb[..lb];
+        out.par_chunks_mut(MC * n).enumerate().for_each(|(blk, out_blk)| {
+            i8_block_requant(k, n, blk * MC, &pa.panels, pbs, out_blk, bias, shift, relu);
+        });
+    });
 }
 
 /// Shared INT8 entry: packs both i8 operands into the thread-local scratch
@@ -625,6 +752,43 @@ mod tests {
             let mut fused = vec![0i8; m * n];
             igemm_fused(m, k, n, &a, &b, &bias, shift, relu, &mut fused);
             assert_eq!(fused, expect, "shift {shift} relu {relu}");
+        }
+    }
+
+    #[test]
+    fn packed_a_f32_matches_unpacked_bit_exactly() {
+        for &(m, k, n) in &[(3, 5, 7), (65, 300, 33), (8, 16, 16)] {
+            let a = rand_vec(m * k, 30);
+            let b = rand_vec(k * n, 31);
+            let bias = rand_vec(m, 32);
+            let pa = PackedA::pack(m, k, &a);
+            assert_eq!((pa.m(), pa.k()), (m, k));
+            for epi in
+                [GemmEpilogue::None, GemmEpilogue::Bias(&bias), GemmEpilogue::BiasRelu(&bias)]
+            {
+                let mut c = vec![0.0; m * n];
+                let mut c_packed = vec![0.0; m * n];
+                sgemm_fused(m, k, n, &a, &b, &mut c, epi);
+                sgemm_fused_packed(&pa, n, &b, &mut c_packed, epi);
+                assert_eq!(c, c_packed, "{m}x{k}x{n} {epi:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_a_i8_matches_unpacked_bit_exactly() {
+        for &(m, k, n) in &[(11, 90, 23), (64, 576, 100), (1, 1, 1)] {
+            let a = rand_i8(m * k, 33);
+            let b = rand_i8(k * n, 34);
+            let bias: Vec<i32> = (0..m as i32).map(|i| i * 13 - 60).collect();
+            let pa = PackedA::pack(m, k, &a);
+            for &(shift, relu) in &[(4, false), (2, true), (0, false)] {
+                let mut c = vec![0i8; m * n];
+                let mut c_packed = vec![0i8; m * n];
+                igemm_fused(m, k, n, &a, &b, &bias, shift, relu, &mut c);
+                igemm_fused_packed(&pa, n, &b, &bias, shift, relu, &mut c_packed);
+                assert_eq!(c, c_packed, "{m}x{k}x{n} shift {shift} relu {relu}");
+            }
         }
     }
 

@@ -161,6 +161,61 @@ pub fn requantize_slice(acc: &[i32], shift: i32, out: &mut [i8]) {
     }
 }
 
+/// INT8 2x2 stride-2 max pool on raw NCHW slices. Returns the output shape.
+///
+/// The max of INT8 values at one fix position is exact — no requantisation —
+/// so the output keeps the input's fix position (the caller's bookkeeping).
+pub fn maxpool2x2_i8(xs: Shape4, x: &[i8], out: &mut [i8]) -> Shape4 {
+    let out_shape = xs.pooled2x2();
+    assert_eq!(x.len(), xs.len(), "qmaxpool input buffer/shape mismatch");
+    assert_eq!(out.len(), out_shape.len(), "qmaxpool output buffer size");
+    let (ho, wo) = (out_shape.h, out_shape.w);
+    for plane in 0..xs.n * xs.c {
+        let x_plane = &x[plane * xs.hw()..(plane + 1) * xs.hw()];
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let v = x_plane[2 * oy * xs.w + 2 * ox]
+                    .max(x_plane[2 * oy * xs.w + 2 * ox + 1])
+                    .max(x_plane[(2 * oy + 1) * xs.w + 2 * ox])
+                    .max(x_plane[(2 * oy + 1) * xs.w + 2 * ox + 1]);
+                out[plane * ho * wo + oy * wo + ox] = v;
+            }
+        }
+    }
+    out_shape
+}
+
+/// INT8 channel concat with per-input alignment shifts on raw NCHW slices:
+/// each input is requantised (arithmetic shift, [`requantize_i32`]) onto the
+/// common output fix position as it is copied. Returns the output shape.
+#[allow(clippy::too_many_arguments)]
+pub fn concat_requant_i8(
+    sa: Shape4,
+    a: &[i8],
+    sb: Shape4,
+    b: &[i8],
+    shift_a: i32,
+    shift_b: i32,
+    out: &mut [i8],
+) -> Shape4 {
+    assert_eq!((sa.n, sa.h, sa.w), (sb.n, sb.h, sb.w), "qconcat geometry");
+    assert_eq!(a.len(), sa.len(), "qconcat first input buffer/shape mismatch");
+    assert_eq!(b.len(), sb.len(), "qconcat second input buffer/shape mismatch");
+    let out_shape = Shape4::new(sa.n, sa.c + sb.c, sa.h, sa.w);
+    assert_eq!(out.len(), out_shape.len(), "qconcat output buffer size");
+    let hw = sa.hw();
+    for n in 0..sa.n {
+        let dst = n * out_shape.chw();
+        for (i, &v) in a[n * sa.chw()..(n + 1) * sa.chw()].iter().enumerate() {
+            out[dst + i] = requantize_i32(v as i32, shift_a);
+        }
+        for (i, &v) in b[n * sb.chw()..(n + 1) * sb.chw()].iter().enumerate() {
+            out[dst + sa.c * hw + i] = requantize_i32(v as i32, shift_b);
+        }
+    }
+    out_shape
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,6 +23,55 @@ thread_local! {
         const { RefCell::new((Vec::new(), Vec::new(), Vec::new())) };
 }
 
+/// Repacks `[C_in, C_out, 2, 2]` transpose-conv weights into the
+/// `[4*C_out, C_in]` GEMM operand: row `kidx*C_out + co` holds the
+/// `(ky, kx)` tap of every input channel, so one GEMM computes all four
+/// kernel positions at once. Shared by the f32 and INT8 paths (and the
+/// `seneca-ir` weight-packing pass, which repacks once at model load).
+pub fn repack_tconv_weights<T: Copy>(c_in: usize, c_out: usize, w: &[T], wk: &mut [T]) {
+    assert_eq!(w.len(), c_in * c_out * 4, "weight size");
+    assert!(wk.len() >= 4 * c_out * c_in, "repack buffer size");
+    for kidx in 0..4 {
+        for co in 0..c_out {
+            let row = &mut wk[(kidx * c_out + co) * c_in..][..c_in];
+            for (ci, v) in row.iter_mut().enumerate() {
+                *v = w[(ci * c_out + co) * 4 + kidx];
+            }
+        }
+    }
+}
+
+/// Stride-2 scatter of the `[4*C_out, H*W]` pre-scatter GEMM output `y` into
+/// one `[C_out, 2H, 2W]` image plane: position `(2iy+ky, 2ix+kx)` of plane
+/// `co` comes from GEMM row `kidx*C_out + co`, element `iy*W + ix`. Parallel
+/// over output planes; writes are disjoint. Every output element is written
+/// exactly once, so `out` may hold stale data.
+pub fn scatter_tconv2x2<T: Copy + Send + Sync>(
+    c_out: usize,
+    h: usize,
+    w: usize,
+    y: &[T],
+    out: &mut [T],
+) {
+    let hw = h * w;
+    let (oh, ow) = (2 * h, 2 * w);
+    assert_eq!(y.len(), 4 * c_out * hw, "pre-scatter size");
+    assert_eq!(out.len(), c_out * oh * ow, "output plane size");
+    out.par_chunks_mut(oh * ow).enumerate().for_each(|(co, y_plane)| {
+        for kidx in 0..4 {
+            let (ky, kx) = (kidx / 2, kidx % 2);
+            let src = &y[(kidx * c_out + co) * hw..][..hw];
+            for iy in 0..h {
+                let srow = &src[iy * w..(iy + 1) * w];
+                let drow = &mut y_plane[(2 * iy + ky) * ow..][..ow];
+                for (d, &v) in drow[kx..].iter_mut().step_by(2).zip(srow) {
+                    *d = v;
+                }
+            }
+        }
+    });
+}
+
 /// Forward transpose convolution.
 ///
 /// * `x`: `[N, C_in, H, W]`
@@ -51,28 +100,16 @@ pub fn tconv2x2_into(xs: Shape4, x: &[f32], w: &Tensor, b: &[f32], out: &mut [f3
     let out_shape = Shape4::new(xs.n, c_out, xs.h * 2, xs.w * 2);
     assert_eq!(out.len(), out_shape.len(), "output buffer size");
     let (h, wd) = (xs.h, xs.w);
-    let (oh, ow) = (out_shape.h, out_shape.w);
     let hw = h * wd;
-    let w_data = w.data();
 
     TCONV_WORK.with(|cell| {
         let (wk, bias4, y_tmp) = &mut *cell.borrow_mut();
 
-        // Repack `[C_in, C_out, 2, 2]` weights into a `[4*C_out, C_in]` GEMM
-        // operand: row `kidx*C_out + co` holds the (ky, kx) tap of every input
-        // channel. One GEMM then computes all four kernel positions at once.
         let wk_len = 4 * c_out * xs.c;
         if wk.len() < wk_len {
             wk.resize(wk_len, 0.0);
         }
-        for kidx in 0..4 {
-            for co in 0..c_out {
-                let row = &mut wk[(kidx * c_out + co) * xs.c..][..xs.c];
-                for (ci, v) in row.iter_mut().enumerate() {
-                    *v = w_data[(ci * c_out + co) * 4 + kidx];
-                }
-            }
-        }
+        repack_tconv_weights(xs.c, c_out, w.data(), wk);
 
         // Bias replicated per kernel position so the GEMM epilogue can index
         // it by row; each output pixel gets it exactly once.
@@ -96,25 +133,8 @@ pub fn tconv2x2_into(xs: Shape4, x: &[f32], w: &Tensor, b: &[f32], out: &mut [f3
             let x_n = &x[n * xs.chw()..(n + 1) * xs.chw()];
             // The `[C_in, H*W]` input plane is already the column matrix.
             sgemm_fused(4 * c_out, xs.c, hw, &wk[..wk_len], x_n, &mut y_tmp[..4 * c_out * hw], epi);
-
-            // Stride-2 scatter: plane (n, co) position (2iy+ky, 2ix+kx) comes
-            // from GEMM row kidx*C_out+co, element iy*W+ix. Parallel over
-            // output planes; writes are disjoint.
-            let y_src = &y_tmp[..4 * c_out * hw];
             let out_n = &mut out[n * out_shape.chw()..(n + 1) * out_shape.chw()];
-            out_n.par_chunks_mut(oh * ow).enumerate().for_each(|(co, y_plane)| {
-                for kidx in 0..4 {
-                    let (ky, kx) = (kidx / 2, kidx % 2);
-                    let src = &y_src[(kidx * c_out + co) * hw..][..hw];
-                    for iy in 0..h {
-                        let srow = &src[iy * wd..(iy + 1) * wd];
-                        let drow = &mut y_plane[(2 * iy + ky) * ow..][..ow];
-                        for (d, &v) in drow[kx..].iter_mut().step_by(2).zip(srow) {
-                            *d = v;
-                        }
-                    }
-                }
-            });
+            scatter_tconv2x2(c_out, h, wd, &y_tmp[..4 * c_out * hw], out_n);
         }
     });
     out_shape

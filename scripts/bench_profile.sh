@@ -12,7 +12,7 @@ cd "$(dirname "$0")/.."
 scale="${1:-fast}"
 export SENECA_ARTIFACTS="${SENECA_ARTIFACTS:-target/seneca-artifacts}"
 
-cargo run --release -q -p seneca-bench --bin reproduce -- profile --scale "$scale"
+cargo run --release -q -p seneca-bench --features trace-gemm --bin reproduce -- profile --scale "$scale"
 
 src="$SENECA_ARTIFACTS/experiments/BENCH_profile.json"
 [ -f "$src" ] || { echo "expected $src after the profile experiment" >&2; exit 1; }

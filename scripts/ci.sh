@@ -18,13 +18,13 @@ cargo test -q
 echo "== serve smoke (seneca-serve demo) =="
 cargo run --release -q -p seneca-serve --example serve_demo -- smoke
 
-echo "== plan smoke (peak arena < total activations) =="
-cargo run --release -q -p seneca-bench --example plan_stats
+echo "== ir smoke (pass pipeline clean; peak arena < total activations) =="
+cargo run --release -q -p seneca-bench --example ir_stats
 
 echo "== kernel smoke (packed GEMM beats reference; igemm bit-exact) =="
 cargo run --release -q -p seneca-bench --example kernel_stats -- smoke
 
-echo "== trace smoke (measured profile: op spans fit the wall on 1 thread) =="
-cargo run --release -q -p seneca-bench --bin reproduce -- profile --scale fast
+echo "== trace smoke (profile: op spans fit the wall; 16M pack share drops) =="
+cargo run --release -q -p seneca-bench --features trace-gemm --bin reproduce -- profile --scale fast
 
 echo "CI OK"

@@ -1,11 +1,12 @@
-//! Property tests for the plan-based executors: for random U-Net
-//! configurations, the liveness-planned FP32 and INT8 executors must be
-//! bit-identical to the naive allocate-per-node paths, across repeated
-//! frames through the same scratch arena (stale slot contents must never
-//! leak into a frame).
+//! Property tests for the IR-lowered executors: for random U-Net
+//! configurations, the single `seneca-ir` lowering must execute FP32 and
+//! INT8 programs bit-identically to the naive allocate-per-node reference
+//! paths, across repeated frames through the same scratch arena (stale slot
+//! contents must never leak into a frame).
 
 use proptest::prelude::*;
 use rand::SeedableRng;
+use seneca_ir::{lower, LowerOptions};
 use seneca_nn::graph::Graph;
 use seneca_nn::unet::{UNet, UNetConfig};
 use seneca_quant::{fuse, quantize_post_training, PtqConfig};
@@ -29,10 +30,11 @@ fn random_frame(shape: Shape4, seed: u64) -> Tensor {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
-    /// FP32: planned executor == naive executor, bit for bit, over several
-    /// frames through one reused scratch arena.
+    /// FP32: the IR-lowered executor (pack-once panels + liveness-planned
+    /// arena) == naive executor, bit for bit, over several frames through
+    /// one reused scratch arena.
     #[test]
-    fn planned_fp32_matches_naive(
+    fn lowered_fp32_matches_naive(
         depth in 1usize..=3,
         base_filters in 2usize..6,
         scale in 1usize..3,
@@ -42,20 +44,21 @@ proptest! {
         let graph = Graph::from_unet(&net, "prop");
         let side = (1 << depth) * scale.max(1);
         let shape = Shape4::new(1, 1, side, side);
-        let mut scratch = graph.make_scratch(shape);
+        let lowered = lower(graph.to_ir(), shape, &LowerOptions::reference());
+        let mut scratch = lowered.make_scratch_f32();
         for frame in 0..2u64 {
             let img = random_frame(shape, seed.wrapping_mul(31).wrapping_add(frame));
             let naive = graph.execute(&img);
-            let planned = graph.execute_into(&img, &mut scratch);
+            let planned = lowered.execute_f32_into(&img, &mut scratch);
             prop_assert_eq!(planned.shape(), naive.shape());
             prop_assert_eq!(planned.data(), naive.data());
         }
     }
 
-    /// INT8: the planned executor runs the exact same integer arithmetic as
-    /// the naive one — outputs and fix positions are identical.
+    /// INT8: the IR-lowered executor runs the exact same integer arithmetic
+    /// as the naive one — outputs and fix positions are identical.
     #[test]
-    fn planned_int8_matches_naive(
+    fn lowered_int8_matches_naive(
         depth in 1usize..=3,
         base_filters in 2usize..6,
         seed in 0u64..1000,
@@ -66,11 +69,12 @@ proptest! {
         let shape = Shape4::new(1, 1, side, side);
         let calib = vec![random_frame(shape, seed ^ 0xABCD)];
         let (qg, _) = quantize_post_training(&fg, &calib, &PtqConfig::default());
-        let mut scratch = qg.make_scratch(shape);
+        let lowered = lower(qg.to_ir(), shape, &LowerOptions::reference());
+        let mut scratch = lowered.make_scratch_i8();
         for frame in 0..2u64 {
             let q = qg.quantize_input(&random_frame(shape, seed.wrapping_mul(17).wrapping_add(frame)));
             let naive = qg.execute(&q);
-            let planned = qg.execute_into(&q, &mut scratch);
+            let planned = lowered.execute_i8_into(&q, &mut scratch);
             prop_assert_eq!(planned.fix_pos(), naive.fix_pos());
             prop_assert_eq!(planned.shape(), naive.shape());
             prop_assert_eq!(planned.data(), naive.data());
@@ -88,9 +92,36 @@ proptest! {
         let net = random_net(depth, base_filters, seed);
         let graph = Graph::from_unet(&net, "prop");
         let shape = Shape4::new(1, 1, 1 << depth, 1 << depth);
-        let plan = graph.plan(shape);
+        let plan = graph.to_ir().plan(shape);
         plan.assert_valid();
         prop_assert!(plan.peak_arena_elems() <= plan.total_activation_elems());
         prop_assert!(plan.n_slots() <= plan.n_nodes());
+    }
+
+    /// The frontend pipeline (BN fold + ReLU fuse + identity strip) is a
+    /// semantic rewrite, not a bit-exact one — folded weights round-trip
+    /// through f32 multiplies — so it must match the naive FP32 executor
+    /// within tolerance, never exactly asserted bitwise.
+    #[test]
+    fn frontend_fp32_matches_naive_within_tolerance(
+        depth in 1usize..=2,
+        base_filters in 2usize..5,
+        seed in 0u64..1000,
+    ) {
+        let net = random_net(depth, base_filters, seed);
+        let graph = Graph::from_unet(&net, "prop");
+        let side = 1 << (depth + 1);
+        let shape = Shape4::new(1, 1, side, side);
+        // strip_softmax stays false so both programs end in softmax.
+        let opts = LowerOptions { fold_bn: true, fuse_relu: true, strip_softmax: false, pack_weights: true };
+        let lowered = lower(graph.to_ir(), shape, &opts);
+        let mut scratch = lowered.make_scratch_f32();
+        let img = random_frame(shape, seed.wrapping_mul(13));
+        let naive = graph.execute(&img);
+        let fused = lowered.execute_f32_into(&img, &mut scratch);
+        prop_assert_eq!(fused.shape(), naive.shape());
+        for (a, b) in fused.data().iter().zip(naive.data()) {
+            prop_assert!((a - b).abs() <= 1e-4, "fused {a} vs naive {b}");
+        }
     }
 }
