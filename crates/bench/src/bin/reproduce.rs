@@ -7,9 +7,10 @@
 //! ```
 //!
 //! Experiments: table1 table2 table3 table4 table5 fig3 fig4 fig5 fig6
-//! ablation-quant ablation-prune ablation-arch boundary serve profile.
+//! ablation-quant ablation-prune ablation-arch boundary serve fleet profile.
 //! Markdown output lands in `$SENECA_ARTIFACTS/experiments/` (default
-//! `target/seneca-artifacts`); `serve` also writes `BENCH_serve.json` and
+//! `target/seneca-artifacts`); `serve` also writes `BENCH_serve.json`,
+//! `fleet` writes `BENCH_fleet.json` (multi-tenant isolation sweep), and
 //! `profile` writes `BENCH_profile.json` (measured per-op trace tables).
 
 use seneca_bench::experiments;

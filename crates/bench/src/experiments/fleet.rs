@@ -1,0 +1,295 @@
+//! Fleet saturation experiment: tenant isolation across the Table II zoo.
+//!
+//! All five U-Net sizes run concurrently as one fleet — each behind its own
+//! replica pool on every shard, with the INT8 DPU runtime as the backend
+//! and the paper's Table IV Dice/FPS as the routing metadata. Three tenants
+//! exercise the SLO machinery: an interactive tenant on the cheap end of
+//! the Pareto, a second interactive tenant with a Dice floor below its
+//! target (downgrade allowed), and a batch tenant whose offered load sweeps
+//! 0.5×/1×/2× of the measured saturation rate. The output is the isolation
+//! table (per-tenant served/shed/p99 per overload level), a live
+//! `seneca-trace` export taken from the running fleet, and a
+//! machine-readable `BENCH_fleet.json`.
+//!
+//! The 2× column doubles as the CI smoke gate: the run *asserts* that the
+//! fleet stays up, that the batch excess is turned away explicitly, and
+//! that no interactive tenant misses a deadline or sees its p99 pushed past
+//! the SLO by the overload.
+
+use crate::ctx::ExperimentCtx;
+use crate::fmt::{emit, Table};
+use seneca::backend::Backend;
+use seneca_fleet::{
+    run_mixed_load, FleetBuilder, FleetConfig, FleetStats, ModelSpec, TenantLoad, TenantSpec,
+};
+use seneca_metrics::literature::TABLE4;
+use seneca_nn::unet::ModelSize;
+use seneca_serve::{AdmissionPolicy, ServeConfig};
+use serde_json::{json, Value};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Shards in the fleet (each model gets one replica pool per shard).
+const SHARDS: usize = 2;
+/// Replicas per (shard, model) cell — the ZCU104 runs two DPU cores.
+const REPLICAS: usize = 2;
+/// Batch-tenant offered load as a multiple of measured saturation.
+const BATCH_X: [f64; 3] = [0.5, 1.0, 2.0];
+/// Interactive offered loads (fractions of saturation) for surgery/clinic.
+const INTERACTIVE_X: [f64; 2] = [0.2, 0.1];
+
+fn fleet_config() -> FleetConfig {
+    FleetConfig {
+        shards: SHARDS,
+        serve: ServeConfig {
+            replicas: REPLICAS,
+            max_batch: 4,
+            max_delay: Duration::from_millis(1),
+            queue_capacity: 16,
+            admission: AdmissionPolicy::RejectWhenFull,
+        },
+        batch_inflight_cap: 8,
+    }
+}
+
+/// Builds a fresh fleet over all five Table II models: INT8 DPU runtime as
+/// the backend, Table IV INT8 Dice/FPS as the routing metadata.
+fn build_fleet(ctx: &mut ExperimentCtx) -> FleetBuilder {
+    let sizes = [ModelSize::M1, ModelSize::M2, ModelSize::M4, ModelSize::M8, ModelSize::M16];
+    let mut b = FleetBuilder::new(fleet_config());
+    for (size, row) in sizes.into_iter().zip(TABLE4) {
+        let dep = ctx.deployment(size);
+        let mut runner = dep.dpu_runner.clone();
+        runner.prepare();
+        b.model(ModelSpec::from_fps(
+            row.model,
+            row.dsc_int8.mean,
+            row.fps_int8.mean,
+            Arc::new(runner),
+        ));
+    }
+    b
+}
+
+/// Deadline scaled to the measured per-cell service rate: enough slack for
+/// a full queue plus in-flight batches, floored against scheduler jitter.
+fn deadline_for(cell_fps: f64) -> Duration {
+    let cfg = fleet_config();
+    let backlog = (cfg.serve.queue_capacity + cfg.serve.replicas * cfg.serve.max_batch) as f64;
+    Duration::from_secs_f64((4.0 * backlog / cell_fps.max(1.0)).max(0.05))
+}
+
+fn tenant_json(stats: &FleetStats, name: &str) -> Value {
+    let t = stats.tenant(name).expect("tenant registered");
+    json!({
+        "tenant": t.name.clone(),
+        "tier": t.tier.clone(),
+        "deadline_ms": t.deadline_ms.unwrap_or(0.0),
+        "dice_target": t.dice_target,
+        "dice_floor": t.dice_floor,
+        "submitted": t.submitted,
+        "served": t.served,
+        "shed": t.shed,
+        "rejected": t.rejected,
+        "failed": t.failed,
+        "downgraded": t.downgraded,
+        "deadline_misses": t.deadline_misses,
+        "min_routed_dice": t.min_routed_dice().unwrap_or(0.0),
+        "p50_us": t.latency.p50_us,
+        "p95_us": t.latency.p95_us,
+        "p99_us": t.latency.p99_us
+    })
+}
+
+/// Regenerates the fleet saturation/isolation table.
+pub fn run(ctx: &mut ExperimentCtx) {
+    // Modest request counts: every request is a real INT8 inference.
+    let n_cell = ctx.wf.config.throughput_frames.clamp(24, 48);
+    let frame = {
+        let shape = ctx.deployment(ModelSize::M1).gpu_runner.input_shape;
+        let data = (0..shape.len()).map(|i| ((i * 37) % 255) as f32 / 127.0 - 1.0).collect();
+        seneca_tensor::Tensor::from_vec(shape, data)
+    };
+
+    // Saturation: a closed-loop batch tenant with more always-busy clients
+    // than the fleet has replicas for its primary model (the cheapest one
+    // meeting 93.0%, i.e. 1M on the Table IV data).
+    eprintln!("[fleet] measuring saturation of the batch tenant's primary model ...");
+    let mut b = build_fleet(ctx);
+    let probe = b.tenant(TenantSpec::batch("probe", 93.0));
+    let fleet = b.start();
+    let rep = run_mixed_load(
+        &fleet.handle(),
+        &frame,
+        &[TenantLoad::closed(probe, 2 * n_cell, 2 * SHARDS * REPLICAS, 0xF1EE)],
+    );
+    fleet.shutdown();
+    let sat_fps = (rep[0].ok as f64 / rep[0].wall_s.max(1e-9)).max(1.0);
+    let deadline = deadline_for(sat_fps / SHARDS as f64);
+    eprintln!(
+        "[fleet] saturation {:.1} FPS across {SHARDS} shards; interactive deadline {:.0} ms",
+        sat_fps,
+        deadline.as_secs_f64() * 1000.0
+    );
+
+    let mut t = Table::new(vec![
+        "Batch load",
+        "Tenant",
+        "Tier",
+        "Served",
+        "Shed",
+        "Rejected",
+        "Downgraded",
+        "Misses",
+        "p99 ms",
+        "Min dice",
+    ]);
+    let mut json_cells: Vec<Value> = Vec::new();
+    let mut trace_batches = 0u64;
+
+    let trace_was_enabled = seneca_trace::enabled();
+    seneca_trace::set_enabled(true);
+    seneca_trace::report(); // drain leftovers so the live export is fleet-only
+
+    for mult in BATCH_X {
+        let mut b = build_fleet(ctx);
+        let bulk = b.tenant(TenantSpec::batch("bulk", 93.0));
+        let surgery = b.tenant(TenantSpec::interactive("surgery", deadline, 93.0));
+        let clinic = b.tenant(TenantSpec::interactive("clinic", deadline, 93.4).with_floor(93.0));
+        let fleet = b.start();
+        let h = fleet.handle();
+
+        let n_bulk = ((mult * n_cell as f64) as usize).max(8);
+        let n_inter = (n_cell / 2).max(8);
+        let reports = run_mixed_load(
+            &h,
+            &frame,
+            &[
+                TenantLoad { patients: 64, ..TenantLoad::open(bulk, n_bulk, mult * sat_fps, 0xB0) },
+                TenantLoad {
+                    patients: 32,
+                    ..TenantLoad::open(surgery, n_inter, INTERACTIVE_X[0] * sat_fps, 0x51)
+                },
+                TenantLoad {
+                    patients: 32,
+                    ..TenantLoad::open(clinic, n_inter, INTERACTIVE_X[1] * sat_fps, 0xC1)
+                },
+            ],
+        );
+
+        // The admin surface at work: a profiler view of the *running*
+        // fleet, exported without stopping or restarting anything.
+        let live = h.trace_report();
+        if let Some(row) = live.get("serve", "replica_exec") {
+            trace_batches += row.count;
+        }
+
+        let stats = fleet.shutdown();
+        let resolved: u64 = reports.iter().map(|r| r.ok + r.errored).sum();
+        assert_eq!(
+            resolved,
+            (n_bulk + 2 * n_inter) as u64,
+            "fleet must stay up: every request resolves at {mult}x batch load"
+        );
+
+        for name in ["bulk", "surgery", "clinic"] {
+            let ts = stats.tenant(name).unwrap();
+            t.row(vec![
+                format!("{mult:.1}x"),
+                ts.name.clone(),
+                ts.tier.clone(),
+                format!("{}", ts.served),
+                format!("{}", ts.shed),
+                format!("{}", ts.rejected),
+                format!("{}", ts.downgraded),
+                format!("{}", ts.deadline_misses),
+                format!("{:.1}", ts.latency.p99_us as f64 / 1000.0),
+                ts.min_routed_dice().map_or("-".into(), |d| format!("{d:.2}")),
+            ]);
+        }
+        json_cells.push(json!({
+            "batch_multiplier": mult,
+            "offered_batch_fps": reports[0].offered_fps,
+            "tenants": Value::Array(
+                ["bulk", "surgery", "clinic"].iter().map(|n| tenant_json(&stats, n)).collect()
+            )
+        }));
+
+        // The CI smoke gate rides on the overload column.
+        if mult >= 2.0 {
+            let bulk_stats = stats.tenant("bulk").unwrap();
+            assert!(
+                bulk_stats.shed + bulk_stats.rejected > 0,
+                "2x batch overload must shed or reject explicitly: {bulk_stats:?}"
+            );
+        }
+        for name in ["surgery", "clinic"] {
+            let ts = stats.tenant(name).unwrap();
+            assert_eq!(
+                ts.deadline_misses, 0,
+                "batch load at {mult}x moved {name}'s deadline: {ts:?}"
+            );
+            assert!(
+                ts.latency.p99_us < deadline.as_micros() as u64,
+                "{name} p99 {}us exceeds the {deadline:?} SLO at {mult}x batch load",
+                ts.latency.p99_us
+            );
+        }
+        for ts in &stats.tenants {
+            if let Some(min) = ts.min_routed_dice() {
+                assert!(
+                    min >= ts.dice_floor,
+                    "tenant {} routed to dice {min:.2} below its floor {:.2}",
+                    ts.name,
+                    ts.dice_floor
+                );
+            }
+        }
+    }
+    seneca_trace::set_enabled(trace_was_enabled);
+
+    let body = format!(
+        "{}\nFive models (Table IV Dice/FPS metadata, INT8 DPU backends) on {SHARDS} shards x \
+         {REPLICAS} replicas. Saturation {sat_fps:.1} FPS measured closed-loop on the batch \
+         tenant's primary model; interactive deadline {:.0} ms. At 2x batch load the excess is \
+         shed or rejected while both interactive tenants keep zero deadline misses and a p99 \
+         under the SLO, and no tenant is ever routed below its Dice floor ({trace_batches} \
+         replica batches observed via the live trace export).\n",
+        t.markdown(),
+        deadline.as_secs_f64() * 1000.0,
+    );
+    emit(&ctx.out_dir(), "fleet-saturation", &body);
+
+    let doc = json!({
+        "experiment": "fleet-saturation",
+        "scale": ctx.scale.name(),
+        "shards": SHARDS,
+        "replicas": REPLICAS,
+        "batch_inflight_cap": fleet_config().batch_inflight_cap,
+        "saturation_fps": sat_fps,
+        "deadline_ms": deadline.as_secs_f64() * 1000.0,
+        "trace_replica_batches": trace_batches,
+        "models": Value::Array(
+            TABLE4
+                .iter()
+                .map(|r| json!({
+                    "model": r.model,
+                    "dice_int8": r.dsc_int8.mean,
+                    "cost_ms": 1000.0 / r.fps_int8.mean
+                }))
+                .collect()
+        ),
+        "cells": Value::Array(json_cells)
+    });
+    let path = ctx.out_dir().join("BENCH_fleet.json");
+    match serde_json::to_string(&doc) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&path, s) {
+                eprintln!("could not write {}: {e}", path.display());
+            } else {
+                eprintln!("[fleet] wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("could not serialize BENCH_fleet.json: {e}"),
+    }
+}

@@ -6,6 +6,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod fleet;
 pub mod profile;
 pub mod serve;
 pub mod table1;
@@ -17,7 +18,7 @@ pub mod table5;
 use crate::ctx::ExperimentCtx;
 
 /// All experiment names in run order.
-pub const ALL: [&str; 15] = [
+pub const ALL: [&str; 16] = [
     "table1",
     "table2",
     "table3",
@@ -32,6 +33,7 @@ pub const ALL: [&str; 15] = [
     "ablation-arch",
     "boundary",
     "serve",
+    "fleet",
     "profile",
 ];
 
@@ -52,6 +54,7 @@ pub fn run(name: &str, ctx: &mut ExperimentCtx) -> bool {
         "ablation-arch" => ablations::run_arch(ctx),
         "boundary" => boundary::run(ctx),
         "serve" => serve::run(ctx),
+        "fleet" => fleet::run(ctx),
         "profile" => profile::run(ctx),
         _ => return false,
     }

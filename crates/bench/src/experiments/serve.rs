@@ -118,8 +118,12 @@ pub fn run(ctx: &mut ExperimentCtx) {
                     "offered_fps": rep2.offered_fps,
                     "served_fps": stats.served_fps,
                     "served": stats.served,
+                    "served_interactive": stats.served_interactive,
+                    "served_batch": stats.served_batch,
                     "rejected": stats.rejected,
                     "shed_expired": stats.shed_expired,
+                    "shed_interactive": stats.shed_interactive,
+                    "shed_batch": stats.shed_batch,
                     "deadline_misses": stats.deadline_misses,
                     "loss_rate": stats.loss_rate(),
                     "mean_batch": stats.mean_batch,

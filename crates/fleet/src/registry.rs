@@ -1,0 +1,158 @@
+//! The model registry and the Dice-floor / cost routing table.
+//!
+//! Each registered model is one point on the paper's accuracy-vs-FPS
+//! Pareto: an expected global Dice (%, Table IV) and a per-frame cost
+//! (routing weight — modeled milliseconds per frame, i.e. `1000 / FPS`).
+//! Routing is *cost-aware quality admission*: a tenant gets the cheapest
+//! model whose Dice meets its target, and — if it allows downgrade — a
+//! fallback chain of cheaper models down to its floor for overload.
+
+use crate::tenant::TenantSpec;
+use seneca_backend::Backend;
+use std::sync::Arc;
+
+/// Index of a registered model inside the fleet (registration order).
+pub type ModelId = usize;
+
+/// One registered model: quality/cost coordinates plus the backend every
+/// shard's replica pool executes.
+#[derive(Clone)]
+pub struct ModelSpec {
+    /// Display name (report key, e.g. the Table II label "1M".."16M").
+    pub name: String,
+    /// Expected global Dice (%) of this model — the routing quality axis.
+    pub dice: f64,
+    /// Modeled per-frame cost in milliseconds — the routing cost axis.
+    pub cost_ms: f64,
+    /// The inference backend (shared by all shards; each shard runs its
+    /// own replica pool over it).
+    pub backend: Arc<dyn Backend>,
+}
+
+impl ModelSpec {
+    /// A spec with cost expressed as frames/s (`cost_ms = 1000 / fps`).
+    pub fn from_fps(name: &str, dice: f64, fps: f64, backend: Arc<dyn Backend>) -> Self {
+        assert!(fps > 0.0, "model fps must be positive");
+        Self { name: name.to_string(), dice, cost_ms: 1000.0 / fps, backend }
+    }
+}
+
+/// The fleet's registered model family, with the routing order
+/// precomputed: model ids sorted by ascending cost.
+pub struct ModelRegistry {
+    models: Vec<ModelSpec>,
+    by_cost: Vec<ModelId>,
+}
+
+impl ModelRegistry {
+    /// Builds the registry. At least one model is required.
+    pub fn new(models: Vec<ModelSpec>) -> Self {
+        assert!(!models.is_empty(), "the fleet needs at least one model");
+        let mut by_cost: Vec<ModelId> = (0..models.len()).collect();
+        by_cost.sort_by(|&a, &b| models[a].cost_ms.total_cmp(&models[b].cost_ms).then(a.cmp(&b)));
+        Self { models, by_cost }
+    }
+
+    /// All models, registration order.
+    pub fn models(&self) -> &[ModelSpec] {
+        &self.models
+    }
+
+    /// One model by id.
+    pub fn get(&self, id: ModelId) -> &ModelSpec {
+        &self.models[id]
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// True when no models are registered (never, post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// The routing chain for one tenant: the primary choice (cheapest
+    /// model with `dice >= dice_target`) first, then — when the tenant
+    /// allows downgrade — every other model with `dice >= dice_floor` in
+    /// ascending cost order. Empty iff no model meets the target.
+    pub fn route_chain(&self, tenant: &TenantSpec) -> Vec<ModelId> {
+        let primary =
+            self.by_cost.iter().copied().find(|&id| self.models[id].dice >= tenant.dice_target);
+        let Some(primary) = primary else {
+            return Vec::new();
+        };
+        let mut chain = vec![primary];
+        if tenant.allow_downgrade {
+            chain.extend(
+                self.by_cost
+                    .iter()
+                    .copied()
+                    .filter(|&id| id != primary && self.models[id].dice >= tenant.dice_floor),
+            );
+        }
+        chain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenant::TenantSpec;
+    use seneca_serve::SyntheticBackend;
+    use std::time::Duration;
+
+    /// The Table IV INT8 Pareto (dice %, fps) for the five models.
+    fn table_iv() -> Vec<ModelSpec> {
+        let rows = [
+            ("1M", 93.04, 335.40),
+            ("2M", 93.01, 254.87),
+            ("4M", 93.49, 273.17),
+            ("8M", 93.65, 127.91),
+            ("16M", 93.84, 98.12),
+        ];
+        rows.iter()
+            .map(|&(name, dice, fps)| {
+                ModelSpec::from_fps(
+                    name,
+                    dice,
+                    fps,
+                    Arc::new(SyntheticBackend::new(Duration::ZERO)),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn routes_cheapest_model_meeting_the_target() {
+        let reg = ModelRegistry::new(table_iv());
+        // 93.0 floor: the 1M model (highest FPS = cheapest) qualifies.
+        let chain = reg.route_chain(&TenantSpec::batch("t", 93.0));
+        assert_eq!(reg.get(chain[0]).name, "1M");
+        // 93.4: 1M/2M fall short; 4M is the cheapest qualifying model.
+        let chain = reg.route_chain(&TenantSpec::batch("t", 93.4));
+        assert_eq!(reg.get(chain[0]).name, "4M");
+        // 93.8: only the 16M model qualifies.
+        let chain = reg.route_chain(&TenantSpec::batch("t", 93.8));
+        assert_eq!(reg.get(chain[0]).name, "16M");
+        assert_eq!(chain.len(), 1, "no downgrade allowed by default");
+    }
+
+    #[test]
+    fn downgrade_chain_stops_at_the_floor() {
+        let reg = ModelRegistry::new(table_iv());
+        let tenant = TenantSpec::batch("t", 93.6).with_floor(93.4);
+        let chain = reg.route_chain(&tenant);
+        let names: Vec<&str> = chain.iter().map(|&id| reg.get(id).name.as_str()).collect();
+        // Primary 8M (cheapest >= 93.6), fallback 4M (>= 93.4), then 16M.
+        // 1M and 2M are below the floor and must never appear.
+        assert_eq!(names, ["8M", "4M", "16M"]);
+    }
+
+    #[test]
+    fn unreachable_target_yields_empty_chain() {
+        let reg = ModelRegistry::new(table_iv());
+        assert!(reg.route_chain(&TenantSpec::batch("t", 99.0)).is_empty());
+    }
+}

@@ -1,0 +1,150 @@
+//! Consistent-hash request routing across shards.
+//!
+//! The fleet routes every request by an *affinity key* (the patient id), so
+//! all frames of one patient land on the same shard — its per-patient
+//! caches and replica-local state stay warm, and capacity is added by
+//! adding shards rather than re-balancing everything. The ring is the
+//! classic virtual-node construction: each shard owns [`HashRing::vnodes`]
+//! pseudo-random points on a `u64` circle, and a key belongs to the shard
+//! owning the first point at or after the key's hash (wrapping). Because a
+//! shard's points do not move when other shards join or leave, adding or
+//! removing one shard relocates only the keys in the arcs it gains or
+//! loses — ~`1/N` of the keyspace — which a proptest asserts.
+
+/// Virtual points per shard. High enough that the largest/smallest shard
+/// arc share stays within ±20% of the mean for typical fleet sizes (a
+/// proptest pins this for 8 shards), low enough that the sorted point
+/// table stays a few KiB.
+pub const DEFAULT_VNODES: usize = 256;
+
+/// SplitMix64: a full-period 64-bit mixer. The ring only needs a fast,
+/// well-distributed stateless hash, not a cryptographic one.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A consistent-hash ring mapping `u64` affinity keys to shard ids.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, shard)` sorted by point; ties broken by shard id so the
+    /// ring is deterministic regardless of construction order.
+    points: Vec<(u64, u32)>,
+    vnodes: usize,
+}
+
+impl HashRing {
+    /// A ring over shards `0..n_shards` with [`DEFAULT_VNODES`] points each.
+    pub fn new(n_shards: usize) -> Self {
+        let ids: Vec<u32> = (0..n_shards as u32).collect();
+        Self::with_shards(&ids, DEFAULT_VNODES)
+    }
+
+    /// A ring over an explicit shard-id set (ids need not be contiguous —
+    /// this is what shard add/remove produces).
+    pub fn with_shards(shard_ids: &[u32], vnodes: usize) -> Self {
+        assert!(!shard_ids.is_empty(), "a ring needs at least one shard");
+        assert!(vnodes >= 1, "each shard needs at least one virtual node");
+        let mut points = Vec::with_capacity(shard_ids.len() * vnodes);
+        for &s in shard_ids {
+            // Per-shard point stream: mix the shard id, then chain-mix per
+            // vnode. Independent of the other shards by construction.
+            let mut h = splitmix64(0xF1EE_7000_0000_0000 ^ u64::from(s));
+            for _ in 0..vnodes {
+                h = splitmix64(h);
+                points.push((h, s));
+            }
+        }
+        points.sort_unstable();
+        points.dedup();
+        Self { points, vnodes }
+    }
+
+    /// Virtual points per shard this ring was built with.
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// The shard owning `key`: the first point clockwise of the key's hash.
+    pub fn shard_for(&self, key: u64) -> u32 {
+        let h = splitmix64(key);
+        let idx = self.points.partition_point(|&(p, _)| p < h);
+        // Wrap past the last point back to the first.
+        self.points[if idx == self.points.len() { 0 } else { idx }].1
+    }
+
+    /// Fraction of the keyspace each shard owns (arc-length shares, exact).
+    pub fn arc_shares(&self) -> Vec<(u32, f64)> {
+        let mut owned: std::collections::BTreeMap<u32, u128> = std::collections::BTreeMap::new();
+        for (i, &(p, _)) in self.points.iter().enumerate() {
+            // The arc *ending* at point i is owned by point i's shard.
+            let prev = if i == 0 {
+                // Wrap: from the last point over u64::MAX to the first.
+                (u128::from(p) + (1u128 << 64)) - u128::from(self.points[self.points.len() - 1].0)
+            } else {
+                u128::from(p) - u128::from(self.points[i - 1].0)
+            };
+            *owned.entry(self.points[i].1).or_default() += prev;
+        }
+        owned.into_iter().map(|(s, len)| (s, len as f64 / (1u128 << 64) as f64)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_total() {
+        let r = HashRing::new(4);
+        for key in 0..1000u64 {
+            let s = r.shard_for(key);
+            assert!(s < 4);
+            assert_eq!(s, r.shard_for(key), "assignment must be stable");
+        }
+        // Construction order must not matter.
+        let a = HashRing::with_shards(&[0, 1, 2, 3], 64);
+        let b = HashRing::with_shards(&[3, 1, 0, 2], 64);
+        for key in 0..500u64 {
+            assert_eq!(a.shard_for(key), b.shard_for(key));
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let r = HashRing::new(1);
+        for key in [0u64, 1, u64::MAX, 0xDEAD_BEEF] {
+            assert_eq!(r.shard_for(key), 0);
+        }
+        let shares = r.arc_shares();
+        assert_eq!(shares.len(), 1);
+        assert!((shares[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arc_shares_sum_to_one() {
+        let r = HashRing::new(8);
+        let total: f64 = r.arc_shares().iter().map(|&(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-9, "{total}");
+    }
+
+    #[test]
+    fn default_ring_is_balanced_within_20pct() {
+        // The uniformity bound the fleet relies on: with DEFAULT_VNODES
+        // points per shard, no shard of an 8-shard ring owns more than
+        // ±20% off the fair share of the keyspace.
+        let r = HashRing::new(8);
+        let fair = 1.0 / 8.0;
+        for (s, share) in r.arc_shares() {
+            assert!(
+                (share - fair).abs() <= 0.2 * fair,
+                "shard {s} owns {:.2}% of keyspace (fair {:.2}%)",
+                100.0 * share,
+                100.0 * fair
+            );
+        }
+    }
+}

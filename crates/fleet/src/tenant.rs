@@ -1,0 +1,102 @@
+//! Tenant SLO classes.
+//!
+//! A tenant is one consumer population (a hospital, a device fleet, a bulk
+//! re-processing job) with its own quality floor and latency class. The
+//! SLO class maps straight onto the machinery `seneca-serve` already has:
+//! the tier is a [`Priority`] (interactive work always dequeues first), the
+//! deadline rides on every submission, and the Dice bounds drive the
+//! cost-aware model routing — the paper's accuracy-vs-FPS Pareto,
+//! operationalized per consumer instead of hard-coded globally.
+
+use seneca_serve::Priority;
+use std::time::Duration;
+
+/// Index of a registered tenant (returned by [`crate::FleetBuilder::tenant`]).
+pub type TenantId = usize;
+
+/// One tenant's service-level objective. (The serializable projection
+/// lives in [`crate::TenantStats`]; the spec itself stays a plain value.)
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Display name (report key).
+    pub name: String,
+    /// Scheduling tier: `Interactive` traffic preempts `Batch` traffic in
+    /// every shard queue, and only `Batch` traffic is subject to the
+    /// fleet's in-flight cap (tiered shedding).
+    pub tier: Priority,
+    /// Relative deadline stamped on every request (`None` = no SLO).
+    pub deadline: Option<Duration>,
+    /// Preferred quality: the router picks the *cheapest* registered model
+    /// whose expected Dice (%) meets this target.
+    pub dice_target: f64,
+    /// Hard quality minimum (%). With [`TenantSpec::allow_downgrade`], an
+    /// overloaded preferred model falls back to cheaper models down to —
+    /// but never below — this floor.
+    pub dice_floor: f64,
+    /// Whether overload may downgrade this tenant inside
+    /// `[dice_floor, dice_target)`. Without it the floor is informational
+    /// and the tenant only ever runs at `dice_target` quality or better.
+    pub allow_downgrade: bool,
+}
+
+impl TenantSpec {
+    /// An interactive (deadline-bearing) tenant pinned at `dice_target`.
+    pub fn interactive(name: &str, deadline: Duration, dice_target: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            tier: Priority::Interactive,
+            deadline: Some(deadline),
+            dice_target,
+            dice_floor: dice_target,
+            allow_downgrade: false,
+        }
+    }
+
+    /// A batch (throughput) tenant pinned at `dice_target`, no deadline.
+    pub fn batch(name: &str, dice_target: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            tier: Priority::Batch,
+            deadline: None,
+            dice_target,
+            dice_floor: dice_target,
+            allow_downgrade: false,
+        }
+    }
+
+    /// Permits overload downgrade down to `dice_floor`.
+    pub fn with_floor(mut self, dice_floor: f64) -> Self {
+        assert!(
+            dice_floor <= self.dice_target,
+            "dice floor {dice_floor} must not exceed target {}",
+            self.dice_target
+        );
+        self.dice_floor = dice_floor;
+        self.allow_downgrade = dice_floor < self.dice_target;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_pin_floor_to_target() {
+        let t = TenantSpec::interactive("surgery", Duration::from_millis(50), 93.5);
+        assert_eq!(t.tier, Priority::Interactive);
+        assert_eq!(t.dice_floor, 93.5);
+        assert!(!t.allow_downgrade);
+
+        let b = TenantSpec::batch("archive", 93.5).with_floor(93.0);
+        assert_eq!(b.tier, Priority::Batch);
+        assert!(b.allow_downgrade);
+        assert_eq!(b.dice_floor, 93.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed target")]
+    fn floor_above_target_is_rejected() {
+        let _ = TenantSpec::batch("broken", 93.0).with_floor(93.5);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the consistent-hash router: assignments must be
+//! stable (shard add/remove moves only ~1/N of the keys, everything else
+//! stays put) and uniform (±20% of fair share across 8 shards).
+
+use proptest::prelude::*;
+use seneca_fleet::{HashRing, DEFAULT_VNODES};
+
+/// Deterministic key set: `n` keys spread over the u64 domain.
+fn keys(n: usize, seed: u64) -> Vec<u64> {
+    // Weyl sequence: distinct, seeded, covers the whole domain.
+    (0..n as u64).map(|i| seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Removing one shard re-homes exactly the removed shard's keys:
+    /// every key previously on a surviving shard keeps its assignment,
+    /// and the moved fraction is ~1/N (within 2.5x of the expectation,
+    /// which covers vnode arc-length variance).
+    #[test]
+    fn remove_moves_only_the_lost_shards_keys(
+        n_shards in 2u32..10,
+        victim_ix in 0u32..10,
+        seed in 0u64..1_000_000,
+    ) {
+        let shard_ids: Vec<u32> = (0..n_shards).collect();
+        let victim = victim_ix % n_shards;
+        let survivors: Vec<u32> =
+            shard_ids.iter().copied().filter(|&s| s != victim).collect();
+        let before = HashRing::with_shards(&shard_ids, DEFAULT_VNODES);
+        let after = HashRing::with_shards(&survivors, DEFAULT_VNODES);
+
+        let ks = keys(4000, seed);
+        let mut moved = 0usize;
+        for &k in &ks {
+            let b = before.shard_for(k);
+            let a = after.shard_for(k);
+            if b == victim {
+                moved += 1;
+                prop_assert!(a != victim, "victim is gone");
+            } else {
+                // The load-bearing property: survivors keep their keys.
+                prop_assert_eq!(a, b, "key {} must not move off a surviving shard", k);
+            }
+        }
+        let expected = ks.len() as f64 / f64::from(n_shards);
+        prop_assert!(
+            (moved as f64) < 2.5 * expected,
+            "moved {} of {} keys; expected ~{:.0}",
+            moved, ks.len(), expected
+        );
+    }
+
+    /// Adding one shard steals ~1/(N+1) of the keys and moves nothing
+    /// between pre-existing shards.
+    #[test]
+    fn add_steals_only_the_new_shards_keys(
+        n_shards in 1u32..9,
+        seed in 0u64..1_000_000,
+    ) {
+        let old_ids: Vec<u32> = (0..n_shards).collect();
+        let mut new_ids = old_ids.clone();
+        new_ids.push(n_shards); // the joining shard
+        let before = HashRing::with_shards(&old_ids, DEFAULT_VNODES);
+        let after = HashRing::with_shards(&new_ids, DEFAULT_VNODES);
+
+        let ks = keys(4000, seed);
+        let mut stolen = 0usize;
+        for &k in &ks {
+            let b = before.shard_for(k);
+            let a = after.shard_for(k);
+            if a == n_shards {
+                stolen += 1;
+            } else {
+                prop_assert_eq!(a, b, "key {} moved between pre-existing shards", k);
+            }
+        }
+        let expected = ks.len() as f64 / f64::from(n_shards + 1);
+        prop_assert!(
+            (stolen as f64) < 2.5 * expected,
+            "new shard stole {} of {} keys; expected ~{:.0}",
+            stolen, ks.len(), expected
+        );
+    }
+
+    /// Across 8 shards, every shard's share of a large random key set is
+    /// within ±20% of fair — the bound the fleet sizes capacity against.
+    #[test]
+    fn eight_shards_balanced_within_20pct(seed in 0u64..1_000_000) {
+        let ring = HashRing::new(8);
+        let ks = keys(16_000, seed);
+        let mut counts = [0usize; 8];
+        for &k in &ks {
+            counts[ring.shard_for(k) as usize] += 1;
+        }
+        let fair = ks.len() as f64 / 8.0;
+        for (s, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - fair).abs() / fair;
+            prop_assert!(
+                dev <= 0.20,
+                "shard {} got {} keys, {:+.1}% off fair share {:.0}",
+                s, c, 100.0 * (c as f64 / fair - 1.0), fair
+            );
+        }
+    }
+}

@@ -12,8 +12,12 @@ pub struct ServeMetrics {
     created: Instant,
     submitted: AtomicU64,
     served: AtomicU64,
+    served_interactive: AtomicU64,
+    served_batch: AtomicU64,
     rejected: AtomicU64,
     shed_expired: AtomicU64,
+    shed_interactive: AtomicU64,
+    shed_batch: AtomicU64,
     deadline_misses: AtomicU64,
     batches: AtomicU64,
     batched_frames: AtomicU64,
@@ -39,8 +43,12 @@ impl ServeMetrics {
             created: Instant::now(),
             submitted: AtomicU64::new(0),
             served: AtomicU64::new(0),
+            served_interactive: AtomicU64::new(0),
+            served_batch: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             shed_expired: AtomicU64::new(0),
+            shed_interactive: AtomicU64::new(0),
+            shed_batch: AtomicU64::new(0),
             deadline_misses: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_frames: AtomicU64::new(0),
@@ -68,9 +76,14 @@ impl ServeMetrics {
         self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records a shed request (deadline expired in queue or at dispatch).
-    pub(crate) fn note_shed(&self) {
+    /// Records a shed request (deadline expired at admission, in queue, or
+    /// at dispatch), attributed to its priority class.
+    pub(crate) fn note_shed(&self, priority: Priority) {
         self.shed_expired.fetch_add(1, Ordering::Relaxed);
+        match priority {
+            Priority::Interactive => self.shed_interactive.fetch_add(1, Ordering::Relaxed),
+            Priority::Batch => self.shed_batch.fetch_add(1, Ordering::Relaxed),
+        };
     }
 
     /// Records one dispatched micro-batch of `frames` frames.
@@ -88,8 +101,14 @@ impl ServeMetrics {
         self.queue_hist.record(timing.queue);
         self.exec_hist.record(timing.execute);
         match priority {
-            Priority::Interactive => self.interactive_hist.record(timing.total),
-            Priority::Batch => self.batch_hist.record(timing.total),
+            Priority::Interactive => {
+                self.served_interactive.fetch_add(1, Ordering::Relaxed);
+                self.interactive_hist.record(timing.total);
+            }
+            Priority::Batch => {
+                self.served_batch.fetch_add(1, Ordering::Relaxed);
+                self.batch_hist.record(timing.total);
+            }
         }
         self.last_done_ns.fetch_max(self.now_ns(), Ordering::Relaxed);
     }
@@ -105,8 +124,12 @@ impl ServeMetrics {
         ServeStats {
             submitted: self.submitted.load(Ordering::Relaxed),
             served,
+            served_interactive: self.served_interactive.load(Ordering::Relaxed),
+            served_batch: self.served_batch.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             shed_expired: self.shed_expired.load(Ordering::Relaxed),
+            shed_interactive: self.shed_interactive.load(Ordering::Relaxed),
+            shed_batch: self.shed_batch.load(Ordering::Relaxed),
             deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
             batches,
             mean_batch: if batches == 0 {
@@ -131,10 +154,19 @@ pub struct ServeStats {
     pub submitted: u64,
     /// Requests answered with a prediction.
     pub served: u64,
+    /// Served `Interactive`-class requests (fleet isolation assertions
+    /// need the per-priority split; `served` stays the aggregate).
+    pub served_interactive: u64,
+    /// Served `Batch`-class requests.
+    pub served_batch: u64,
     /// Requests turned away at admission (queue full).
     pub rejected: u64,
     /// Requests dropped because their deadline expired before execution.
     pub shed_expired: u64,
+    /// Sheds that hit `Interactive`-class requests.
+    pub shed_interactive: u64,
+    /// Sheds that hit `Batch`-class requests.
+    pub shed_batch: u64,
     /// Served requests whose response arrived after their deadline.
     pub deadline_misses: u64,
     /// Micro-batches dispatched to replicas.
@@ -187,7 +219,7 @@ mod tests {
         m.note_submit();
         m.note_submit();
         m.note_reject();
-        m.note_shed();
+        m.note_shed(Priority::Batch);
         m.note_batch(1);
         m.note_batch(3);
         let t = Timing {
@@ -199,6 +231,8 @@ mod tests {
         m.note_served(Priority::Batch, &t, true);
         let s = m.snapshot();
         assert_eq!((s.submitted, s.served, s.rejected, s.shed_expired), (3, 2, 1, 1));
+        assert_eq!((s.served_interactive, s.served_batch), (1, 1));
+        assert_eq!((s.shed_interactive, s.shed_batch), (0, 1));
         assert_eq!(s.deadline_misses, 1);
         assert_eq!(s.batches, 2);
         assert!((s.mean_batch - 2.0).abs() < 1e-12);
@@ -215,5 +249,7 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         assert!(json.contains("\"served_fps\""));
         assert!(json.contains("\"total_interactive\""));
+        assert!(json.contains("\"served_interactive\""));
+        assert!(json.contains("\"shed_batch\""));
     }
 }

@@ -51,7 +51,7 @@ impl Inner {
         while i < d.len() {
             if d[i].expired(now) {
                 let req = d.remove(i).expect("index checked");
-                metrics.note_shed();
+                metrics.note_shed(req.priority);
                 req.fail(ServeError::DeadlineExpired);
                 dropped += 1;
             } else {
@@ -98,6 +98,13 @@ impl IntakeQueue {
     /// dropped here; the caller reports the error to the submitter
     /// directly, so no response is sent through the ticket channel.
     pub fn push(&self, req: ServeRequest, metrics: &ServeMetrics) -> Result<(), ServeError> {
+        // Under the shedding policy, a request whose deadline has already
+        // passed is shed *at admission* — enqueueing it would only spend a
+        // slot on work guaranteed to be dropped at dispatch.
+        if self.policy == AdmissionPolicy::ShedExpired && req.expired(Instant::now()) {
+            metrics.note_shed(req.priority);
+            return Err(ServeError::DeadlineExpired);
+        }
         let mut g = self.inner.lock().expect("intake queue lock");
         if g.len() == self.capacity {
             match self.policy {
@@ -149,7 +156,7 @@ impl IntakeQueue {
                 while out.len() < max_batch {
                     match g.pop() {
                         Some(r) if r.expired(Instant::now()) => {
-                            metrics.note_shed();
+                            metrics.note_shed(r.priority);
                             r.fail(ServeError::DeadlineExpired);
                         }
                         Some(r) => out.push(r),
@@ -238,15 +245,35 @@ mod tests {
     fn shed_expired_makes_room_and_fails_the_victim() {
         let q = IntakeQueue::new(1, AdmissionPolicy::ShedExpired);
         let m = metrics();
-        let (a, ra) = req(0, Priority::Batch, Some(Duration::ZERO)); // born expired
+        // Valid at admission, expired by the time the queue is full.
+        let (a, ra) = req(0, Priority::Batch, Some(Duration::from_millis(1)));
         q.push(a, &m).unwrap();
-        std::thread::sleep(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(2));
         let (b, _rb) = req(1, Priority::Interactive, None);
         q.push(b, &m).unwrap();
         let resp = Ticket { id: 0, priority: Priority::Batch, rx: ra }.wait();
         assert_eq!(resp.result.unwrap_err(), ServeError::DeadlineExpired);
         assert_eq!(m.snapshot().shed_expired, 1);
         // The fresh request survived and is dispatchable.
+        let batch = q.pop_batch(4, Duration::ZERO, &m).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].id, 1);
+    }
+
+    #[test]
+    fn expired_at_admission_is_shed_not_enqueued() {
+        let q = IntakeQueue::new(8, AdmissionPolicy::ShedExpired);
+        let m = metrics();
+        let (a, _ra) = req(0, Priority::Interactive, Some(Duration::ZERO)); // born expired
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(q.push(a, &m).unwrap_err(), ServeError::DeadlineExpired);
+        let s = m.snapshot();
+        assert_eq!(s.shed_expired, 1, "must count as shed, not rejected");
+        assert_eq!(s.shed_interactive, 1);
+        assert_eq!(s.rejected, 0);
+        // Nothing was enqueued: fresh work is dispatched alone.
+        let (b, _rb) = req(1, Priority::Interactive, None);
+        q.push(b, &m).unwrap();
         let batch = q.pop_batch(4, Duration::ZERO, &m).unwrap();
         assert_eq!(batch.len(), 1);
         assert_eq!(batch[0].id, 1);

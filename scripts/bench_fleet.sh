@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Runs the fleet saturation experiment and copies its machine-readable
+# result (BENCH_fleet.json: per-tenant served/shed/downgraded counts and
+# latency percentiles per batch-overload level, plus the Dice-floor routing
+# audit) to the repo root. The run itself asserts the isolation gate: at 2x
+# batch overload the fleet stays up, interactive p99 stays under the SLO,
+# and no tenant is routed below its Dice floor.
+#
+#   scripts/bench_fleet.sh [fast|reduced|paper]   (default: fast)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+scale="${1:-fast}"
+export SENECA_ARTIFACTS="${SENECA_ARTIFACTS:-target/seneca-artifacts}"
+
+cargo run --release -q -p seneca-bench --bin reproduce -- fleet --scale "$scale"
+
+src="$SENECA_ARTIFACTS/experiments/BENCH_fleet.json"
+[ -f "$src" ] || { echo "expected $src after the fleet experiment" >&2; exit 1; }
+cp "$src" BENCH_fleet.json
+echo "BENCH_fleet.json updated (scale: $scale)"

@@ -24,6 +24,9 @@ cargo run --release -q -p seneca-bench --example ir_stats
 echo "== kernel smoke (packed GEMM beats reference; igemm bit-exact) =="
 cargo run --release -q -p seneca-bench --example kernel_stats -- smoke
 
+echo "== fleet smoke (2x batch overload: fleet up, interactive p99 in SLO, no cross-tenant misses) =="
+cargo run --release -q -p seneca-bench --bin reproduce -- fleet --scale fast
+
 echo "== trace smoke (profile: op spans fit the wall; 16M pack share drops) =="
 cargo run --release -q -p seneca-bench --features trace-gemm --bin reproduce -- profile --scale fast
 
