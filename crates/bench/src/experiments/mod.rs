@@ -7,6 +7,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fleet;
+pub mod mixed;
 pub mod profile;
 pub mod serve;
 pub mod table1;
@@ -18,7 +19,7 @@ pub mod table5;
 use crate::ctx::ExperimentCtx;
 
 /// All experiment names in run order.
-pub const ALL: [&str; 16] = [
+pub const ALL: [&str; 17] = [
     "table1",
     "table2",
     "table3",
@@ -35,6 +36,7 @@ pub const ALL: [&str; 16] = [
     "serve",
     "fleet",
     "profile",
+    "mixed",
 ];
 
 /// Dispatches one experiment by name. Returns false for unknown names.
@@ -56,6 +58,7 @@ pub fn run(name: &str, ctx: &mut ExperimentCtx) -> bool {
         "serve" => serve::run(ctx),
         "fleet" => fleet::run(ctx),
         "profile" => profile::run(ctx),
+        "mixed" => mixed::run(ctx),
         _ => return false,
     }
     true

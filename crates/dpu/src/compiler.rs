@@ -45,7 +45,8 @@ pub fn compile(qg: &QuantizedGraph, input_shape: Shape4, arch: DpuArch) -> XMode
             QOp::Conv(p) | QOp::TConv(p) => {
                 let transpose = matches!(node.op, QOp::TConv(_));
                 let in_s = shapes[node.inputs[0]];
-                let w_bytes = p.w.shape().len() as u64 + 4 * p.bias.len() as u64;
+                // Nibble-packed W4 layers stream half the weight bytes.
+                let w_bytes = p.weight_bytes();
                 instrs.push(DpuInstr::Load {
                     what: LoadKind::Weights,
                     bytes: w_bytes,
@@ -70,6 +71,7 @@ pub fn compile(qg: &QuantizedGraph, input_shape: Shape4, arch: DpuArch) -> XMode
                     k,
                     transpose,
                     relu: p.relu,
+                    wbits: p.wbits,
                 });
                 instrs.push(DpuInstr::Save {
                     bytes: fm_bytes(&out_s),
@@ -175,6 +177,45 @@ mod tests {
         // BN params are folded away). Must be within 10% of 1.0M elements.
         let approx_m = xm.stats.weight_bytes as f64 / 1e6;
         assert!((0.85..1.25).contains(&approx_m), "weights {approx_m}M bytes");
+    }
+
+    #[test]
+    fn mixed_w4_model_compiles_with_fewer_weight_bytes_and_cycles() {
+        use seneca_quant::{calibrate, quantize_from_calibration, Bitwidth};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let cfg =
+            UNetConfig { depth: 2, base_filters: 16, in_channels: 1, num_classes: 6, dropout: 0.0 };
+        let net = UNet::new(cfg, &mut rng);
+        let fg = fuse(&Graph::from_unet(&net, "mixed"));
+        let calib = vec![Tensor::he_normal(Shape4::new(1, 1, 16, 16), &mut rng)];
+        let report = calibrate(&fg, &calib, &PtqConfig::default());
+
+        let uniform = quantize_from_calibration(&fg, &report, &vec![Bitwidth::W8; fg.nodes.len()]);
+        // Flip every conv-family layer to W4.
+        let wbits: Vec<Bitwidth> = fg
+            .nodes
+            .iter()
+            .map(|n| match n.op {
+                seneca_quant::FusedOp::Conv { .. } | seneca_quant::FusedOp::TConv { .. } => {
+                    Bitwidth::W4
+                }
+                _ => Bitwidth::W8,
+            })
+            .collect();
+        let mixed = quantize_from_calibration(&fg, &report, &wbits);
+
+        let shape = Shape4::new(1, 1, 16, 16);
+        let xm_u = compile(&uniform, shape, DpuArch::b4096_zcu104());
+        let xm_m = compile(&mixed, shape, DpuArch::b4096_zcu104());
+        assert!(
+            xm_m.stats.weight_bytes < xm_u.stats.weight_bytes,
+            "{} !< {}",
+            xm_m.stats.weight_bytes,
+            xm_u.stats.weight_bytes
+        );
+        assert!(xm_m.stats.compute_cycles < xm_u.stats.compute_cycles);
+        assert!(xm_m.instrs.iter().any(|i| i.disassemble().ends_with(" w4")));
+        assert!(xm_u.instrs.iter().all(|i| !i.disassemble().contains(" w4")));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! Each instruction carries the geometry the cost model needs plus the id of
 //! the quantized-graph node it implements (for functional execution).
 
+use seneca_quant::Bitwidth;
 use serde::{Deserialize, Serialize};
 
 /// One DPU instruction.
@@ -45,6 +46,9 @@ pub enum DpuInstr {
         transpose: bool,
         /// ReLU fused on the write-back path (free).
         relu: bool,
+        /// Weight bitwidth: W4 layers stream nibble-packed weights and run
+        /// with doubled output-channel parallelism on the array.
+        wbits: Bitwidth,
     },
     /// 2x2 max pool on the misc engine.
     Pool {
@@ -108,11 +112,11 @@ impl DpuInstr {
                 bytes,
                 if *misaligned { "  [misaligned]" } else { "" }
             ),
-            DpuInstr::Conv { node, h, w, c_in, c_out, k, transpose, relu } => format!(
+            DpuInstr::Conv { node, h, w, c_in, c_out, k, transpose, relu, wbits } => format!(
                 "{:5} n{node:<3} {h}x{w} {c_in}->{c_out} k{k}{}{}",
                 if *transpose { "DCONV" } else { "CONV" },
                 if *relu { " +relu" } else { "" },
-                ""
+                if *wbits == Bitwidth::W4 { " w4" } else { "" }
             ),
             DpuInstr::Pool { node, h, w, c } => format!("POOL  n{node:<3} {h}x{w} c{c}"),
             DpuInstr::Elew { node, elems } => format!("ELEW  n{node:<3} {elems} elems"),
@@ -136,7 +140,8 @@ mod tests {
                 c_out: 8,
                 k: 3,
                 transpose: false,
-                relu: true
+                relu: true,
+                wbits: Bitwidth::W8,
             }
             .mnemonic(),
             "CONV"
@@ -150,7 +155,8 @@ mod tests {
                 c_out: 8,
                 k: 2,
                 transpose: true,
-                relu: false
+                relu: false,
+                wbits: Bitwidth::W8,
             }
             .mnemonic(),
             "DCONV"
@@ -169,6 +175,7 @@ mod tests {
             k: 3,
             transpose: false,
             relu: true,
+            wbits: Bitwidth::W8,
         };
         let d = i.disassemble();
         assert!(d.contains("n7"));

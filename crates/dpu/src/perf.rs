@@ -17,6 +17,7 @@
 use crate::arch::DpuArch;
 use crate::isa::DpuInstr;
 use crate::xmodel::XModel;
+use seneca_quant::Bitwidth;
 use serde::{Deserialize, Serialize};
 
 /// Cost breakdown of one frame on one DPU core.
@@ -45,9 +46,16 @@ impl FrameCost {
 /// Array compute cycles of one instruction (0 for pure-DMA instructions).
 pub fn compute_cycles(instr: &DpuInstr, arch: &DpuArch) -> u64 {
     match instr {
-        DpuInstr::Conv { h, w, c_in, c_out, k, .. } => {
+        DpuInstr::Conv { h, w, c_in, c_out, k, wbits, .. } => {
             let cg_in = c_in.div_ceil(arch.icp) as u64;
-            let cg_out = c_out.div_ceil(arch.ocp) as u64;
+            // W4 layers feed two weight nibbles per byte into the array, so
+            // the same weight-buffer port drives twice the output-channel
+            // lanes per pass.
+            let ocp_eff = match wbits {
+                Bitwidth::W8 => arch.ocp,
+                Bitwidth::W4 => arch.ocp * 2,
+            };
+            let cg_out = c_out.div_ceil(ocp_eff) as u64;
             let pg = w.div_ceil(arch.pixel_parallel) as u64;
             let kk = (*k * *k) as u64;
             // Transpose conv walks the input grid; each visit fills a 2x2
@@ -148,6 +156,7 @@ mod tests {
             k: 3,
             transpose: false,
             relu: false,
+            wbits: Bitwidth::W8,
         };
         // 6 and 8 input channels cost identical cycles (both one ICP group,
         // both misaligned).
@@ -177,9 +186,48 @@ mod tests {
             k: 3,
             transpose: false,
             relu: true,
+            wbits: Bitwidth::W8,
         };
         // 2 ICP groups * 4 OCP groups * 4 pixel groups * 32 rows * 9 taps.
         assert_eq!(compute_cycles(&i, &a), 2 * 4 * 4 * 32 * 9);
+    }
+
+    #[test]
+    fn w4_doubles_output_channel_parallelism() {
+        let a = arch();
+        let mk = |wbits: Bitwidth| DpuInstr::Conv {
+            node: 0,
+            h: 32,
+            w: 32,
+            c_in: 32,
+            c_out: 64,
+            k: 3,
+            transpose: false,
+            relu: false,
+            wbits,
+        };
+        // 64 output channels: 4 OCP groups at W8, 2 at W4 — exactly half the
+        // cycles when everything stays aligned.
+        assert_eq!(
+            compute_cycles(&mk(Bitwidth::W4), &a) * 2,
+            compute_cycles(&mk(Bitwidth::W8), &a)
+        );
+        // A single-group layer cannot shrink below one group.
+        let small = |wbits: Bitwidth| DpuInstr::Conv {
+            node: 0,
+            h: 32,
+            w: 32,
+            c_in: 16,
+            c_out: 16,
+            k: 3,
+            transpose: false,
+            relu: false,
+            wbits,
+        };
+        assert_eq!(
+            compute_cycles(&small(Bitwidth::W4), &a),
+            compute_cycles(&small(Bitwidth::W8), &a)
+        );
     }
 
     #[test]
@@ -204,6 +252,7 @@ mod tests {
             k: 3,
             transpose: false,
             relu: false,
+            wbits: Bitwidth::W8,
         };
         let pool = DpuInstr::Pool { node: 0, h: 32, w: 32, c: 32 };
         assert!(compute_cycles(&pool, &a) * 10 < compute_cycles(&conv, &a));

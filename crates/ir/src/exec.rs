@@ -18,7 +18,10 @@ use crate::module::{ConvKernel, DType, IrOp, Module};
 use crate::plan::ExecPlan;
 use seneca_tensor::activation::{relu_into, softmax_channels_into};
 use seneca_tensor::conv::{conv2d_fused_into, Conv2dParams};
-use seneca_tensor::gemm::{igemm_fused, igemm_fused_packed, sgemm_fused_packed, GemmEpilogue};
+use seneca_tensor::gemm::{
+    igemm4_fused_packed, igemm_fused, igemm_fused_packed, sgemm_fused_packed, GemmEpilogue,
+    PackedA4,
+};
 use seneca_tensor::im2col::{im2col, im2col_i8, ConvGeom};
 use seneca_tensor::norm::batchnorm_inference_into;
 use seneca_tensor::pool::maxpool2x2_into;
@@ -169,7 +172,7 @@ impl Lowered {
                     let ConvKernel::F32 { w, b } = &a.kernel else {
                         panic!("INT8 kernel in an FP32 module")
                     };
-                    match a.pack.map(|s| &self.packs()[s]) {
+                    match a.pack.map(|p| &self.packs()[p.slot]) {
                         Some(PackedKernel::ConvF32(pa)) => {
                             conv3x3_f32_packed(xs, x, pa, b, a.relu, col, out);
                         }
@@ -194,7 +197,7 @@ impl Lowered {
                         panic!("INT8 kernel in an FP32 module")
                     };
                     assert!(!a.relu, "fused ReLU on an FP32 tconv is unsupported");
-                    match a.pack.map(|s| &self.packs()[s]) {
+                    match a.pack.map(|p| &self.packs()[p.slot]) {
                         Some(PackedKernel::TConvF32 { pa, bias4 }) => {
                             tconv2x2_f32_packed(xs, x, pa, bias4, ytmp, out);
                         }
@@ -306,12 +309,22 @@ impl Lowered {
                     };
                     debug_assert_eq!(fps[j], *in_fp, "qconv input fix position");
                     let shift = a.kernel.shift();
-                    let pa = match a.pack.map(|s| &self.packs()[s]) {
-                        Some(PackedKernel::ConvI8(pa)) => Some(pa),
-                        None => None,
+                    match a.pack.map(|p| &self.packs()[p.slot]) {
+                        Some(PackedKernel::ConvI8(pa)) => {
+                            qconv3x3_i8(xs, x, w, Some(pa), bias, shift, a.relu, col, out);
+                        }
+                        Some(PackedKernel::ConvI4(pa)) => {
+                            qconv3x3_i4(xs, x, pa, bias, shift, a.relu, col, out);
+                        }
+                        // Unpacked W4 kernels run the i8 path on their
+                        // `[-8, 7]` weight bytes — bit-identical by
+                        // construction (the nibble packing is a pure
+                        // bandwidth optimisation).
+                        None => {
+                            qconv3x3_i8(xs, x, w, None, bias, shift, a.relu, col, out);
+                        }
                         Some(_) => panic!("pack slot holds the wrong kernel kind"),
-                    };
-                    qconv3x3_i8(xs, x, w, pa, bias, shift, a.relu, col, out);
+                    }
                 }
                 IrOp::TConv(a) => {
                     let j = node.inputs[0];
@@ -321,9 +334,12 @@ impl Lowered {
                     };
                     debug_assert_eq!(fps[j], *in_fp, "qtconv input fix position");
                     let shift = a.kernel.shift();
-                    match a.pack.map(|s| &self.packs()[s]) {
+                    match a.pack.map(|p| &self.packs()[p.slot]) {
                         Some(PackedKernel::TConvI8 { pa, bias4 }) => {
                             qtconv2x2_i8_packed(xs, x, pa, bias4, shift, a.relu, ytmp, out);
+                        }
+                        Some(PackedKernel::TConvI4 { pa, bias4 }) => {
+                            qtconv2x2_i4_packed(xs, x, pa, bias4, shift, a.relu, ytmp, out);
                         }
                         None => {
                             qtconv2x2_i8(xs, x, w, bias, shift, a.relu, wk, bias4, ytmp, out);
@@ -451,6 +467,68 @@ fn qconv3x3_i8(
     out_shape
 }
 
+/// W4A8 3x3 same conv against nibble-packed weight panels: identical to the
+/// packed arm of [`qconv3x3_i8`] but streaming half the weight-panel bytes.
+/// Bit-exact vs running the i8 path on the unpacked `[-8, 7]` weights.
+#[allow(clippy::too_many_arguments)]
+fn qconv3x3_i4(
+    xs: Shape4,
+    x: &[i8],
+    pa: &PackedA4,
+    bias: &[i32],
+    shift: i32,
+    relu: bool,
+    col: &mut Vec<i8>,
+    out: &mut [i8],
+) -> Shape4 {
+    assert_eq!(x.len(), xs.len(), "qconv input buffer/shape mismatch");
+    let geom = ConvGeom { c_in: xs.c, h: xs.h, w: xs.w, k: 3, pad: 1, stride: 1 };
+    let (ckk, cols) = (geom.col_rows(), geom.col_cols());
+    assert_eq!(pa.k(), ckk, "packed qconv panel K");
+    let out_shape = Shape4::new(xs.n, pa.m(), geom.h_out(), geom.w_out());
+    assert_eq!(out.len(), out_shape.len(), "qconv output buffer size");
+    if col.len() != ckk * cols {
+        col.resize(ckk * cols, 0);
+    }
+    for n in 0..xs.n {
+        let x_n = &x[n * xs.chw()..(n + 1) * xs.chw()];
+        im2col_i8(&geom, x_n, col);
+        let y_n = &mut out[n * out_shape.chw()..(n + 1) * out_shape.chw()];
+        igemm4_fused_packed(pa, cols, col, bias, shift, relu, y_n);
+    }
+    out_shape
+}
+
+/// W4A8 transpose conv against nibble-packed `[4*C_out, C_in]` panels — the
+/// arithmetic of [`qtconv2x2_i8_packed`] with half the weight-panel bytes.
+#[allow(clippy::too_many_arguments)]
+fn qtconv2x2_i4_packed(
+    xs: Shape4,
+    x: &[i8],
+    pa: &PackedA4,
+    bias4: &[i32],
+    shift: i32,
+    relu: bool,
+    ytmp: &mut Vec<i8>,
+    out: &mut [i8],
+) -> Shape4 {
+    let c_out = pa.m() / 4;
+    assert_eq!(pa.k(), xs.c, "packed qtconv panel C_in");
+    let hw = xs.hw();
+    let out_shape = Shape4::new(xs.n, c_out, xs.h * 2, xs.w * 2);
+    assert_eq!(out.len(), out_shape.len(), "qtconv output buffer size");
+    if ytmp.len() < 4 * c_out * hw {
+        ytmp.resize(4 * c_out * hw, 0);
+    }
+    for n in 0..xs.n {
+        let x_n = &x[n * xs.chw()..(n + 1) * xs.chw()];
+        igemm4_fused_packed(pa, hw, x_n, bias4, shift, relu, &mut ytmp[..4 * c_out * hw]);
+        let out_n = &mut out[n * out_shape.chw()..(n + 1) * out_shape.chw()];
+        scatter_tconv2x2(c_out, xs.h, xs.w, &ytmp[..4 * c_out * hw], out_n);
+    }
+    out_shape
+}
+
 /// INT8 transpose conv against pre-packed panels: one fused GEMM per image
 /// plus the stride-2 scatter.
 #[allow(clippy::too_many_arguments)]
@@ -558,7 +636,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     use seneca_tensor::norm::BnState;
-    use seneca_tensor::quantized::choose_fix_pos;
+    use seneca_tensor::quantized::{choose_fix_pos, choose_fix_pos_bits, Bitwidth};
 
     fn rand_tensor(shape: Shape4, rng: &mut StdRng) -> Tensor {
         Tensor::from_vec(shape, (0..shape.len()).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
@@ -630,7 +708,7 @@ mod tests {
         let w_fp = choose_fix_pos(w.abs_max());
         let wq = QTensor::quantize(&w, w_fp);
         let bias: Vec<i32> = (0..c_out).map(|_| rng.gen_range(-40i32..40)).collect();
-        ConvKernel::I8 { w: wq, bias, in_fp, out_fp }
+        ConvKernel::I8 { w: wq, bias, in_fp, out_fp, wbits: Bitwidth::W8 }
     }
 
     /// A small INT8 module: qconv → qmaxpool → qtconv → qconcat.
@@ -648,7 +726,7 @@ mod tests {
         let bias: Vec<i32> = (0..3).map(|_| rng.gen_range(-30i32..30)).collect();
         let t = m.push(
             IrOp::TConv(ConvAttrs {
-                kernel: ConvKernel::I8 { w: wq, bias, in_fp: 5, out_fp: 4 },
+                kernel: ConvKernel::I8 { w: wq, bias, in_fp: 5, out_fp: 4, wbits: Bitwidth::W8 },
                 relu: false,
                 pack: None,
             }),
@@ -671,6 +749,74 @@ mod tests {
         let x = QTensor::quantize(&rand_tensor(s, &mut rng), 6);
         let packed = lower(m.clone(), s, &LowerOptions::reference());
         let unpacked = lower(m, s, &LowerOptions::reference_unpacked());
+        let y_p = packed.execute_i8(&x);
+        let y_u = unpacked.execute_i8(&x);
+        assert_eq!(y_p.data(), y_u.data());
+        assert_eq!(y_p.fix_pos(), 4);
+    }
+
+    /// A mixed W4A8/W8A8 module: W4 qconv → qmaxpool → W4 qtconv → qconcat
+    /// with a W8 qconv on the skip path.
+    fn mixed_module(rng: &mut StdRng) -> Module {
+        let w4_kernel = |c_in: usize, c_out: usize, in_fp: i32, out_fp: i32, rng: &mut StdRng| {
+            let w = rand_tensor(Shape4::new(c_out, c_in, 3, 3), rng);
+            let w_fp = choose_fix_pos_bits(w.abs_max(), Bitwidth::W4);
+            let wq = QTensor::quantize_bits(&w, w_fp, Bitwidth::W4);
+            let bias: Vec<i32> = (0..c_out).map(|_| rng.gen_range(-40i32..40)).collect();
+            ConvKernel::I8 { w: wq, bias, in_fp, out_fp, wbits: Bitwidth::W4 }
+        };
+        let mut m = Module::new("exec-mixed", DType::I8);
+        m.input_fp = 6;
+        let c1 = m.push(
+            IrOp::Conv(ConvAttrs { kernel: w4_kernel(2, 4, 6, 5, rng), relu: true, pack: None }),
+            vec![0],
+        );
+        let c2 = m.push(
+            IrOp::Conv(ConvAttrs { kernel: qconv_kernel(4, 4, 5, 5, rng), relu: true, pack: None }),
+            vec![c1],
+        );
+        let p1 = m.push(IrOp::MaxPool2x2, vec![c2]);
+        let wt = rand_tensor(Shape4::new(4, 3, 2, 2), rng);
+        let wt_fp = choose_fix_pos_bits(wt.abs_max(), Bitwidth::W4);
+        let wq = QTensor::quantize_bits(&wt, wt_fp, Bitwidth::W4);
+        let bias: Vec<i32> = (0..3).map(|_| rng.gen_range(-30i32..30)).collect();
+        let t = m.push(
+            IrOp::TConv(ConvAttrs {
+                kernel: ConvKernel::I8 { w: wq, bias, in_fp: 5, out_fp: 4, wbits: Bitwidth::W4 },
+                relu: false,
+                pack: None,
+            }),
+            vec![p1],
+        );
+        let cat = m.push(
+            IrOp::Concat { requant: Some(ConcatQ { shift_a: 1, shift_b: 0, out_fp: 4 }) },
+            vec![c2, t],
+        );
+        m.output = cat;
+        m.output_fp = 4;
+        m
+    }
+
+    /// Mixed-precision modules execute bit-exactly whether the W4 weights
+    /// run nibble-packed (pack slots) or through the plain i8 path
+    /// (unpacked) — the packing is a pure bandwidth optimisation.
+    #[test]
+    fn packed_lowering_is_bit_exact_mixed() {
+        let mut rng = StdRng::seed_from_u64(35);
+        let m = mixed_module(&mut rng);
+        let s = Shape4::new(1, 2, 8, 8);
+        let x = QTensor::quantize(&rand_tensor(s, &mut rng), 6);
+        let packed = lower(m.clone(), s, &LowerOptions::reference());
+        let unpacked = lower(m, s, &LowerOptions::reference_unpacked());
+        assert_eq!(packed.stats().pack_slots, 3);
+        assert_eq!(packed.stats().pack_slots_i4, 2, "W4 conv + W4 tconv slots");
+        // The nibble panels really are half the i8 bytes: the lone W8 conv
+        // accounts for the rest.
+        assert!(packed.packs().iter().any(|p| matches!(p, crate::lower::PackedKernel::ConvI4(_))));
+        assert!(packed
+            .packs()
+            .iter()
+            .any(|p| matches!(p, crate::lower::PackedKernel::TConvI4 { .. })));
         let y_p = packed.execute_i8(&x);
         let y_u = unpacked.execute_i8(&x);
         assert_eq!(y_p.data(), y_u.data());

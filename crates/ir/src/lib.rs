@@ -24,7 +24,10 @@ pub mod shape;
 
 pub use exec::{execute_f32, FpScratch, QScratch};
 pub use lower::{lower, LowerOptions, Lowered, PackedKernel};
-pub use module::{ConcatQ, ConvAttrs, ConvKernel, DType, IrNode, IrOp, Module};
+pub use module::{
+    ConcatQ, ConvAttrs, ConvKernel, DType, IrNode, IrOp, Module, PackFormat, PackSlot,
+};
 pub use passes::{assign_pack_slots, fold_batchnorm, fuse_relu, strip_identities, PassStats};
 pub use plan::ExecPlan;
+pub use seneca_tensor::quantized::Bitwidth;
 pub use shape::{infer_shapes, infer_shapes_ops, ShapeOp};

@@ -10,10 +10,11 @@
 //! 16M model drops measurably.
 
 use crate::exec::{FpScratch, QScratch};
-use crate::module::{ConvKernel, IrOp, Module};
+use crate::module::{ConvKernel, IrOp, Module, PackFormat};
 use crate::passes::{assign_pack_slots, fold_batchnorm, fuse_relu, strip_identities, PassStats};
 use crate::plan::ExecPlan;
-use seneca_tensor::gemm::PackedA;
+use seneca_tensor::gemm::{PackedA, PackedA4};
+use seneca_tensor::quantized::Bitwidth;
 use seneca_tensor::tconv::repack_tconv_weights;
 use seneca_tensor::Shape4;
 
@@ -79,6 +80,17 @@ pub enum PackedKernel {
         /// Bias replicated per kernel position (`4*C_out`).
         bias4: Vec<i32>,
     },
+    /// INT4 (W4A8) conv: nibble-packed `[C_out, C_in*K*K]` panels — half
+    /// the panel bytes of `ConvI8`.
+    ConvI4(PackedA4),
+    /// INT4 (W4A8) transpose conv: nibble-packed `[4*C_out, C_in]` panels
+    /// plus the kidx-replicated accumulator-scale bias.
+    TConvI4 {
+        /// Packed repacked weights (nibble-packed).
+        pa: PackedA4,
+        /// Bias replicated per kernel position (`4*C_out`).
+        bias4: Vec<i32>,
+    },
 }
 
 impl PackedKernel {
@@ -89,6 +101,17 @@ impl PackedKernel {
             PackedKernel::ConvI8(pa) => pa.panel_len() as u64,
             PackedKernel::TConvF32 { pa, bias4 } => ((pa.panel_len() + bias4.len()) * 4) as u64,
             PackedKernel::TConvI8 { pa, bias4 } => (pa.panel_len() + bias4.len() * 4) as u64,
+            PackedKernel::ConvI4(pa) => pa.panel_len() as u64,
+            PackedKernel::TConvI4 { pa, bias4 } => (pa.panel_len() + bias4.len() * 4) as u64,
+        }
+    }
+
+    /// The panel format this kernel was materialized in.
+    pub fn format(&self) -> PackFormat {
+        match self {
+            PackedKernel::ConvF32(_) | PackedKernel::TConvF32 { .. } => PackFormat::F32,
+            PackedKernel::ConvI8(_) | PackedKernel::TConvI8 { .. } => PackFormat::I8,
+            PackedKernel::ConvI4(_) | PackedKernel::TConvI4 { .. } => PackFormat::I4,
         }
     }
 }
@@ -120,6 +143,16 @@ pub fn lower(mut module: Module, input: Shape4, opts: &LowerOptions) -> Lowered 
     stats.identities_removed = strip_identities(&mut module, opts.strip_softmax);
     if opts.pack_weights {
         stats.pack_slots = assign_pack_slots(&mut module);
+        stats.pack_slots_i4 = module
+            .nodes
+            .iter()
+            .filter(|n| match &n.op {
+                IrOp::Conv(a) | IrOp::TConv(a) => {
+                    a.pack.is_some_and(|p| p.format == PackFormat::I4)
+                }
+                _ => false,
+            })
+            .count();
     }
     let shapes = module.shapes(input);
     let fps = module.fix_positions();
@@ -137,7 +170,7 @@ fn build_packs(m: &Module) -> Vec<PackedKernel> {
             IrOp::TConv(a) => (a, true),
             _ => continue,
         };
-        let Some(slot) = attrs.pack else { continue };
+        let Some(ps) = attrs.pack else { continue };
         let packed = if transpose {
             let c_in = attrs.kernel.c_in(true);
             let c_out = attrs.kernel.c_out(true);
@@ -152,12 +185,20 @@ fn build_packs(m: &Module) -> Vec<PackedKernel> {
                     };
                     PackedKernel::TConvF32 { pa: PackedA::pack(4 * c_out, c_in, &wk), bias4 }
                 }
-                ConvKernel::I8 { w, bias, .. } => {
+                ConvKernel::I8 { w, bias, wbits, .. } => {
                     let mut wk = vec![0i8; 4 * c_out * c_in];
                     repack_tconv_weights(c_in, c_out, w.data(), &mut wk);
                     let bias4: Vec<i32> =
                         (0..4 * c_out).map(|i| bias.get(i % c_out).copied().unwrap_or(0)).collect();
-                    PackedKernel::TConvI8 { pa: PackedA::pack(4 * c_out, c_in, &wk), bias4 }
+                    match wbits {
+                        Bitwidth::W8 => {
+                            PackedKernel::TConvI8 { pa: PackedA::pack(4 * c_out, c_in, &wk), bias4 }
+                        }
+                        Bitwidth::W4 => PackedKernel::TConvI4 {
+                            pa: PackedA4::pack(4 * c_out, c_in, &wk),
+                            bias4,
+                        },
+                    }
                 }
             }
         } else {
@@ -166,12 +207,26 @@ fn build_packs(m: &Module) -> Vec<PackedKernel> {
                     let ws = w.shape();
                     PackedKernel::ConvF32(PackedA::pack(ws.n, ws.c * ws.h * ws.w, w.data()))
                 }
-                ConvKernel::I8 { w, .. } => {
+                ConvKernel::I8 { w, wbits, .. } => {
                     let ws = w.shape();
-                    PackedKernel::ConvI8(PackedA::pack(ws.n, ws.c * ws.h * ws.w, w.data()))
+                    match wbits {
+                        Bitwidth::W8 => {
+                            PackedKernel::ConvI8(PackedA::pack(ws.n, ws.c * ws.h * ws.w, w.data()))
+                        }
+                        Bitwidth::W4 => {
+                            PackedKernel::ConvI4(PackedA4::pack(ws.n, ws.c * ws.h * ws.w, w.data()))
+                        }
+                    }
                 }
             }
         };
+        assert_eq!(
+            packed.format(),
+            ps.format,
+            "pack slot {} format drifted from assignment",
+            ps.slot
+        );
+        let slot = ps.slot;
         if packs.len() <= slot {
             packs.resize_with(slot + 1, || None);
         }

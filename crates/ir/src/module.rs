@@ -17,7 +17,7 @@
 use crate::plan::ExecPlan;
 use crate::shape::infer_shapes;
 use seneca_tensor::norm::BnState;
-use seneca_tensor::quantized::QTensor;
+use seneca_tensor::quantized::{Bitwidth, QTensor};
 use seneca_tensor::{Shape4, Tensor};
 use serde::{Deserialize, Serialize};
 
@@ -41,9 +41,13 @@ pub enum ConvKernel {
         /// Bias (may be empty).
         b: Vec<f32>,
     },
-    /// INT8 weights, bias at accumulator scale, calibrated fix positions.
+    /// Integer weights, bias at accumulator scale, calibrated fix positions.
+    /// The weight *bitwidth* is a per-node attribute: `W4` kernels store
+    /// their weights as `i8` values confined to `[-8, 7]` (nibble packing
+    /// happens in the lowered weight panels), so every unpacked execution
+    /// path handles mixed W8/W4 graphs unchanged.
     I8 {
-        /// INT8 weights with their fix position (layouts as in `F32`).
+        /// Integer weights with their fix position (layouts as in `F32`).
         w: QTensor,
         /// Bias at accumulator scale (`in_fp + w.fix_pos()`).
         bias: Vec<i32>,
@@ -51,6 +55,8 @@ pub enum ConvKernel {
         in_fp: i32,
         /// Output activation fix position.
         out_fp: i32,
+        /// Weight bitwidth (activations stay INT8 either way).
+        wbits: Bitwidth,
     },
 }
 
@@ -90,6 +96,39 @@ impl ConvKernel {
             ConvKernel::F32 { .. } => panic!("shift() on an FP32 kernel"),
         }
     }
+
+    /// Weight bitwidth of the kernel (`W8` for FP32 kernels, which have no
+    /// narrower representation).
+    pub fn wbits(&self) -> Bitwidth {
+        match self {
+            ConvKernel::I8 { wbits, .. } => *wbits,
+            ConvKernel::F32 { .. } => Bitwidth::W8,
+        }
+    }
+}
+
+/// Layout of one pre-packed weight-panel slot, recorded at pack-slot
+/// assignment time so the lowering and the executor agree on the panel
+/// format without re-deriving it from the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PackFormat {
+    /// `f32` panels ([`seneca_tensor::gemm::PackedA<f32>`]).
+    F32,
+    /// `i8` panels ([`seneca_tensor::gemm::PackedA<i8>`]).
+    I8,
+    /// Nibble-packed INT4 panels ([`seneca_tensor::gemm::PackedA4`]), two
+    /// weights per byte — half the panel bytes of `I8`.
+    I4,
+}
+
+/// A pack-slot assignment: where this node's pre-packed weight panels live
+/// in the lowered program, and in which format they are materialized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PackSlot {
+    /// Index into the lowered program's pack table.
+    pub slot: usize,
+    /// Panel layout, derived from the kernel dtype and weight bitwidth.
+    pub format: PackFormat,
 }
 
 /// Attributes shared by conv and transpose-conv nodes.
@@ -99,10 +138,10 @@ pub struct ConvAttrs {
     pub kernel: ConvKernel,
     /// ReLU fused into the GEMM epilogue.
     pub relu: bool,
-    /// Pack slot assigned by [`crate::passes::assign_pack_slots`]: index of
-    /// this node's pre-packed weight panels in the lowered program. `None`
-    /// until the pass runs (weights then pack per call).
-    pub pack: Option<usize>,
+    /// Pack slot assigned by [`crate::passes::assign_pack_slots`]: index and
+    /// format of this node's pre-packed weight panels in the lowered
+    /// program. `None` until the pass runs (weights then pack per call).
+    pub pack: Option<PackSlot>,
 }
 
 /// Requantisation attributes of an INT8 concat.

@@ -8,8 +8,9 @@
 //! liveness planning ([`crate::plan::ExecPlan`]) as the final pass at
 //! lowering time.
 
-use crate::module::{ConvKernel, IrOp, Module};
+use crate::module::{ConvKernel, IrOp, Module, PackFormat, PackSlot};
 use seneca_tensor::norm::fold_bn_into_conv;
+use seneca_tensor::quantized::Bitwidth;
 use serde::{Deserialize, Serialize};
 
 /// What the pass pipeline did to a module, for listings and smoke gates.
@@ -23,6 +24,8 @@ pub struct PassStats {
     pub identities_removed: usize,
     /// Weight tensors given a pack slot (packed once at model load).
     pub pack_slots: usize,
+    /// Of those, slots materialized as nibble-packed INT4 panels.
+    pub pack_slots_i4: usize,
 }
 
 /// Consumers per node id; the module output counts as one extra consumer so
@@ -142,16 +145,23 @@ pub fn strip_identities(m: &mut Module, strip_softmax: bool) -> usize {
 }
 
 /// Assigns every conv/tconv weight tensor a pack slot: the index of its
-/// pre-packed GEMM panels in the lowered program. Weights are immutable at
-/// inference, so packing happens exactly once at model load instead of once
-/// per frame. Panics if any node already holds a slot — the pass must run
-/// exactly once per module. Returns the number of slots assigned.
+/// pre-packed GEMM panels in the lowered program, plus the panel *format*
+/// (f32 / i8 / nibble-packed int4) derived from the kernel dtype and weight
+/// bitwidth. Weights are immutable at inference, so packing happens exactly
+/// once at model load instead of once per frame. Panics if any node already
+/// holds a slot — the pass must run exactly once per module. Returns the
+/// number of slots assigned.
 pub fn assign_pack_slots(m: &mut Module) -> usize {
     let mut next = 0;
     for node in &mut m.nodes {
         if let IrOp::Conv(a) | IrOp::TConv(a) = &mut node.op {
             assert!(a.pack.is_none(), "pack slot already assigned");
-            a.pack = Some(next);
+            let format = match &a.kernel {
+                ConvKernel::F32 { .. } => PackFormat::F32,
+                ConvKernel::I8 { wbits: Bitwidth::W8, .. } => PackFormat::I8,
+                ConvKernel::I8 { wbits: Bitwidth::W4, .. } => PackFormat::I4,
+            };
+            a.pack = Some(PackSlot { slot: next, format });
             next += 1;
         }
     }
@@ -293,7 +303,7 @@ mod tests {
         let c2 = m.push(IrOp::Conv(conv_attrs(3, 4, &mut rng)), vec![p]);
         m.output = c2;
         assert_eq!(assign_pack_slots(&mut m), 2);
-        let slots: Vec<Option<usize>> = m
+        let slots: Vec<Option<PackSlot>> = m
             .nodes
             .iter()
             .filter_map(|n| match &n.op {
@@ -301,7 +311,13 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(slots, vec![Some(0), Some(1)]);
+        assert_eq!(
+            slots,
+            vec![
+                Some(PackSlot { slot: 0, format: PackFormat::F32 }),
+                Some(PackSlot { slot: 1, format: PackFormat::F32 })
+            ]
+        );
     }
 
     #[test]

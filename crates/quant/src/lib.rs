@@ -12,9 +12,13 @@
 //!    (min-max, averaged-max, percentile);
 //! 3. [`ptq`] — post-training quantization: per-tensor symmetric weights,
 //!    calibrated activations, bias at accumulator scale;
-//! 4. [`finetune`] — "fast finetuning" (AdaQuant-flavoured): per-layer scale
+//! 4. [`mixed`] — per-layer W4/W8 bitwidth assignment: sensitivity sweep
+//!    plus a greedy DPU-cost-aware search (W4 weights live on a nibble
+//!    grid, halving weight bytes where the layer tolerates it);
+//! 5. [`finetune`] — "fast finetuning" (AdaQuant-flavoured): per-layer scale
 //!    search plus bias correction against FP32 references;
-//! 5. [`qat`] — quantization-aware training hooks (weight fake-quant).
+//! 6. [`qat`] — quantization-aware training hooks (weight fake-quant at
+//!    either bitwidth).
 //!
 //! The functional executor in [`qgraph`] is bit-exact with the DPU simulator
 //! in `seneca-dpu` — both reduce to the same `i8 x i8 -> i32 -> shift`
@@ -22,12 +26,18 @@
 
 pub mod finetune;
 pub mod fuse;
+pub mod mixed;
 pub mod observer;
 pub mod ptq;
 pub mod qat;
 pub mod qgraph;
 
 pub use fuse::{fuse, FusedGraph, FusedNode, FusedOp};
+pub use mixed::{
+    quantize_post_training_mixed, search_mixed_plan, sensitivity_sweep, BitwidthPlan,
+    MixedSearchResult, SensitivityEntry,
+};
 pub use observer::{ObserverKind, RangeObserver};
-pub use ptq::{quantize_post_training, PtqConfig};
+pub use ptq::{calibrate, quantize_from_calibration, quantize_post_training, PtqConfig};
 pub use qgraph::{QConvParams, QNode, QOp, QuantizedGraph};
+pub use seneca_tensor::quantized::Bitwidth;

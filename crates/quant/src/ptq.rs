@@ -8,7 +8,7 @@
 use crate::fuse::{FusedGraph, FusedOp};
 use crate::observer::{ObserverKind, RangeObserver};
 use crate::qgraph::{QConvParams, QNode, QOp, QuantizedGraph};
-use seneca_tensor::quantized::{choose_fix_pos, QTensor};
+use seneca_tensor::quantized::{choose_fix_pos_bits, Bitwidth, QTensor};
 use seneca_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -19,11 +19,15 @@ pub struct PtqConfig {
     pub observer: ObserverKind,
     /// Cap on calibration images actually used.
     pub max_images: usize,
+    /// Default weight bitwidth applied to every conv/tconv. Per-node
+    /// assignments go through [`quantize_from_calibration`] (see
+    /// `crate::mixed` for the sensitivity sweep and the cost-aware search).
+    pub wbits: Bitwidth,
 }
 
 impl Default for PtqConfig {
     fn default() -> Self {
-        Self { observer: ObserverKind::MinMax, max_images: 500 }
+        Self { observer: ObserverKind::MinMax, max_images: 500, wbits: Bitwidth::W8 }
     }
 }
 
@@ -38,7 +42,8 @@ pub struct PtqReport {
     pub images_used: usize,
 }
 
-/// Quantises a fused FP32 graph using `calib` images.
+/// Quantises a fused FP32 graph using `calib` images at the config's uniform
+/// weight bitwidth.
 ///
 /// Returns the quantized graph plus a calibration report.
 pub fn quantize_post_training(
@@ -46,6 +51,18 @@ pub fn quantize_post_training(
     calib: &[Tensor],
     cfg: &PtqConfig,
 ) -> (QuantizedGraph, PtqReport) {
+    let report = calibrate(fg, calib, cfg);
+    let wbits = vec![cfg.wbits; fg.nodes.len()];
+    let qg = quantize_from_calibration(fg, &report, &wbits);
+    (qg, report)
+}
+
+/// Runs the calibration phases of PTQ only: observes activation ranges
+/// through the FP32 fused graph and assigns the structurally-constrained fix
+/// positions. Activation scales do not depend on the weight bitwidth, so a
+/// mixed-precision sweep calibrates once and rebuilds graphs per plan via
+/// [`quantize_from_calibration`].
+pub fn calibrate(fg: &FusedGraph, calib: &[Tensor], cfg: &PtqConfig) -> PtqReport {
     assert!(!calib.is_empty(), "PTQ needs a non-empty calibration set");
     let used = calib.len().min(cfg.max_images.max(1));
 
@@ -71,16 +88,36 @@ pub fn quantize_post_training(
         }
     }
 
-    // 3. Build the quantized nodes.
+    PtqReport {
+        fix_pos: fp,
+        range: observers.iter().map(|o| o.range()).collect(),
+        images_used: used,
+    }
+}
+
+/// Builds the quantized graph from an existing calibration, with a per-node
+/// weight bitwidth (`wbits[i]` applies to node `i`; entries on non-conv
+/// nodes are ignored). Activation fix positions come from the report;
+/// weights get their own per-tensor fix position chosen for the assigned
+/// bitwidth's grid.
+pub fn quantize_from_calibration(
+    fg: &FusedGraph,
+    report: &PtqReport,
+    wbits: &[Bitwidth],
+) -> QuantizedGraph {
+    assert_eq!(wbits.len(), fg.nodes.len(), "one bitwidth per fused node");
+    let fp = &report.fix_pos;
+    assert_eq!(fp.len(), fg.nodes.len(), "calibration report is for another graph");
+
     let mut nodes = Vec::with_capacity(fg.nodes.len());
     for (i, node) in fg.nodes.iter().enumerate() {
         let op = match &node.op {
             FusedOp::Input => QOp::Input,
             FusedOp::Conv { w, b, relu } => {
-                QOp::Conv(make_qconv(w, b, *relu, fp[node.inputs[0]], fp[i]))
+                QOp::Conv(make_qconv(w, b, *relu, fp[node.inputs[0]], fp[i], wbits[i]))
             }
             FusedOp::TConv { w, b } => {
-                QOp::TConv(make_qconv(w, b, false, fp[node.inputs[0]], fp[i]))
+                QOp::TConv(make_qconv(w, b, false, fp[node.inputs[0]], fp[i], wbits[i]))
             }
             FusedOp::MaxPool2x2 => QOp::MaxPool2x2,
             FusedOp::Concat => QOp::Concat {
@@ -92,30 +129,35 @@ pub fn quantize_post_training(
         nodes.push(QNode { op, inputs: node.inputs.clone() });
     }
 
-    let qg = QuantizedGraph {
+    let mixed = fg.nodes.iter().enumerate().any(|(i, n)| {
+        matches!(n.op, FusedOp::Conv { .. } | FusedOp::TConv { .. }) && wbits[i] == Bitwidth::W4
+    });
+    QuantizedGraph {
         nodes,
         output: fg.output,
         input_fp: fp[0],
         output_fp: fp[fg.output],
-        name: format!("{}-int8", fg.name),
-    };
-    let report = PtqReport {
-        fix_pos: fp,
-        range: observers.iter().map(|o| o.range()).collect(),
-        images_used: used,
-    };
-    (qg, report)
+        name: format!("{}-{}", fg.name, if mixed { "w4a8" } else { "int8" }),
+    }
 }
 
-fn make_qconv(w: &Tensor, b: &[f32], relu: bool, in_fp: i32, out_fp: i32) -> QConvParams {
-    let w_fp = choose_fix_pos(w.abs_max());
+fn make_qconv(
+    w: &Tensor,
+    b: &[f32],
+    relu: bool,
+    in_fp: i32,
+    out_fp: i32,
+    wbits: Bitwidth,
+) -> QConvParams {
+    let w_fp = choose_fix_pos_bits(w.abs_max(), wbits);
     let acc_scale = ((in_fp + w_fp) as f32).exp2();
     QConvParams {
-        w: QTensor::quantize(w, w_fp),
+        w: QTensor::quantize_bits(w, w_fp, wbits),
         bias: b.iter().map(|&v| (v * acc_scale).round() as i32).collect(),
         relu,
         in_fp,
         out_fp,
+        wbits,
     }
 }
 
@@ -229,7 +271,7 @@ mod tests {
         let (_, r) = quantize_post_training(
             &fg,
             &calib,
-            &PtqConfig { observer: ObserverKind::MinMax, max_images: 3 },
+            &PtqConfig { observer: ObserverKind::MinMax, max_images: 3, wbits: Bitwidth::W8 },
         );
         assert_eq!(r.images_used, 3);
     }
@@ -239,6 +281,74 @@ mod tests {
     fn empty_calibration_rejected() {
         let (fg, _) = setup(5);
         let _ = quantize_post_training(&fg, &[], &PtqConfig::default());
+    }
+
+    /// Hand-computed W4A8 regression for the requant path, checked through
+    /// the mixed-graph metric entry points.
+    ///
+    /// One 3x3 conv, only centre taps non-zero: `w = [0.5, -0.25]`,
+    /// `b = [205/2048, 0]`, input `x = [0.5, -0.75]`.
+    ///
+    /// FP32: ch0 = 0.5*x + 205/2048 = [0.35009765625, -0.27490234375],
+    ///       ch1 = -0.25*x          = [-0.125, 0.1875].
+    /// Calibration (MinMax): input abs 0.75 -> fp 7; output abs 0.35009...
+    /// -> fp 8. W4 weights: abs 0.5 -> fp 3 (grid max 7), q = [4, -2].
+    /// Bias at fp 10: 205/2048 * 1024 = 102.5 -> rounds half away to 103.
+    /// Shift = 7 + 3 - 8 = 2. Accumulators ch0: 64*4+103 = 359 -> 89.75
+    /// -> 90; -96*4+103 = -281 -> -70.25 -> -70. ch1: -128 -> -32; 192 -> 48.
+    /// Dequant errors: ch0 |3/2048| per pixel, ch1 exact, so
+    /// MSE = 2*(3/2048)^2 / 4 and every argmax agrees.
+    #[test]
+    fn w4a8_requant_path_matches_hand_computation() {
+        let mut w = Tensor::zeros(Shape4::new(2, 1, 3, 3));
+        *w.at_mut(0, 0, 1, 1) = 0.5;
+        *w.at_mut(1, 0, 1, 1) = -0.25;
+        let b = vec![205.0 / 2048.0, 0.0];
+        let fg = FusedGraph {
+            nodes: vec![
+                crate::fuse::FusedNode { op: FusedOp::Input, inputs: vec![] },
+                crate::fuse::FusedNode { op: FusedOp::Conv { w, b, relu: false }, inputs: vec![0] },
+            ],
+            output: 1,
+            name: "hand".into(),
+        };
+        let img = Tensor::from_vec(Shape4::new(1, 1, 1, 2), vec![0.5, -0.75]);
+
+        let report = calibrate(&fg, std::slice::from_ref(&img), &PtqConfig::default());
+        assert_eq!(report.fix_pos, vec![7, 8]);
+        let qg = quantize_from_calibration(&fg, &report, &[Bitwidth::W8, Bitwidth::W4]);
+        assert_eq!(qg.name, "hand-w4a8");
+
+        let QOp::Conv(p) = &qg.nodes[1].op else { panic!("node 1 must be a conv") };
+        assert_eq!(p.wbits, Bitwidth::W4);
+        assert_eq!(p.w.fix_pos(), 3);
+        assert_eq!(p.w.data()[4], 4, "centre tap of ch0");
+        assert_eq!(p.w.data()[13], -2, "centre tap of ch1");
+        assert_eq!(p.bias, vec![103, 0]);
+        assert_eq!(p.shift(), 2);
+        // 2 weight nibbles round up to 9 bytes for 18 elems, plus 2 i32 bias.
+        assert_eq!(p.weight_bytes(), 9 + 8);
+
+        let y = qg.execute(&qg.quantize_input(&img));
+        assert_eq!(y.data(), &[90, -70, -32, 48]);
+
+        let mse = quantization_mse(&fg, &qg, std::slice::from_ref(&img));
+        let e = 3.0f64 / 2048.0;
+        assert!((mse - 2.0 * e * e / 4.0).abs() < 1e-15, "mse {mse}");
+        let agree = argmax_agreement(&fg, &qg, std::slice::from_ref(&img));
+        assert_eq!(agree, 1.0);
+    }
+
+    #[test]
+    fn uniform_w8_plan_reproduces_quantize_post_training() {
+        let (fg, calib) = setup(7);
+        let (qg_direct, report) = quantize_post_training(&fg, &calib, &PtqConfig::default());
+        let qg_planned =
+            quantize_from_calibration(&fg, &report, &vec![Bitwidth::W8; fg.nodes.len()]);
+        assert_eq!(qg_direct.name, qg_planned.name);
+        let y_a = qg_direct.execute(&qg_direct.quantize_input(&calib[0]));
+        let y_b = qg_planned.execute(&qg_planned.quantize_input(&calib[0]));
+        assert_eq!(y_a.data(), y_b.data());
     }
 
     #[test]

@@ -14,16 +14,25 @@ use seneca_nn::loss::FocalTverskyLoss;
 use seneca_nn::optim::Optimizer;
 use seneca_nn::train::{Sample, TrainConfig};
 use seneca_nn::unet::UNet;
-use seneca_tensor::quantized::{choose_fix_pos, QTensor};
+use seneca_tensor::quantized::{choose_fix_pos_bits, Bitwidth, QTensor};
 use seneca_tensor::Tensor;
 
-/// Projects all conv / tconv weights of the network onto the INT8 grid
-/// (quantize–dequantize with per-tensor fix positions). Biases and BN
-/// parameters stay FP32, matching DPU deployment where biases live in INT32.
+/// Projects all conv / tconv weights of the network onto the INT8 grid.
+/// Thin wrapper over [`project_weights`] kept for the existing QAT loop.
 pub fn project_weights_int8(net: &mut UNet) {
+    project_weights(net, Bitwidth::W8);
+}
+
+/// Projects all conv / tconv weights of the network onto the integer grid
+/// of the given bitwidth (quantize–dequantize with per-tensor fix
+/// positions). Biases and BN parameters stay FP32, matching DPU deployment
+/// where biases live in INT32. With [`Bitwidth::W4`] this is the QAT hook
+/// for mixed-precision deployments: train against the 4-bit grid the
+/// nibble-packed panels will hold.
+pub fn project_weights(net: &mut UNet, bits: Bitwidth) {
     let project = |w: &mut Tensor| {
-        let fp = choose_fix_pos(w.abs_max());
-        *w = QTensor::quantize(w, fp).dequantize();
+        let fp = choose_fix_pos_bits(w.abs_max(), bits);
+        *w = QTensor::quantize_bits(w, fp, bits).dequantize();
     };
     for e in &mut net.encoders {
         project(&mut e.conv1.w);
@@ -95,6 +104,7 @@ mod tests {
     use seneca_nn::optim::Adam;
     use seneca_nn::train::toy_quadrant_dataset;
     use seneca_nn::unet::UNetConfig;
+    use seneca_tensor::quantized::choose_fix_pos;
 
     #[test]
     fn projection_is_idempotent() {
@@ -122,6 +132,25 @@ mod tests {
             let g = v * scale;
             assert!((g - g.round()).abs() < 1e-3, "weight {v} off grid");
         }
+    }
+
+    #[test]
+    fn w4_projection_lands_on_nibble_grid_and_is_idempotent() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let cfg =
+            UNetConfig { depth: 1, base_filters: 4, in_channels: 1, num_classes: 4, dropout: 0.0 };
+        let mut net = UNet::new(cfg, &mut rng);
+        project_weights(&mut net, Bitwidth::W4);
+        let w = net.encoders[0].conv1.w.clone();
+        let fp = choose_fix_pos_bits(w.abs_max(), Bitwidth::W4);
+        let scale = (fp as f32).exp2();
+        for &v in w.data() {
+            let g = v * scale;
+            assert!((g - g.round()).abs() < 1e-3, "weight {v} off grid");
+            assert!((-8.0..=7.0).contains(&g.round()), "weight {v} outside the nibble range");
+        }
+        project_weights(&mut net, Bitwidth::W4);
+        assert_eq!(net.encoders[0].conv1.w, w);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use seneca_ir::shape::{infer_shapes_ops, ShapeOp};
 use seneca_ir::{ConcatQ, ConvAttrs, ConvKernel, DType, IrOp, Module};
 use seneca_tensor::gemm::igemm_fused;
 use seneca_tensor::im2col::{im2col_i8, ConvGeom};
-use seneca_tensor::quantized::{concat_requant_i8, maxpool2x2_i8, QTensor};
+use seneca_tensor::quantized::{concat_requant_i8, maxpool2x2_i8, Bitwidth, QTensor};
 use seneca_tensor::{Shape4, Tensor};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
@@ -28,12 +28,27 @@ pub struct QConvParams {
     pub in_fp: i32,
     /// Output activation fix position.
     pub out_fp: i32,
+    /// Weight bitwidth. W4 weights are stored as i8 values in `[-8, 7]`, so
+    /// every unpacked execution path runs them unchanged; only the packed
+    /// GEMM panels and the deployment byte accounting differ.
+    pub wbits: Bitwidth,
 }
 
 impl QConvParams {
     /// The requantisation shift (`fp_in + fp_w - fp_out`).
     pub fn shift(&self) -> i32 {
         self.in_fp + self.w.fix_pos() - self.out_fp
+    }
+
+    /// Deployed parameter bytes of this node: nibble-packed weights for W4,
+    /// one byte per weight for W8, plus the INT32 bias words.
+    pub fn weight_bytes(&self) -> u64 {
+        let elems = self.w.shape().len();
+        let w_bytes = match self.wbits {
+            Bitwidth::W8 => elems,
+            Bitwidth::W4 => elems.div_ceil(2),
+        };
+        (w_bytes + 4 * self.bias.len()) as u64
     }
 }
 
@@ -143,6 +158,7 @@ impl QuantizedGraph {
                         bias: p.bias.clone(),
                         in_fp: p.in_fp,
                         out_fp: p.out_fp,
+                        wbits: p.wbits,
                     },
                     relu: p.relu,
                     pack: None,
@@ -153,6 +169,7 @@ impl QuantizedGraph {
                         bias: p.bias.clone(),
                         in_fp: p.in_fp,
                         out_fp: p.out_fp,
+                        wbits: p.wbits,
                     },
                     relu: p.relu,
                     pack: None,
@@ -212,6 +229,19 @@ impl QuantizedGraph {
     /// Dequantised FP32 view of the logits (for error analysis).
     pub fn execute_dequant(&self, x: &Tensor) -> Tensor {
         self.execute(&self.quantize_input(x)).dequantize()
+    }
+
+    /// Total deployed parameter bytes across the graph (nibble-packed W4
+    /// weights count half a byte per element). This is the "total weight
+    /// bytes" number the mixed-precision search minimises alongside cycles.
+    pub fn weight_bytes(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| match &n.op {
+                QOp::Conv(p) | QOp::TConv(p) => p.weight_bytes(),
+                _ => 0,
+            })
+            .sum()
     }
 
     /// Output fix position per node (propagated through fix-transparent ops).
@@ -488,7 +518,7 @@ mod tests {
         let wq = QTensor::quantize(&w, w_fp);
         let acc_fp = in_fp + w_fp;
         let bias = bias_f.iter().map(|&b| (b * (acc_fp as f32).exp2()).round() as i32).collect();
-        QConvParams { w: wq, bias, relu, in_fp, out_fp }
+        QConvParams { w: wq, bias, relu, in_fp, out_fp, wbits: Bitwidth::W8 }
     }
 
     #[test]

@@ -140,6 +140,81 @@ impl<T: Zero> PackedA<T> {
     }
 }
 
+/// A pre-packed INT4 `A` operand: the same `MR`-tall k-major row panels as
+/// [`PackedA<i8>`], but with two signed nibbles per byte — the panel buffer
+/// is exactly half the size, halving weight-panel memory traffic in the
+/// micro-kernel.
+///
+/// Packing runs along the `MR` dimension: each k-step of a panel holds `MR`
+/// weights in `MR / 2` bytes, with the even row in the low nibble and the odd
+/// row in the high nibble (`byte j = (a[2j+1] << 4) | (a[2j] & 0xF)`). The
+/// micro-kernel sign-extends both nibbles back to `i32` in registers, so
+/// [`igemm4_fused_packed`] is bit-identical to unpacking to `i8` and calling
+/// [`igemm_fused`].
+#[derive(Debug, Clone)]
+pub struct PackedA4 {
+    m: usize,
+    k: usize,
+    panels: Vec<u8>,
+}
+
+impl PackedA4 {
+    /// Packs a row-major `m x k` matrix whose values all lie in `[-8, 7]`
+    /// (panics otherwise — INT4 packing of wider data would corrupt weights
+    /// silently).
+    pub fn pack(m: usize, k: usize, a: &[i8]) -> Self {
+        assert_eq!(a.len(), m * k, "A size");
+        assert!(
+            a.iter().all(|&v| (-8..=7).contains(&(v as i32))),
+            "INT4 pack requires all values in [-8, 7]"
+        );
+        let mut wide = vec![0i8; packed_a_len(m, k)];
+        pack_a(m, k, |i, kk| a[i * k + kk], &mut wide);
+        Self { m, k, panels: pack_nibble_pairs(&wide) }
+    }
+
+    /// Rows of the packed matrix.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Shared (`k`) extent of the packed matrix.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Bytes held by the panel buffer (half of the equivalent INT8 panels).
+    pub fn panel_len(&self) -> usize {
+        self.panels.len()
+    }
+
+    /// Expands the nibble panels back to the equivalent [`PackedA<i8>`]
+    /// (reference/fallback path; the panel bytes match `PackedA::pack` of the
+    /// original matrix exactly).
+    pub fn unpack(&self) -> PackedA<i8> {
+        let mut panels = vec![0i8; self.panels.len() * 2];
+        unpack_nibble_pairs(&self.panels, &mut panels);
+        PackedA { m: self.m, k: self.k, panels }
+    }
+}
+
+/// Packs adjacent pairs of `[-8, 7]` values into single bytes: even index in
+/// the low nibble, odd index in the high nibble. `src.len()` must be even.
+pub fn pack_nibble_pairs(src: &[i8]) -> Vec<u8> {
+    assert!(src.len().is_multiple_of(2), "nibble packing needs an even length");
+    src.chunks_exact(2).map(|p| ((p[1] as u8) << 4) | (p[0] as u8 & 0xF)).collect()
+}
+
+/// Inverse of [`pack_nibble_pairs`]: sign-extends both nibbles of each byte.
+/// `dst.len()` must be `2 * src.len()`.
+pub fn unpack_nibble_pairs(src: &[u8], dst: &mut [i8]) {
+    assert_eq!(dst.len(), src.len() * 2, "nibble unpack size");
+    for (d, &b) in dst.chunks_exact_mut(2).zip(src) {
+        d[0] = ((b as i8) << 4) >> 4;
+        d[1] = (b as i8) >> 4;
+    }
+}
+
 fn packed_a_len(m: usize, k: usize) -> usize {
     m.div_ceil(MR) * MR * k
 }
@@ -296,6 +371,72 @@ i8_block_fn!(
         }
     }
 );
+
+/// One `MC`-row block of the INT4-weight GEMM with the fused requant store.
+/// Mirrors [`i8_block_requant`] exactly — same tile walk, same ascending-`k`
+/// accumulation order (so results are bit-identical to unpack-then-i8) — but
+/// reads the `A` panels nibble-packed: each k-step of a panel is `MR / 2`
+/// bytes, sign-extended into an `[i32; MR]` register array before the MAC
+/// loop. Standalone `#[inline(never)]` for the same autovectorization reason
+/// as the i8 blocks (see [`block_driver_f32`]).
+#[allow(clippy::too_many_arguments)]
+#[inline(never)]
+fn i4_block_requant(
+    k: usize,
+    n: usize,
+    row0: usize,
+    pa: &[u8],
+    pb: &[i8],
+    c_blk: &mut [i8],
+    bias: &[i32],
+    shift: i32,
+    relu: bool,
+) {
+    const MR2: usize = MR / 2;
+    let rows_blk = c_blk.len() / n;
+    let n_jp = n.div_ceil(NR);
+    let mut ip0 = 0;
+    while ip0 < rows_blk {
+        let tile_rows = MR.min(rows_blk - ip0);
+        let apanel = &pa[(row0 + ip0) / MR * (MR2 * k)..][..MR2 * k];
+        for jp in 0..n_jp {
+            let j0 = jp * NR;
+            let cols = NR.min(n - j0);
+            let bpanel = &pb[jp * (NR * k)..][..NR * k];
+            let mut acc = [[0i32; NR]; MR];
+            for (a, b) in apanel.chunks_exact(MR2).zip(bpanel.chunks_exact(NR)) {
+                let mut bw = [0i32; NR];
+                for (w, &v) in bw.iter_mut().zip(b) {
+                    *w = v as i32;
+                }
+                let mut aw = [0i32; MR];
+                for (j, &byte) in a.iter().enumerate() {
+                    aw[2 * j] = (((byte as i8) << 4) >> 4) as i32;
+                    aw[2 * j + 1] = ((byte as i8) >> 4) as i32;
+                }
+                for (i, acc_i) in acc.iter_mut().enumerate() {
+                    let ai = aw[i];
+                    for (acc_ij, &bv) in acc_i.iter_mut().zip(&bw) {
+                        *acc_ij += ai * bv;
+                    }
+                }
+            }
+            for ii in 0..tile_rows {
+                let row = row0 + ip0 + ii;
+                let dst = &mut c_blk[(ip0 + ii) * n + j0..][..cols];
+                let bi = bias.get(row).copied().unwrap_or(0);
+                for (d, &v) in dst.iter_mut().zip(&acc[ii]) {
+                    let mut q = requantize_i32(v + bi, shift);
+                    if relu && q < 0 {
+                        q = 0;
+                    }
+                    *d = q;
+                }
+            }
+        }
+        ip0 += MR;
+    }
+}
 
 /// The f32 micro-kernel: an `MR x NR` accumulator tile over the full `k`
 /// extent of one A row panel and one B column panel. Branch-free with
@@ -498,6 +639,46 @@ pub fn igemm_fused_packed(
         let pbs = &pb[..lb];
         out.par_chunks_mut(MC * n).enumerate().for_each(|(blk, out_blk)| {
             i8_block_requant(k, n, blk * MC, &pa.panels, pbs, out_blk, bias, shift, relu);
+        });
+    });
+}
+
+/// [`igemm_fused_packed`] for a nibble-packed INT4 `A` operand: the weight
+/// panels stream at half the bytes, the activation (`B`) packing and the
+/// fused bias/requant/ReLU epilogue are identical. Bit-identical to
+/// `pa.unpack()` + [`igemm_fused_packed`] — the micro-kernel widens both
+/// nibbles to `i32` and accumulates in the same ascending-`k` order.
+pub fn igemm4_fused_packed(
+    pa: &PackedA4,
+    n: usize,
+    b: &[i8],
+    bias: &[i32],
+    shift: i32,
+    relu: bool,
+    out: &mut [i8],
+) {
+    let (m, k) = (pa.m, pa.k);
+    assert_eq!(b.len(), k * n, "B size");
+    assert_eq!(out.len(), m * n, "C size");
+    if m == 0 || n == 0 {
+        return;
+    }
+    PACK_I8.with(|cell| {
+        let (_, pb) = &mut *cell.borrow_mut();
+        let lb = packed_b_len(k, n);
+        if pb.len() < lb {
+            pb.resize(lb, 0);
+        }
+        {
+            #[cfg(feature = "trace-gemm")]
+            let _sp = seneca_trace::span_bytes("gemm", "pack", lb as u64);
+            pack_b(k, n, |kk, j| b[kk * n + j], &mut pb[..lb]);
+        }
+        #[cfg(feature = "trace-gemm")]
+        let _sp = seneca_trace::span_bytes("gemm", "kernel", (m * n) as u64);
+        let pbs = &pb[..lb];
+        out.par_chunks_mut(MC * n).enumerate().for_each(|(blk, out_blk)| {
+            i4_block_requant(k, n, blk * MC, &pa.panels, pbs, out_blk, bias, shift, relu);
         });
     });
 }
@@ -790,6 +971,55 @@ mod tests {
                 assert_eq!(c, c_packed, "{m}x{k}x{n} shift {shift} relu {relu}");
             }
         }
+    }
+
+    fn rand_i4(len: usize, seed: u64) -> Vec<i8> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.gen_range(-8i32..8) as i8).collect()
+    }
+
+    #[test]
+    fn nibble_pack_unpack_roundtrip() {
+        let src = rand_i4(64, 40);
+        let packed = pack_nibble_pairs(&src);
+        assert_eq!(packed.len(), src.len() / 2);
+        let mut back = vec![0i8; src.len()];
+        unpack_nibble_pairs(&packed, &mut back);
+        assert_eq!(back, src);
+    }
+
+    #[test]
+    fn packed_a4_unpack_matches_packed_a_i8() {
+        for &(m, k) in &[(1, 1), (7, 13), (64, 576), (33, 100)] {
+            let a = rand_i4(m * k, 41);
+            let pa4 = PackedA4::pack(m, k, &a);
+            let pa8 = PackedA::pack(m, k, &a);
+            assert_eq!(pa4.panel_len() * 2, pa8.panel_len(), "{m}x{k}");
+            assert_eq!(pa4.unpack().panels, pa8.panels, "{m}x{k}");
+        }
+    }
+
+    #[test]
+    fn igemm4_matches_unpacked_i8_bit_exactly() {
+        for &(m, k, n) in &[(11, 90, 23), (64, 576, 100), (1, 1, 1), (8, 16, 32)] {
+            let a = rand_i4(m * k, 42);
+            let b = rand_i8(k * n, 43);
+            let bias: Vec<i32> = (0..m as i32).map(|i| i * 13 - 60).collect();
+            let pa4 = PackedA4::pack(m, k, &a);
+            for &(shift, relu) in &[(4, false), (2, true), (0, false), (-1, true)] {
+                let mut c8 = vec![0i8; m * n];
+                let mut c4 = vec![0i8; m * n];
+                igemm_fused(m, k, n, &a, &b, &bias, shift, relu, &mut c8);
+                igemm4_fused_packed(&pa4, n, &b, &bias, shift, relu, &mut c4);
+                assert_eq!(c4, c8, "{m}x{k}x{n} shift {shift} relu {relu}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "INT4 pack requires")]
+    fn packed_a4_rejects_wide_values() {
+        PackedA4::pack(1, 2, &[8, 0]);
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod tconv;
 pub mod tensor;
 pub mod zero;
 
-pub use quantized::{QTensor, QTensorView};
+pub use quantized::{Bitwidth, QTensor, QTensorView};
 pub use shape::Shape4;
 pub use tensor::{Tensor, TensorView};
 pub use zero::Zero;

@@ -10,6 +10,47 @@ use crate::shape::Shape4;
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
+/// Weight bitwidth of a quantised kernel. Activations stay INT8 throughout
+/// (the DPU datapath is 8-bit); `W4` narrows only the weights, i.e. W4A8.
+///
+/// A `W4` tensor still travels as `i8` values — confined to `[-8, 7]` — in a
+/// [`QTensor`]; the nibble packing (two weights per byte) happens only in the
+/// pre-packed GEMM panels, so every unpacked code path executes mixed graphs
+/// unchanged and bit-exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bitwidth {
+    /// 8-bit weights (the paper's baseline: W8A8).
+    W8,
+    /// 4-bit weights, 8-bit activations (W4A8).
+    W4,
+}
+
+impl Bitwidth {
+    /// Bits per weight.
+    pub fn bits(self) -> u32 {
+        match self {
+            Bitwidth::W8 => 8,
+            Bitwidth::W4 => 4,
+        }
+    }
+
+    /// Largest representable quantised value.
+    pub fn max_q(self) -> i32 {
+        match self {
+            Bitwidth::W8 => 127,
+            Bitwidth::W4 => 7,
+        }
+    }
+
+    /// Smallest representable quantised value.
+    pub fn min_q(self) -> i32 {
+        match self {
+            Bitwidth::W8 => -128,
+            Bitwidth::W4 => -8,
+        }
+    }
+}
+
 /// A quantised NCHW tensor: `real = data[i] * 2^(-fix_pos)`.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct QTensor {
@@ -53,13 +94,20 @@ impl QTensor {
     /// Quantises an `f32` tensor at the given fix position
     /// (round-to-nearest-even, saturating to `[-128, 127]`).
     pub fn quantize(t: &Tensor, fix_pos: i32) -> Self {
+        Self::quantize_bits(t, fix_pos, Bitwidth::W8)
+    }
+
+    /// [`QTensor::quantize`] saturating to the given bitwidth's range
+    /// (`[-8, 7]` for `W4`). The result is still stored as `i8`.
+    pub fn quantize_bits(t: &Tensor, fix_pos: i32, bits: Bitwidth) -> Self {
         let scale = (fix_pos as f32).exp2();
+        let (lo, hi) = (bits.min_q() as f32, bits.max_q() as f32);
         let data = t
             .data()
             .iter()
             .map(|&v| {
                 let q = (v * scale).round_ties_even();
-                q.clamp(i8::MIN as f32, i8::MAX as f32) as i8
+                q.clamp(lo, hi) as i8
             })
             .collect();
         Self { shape: t.shape(), data, fix_pos }
@@ -126,10 +174,16 @@ impl<'a> QTensorView<'a> {
 /// i.e. `abs_max * 2^fp <= 127`. An `abs_max` of zero maps to the maximum
 /// useful position for activations (15).
 pub fn choose_fix_pos(abs_max: f32) -> i32 {
+    choose_fix_pos_bits(abs_max, Bitwidth::W8)
+}
+
+/// [`choose_fix_pos`] for an arbitrary weight bitwidth: the largest fix
+/// position such that `abs_max * 2^fp <= max_q(bits)` (7 for `W4`).
+pub fn choose_fix_pos_bits(abs_max: f32, bits: Bitwidth) -> i32 {
     if abs_max <= 0.0 || !abs_max.is_finite() {
         return 15;
     }
-    let fp = (127.0 / abs_max).log2().floor() as i32;
+    let fp = (bits.max_q() as f32 / abs_max).log2().floor() as i32;
     fp.clamp(-16, 15)
 }
 
@@ -280,6 +334,30 @@ mod tests {
         let t = Tensor::from_vec(Shape4::new(1, 1, 1, 3), vec![100.0, -100.0, 0.5]);
         let q = QTensor::quantize(&t, 3); // scale 8 -> 800 saturates
         assert_eq!(q.data(), &[127, -128, 4]);
+    }
+
+    #[test]
+    fn choose_fix_pos_bits_w4_covers_range() {
+        // abs_max 1.0 -> 2^2 * 1.0 = 4 <= 7, 2^3 = 8 > 7 => fp = 2.
+        assert_eq!(choose_fix_pos_bits(1.0, Bitwidth::W4), 2);
+        assert_eq!(choose_fix_pos_bits(7.0, Bitwidth::W4), 0);
+        assert_eq!(choose_fix_pos_bits(14.0, Bitwidth::W4), -1);
+        assert_eq!(choose_fix_pos_bits(0.0, Bitwidth::W4), 15);
+        // W8 must agree with the original helper.
+        for &m in &[0.1f32, 1.0, 3.7, 100.0] {
+            assert_eq!(choose_fix_pos_bits(m, Bitwidth::W8), choose_fix_pos(m));
+        }
+    }
+
+    #[test]
+    fn quantize_bits_w4_saturates_to_nibble_range() {
+        let t = Tensor::from_vec(Shape4::new(1, 1, 1, 4), vec![100.0, -100.0, 0.5, -0.5]);
+        let q = QTensor::quantize_bits(&t, 3, Bitwidth::W4); // scale 8
+        assert_eq!(q.data(), &[7, -8, 4, -4]);
+        // Every W4 value fits in one signed nibble.
+        for &v in q.data() {
+            assert!((-8..=7).contains(&(v as i32)));
+        }
     }
 
     #[test]

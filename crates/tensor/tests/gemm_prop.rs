@@ -9,7 +9,8 @@
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use seneca_tensor::gemm::{
-    igemm, igemm_fused, igemm_reference, sgemm, sgemm_at, sgemm_bt, sgemm_reference, MR, NR,
+    igemm, igemm4_fused_packed, igemm_fused, igemm_reference, pack_nibble_pairs, sgemm, sgemm_at,
+    sgemm_bt, sgemm_reference, unpack_nibble_pairs, PackedA4, MR, NR,
 };
 use seneca_tensor::quantized::requantize_i32;
 
@@ -21,6 +22,12 @@ fn rand_f32(len: usize, seed: u64) -> Vec<f32> {
 fn rand_i8(len: usize, seed: u64) -> Vec<i8> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     (0..len).map(|_| rng.gen_range(-128i32..128) as i8).collect()
+}
+
+/// INT4-range values stored as i8 (the W4A8 weight representation).
+fn rand_i4(len: usize, seed: u64) -> Vec<i8> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(-8i32..8) as i8).collect()
 }
 
 /// Primes around and above the tile sizes (MR = 8, NR = 16), so every draw
@@ -156,5 +163,45 @@ proptest! {
         let mut fused = vec![0i8; m * n];
         igemm_fused(m, k, n, &a, &b, &bias, shift, relu, &mut fused);
         prop_assert_eq!(fused, expect, "{}x{}x{} shift {} relu {}", m, k, n, shift, relu);
+    }
+
+    /// Nibble packing round-trips every INT4 value: low nibble first, sign
+    /// extension recovers the exact i8 in `[-8, 7]`.
+    #[test]
+    fn int4_nibble_pack_roundtrips(pairs in 0usize..600, seed in 0u64..1000) {
+        let src = rand_i4(2 * pairs, seed);
+        let packed = pack_nibble_pairs(&src);
+        prop_assert_eq!(packed.len(), pairs);
+        let mut back = vec![0i8; 2 * pairs];
+        unpack_nibble_pairs(&packed, &mut back);
+        prop_assert_eq!(back, src);
+    }
+
+    /// The nibble-packed INT4 micro-kernel is BIT-EXACT against unpacking to
+    /// i8 panels and running the INT8 fused kernel, on prime (off-tile)
+    /// remainder shapes with arbitrary shift/relu epilogues. Both kernels
+    /// accumulate in ascending-k order in i32, so no tolerance.
+    #[test]
+    fn igemm4_remainder_tiles_bit_exact_vs_unpacked_i8(
+        mi in 0usize..8, ki in 0usize..8, ni in 0usize..8,
+        shift in -2i32..10, relu_bit in 0u32..2, seed in 0u64..1000
+    ) {
+        let (m, k, n) = (PRIMES[mi], PRIMES[ki], PRIMES[ni]);
+        prop_assert!(m == 1 || m % MR != 0);
+        prop_assert!(n == 1 || n % NR != 0);
+        let relu = relu_bit == 1;
+        let a = rand_i4(m * k, seed);
+        let b = rand_i8(k * n, seed + 1);
+        let bias: Vec<i32> = (0..m as i32).map(|i| i * 57 - 333).collect();
+
+        let pa4 = PackedA4::pack(m, k, &a);
+        // panel_len is exactly half the widened i8 panels (same zero padding).
+        prop_assert_eq!(pa4.panel_len() * 2, pa4.unpack().panel_len());
+        let mut c4 = vec![0i8; m * n];
+        igemm4_fused_packed(&pa4, n, &b, &bias, shift, relu, &mut c4);
+
+        let mut c8 = vec![0i8; m * n];
+        igemm_fused(m, k, n, &a, &b, &bias, shift, relu, &mut c8);
+        prop_assert_eq!(c4, c8, "{}x{}x{} shift {} relu {}", m, k, n, shift, relu);
     }
 }

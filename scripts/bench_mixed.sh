@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Runs the mixed-precision bitwidth study and copies its machine-readable
+# result (BENCH_mixed.json: per-layer W4 sensitivity sweep plus the greedy
+# DPU-cost-aware W4/W8 plan search on the 1M and 16M models) to the repo
+# root.
+#
+#   scripts/bench_mixed.sh [fast|reduced|paper]   (default: fast)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+scale="${1:-fast}"
+export SENECA_ARTIFACTS="${SENECA_ARTIFACTS:-target/seneca-artifacts}"
+
+cargo run --release -q -p seneca-bench --bin reproduce -- mixed --scale "$scale"
+
+src="$SENECA_ARTIFACTS/experiments/BENCH_mixed.json"
+[ -f "$src" ] || { echo "expected $src after the mixed experiment" >&2; exit 1; }
+cp "$src" BENCH_mixed.json
+echo "BENCH_mixed.json updated (scale: $scale)"

@@ -30,4 +30,7 @@ cargo run --release -q -p seneca-bench --bin reproduce -- fleet --scale fast
 echo "== trace smoke (profile: op spans fit the wall; 16M pack share drops) =="
 cargo run --release -q -p seneca-bench --features trace-gemm --bin reproduce -- profile --scale fast
 
+echo "== mixed smoke (16M W4/W8 plan cuts cycles and weight bytes above the agreement floor) =="
+cargo run --release -q -p seneca-bench --bin reproduce -- mixed --scale fast
+
 echo "CI OK"

@@ -9,7 +9,10 @@ use rand::SeedableRng;
 use seneca_ir::{lower, LowerOptions};
 use seneca_nn::graph::Graph;
 use seneca_nn::unet::{UNet, UNetConfig};
-use seneca_quant::{fuse, quantize_post_training, PtqConfig};
+use seneca_quant::{
+    calibrate, fuse, mixed::quantizable_nodes, quantize_from_calibration, quantize_post_training,
+    Bitwidth, PtqConfig,
+};
 use seneca_tensor::{Shape4, Tensor};
 
 fn random_net(depth: usize, base_filters: usize, seed: u64) -> UNet {
@@ -77,6 +80,42 @@ proptest! {
             let planned = lowered.execute_i8_into(&q, &mut scratch);
             prop_assert_eq!(planned.fix_pos(), naive.fix_pos());
             prop_assert_eq!(planned.shape(), naive.shape());
+            prop_assert_eq!(planned.data(), naive.data());
+        }
+    }
+
+    /// Mixed W4/W8: for a random per-layer bitwidth assignment, the
+    /// IR-lowered executor (nibble-packed panels where assigned) runs the
+    /// exact same integer arithmetic as the naive per-node dispatch —
+    /// outputs and fix positions are bit-identical.
+    #[test]
+    fn lowered_mixed_w4_matches_naive(
+        depth in 1usize..=3,
+        base_filters in 2usize..6,
+        mask in 0u64..u64::MAX,
+        seed in 0u64..1000,
+    ) {
+        let net = random_net(depth, base_filters, seed);
+        let fg = fuse(&Graph::from_unet(&net, "prop"));
+        let side = 1 << (depth + 1);
+        let shape = Shape4::new(1, 1, side, side);
+        let calib = vec![random_frame(shape, seed ^ 0xBEEF)];
+        let report = calibrate(&fg, &calib, &PtqConfig::default());
+        // Random subset of conv/tconv layers goes W4.
+        let mut wbits = vec![Bitwidth::W8; fg.nodes.len()];
+        for (bit, node) in quantizable_nodes(&fg).into_iter().enumerate() {
+            if mask >> (bit % 64) & 1 == 1 {
+                wbits[node] = Bitwidth::W4;
+            }
+        }
+        let qg = quantize_from_calibration(&fg, &report, &wbits);
+        let lowered = lower(qg.to_ir(), shape, &LowerOptions::reference());
+        let mut scratch = lowered.make_scratch_i8();
+        for frame in 0..2u64 {
+            let q = qg.quantize_input(&random_frame(shape, seed.wrapping_mul(23).wrapping_add(frame)));
+            let naive = qg.execute(&q);
+            let planned = lowered.execute_i8_into(&q, &mut scratch);
+            prop_assert_eq!(planned.fix_pos(), naive.fix_pos());
             prop_assert_eq!(planned.data(), naive.data());
         }
     }
