@@ -30,7 +30,12 @@ use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use seneca_nn::graph::{Graph, Op};
 use seneca_nn::unet::{ModelSize, UNet};
-use seneca_tensor::gemm::{igemm, igemm_reference, sgemm, sgemm_reference};
+use seneca_tensor::gemm::{
+    igemm, igemm4_fused_packed, igemm_fused, igemm_fused_packed, igemm_reference, sgemm,
+    sgemm_fused, sgemm_reference, GemmEpilogue, PackedA, PackedA4,
+};
+use seneca_tensor::igemm::{igemm_conv, sgemm_conv};
+use seneca_tensor::im2col::{im2col, im2col_i8, ConvGeom};
 use seneca_tensor::Shape4;
 use serde_json::{json, Value};
 use std::time::Instant;
@@ -112,11 +117,20 @@ struct ConvShape {
     m: usize,
     k: usize,
     n: usize,
+    /// Conv geometry behind the GEMM shape (3x3 same conv): `k = c_in * 9`,
+    /// `n = h * w`. Used by the conv-level implicit-vs-materialized rows.
+    c_in: usize,
+    h: usize,
+    w: usize,
 }
 
 impl ConvShape {
     fn macs(&self) -> u64 {
         (self.m * self.k * self.n) as u64
+    }
+
+    fn geom(&self) -> ConvGeom {
+        ConvGeom { c_in: self.c_in, h: self.h, w: self.w, k: 3, pad: 1, stride: 1 }
     }
 }
 
@@ -133,7 +147,7 @@ fn table2_conv_shapes() -> Vec<ConvShape> {
             let net = UNet::from_size(size, &mut rng);
             let g = Graph::from_unet(&net, size.label());
             let shapes = g.shapes(input);
-            let mut best = ConvShape { model: size.label(), m: 0, k: 0, n: 0 };
+            let mut best = ConvShape { model: size.label(), m: 0, k: 0, n: 0, c_in: 0, h: 0, w: 0 };
             for node in &g.nodes {
                 if let Op::Conv { w, .. } = &node.op {
                     let s = shapes[node.inputs[0]];
@@ -142,6 +156,9 @@ fn table2_conv_shapes() -> Vec<ConvShape> {
                         m: w.shape().n,
                         k: w.shape().c * 9,
                         n: s.h * s.w,
+                        c_in: w.shape().c,
+                        h: s.h,
+                        w: s.w,
                     };
                     if cand.macs() > best.macs() {
                         best = cand;
@@ -182,6 +199,154 @@ fn check_igemm_bit_exact(largest: ConvShape) {
     igemm_reference(m, k, n, &a, &b, &mut c_ref);
     assert_eq!(c, c_ref, "igemm packed != naive on fixed seed ({m}x{k}x{n})");
     println!("igemm bit-exactness: packed == naive on {m}x{k}x{n} (seed 99)");
+}
+
+/// Implicit-GEMM conv gate on the largest Table II conv: the implicit pack
+/// (panel gather straight from the feature map) must be bit-exact against
+/// the materialized im2col route on a fixed seed, and must not be slower —
+/// it does strictly less memory traffic, so a regression here means the
+/// pack closures stopped vectorizing.
+fn check_implicit_conv(largest: ConvShape, min_time: f64, min_iters: u32) {
+    let geom = largest.geom();
+    let (m, k, n) = (largest.m, largest.k, largest.n);
+    let gmac = largest.macs() as f64 / 1e9;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
+
+    // INT8: fused requantising conv, bias + relu on.
+    let wt: Vec<i8> = (0..m * k).map(|_| rng.gen_range(-128i32..128) as i8).collect();
+    let x: Vec<i8> =
+        (0..geom.c_in * geom.h * geom.w).map(|_| rng.gen_range(-128i32..128) as i8).collect();
+    let bias: Vec<i32> = (0..m as i32).map(|i| i * 91 - 777).collect();
+    let mut y_imp = vec![0i8; m * n];
+    igemm_conv(m, &wt, &geom, &x, &bias, 6, true, &mut y_imp);
+    let mut col = vec![0i8; k * n];
+    let mut y_mat = vec![0i8; m * n];
+    im2col_i8(&geom, &x, &mut col);
+    igemm_fused(m, k, n, &wt, &col, &bias, 6, true, &mut y_mat);
+    assert_eq!(y_imp, y_mat, "implicit i8 conv != materialized im2col route (seed 4242)");
+    let t_imp = time_per_call(min_time, min_iters, || {
+        igemm_conv(m, &wt, &geom, &x, &bias, 6, true, &mut y_imp)
+    });
+    let t_mat = time_per_call(min_time, min_iters, || {
+        im2col_i8(&geom, &x, &mut col);
+        igemm_fused(m, k, n, &wt, &col, &bias, 6, true, &mut y_mat);
+    });
+    println!(
+        "implicit i8 conv: {:.2} GMAC/s vs materialized {:.2} GMAC/s (bit-exact)",
+        gmac / t_imp,
+        gmac / t_mat
+    );
+    assert!(
+        t_imp <= t_mat * 1.05,
+        "implicit i8 conv ({:.2} GMAC/s) slower than materialized ({:.2} GMAC/s)",
+        gmac / t_imp,
+        gmac / t_mat
+    );
+
+    // FP32: bit-exact (the packs produce byte-identical panels, so the
+    // float op sequence is identical) and not slower.
+    let wf: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let xf: Vec<f32> = (0..geom.c_in * geom.h * geom.w).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let bf: Vec<f32> = (0..m).map(|_| rng.gen_range(-0.2..0.2)).collect();
+    let mut yf_imp = vec![0.0f32; m * n];
+    sgemm_conv(m, &wf, &geom, &xf, &mut yf_imp, GemmEpilogue::BiasRelu(&bf));
+    let mut colf = vec![0.0f32; k * n];
+    let mut yf_mat = vec![0.0f32; m * n];
+    im2col(&geom, &xf, &mut colf);
+    sgemm_fused(m, k, n, &wf, &colf, &mut yf_mat, GemmEpilogue::BiasRelu(&bf));
+    assert!(
+        yf_imp.iter().zip(&yf_mat).all(|(a, b)| a.to_bits() == b.to_bits()),
+        "implicit f32 conv != materialized im2col route bit-for-bit (seed 4242)"
+    );
+    let gflop = 2.0 * gmac;
+    let t_imp = time_per_call(min_time, min_iters, || {
+        sgemm_conv(m, &wf, &geom, &xf, &mut yf_imp, GemmEpilogue::BiasRelu(&bf))
+    });
+    let t_mat = time_per_call(min_time, min_iters, || {
+        im2col(&geom, &xf, &mut colf);
+        sgemm_fused(m, k, n, &wf, &colf, &mut yf_mat, GemmEpilogue::BiasRelu(&bf));
+    });
+    println!(
+        "implicit f32 conv: {:.2} GFLOP/s vs materialized {:.2} GFLOP/s (bit-exact)",
+        gflop / t_imp,
+        gflop / t_mat
+    );
+    assert!(
+        t_imp <= t_mat * 1.05,
+        "implicit f32 conv ({:.2} GFLOP/s) slower than materialized ({:.2} GFLOP/s)",
+        gflop / t_imp,
+        gflop / t_mat
+    );
+}
+
+/// Conv-level throughputs (not raw GEMM): implicit-GEMM route vs the
+/// materialized im2col route, both dtypes, fused bias+relu epilogues.
+/// Returns (f32_implicit, f32_materialized, i8_implicit, i8_materialized)
+/// in GFLOP/s / GMAC/s.
+fn conv_level_row(s: &ConvShape, min_time: f64, min_iters: u32) -> (f64, f64, f64, f64) {
+    let geom = s.geom();
+    let (m, k, n) = (s.m, s.k, s.n);
+    let gmac = s.macs() as f64 / 1e9;
+    let gflop = 2.0 * gmac;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(s.macs() ^ 0xC0117);
+
+    let wf: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let xf: Vec<f32> = (0..geom.c_in * geom.h * geom.w).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let bf: Vec<f32> = (0..m).map(|_| rng.gen_range(-0.2..0.2)).collect();
+    let mut yf = vec![0.0f32; m * n];
+    let mut colf = vec![0.0f32; k * n];
+    let f_imp = gflop
+        / time_per_call(min_time, min_iters, || {
+            sgemm_conv(m, &wf, &geom, &xf, &mut yf, GemmEpilogue::BiasRelu(&bf))
+        });
+    let f_mat = gflop
+        / time_per_call(min_time, min_iters, || {
+            im2col(&geom, &xf, &mut colf);
+            sgemm_fused(m, k, n, &wf, &colf, &mut yf, GemmEpilogue::BiasRelu(&bf));
+        });
+
+    let wt: Vec<i8> = (0..m * k).map(|_| rng.gen_range(-128i32..128) as i8).collect();
+    let x: Vec<i8> =
+        (0..geom.c_in * geom.h * geom.w).map(|_| rng.gen_range(-128i32..128) as i8).collect();
+    let bias: Vec<i32> = (0..m as i32).map(|i| i * 91 - 777).collect();
+    let mut y = vec![0i8; m * n];
+    let mut col = vec![0i8; k * n];
+    let i_imp = gmac
+        / time_per_call(min_time, min_iters, || {
+            igemm_conv(m, &wt, &geom, &x, &bias, 6, true, &mut y)
+        });
+    let i_mat = gmac
+        / time_per_call(min_time, min_iters, || {
+            im2col_i8(&geom, &x, &mut col);
+            igemm_fused(m, k, n, &wt, &col, &bias, 6, true, &mut y);
+        });
+    (f_imp, f_mat, i_imp, i_mat)
+}
+
+/// W4-vs-W8 host throughput race on the largest Table II shape: the same
+/// `[-8, 7]` weights through the i8 panels (`igemm_fused_packed`) and the
+/// nibble panels (`igemm4_fused_packed`). Returns (w8, w4) GMAC/s.
+fn race_w4(largest: ConvShape, min_time: f64, min_iters: u32) -> (f64, f64) {
+    let (m, k, n) = (largest.m, largest.k, largest.n);
+    let gmac = largest.macs() as f64 / 1e9;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x4444);
+    let wt: Vec<i8> = (0..m * k).map(|_| rng.gen_range(-8i32..8) as i8).collect();
+    let b: Vec<i8> = (0..k * n).map(|_| rng.gen_range(-128i32..128) as i8).collect();
+    let bias: Vec<i32> = (0..m as i32).map(|i| i * 57 - 333).collect();
+    let pa8 = PackedA::pack(m, k, &wt);
+    let pa4 = PackedA4::pack(m, k, &wt);
+    let mut c8 = vec![0i8; m * n];
+    let mut c4 = vec![0i8; m * n];
+    igemm_fused_packed(&pa8, n, &b, &bias, 6, true, &mut c8);
+    igemm4_fused_packed(&pa4, n, &b, &bias, 6, true, &mut c4);
+    assert_eq!(c8, c4, "W4 nibble kernel != W8 kernel on the same [-8,7] weights");
+    let t8 = time_per_call(min_time, min_iters, || {
+        igemm_fused_packed(&pa8, n, &b, &bias, 6, true, &mut c8)
+    });
+    let t4 = time_per_call(min_time, min_iters, || {
+        igemm4_fused_packed(&pa4, n, &b, &bias, 6, true, &mut c4)
+    });
+    (gmac / t8, gmac / t4)
 }
 
 /// Pre-PR throughputs loaded from the `baseline` mode's output file, keyed
@@ -250,6 +415,7 @@ fn main() {
         }
         "smoke" => {
             check_igemm_bit_exact(largest);
+            check_implicit_conv(largest, min_time, min_iters);
             let (af, bf, mut cf) = make_f32(largest);
             let gflop = 2.0 * largest.macs() as f64 / 1e9;
             let (m, k, n) = (largest.m, largest.k, largest.n);
@@ -291,6 +457,7 @@ fn main() {
     let prepr =
         load_baseline(path_arg.as_deref().expect("usage: kernel_stats full <baseline.txt>"));
     check_igemm_bit_exact(largest);
+    check_implicit_conv(largest, min_time, min_iters);
 
     println!(
         "{:>4} {:>22} | {:>8} {:>8} {:>8} {:>8} {:>7} | {:>8} {:>8} {:>8} {:>8} {:>7}",
@@ -353,13 +520,33 @@ fn main() {
             i_packed / pre_ig,
         );
 
+        // Conv-level (not raw GEMM) rows: implicit-GEMM vs materialized
+        // im2col, both dtypes.
+        let (cf_imp, cf_mat, ci_imp, ci_mat) = conv_level_row(s, min_time, min_iters);
+        println!(
+            "     conv-level {:>9}x{:>5}x{:>6} | f32 implicit {:>7.2} mat {:>7.2} ({:>4.2}x) | i8 implicit {:>7.2} mat {:>7.2} ({:>4.2}x)",
+            m, k, n, cf_imp, cf_mat, cf_imp / cf_mat, ci_imp, ci_mat, ci_imp / ci_mat,
+        );
+
         json_shapes.push(json!({
             "model": s.model,
             "kind": "conv3x3 im2col GEMM",
             "m": m,
             "k": k,
             "n": n,
+            "conv_c_in": s.c_in,
+            "conv_hw": [s.h, s.w],
             "gmacs": gmac,
+            "conv_f32_gflops": {
+                "implicit": cf_imp,
+                "materialized": cf_mat,
+                "speedup": cf_imp / cf_mat
+            },
+            "conv_i8_gmacs": {
+                "implicit": ci_imp,
+                "materialized": ci_mat,
+                "speedup": ci_imp / ci_mat
+            },
             "sgemm_gflops": {
                 "packed": f_packed,
                 "baseline": pre_sg,
@@ -402,6 +589,16 @@ fn main() {
     assert!(sg_speedup >= 2.0, "sgemm speedup {sg_speedup:.2}x < 2x on largest shape");
     assert!(ig_speedup >= 2.0, "igemm speedup {ig_speedup:.2}x < 2x on largest shape");
 
+    // W4 vs W8 host throughput on the largest shape (same [-8,7] weights,
+    // nibble vs i8 panels — half the A-panel bandwidth).
+    let (w8_gmacs, w4_gmacs) = race_w4(largest, min_time, min_iters);
+    println!(
+        "W4 race on largest shape: igemm4_fused_packed {:.2} GMAC/s vs igemm_fused_packed {:.2} GMAC/s ({:.2}x)",
+        w4_gmacs,
+        w8_gmacs,
+        w4_gmacs / w8_gmacs,
+    );
+
     let doc = json!({
         "bench": "kernel_stats",
         "input": "1x1x256x256",
@@ -415,7 +612,12 @@ fn main() {
             "k": largest.k,
             "n": largest.n,
             "sgemm_speedup_vs_baseline": sg_speedup,
-            "igemm_speedup_vs_baseline": ig_speedup
+            "igemm_speedup_vs_baseline": ig_speedup,
+            "w4_host_gmacs": {
+                "igemm_fused_packed_w8": w8_gmacs,
+                "igemm4_fused_packed_w4": w4_gmacs,
+                "w4_vs_w8": w4_gmacs / w8_gmacs
+            }
         }
     });
     std::fs::write("BENCH_kernels.json", serde_json::to_string(&doc).expect("serialize"))

@@ -7,45 +7,48 @@
 //! FP32 and INT8 share the walk; only the kernel dispatch differs. Conv and
 //! transpose-conv nodes with a pack slot run their GEMM against the
 //! panels packed once at lowering time — per frame only the activation
-//! (B-panel) side is packed.
+//! (B-panel) side is packed, directly from the NCHW feature map (implicit
+//! GEMM). The arena therefore holds *only* the plan slots: there is no
+//! im2col column buffer and no pre-scatter tconv buffer — the conv packs
+//! compute the im2col index math inside the tile gather and the tconv
+//! stores scatter from the GEMM tile.
 //!
-//! Outputs are bit-identical to the legacy per-graph executors: the packed
-//! GEMM entry points store the same panel bytes the per-call pack did, and
-//! the node arithmetic is byte-for-byte the same kernels.
+//! Outputs are bit-identical to the legacy per-graph executors: the
+//! implicit packs produce the same panel bytes the materialized
+//! im2col-then-pack route did, and the node arithmetic is byte-for-byte
+//! the same kernels.
 
 use crate::lower::{Lowered, PackedKernel};
 use crate::module::{ConvKernel, DType, IrOp, Module};
 use crate::plan::ExecPlan;
 use seneca_tensor::activation::{relu_into, softmax_channels_into};
 use seneca_tensor::conv::{conv2d_fused_into, Conv2dParams};
-use seneca_tensor::gemm::{
-    igemm4_fused_packed, igemm_fused, igemm_fused_packed, sgemm_fused_packed, GemmEpilogue,
-    PackedA4,
+use seneca_tensor::gemm::{GemmEpilogue, PackedA4};
+use seneca_tensor::igemm::{
+    igemm4_conv_packed, igemm4_tconv2x2_packed, igemm_conv, igemm_conv_packed,
+    igemm_tconv2x2_packed, sgemm_conv_packed, sgemm_tconv2x2_packed,
 };
-use seneca_tensor::im2col::{im2col, im2col_i8, ConvGeom};
+use seneca_tensor::im2col::ConvGeom;
 use seneca_tensor::norm::batchnorm_inference_into;
 use seneca_tensor::pool::maxpool2x2_into;
 use seneca_tensor::quantized::{concat_requant_i8, maxpool2x2_i8};
-use seneca_tensor::tconv::{repack_tconv_weights, scatter_tconv2x2, tconv2x2_into};
+use seneca_tensor::tconv::{qtconv2x2_i8_into, tconv2x2_into};
 use seneca_tensor::tensor::concat_channels_into;
 use seneca_tensor::{QTensor, QTensorView, Shape4, Tensor, TensorView};
 
-/// Per-worker FP32 execution arena: one `f32` buffer per plan slot plus the
-/// im2col column buffer and the pre-scatter tconv buffer, all reused across
-/// frames. Built by [`Lowered::make_scratch_f32`].
+/// Per-worker FP32 execution arena: one `f32` buffer per plan slot, reused
+/// across frames. Built by [`Lowered::make_scratch_f32`].
 #[derive(Debug, Clone)]
 pub struct FpScratch {
     plan: ExecPlan,
     shapes: Vec<Shape4>,
-    col: Vec<f32>,
-    ytmp: Vec<f32>,
     slots: Vec<Vec<f32>>,
 }
 
 impl FpScratch {
     pub(crate) fn new(plan: ExecPlan, shapes: Vec<Shape4>) -> Self {
         let slots = plan.slot_sizes().iter().map(|&e| vec![0.0f32; e]).collect();
-        Self { plan, shapes, col: Vec::new(), ytmp: Vec::new(), slots }
+        Self { plan, shapes, slots }
     }
 
     /// The execution plan this arena was built from.
@@ -57,36 +60,29 @@ impl FpScratch {
     pub fn input_shape(&self) -> Shape4 {
         self.shapes[0]
     }
+
+    /// Total elements actually allocated by this arena. With implicit-GEMM
+    /// convolution this is exactly the plan's slot footprint — there is no
+    /// auxiliary column/pre-scatter storage to hide.
+    pub fn arena_elems(&self) -> usize {
+        self.slots.iter().map(Vec::len).sum()
+    }
 }
 
-/// Per-worker INT8 execution arena: one `i8` buffer per plan slot plus the
-/// im2col/repack/pre-scatter work buffers. Built by
-/// [`Lowered::make_scratch_i8`].
+/// Per-worker INT8 execution arena: one `i8` buffer per plan slot, reused
+/// across frames. Built by [`Lowered::make_scratch_i8`].
 #[derive(Debug, Clone)]
 pub struct QScratch {
     plan: ExecPlan,
     shapes: Vec<Shape4>,
     fps: Vec<i32>,
-    col: Vec<i8>,
-    ytmp: Vec<i8>,
-    wk: Vec<i8>,
-    bias4: Vec<i32>,
     slots: Vec<Vec<i8>>,
 }
 
 impl QScratch {
     pub(crate) fn new(plan: ExecPlan, shapes: Vec<Shape4>, fps: Vec<i32>) -> Self {
         let slots = plan.slot_sizes().iter().map(|&e| vec![0i8; e]).collect();
-        Self {
-            plan,
-            shapes,
-            fps,
-            col: Vec::new(),
-            ytmp: Vec::new(),
-            wk: Vec::new(),
-            bias4: Vec::new(),
-            slots,
-        }
+        Self { plan, shapes, fps, slots }
     }
 
     /// The execution plan this arena was built from.
@@ -97,6 +93,13 @@ impl QScratch {
     /// The input geometry this arena was built for.
     pub fn input_shape(&self) -> Shape4 {
         self.shapes[0]
+    }
+
+    /// Total elements actually allocated by this arena. With implicit-GEMM
+    /// convolution this is exactly the plan's slot footprint — there is no
+    /// auxiliary column/repack/pre-scatter storage to hide.
+    pub fn arena_elems(&self) -> usize {
+        self.slots.iter().map(Vec::len).sum()
     }
 
     /// Seeds the input node's slot from a quantised frame.
@@ -153,7 +156,7 @@ impl Lowered {
             node.op.mnemonic(m.dtype),
             (scratch.plan.elems_of(i) * std::mem::size_of::<f32>()) as u64,
         );
-        let FpScratch { plan, shapes, col, ytmp, slots } = scratch;
+        let FpScratch { plan, shapes, slots } = scratch;
         let si = plan.slot_of(i);
         // Take the output buffer out of the arena so input slots stay
         // borrowable; the plan guarantees no live input shares `si`.
@@ -174,19 +177,10 @@ impl Lowered {
                     };
                     match a.pack.map(|p| &self.packs()[p.slot]) {
                         Some(PackedKernel::ConvF32(pa)) => {
-                            conv3x3_f32_packed(xs, x, pa, b, a.relu, col, out);
+                            conv3x3_f32_packed(xs, x, pa, b, a.relu, out);
                         }
                         None => {
-                            conv2d_fused_into(
-                                xs,
-                                x,
-                                w,
-                                b,
-                                a.relu,
-                                Conv2dParams::SAME_3X3,
-                                col,
-                                out,
-                            );
+                            conv2d_fused_into(xs, x, w, b, a.relu, Conv2dParams::SAME_3X3, out);
                         }
                         Some(_) => panic!("pack slot holds the wrong kernel kind"),
                     }
@@ -199,7 +193,7 @@ impl Lowered {
                     assert!(!a.relu, "fused ReLU on an FP32 tconv is unsupported");
                     match a.pack.map(|p| &self.packs()[p.slot]) {
                         Some(PackedKernel::TConvF32 { pa, bias4 }) => {
-                            tconv2x2_f32_packed(xs, x, pa, bias4, ytmp, out);
+                            tconv2x2_f32_packed(xs, x, pa, bias4, out);
                         }
                         None => {
                             tconv2x2_into(xs, x, w, b, out);
@@ -287,7 +281,7 @@ impl Lowered {
             node.op.mnemonic(m.dtype),
             scratch.plan.elems_of(id) as u64,
         );
-        let QScratch { plan, shapes, fps, col, ytmp, wk, bias4, slots } = scratch;
+        let QScratch { plan, shapes, fps, slots } = scratch;
         let si = plan.slot_of(id);
         // Take the output buffer out of the arena so input slots stay
         // borrowable; the plan guarantees no live input shares `si`.
@@ -311,17 +305,17 @@ impl Lowered {
                     let shift = a.kernel.shift();
                     match a.pack.map(|p| &self.packs()[p.slot]) {
                         Some(PackedKernel::ConvI8(pa)) => {
-                            qconv3x3_i8(xs, x, w, Some(pa), bias, shift, a.relu, col, out);
+                            qconv3x3_i8(xs, x, w, Some(pa), bias, shift, a.relu, out);
                         }
                         Some(PackedKernel::ConvI4(pa)) => {
-                            qconv3x3_i4(xs, x, pa, bias, shift, a.relu, col, out);
+                            qconv3x3_i4(xs, x, pa, bias, shift, a.relu, out);
                         }
                         // Unpacked W4 kernels run the i8 path on their
                         // `[-8, 7]` weight bytes — bit-identical by
                         // construction (the nibble packing is a pure
                         // bandwidth optimisation).
                         None => {
-                            qconv3x3_i8(xs, x, w, None, bias, shift, a.relu, col, out);
+                            qconv3x3_i8(xs, x, w, None, bias, shift, a.relu, out);
                         }
                         Some(_) => panic!("pack slot holds the wrong kernel kind"),
                     }
@@ -336,13 +330,14 @@ impl Lowered {
                     let shift = a.kernel.shift();
                     match a.pack.map(|p| &self.packs()[p.slot]) {
                         Some(PackedKernel::TConvI8 { pa, bias4 }) => {
-                            qtconv2x2_i8_packed(xs, x, pa, bias4, shift, a.relu, ytmp, out);
+                            qtconv2x2_i8_packed(xs, x, pa, bias4, shift, a.relu, out);
                         }
                         Some(PackedKernel::TConvI4 { pa, bias4 }) => {
-                            qtconv2x2_i4_packed(xs, x, pa, bias4, shift, a.relu, ytmp, out);
+                            qtconv2x2_i4_packed(xs, x, pa, bias4, shift, a.relu, out);
                         }
                         None => {
-                            qtconv2x2_i8(xs, x, w, bias, shift, a.relu, wk, bias4, ytmp, out);
+                            let c_out = w.shape().c;
+                            qtconv2x2_i8_into(xs, x, w.data(), c_out, bias, shift, a.relu, out);
                         }
                         Some(_) => panic!("pack slot holds the wrong kernel kind"),
                     }
@@ -367,19 +362,18 @@ impl Lowered {
 }
 
 /// FP32 3x3 same conv against pre-packed weight panels — the arithmetic of
-/// [`conv2d_fused_into`] bit for bit, minus the per-call A-pack.
+/// [`conv2d_fused_into`] bit for bit, minus the per-call A-pack. The
+/// activation panels pack straight from the feature map (implicit GEMM).
 fn conv3x3_f32_packed(
     xs: Shape4,
     x: &[f32],
     pa: &seneca_tensor::gemm::PackedA<f32>,
     b: &[f32],
     relu: bool,
-    col: &mut Vec<f32>,
     out: &mut [f32],
 ) -> Shape4 {
     let geom = ConvGeom { c_in: xs.c, h: xs.h, w: xs.w, k: 3, pad: 1, stride: 1 };
-    let (ckk, cols) = (geom.col_rows(), geom.col_cols());
-    assert_eq!(pa.k(), ckk, "packed conv panel K");
+    assert_eq!(pa.k(), geom.col_rows(), "packed conv panel K");
     let out_shape = Shape4::new(xs.n, pa.m(), geom.h_out(), geom.w_out());
     assert_eq!(out.len(), out_shape.len(), "output buffer size");
     let epi = match (b.is_empty(), relu) {
@@ -388,49 +382,38 @@ fn conv3x3_f32_packed(
         // BiasRelu with an empty slice is a plain ReLU (missing bias reads 0).
         (_, true) => GemmEpilogue::BiasRelu(b),
     };
-    if col.len() != ckk * cols {
-        col.resize(ckk * cols, 0.0);
-    }
     for n in 0..xs.n {
         let x_n = &x[n * xs.chw()..(n + 1) * xs.chw()];
-        im2col(&geom, x_n, col);
         let y_n = &mut out[n * out_shape.chw()..(n + 1) * out_shape.chw()];
-        sgemm_fused_packed(pa, cols, col, y_n, epi);
+        sgemm_conv_packed(pa, &geom, x_n, y_n, epi);
     }
     out_shape
 }
 
-/// FP32 transpose conv against pre-packed `[4*C_out, C_in]` panels — the
-/// arithmetic of [`tconv2x2_into`] bit for bit, minus the per-call
-/// repack-and-pack.
+/// FP32 transpose conv against pre-packed co-major `[4*C_out, C_in]` panels
+/// — the arithmetic of [`tconv2x2_into`] bit for bit, minus the per-call
+/// repack-and-pack. The stride-2 scatter runs in the GEMM tile store.
 fn tconv2x2_f32_packed(
     xs: Shape4,
     x: &[f32],
     pa: &seneca_tensor::gemm::PackedA<f32>,
     bias4: &[f32],
-    ytmp: &mut Vec<f32>,
     out: &mut [f32],
 ) -> Shape4 {
     let c_out = pa.m() / 4;
     assert_eq!(pa.k(), xs.c, "packed tconv panel C_in");
-    let hw = xs.hw();
     let out_shape = Shape4::new(xs.n, c_out, xs.h * 2, xs.w * 2);
     assert_eq!(out.len(), out_shape.len(), "output buffer size");
-    let epi = if bias4.is_empty() { GemmEpilogue::None } else { GemmEpilogue::Bias(bias4) };
-    if ytmp.len() < 4 * c_out * hw {
-        ytmp.resize(4 * c_out * hw, 0.0);
-    }
     for n in 0..xs.n {
         let x_n = &x[n * xs.chw()..(n + 1) * xs.chw()];
-        // The `[C_in, H*W]` input plane is already the column matrix.
-        sgemm_fused_packed(pa, hw, x_n, &mut ytmp[..4 * c_out * hw], epi);
         let out_n = &mut out[n * out_shape.chw()..(n + 1) * out_shape.chw()];
-        scatter_tconv2x2(c_out, xs.h, xs.w, &ytmp[..4 * c_out * hw], out_n);
+        // The `[C_in, H*W]` input plane is already the column matrix.
+        sgemm_tconv2x2_packed(pa, x_n, xs.h, xs.w, bias4, out_n);
     }
     out_shape
 }
 
-/// INT8 3x3 same conv: im2col + fused-epilogue GEMM (bias add,
+/// INT8 3x3 same conv: implicit-GEMM pack + fused-epilogue GEMM (bias add,
 /// requantisation and ReLU clamp in the store). With `pa` the weight panels
 /// were packed at lowering time; without, the GEMM packs per call.
 #[allow(clippy::too_many_arguments)]
@@ -442,26 +425,20 @@ fn qconv3x3_i8(
     bias: &[i32],
     shift: i32,
     relu: bool,
-    col: &mut Vec<i8>,
     out: &mut [i8],
 ) -> Shape4 {
     let ws = w.shape();
     assert_eq!(x.len(), xs.len(), "qconv input buffer/shape mismatch");
     assert_eq!(ws.c, xs.c, "qconv C_in");
     let geom = ConvGeom { c_in: xs.c, h: xs.h, w: xs.w, k: 3, pad: 1, stride: 1 };
-    let (ckk, cols) = (geom.col_rows(), geom.col_cols());
     let out_shape = Shape4::new(xs.n, ws.n, geom.h_out(), geom.w_out());
     assert_eq!(out.len(), out_shape.len(), "qconv output buffer size");
-    if col.len() != ckk * cols {
-        col.resize(ckk * cols, 0);
-    }
     for n in 0..xs.n {
         let x_n = &x[n * xs.chw()..(n + 1) * xs.chw()];
-        im2col_i8(&geom, x_n, col);
         let y_n = &mut out[n * out_shape.chw()..(n + 1) * out_shape.chw()];
         match pa {
-            Some(pa) => igemm_fused_packed(pa, cols, col, bias, shift, relu, y_n),
-            None => igemm_fused(ws.n, ckk, cols, w.data(), col, bias, shift, relu, y_n),
+            Some(pa) => igemm_conv_packed(pa, &geom, x_n, bias, shift, relu, y_n),
+            None => igemm_conv(ws.n, w.data(), &geom, x_n, bias, shift, relu, y_n),
         }
     }
     out_shape
@@ -470,7 +447,6 @@ fn qconv3x3_i8(
 /// W4A8 3x3 same conv against nibble-packed weight panels: identical to the
 /// packed arm of [`qconv3x3_i8`] but streaming half the weight-panel bytes.
 /// Bit-exact vs running the i8 path on the unpacked `[-8, 7]` weights.
-#[allow(clippy::too_many_arguments)]
 fn qconv3x3_i4(
     xs: Shape4,
     x: &[i8],
@@ -478,30 +454,24 @@ fn qconv3x3_i4(
     bias: &[i32],
     shift: i32,
     relu: bool,
-    col: &mut Vec<i8>,
     out: &mut [i8],
 ) -> Shape4 {
     assert_eq!(x.len(), xs.len(), "qconv input buffer/shape mismatch");
     let geom = ConvGeom { c_in: xs.c, h: xs.h, w: xs.w, k: 3, pad: 1, stride: 1 };
-    let (ckk, cols) = (geom.col_rows(), geom.col_cols());
-    assert_eq!(pa.k(), ckk, "packed qconv panel K");
+    assert_eq!(pa.k(), geom.col_rows(), "packed qconv panel K");
     let out_shape = Shape4::new(xs.n, pa.m(), geom.h_out(), geom.w_out());
     assert_eq!(out.len(), out_shape.len(), "qconv output buffer size");
-    if col.len() != ckk * cols {
-        col.resize(ckk * cols, 0);
-    }
     for n in 0..xs.n {
         let x_n = &x[n * xs.chw()..(n + 1) * xs.chw()];
-        im2col_i8(&geom, x_n, col);
         let y_n = &mut out[n * out_shape.chw()..(n + 1) * out_shape.chw()];
-        igemm4_fused_packed(pa, cols, col, bias, shift, relu, y_n);
+        igemm4_conv_packed(pa, &geom, x_n, bias, shift, relu, y_n);
     }
     out_shape
 }
 
-/// W4A8 transpose conv against nibble-packed `[4*C_out, C_in]` panels — the
-/// arithmetic of [`qtconv2x2_i8_packed`] with half the weight-panel bytes.
-#[allow(clippy::too_many_arguments)]
+/// W4A8 transpose conv against nibble-packed co-major `[4*C_out, C_in]`
+/// panels — the arithmetic of [`qtconv2x2_i8_packed`] with half the
+/// weight-panel bytes. The scatter runs in the GEMM tile store.
 fn qtconv2x2_i4_packed(
     xs: Shape4,
     x: &[i8],
@@ -509,29 +479,23 @@ fn qtconv2x2_i4_packed(
     bias4: &[i32],
     shift: i32,
     relu: bool,
-    ytmp: &mut Vec<i8>,
     out: &mut [i8],
 ) -> Shape4 {
     let c_out = pa.m() / 4;
     assert_eq!(pa.k(), xs.c, "packed qtconv panel C_in");
-    let hw = xs.hw();
     let out_shape = Shape4::new(xs.n, c_out, xs.h * 2, xs.w * 2);
     assert_eq!(out.len(), out_shape.len(), "qtconv output buffer size");
-    if ytmp.len() < 4 * c_out * hw {
-        ytmp.resize(4 * c_out * hw, 0);
-    }
     for n in 0..xs.n {
         let x_n = &x[n * xs.chw()..(n + 1) * xs.chw()];
-        igemm4_fused_packed(pa, hw, x_n, bias4, shift, relu, &mut ytmp[..4 * c_out * hw]);
         let out_n = &mut out[n * out_shape.chw()..(n + 1) * out_shape.chw()];
-        scatter_tconv2x2(c_out, xs.h, xs.w, &ytmp[..4 * c_out * hw], out_n);
+        igemm4_tconv2x2_packed(pa, x_n, xs.h, xs.w, bias4, shift, relu, out_n);
     }
     out_shape
 }
 
-/// INT8 transpose conv against pre-packed panels: one fused GEMM per image
-/// plus the stride-2 scatter.
-#[allow(clippy::too_many_arguments)]
+/// INT8 transpose conv against pre-packed co-major panels: one fused GEMM
+/// per image with the stride-2 scatter in the tile store — no pre-scatter
+/// buffer.
 fn qtconv2x2_i8_packed(
     xs: Shape4,
     x: &[i8],
@@ -539,83 +503,16 @@ fn qtconv2x2_i8_packed(
     bias4: &[i32],
     shift: i32,
     relu: bool,
-    ytmp: &mut Vec<i8>,
     out: &mut [i8],
 ) -> Shape4 {
     let c_out = pa.m() / 4;
     assert_eq!(pa.k(), xs.c, "packed qtconv panel C_in");
-    let hw = xs.hw();
     let out_shape = Shape4::new(xs.n, c_out, xs.h * 2, xs.w * 2);
     assert_eq!(out.len(), out_shape.len(), "qtconv output buffer size");
-    if ytmp.len() < 4 * c_out * hw {
-        ytmp.resize(4 * c_out * hw, 0);
-    }
     for n in 0..xs.n {
         let x_n = &x[n * xs.chw()..(n + 1) * xs.chw()];
-        igemm_fused_packed(pa, hw, x_n, bias4, shift, relu, &mut ytmp[..4 * c_out * hw]);
         let out_n = &mut out[n * out_shape.chw()..(n + 1) * out_shape.chw()];
-        scatter_tconv2x2(c_out, xs.h, xs.w, &ytmp[..4 * c_out * hw], out_n);
-    }
-    out_shape
-}
-
-/// INT8 transpose conv without pack-slot caching: repack the
-/// `[C_in, C_out, 2, 2]` weights into the `[4*C_out, C_in]` GEMM operand
-/// per call (scratch-buffered), then GEMM + scatter as above.
-#[allow(clippy::too_many_arguments)]
-fn qtconv2x2_i8(
-    xs: Shape4,
-    x: &[i8],
-    w: &seneca_tensor::QTensor,
-    bias: &[i32],
-    shift: i32,
-    relu: bool,
-    wk: &mut Vec<i8>,
-    bias4: &mut Vec<i32>,
-    ytmp: &mut Vec<i8>,
-    out: &mut [i8],
-) -> Shape4 {
-    let ws = w.shape(); // [C_in, C_out, 2, 2]
-    assert_eq!(x.len(), xs.len(), "qtconv input buffer/shape mismatch");
-    assert_eq!(ws.n, xs.c, "qtconv C_in");
-    let c_out = ws.c;
-    let out_shape = Shape4::new(xs.n, c_out, xs.h * 2, xs.w * 2);
-    assert_eq!(out.len(), out_shape.len(), "qtconv output buffer size");
-    let hw = xs.hw();
-
-    let wk_len = 4 * c_out * xs.c;
-    if wk.len() < wk_len {
-        wk.resize(wk_len, 0);
-    }
-    repack_tconv_weights(xs.c, c_out, w.data(), wk);
-
-    // Bias replicated per kernel position so the epilogue can index it by
-    // GEMM row; each output pixel gets it exactly once.
-    if bias4.len() < 4 * c_out {
-        bias4.resize(4 * c_out, 0);
-    }
-    for (i, v) in bias4[..4 * c_out].iter_mut().enumerate() {
-        *v = bias.get(i % c_out).copied().unwrap_or(0);
-    }
-
-    if ytmp.len() < 4 * c_out * hw {
-        ytmp.resize(4 * c_out * hw, 0);
-    }
-    for n in 0..xs.n {
-        let x_n = &x[n * xs.chw()..(n + 1) * xs.chw()];
-        igemm_fused(
-            4 * c_out,
-            xs.c,
-            hw,
-            &wk[..wk_len],
-            x_n,
-            &bias4[..4 * c_out],
-            shift,
-            relu,
-            &mut ytmp[..4 * c_out * hw],
-        );
-        let out_n = &mut out[n * out_shape.chw()..(n + 1) * out_shape.chw()];
-        scatter_tconv2x2(c_out, xs.h, xs.w, &ytmp[..4 * c_out * hw], out_n);
+        igemm_tconv2x2_packed(pa, x_n, xs.h, xs.w, bias4, shift, relu, out_n);
     }
     out_shape
 }
@@ -836,6 +733,30 @@ mod tests {
         assert_eq!(scratch.input_shape(), s2);
         let y = lowered.execute_f32_into(&x, &mut scratch);
         assert_eq!(y.shape().hw(), s2.hw());
+    }
+
+    /// Regression for the implicit-GEMM refactor: the executor arenas hold
+    /// ONLY plan-slot storage, even after running conv-heavy frames — the
+    /// materialized im2col column buffer and the pre-scatter tconv buffer
+    /// are gone (their former fields no longer exist; this guards against
+    /// side storage creeping back in under another name).
+    #[test]
+    fn scratch_allocates_only_plan_slots() {
+        let mut rng = StdRng::seed_from_u64(36);
+        let m = f32_module(&mut rng);
+        let s = Shape4::new(1, 2, 8, 8);
+        let lowered = lower(m, s, &LowerOptions::reference());
+        let mut scratch = lowered.make_scratch_f32();
+        let x = rand_tensor(s, &mut rng);
+        let _ = lowered.execute_f32_into(&x, &mut scratch);
+        assert_eq!(scratch.arena_elems(), scratch.plan().peak_arena_elems());
+
+        let mq = i8_module(&mut rng);
+        let lowered_q = lower(mq, s, &LowerOptions::reference());
+        let mut qscratch = lowered_q.make_scratch_i8();
+        let xq = QTensor::quantize(&rand_tensor(s, &mut rng), 6);
+        let _ = lowered_q.execute_i8_into(&xq, &mut qscratch);
+        assert_eq!(qscratch.arena_elems(), qscratch.plan().peak_arena_elems());
     }
 
     /// Frame-to-frame reuse of one scratch stays bit-exact.

@@ -64,16 +64,17 @@ pub enum PackedKernel {
     ConvF32(PackedA<f32>),
     /// INT8 conv: `[C_out, C_in*K*K]` panels.
     ConvI8(PackedA<i8>),
-    /// FP32 transpose conv: `[4*C_out, C_in]` panels plus the
-    /// kidx-replicated bias (empty when the conv has no bias).
+    /// FP32 transpose conv: co-major `[4*C_out, C_in]` panels (row
+    /// `co*4 + kidx`) plus the per-row-replicated bias (empty when the conv
+    /// has no bias).
     TConvF32 {
         /// Packed repacked weights.
         pa: PackedA<f32>,
         /// Bias replicated per kernel position (`4*C_out`, or empty).
         bias4: Vec<f32>,
     },
-    /// INT8 transpose conv: `[4*C_out, C_in]` panels plus the
-    /// kidx-replicated accumulator-scale bias.
+    /// INT8 transpose conv: co-major `[4*C_out, C_in]` panels plus the
+    /// per-row-replicated accumulator-scale bias.
     TConvI8 {
         /// Packed repacked weights.
         pa: PackedA<i8>,
@@ -83,8 +84,8 @@ pub enum PackedKernel {
     /// INT4 (W4A8) conv: nibble-packed `[C_out, C_in*K*K]` panels — half
     /// the panel bytes of `ConvI8`.
     ConvI4(PackedA4),
-    /// INT4 (W4A8) transpose conv: nibble-packed `[4*C_out, C_in]` panels
-    /// plus the kidx-replicated accumulator-scale bias.
+    /// INT4 (W4A8) transpose conv: nibble-packed co-major `[4*C_out, C_in]`
+    /// panels plus the per-row-replicated accumulator-scale bias.
     TConvI4 {
         /// Packed repacked weights (nibble-packed).
         pa: PackedA4,
@@ -178,10 +179,13 @@ fn build_packs(m: &Module) -> Vec<PackedKernel> {
                 ConvKernel::F32 { w, b } => {
                     let mut wk = vec![0.0f32; 4 * c_out * c_in];
                     repack_tconv_weights(c_in, c_out, w.data(), &mut wk);
+                    // Row `co*4 + kidx` of the co-major repack belongs to
+                    // output channel `co`, so the replicated bias indexes by
+                    // `row / 4`.
                     let bias4: Vec<f32> = if b.is_empty() {
                         Vec::new()
                     } else {
-                        (0..4 * c_out).map(|i| b[i % c_out]).collect()
+                        (0..4 * c_out).map(|i| b[i / 4]).collect()
                     };
                     PackedKernel::TConvF32 { pa: PackedA::pack(4 * c_out, c_in, &wk), bias4 }
                 }
@@ -189,7 +193,7 @@ fn build_packs(m: &Module) -> Vec<PackedKernel> {
                     let mut wk = vec![0i8; 4 * c_out * c_in];
                     repack_tconv_weights(c_in, c_out, w.data(), &mut wk);
                     let bias4: Vec<i32> =
-                        (0..4 * c_out).map(|i| bias.get(i % c_out).copied().unwrap_or(0)).collect();
+                        (0..4 * c_out).map(|i| bias.get(i / 4).copied().unwrap_or(0)).collect();
                     match wbits {
                         Bitwidth::W8 => {
                             PackedKernel::TConvI8 { pa: PackedA::pack(4 * c_out, c_in, &wk), bias4 }

@@ -308,7 +308,58 @@ impl Module {
         let shapes = self.shapes(input);
         let elems: Vec<usize> = shapes.iter().map(|s| s.n * s.hw() * pad_c(s.c)).collect();
         let inputs: Vec<&[usize]> = self.nodes.iter().map(|n| n.inputs.as_slice()).collect();
-        ExecPlan::build(&inputs, &elems, self.output)
+        let mut plan = ExecPlan::build(&inputs, &elems, self.output);
+        plan.set_work_bytes(self.gemm_work_bytes(&shapes));
+        plan
+    }
+
+    /// Peak per-frame GEMM work-buffer bytes under the implicit-GEMM route:
+    /// for each conv/tconv node, the thread-local B panels the activation
+    /// tiles gather into, plus — for nodes without a pack slot — the
+    /// per-call A panels (and for unpacked tconvs the repacked weights and
+    /// replicated bias). The buffers are reused node to node, so the plan's
+    /// figure is the max, not the sum. Mirrors what the kernels actually
+    /// allocate via [`seneca_tensor::gemm::packed_a_len`] /
+    /// [`seneca_tensor::gemm::packed_b_len`].
+    fn gemm_work_bytes(&self, shapes: &[Shape4]) -> u64 {
+        use seneca_tensor::gemm::{packed_a_len, packed_b_len};
+        let es = match self.dtype {
+            DType::F32 => 4,
+            DType::I8 => 1,
+        };
+        let mut peak = 0u64;
+        for node in &self.nodes {
+            let (attrs, transpose) = match &node.op {
+                IrOp::Conv(a) => (a, false),
+                IrOp::TConv(a) => (a, true),
+                _ => continue,
+            };
+            let s = shapes[node.inputs[0]];
+            let c_out = attrs.kernel.c_out(transpose);
+            // Per image, not per batch: the per-image loop reuses the same
+            // thread-local panels.
+            let bytes = if transpose {
+                // The input plane is the column matrix: B is [C_in, H*W].
+                let mut b = (packed_b_len(s.c, s.hw()) * es) as u64;
+                if attrs.pack.is_none() {
+                    // Repacked weights + per-row bias + per-call A panels.
+                    b += (4 * c_out * s.c * es) as u64;
+                    b += (4 * c_out * 4) as u64;
+                    b += (packed_a_len(4 * c_out, s.c) * es) as u64;
+                }
+                b
+            } else {
+                // Implicit im2col pack: B is [C_in*9, H*W] gathered in tiles.
+                let k = s.c * 9;
+                let mut b = (packed_b_len(k, s.hw()) * es) as u64;
+                if attrs.pack.is_none() {
+                    b += (packed_a_len(c_out, k) * es) as u64;
+                }
+                b
+            };
+            peak = peak.max(bytes);
+        }
+        peak
     }
 
     /// Number of nodes per mnemonic (listing/statistics helper).

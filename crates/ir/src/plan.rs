@@ -35,6 +35,12 @@ pub struct ExecPlan {
     slot_elems: Vec<usize>,
     /// The graph's output node.
     output: usize,
+    /// Peak per-frame GEMM work-buffer bytes: the thread-local pack panels
+    /// the implicit-GEMM route gathers activations into, max over nodes
+    /// (the panels are reused node to node). Set by the module lowering;
+    /// zero for plans built directly via [`ExecPlan::build`].
+    #[serde(default)]
+    work_bytes: u64,
 }
 
 impl ExecPlan {
@@ -124,9 +130,20 @@ impl ExecPlan {
             }
         }
 
-        let plan = Self { slot, last_use, elems: elems.to_vec(), slot_elems, output };
+        let plan =
+            Self { slot, last_use, elems: elems.to_vec(), slot_elems, output, work_bytes: 0 };
         plan.assert_valid();
         plan
+    }
+
+    /// Records the peak per-frame GEMM work-buffer bytes (see `work_bytes`).
+    pub fn set_work_bytes(&mut self, bytes: u64) {
+        self.work_bytes = bytes;
+    }
+
+    /// Peak per-frame GEMM work-buffer bytes recorded by the lowering.
+    pub fn work_bytes(&self) -> u64 {
+        self.work_bytes
     }
 
     /// Number of planned nodes.
@@ -171,9 +188,14 @@ impl ExecPlan {
         self.elems.iter().sum()
     }
 
-    /// [`ExecPlan::peak_arena_elems`] scaled to bytes.
+    /// The full per-worker steady-state footprint in bytes: the slot arena
+    /// ([`ExecPlan::peak_arena_elems`] scaled by `bytes_per_elem`) plus the
+    /// per-frame GEMM work panels ([`ExecPlan::work_bytes`]). With the
+    /// implicit-GEMM route the pack panels are the *only* auxiliary
+    /// storage — there is no materialized im2col column matrix and no
+    /// pre-scatter tconv buffer.
     pub fn peak_arena_bytes(&self, bytes_per_elem: usize) -> u64 {
-        (self.peak_arena_elems() * bytes_per_elem) as u64
+        (self.peak_arena_elems() * bytes_per_elem) as u64 + self.work_bytes
     }
 
     /// [`ExecPlan::total_activation_elems`] scaled to bytes.

@@ -8,12 +8,12 @@
 
 use seneca_ir::shape::{infer_shapes_ops, ShapeOp};
 use seneca_ir::{ConcatQ, ConvAttrs, ConvKernel, DType, IrOp, Module};
-use seneca_tensor::gemm::igemm_fused;
-use seneca_tensor::im2col::{im2col_i8, ConvGeom};
+use seneca_tensor::igemm::igemm_conv;
+use seneca_tensor::im2col::ConvGeom;
 use seneca_tensor::quantized::{concat_requant_i8, maxpool2x2_i8, Bitwidth, QTensor};
+use seneca_tensor::tconv::qtconv2x2_i8_into;
 use seneca_tensor::{Shape4, Tensor};
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
 
 /// Parameters of a quantized (t)conv.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -260,72 +260,48 @@ impl QuantizedGraph {
     }
 }
 
-thread_local! {
-    /// Reusable im2col work buffer for the allocating [`qconv3x3`] wrapper,
-    /// so one-off calls (calibration sweeps, the fast-finetune reference
-    /// pass) stop re-allocating the largest work buffer on every invocation.
-    static QCONV_WORK: RefCell<Vec<i8>> = const { RefCell::new(Vec::new()) };
-}
-
-/// Quantized 3x3 same conv (allocating convenience wrapper; the work buffer
-/// is reused from a thread-local pool, only the output is allocated).
+/// Quantized 3x3 same conv (allocating convenience wrapper; only the output
+/// is allocated — the implicit-GEMM path has no column buffer).
 pub fn qconv3x3(x: &QTensor, p: &QConvParams) -> QTensor {
     let xs = x.shape();
     let geom = ConvGeom { c_in: xs.c, h: xs.h, w: xs.w, k: 3, pad: 1, stride: 1 };
     let mut out =
         QTensor::zeros(Shape4::new(xs.n, p.w.shape().n, geom.h_out(), geom.w_out()), p.out_fp);
-    QCONV_WORK.with(|work| {
-        let col = &mut *work.borrow_mut();
-        qconv3x3_into(x, p, col, &mut out);
-    });
+    qconv3x3_into(x, p, &mut out);
     out
 }
 
-/// Quantized 3x3 same conv into pre-allocated buffers. `col` is resized on
-/// first use and reused afterwards; `out` must have the conv's output
-/// geometry and fix position.
-pub fn qconv3x3_into(x: &QTensor, p: &QConvParams, col: &mut Vec<i8>, out: &mut QTensor) {
+/// Quantized 3x3 same conv into a pre-allocated output, which must have the
+/// conv's output geometry and fix position.
+pub fn qconv3x3_into(x: &QTensor, p: &QConvParams, out: &mut QTensor) {
     assert_eq!(x.fix_pos(), p.in_fp, "qconv input fix position");
     assert_eq!(out.fix_pos(), p.out_fp, "qconv output fix position");
     let xs = x.shape();
     let geom = ConvGeom { c_in: xs.c, h: xs.h, w: xs.w, k: 3, pad: 1, stride: 1 };
     let out_shape = Shape4::new(xs.n, p.w.shape().n, geom.h_out(), geom.w_out());
     assert_eq!(out.shape(), out_shape, "qconv output geometry");
-    qconv3x3_core(xs, x.data(), p, col, out.data_mut());
+    qconv3x3_core(xs, x.data(), p, out.data_mut());
 }
 
 /// Quantized 3x3 same conv on raw arena slices — the planned executor's
-/// entry point. The bias add, requantisation, and ReLU clamp all run in the
-/// GEMM's fused epilogue, so there is no INT32 accumulator buffer and no
-/// second pass over the output. Returns the output shape.
-pub fn qconv3x3_core(
-    xs: Shape4,
-    x: &[i8],
-    p: &QConvParams,
-    col: &mut Vec<i8>,
-    out: &mut [i8],
-) -> Shape4 {
+/// entry point. The activation panels pack directly from the feature map
+/// (implicit GEMM — no materialized column matrix), and the bias add,
+/// requantisation, and ReLU clamp all run in the GEMM's fused epilogue, so
+/// there is no INT32 accumulator buffer and no second pass over the output.
+/// Returns the output shape.
+pub fn qconv3x3_core(xs: Shape4, x: &[i8], p: &QConvParams, out: &mut [i8]) -> Shape4 {
     let ws = p.w.shape();
     assert_eq!(x.len(), xs.len(), "qconv input buffer/shape mismatch");
     assert_eq!(ws.c, xs.c, "qconv C_in");
     let geom = ConvGeom { c_in: xs.c, h: xs.h, w: xs.w, k: 3, pad: 1, stride: 1 };
-    let cols = geom.col_cols();
-    let ckk = geom.col_rows();
     let out_shape = Shape4::new(xs.n, ws.n, geom.h_out(), geom.w_out());
     assert_eq!(out.len(), out_shape.len(), "qconv output buffer size");
     let shift = p.shift();
 
-    // im2col fully overwrites and the GEMM store covers every element, so
-    // stale contents are harmless; resizing only reallocates until the
-    // steady-state size.
-    if col.len() != ckk * cols {
-        col.resize(ckk * cols, 0);
-    }
     for n in 0..xs.n {
         let x_n = &x[n * xs.chw()..(n + 1) * xs.chw()];
-        im2col_i8(&geom, x_n, col);
         let y_n = &mut out[n * out_shape.chw()..(n + 1) * out_shape.chw()];
-        igemm_fused(ws.n, ckk, cols, p.w.data(), col, &p.bias, shift, p.relu, y_n);
+        igemm_conv(ws.n, p.w.data(), &geom, x_n, &p.bias, shift, p.relu, y_n);
     }
     out_shape
 }
@@ -350,105 +326,22 @@ pub fn qtconv2x2_into(x: &QTensor, p: &QConvParams, out: &mut QTensor) {
     qtconv2x2_core(xs, x.data(), p, out.data_mut());
 }
 
-thread_local! {
-    /// Per-thread scratch for [`qtconv2x2_core`]: the `[4*C_out, C_in]`
-    /// repacked weights, the kidx-replicated bias, and the pre-scatter GEMM
-    /// output — reused across calls so steady-state execution stays
-    /// allocation-free.
-    static QTCONV_WORK: RefCell<(Vec<i8>, Vec<i32>, Vec<i8>)> =
-        const { RefCell::new((Vec::new(), Vec::new(), Vec::new())) };
-}
-
 /// Quantized transpose conv on raw arena slices — the planned executor's
-/// entry point. Every output element is written by the scatter, so stale
-/// slot contents are harmless.
+/// entry point. Every output element is written by the scatter-fused GEMM
+/// store, so stale slot contents are harmless.
 ///
 /// With kernel size = stride there is no output overlap, so the op is four
-/// independent 1x1 convolutions: one `[4*C_out, C_in] x [C_in, H*W]`
-/// [`igemm_fused`] per image (the input plane is already the column matrix,
-/// bias/requantise/ReLU fused into the GEMM store) followed by a stride-2
-/// INT8 scatter. Bit-identical to the former direct loops because i32
-/// addition is associative — the bias joining the sum at the end instead of
-/// seeding the accumulator cannot change the value. Returns the output
-/// shape.
+/// independent 1x1 convolutions: one `[4*C_out, C_in] x [C_in, H*W]` GEMM
+/// per image (the input plane is already the column matrix) with the bias,
+/// requantise-clamp, and stride-2 scatter all fused into the tile store —
+/// no pre-scatter buffer. Bit-identical to the former direct loops because
+/// i32 addition is associative — the bias joining the sum at the end
+/// instead of seeding the accumulator cannot change the value. Returns the
+/// output shape.
 pub fn qtconv2x2_core(xs: Shape4, x: &[i8], p: &QConvParams, out: &mut [i8]) -> Shape4 {
     let ws = p.w.shape(); // [C_in, C_out, 2, 2]
-    assert_eq!(x.len(), xs.len(), "qtconv input buffer/shape mismatch");
     assert_eq!(ws.n, xs.c, "qtconv C_in");
-    let c_out = ws.c;
-    let out_shape = Shape4::new(xs.n, c_out, xs.h * 2, xs.w * 2);
-    assert_eq!(out.len(), out_shape.len(), "qtconv output buffer size");
-    let shift = p.shift();
-    let (h, wd) = (xs.h, xs.w);
-    let (oh, ow) = (out_shape.h, out_shape.w);
-    let hw = h * wd;
-    let w_data = p.w.data();
-
-    QTCONV_WORK.with(|cell| {
-        let (wk, bias4, y_tmp) = &mut *cell.borrow_mut();
-
-        // Repack `[C_in, C_out, 2, 2]` weights into a `[4*C_out, C_in]` GEMM
-        // operand: row `kidx*C_out + co` holds the (ky, kx) tap of every
-        // input channel.
-        let wk_len = 4 * c_out * xs.c;
-        if wk.len() < wk_len {
-            wk.resize(wk_len, 0);
-        }
-        for kidx in 0..4 {
-            for co in 0..c_out {
-                let row = &mut wk[(kidx * c_out + co) * xs.c..][..xs.c];
-                for (ci, v) in row.iter_mut().enumerate() {
-                    *v = w_data[(ci * c_out + co) * 4 + kidx];
-                }
-            }
-        }
-
-        // Bias replicated per kernel position so the epilogue can index it by
-        // GEMM row; each output pixel gets it exactly once.
-        if bias4.len() < 4 * c_out {
-            bias4.resize(4 * c_out, 0);
-        }
-        for (i, v) in bias4[..4 * c_out].iter_mut().enumerate() {
-            *v = p.bias.get(i % c_out).copied().unwrap_or(0);
-        }
-
-        if y_tmp.len() < 4 * c_out * hw {
-            y_tmp.resize(4 * c_out * hw, 0);
-        }
-
-        for n in 0..xs.n {
-            let x_n = &x[n * xs.chw()..(n + 1) * xs.chw()];
-            igemm_fused(
-                4 * c_out,
-                xs.c,
-                hw,
-                &wk[..wk_len],
-                x_n,
-                &bias4[..4 * c_out],
-                shift,
-                p.relu,
-                &mut y_tmp[..4 * c_out * hw],
-            );
-
-            // Stride-2 scatter: plane (n, co) position (2iy+ky, 2ix+kx) comes
-            // from GEMM row kidx*C_out+co, element iy*W+ix.
-            let out_n = &mut out[n * out_shape.chw()..(n + 1) * out_shape.chw()];
-            for (co, y_plane) in out_n.chunks_exact_mut(oh * ow).enumerate() {
-                for kidx in 0..4 {
-                    let (ky, kx) = (kidx / 2, kidx % 2);
-                    let src = &y_tmp[(kidx * c_out + co) * hw..][..hw];
-                    for iy in 0..h {
-                        let srow = &src[iy * wd..(iy + 1) * wd];
-                        let drow = &mut y_plane[(2 * iy + ky) * ow..][..ow];
-                        for (d, &v) in drow[kx..].iter_mut().step_by(2).zip(srow) {
-                            *d = v;
-                        }
-                    }
-                }
-            }
-        }
-    });
-    out_shape
+    qtconv2x2_i8_into(xs, x, p.w.data(), ws.c, &p.bias, p.shift(), p.relu, out)
 }
 
 /// INT8 max pool (fix position preserved; allocating convenience wrapper).

@@ -1,6 +1,12 @@
-//! 2-D convolution (forward + backward) via `im2col` + GEMM.
+//! 2-D convolution: implicit-GEMM forward, `im2col` + GEMM backward.
+//!
+//! The forward path never materializes the column matrix — the im2col index
+//! math runs inside the GEMM panel pack (see [`crate::igemm`]). The backward
+//! pass keeps explicit `im2col`/`col2im` because it needs the column matrix
+//! as a GEMM operand in its own right (`dW = dY * col^T`).
 
-use crate::gemm::{sgemm_at, sgemm_bt, sgemm_fused, GemmEpilogue};
+use crate::gemm::{sgemm_at, sgemm_bt, GemmEpilogue};
+use crate::igemm::sgemm_conv;
 use crate::im2col::{col2im, im2col, ConvGeom};
 use crate::shape::Shape4;
 use crate::tensor::Tensor;
@@ -46,27 +52,25 @@ pub fn conv2d(x: &Tensor, w: &Tensor, b: &[f32], p: Conv2dParams) -> Tensor {
     let geom = p.geom(x.shape());
     let out_shape = Shape4::new(x.shape().n, w.shape().n, geom.h_out(), geom.w_out());
     let mut out = Tensor::zeros(out_shape);
-    let mut col = Vec::new();
-    conv2d_into(x.shape(), x.data(), w, b, p, &mut col, out.data_mut());
+    conv2d_into(x.shape(), x.data(), w, b, p, out.data_mut());
     out
 }
 
 /// Forward convolution into a caller-owned output slice — the arithmetic of
-/// [`conv2d`] bit for bit, but the im2col column buffer and the output
-/// storage come from the caller (per-worker scratch), so steady-state
-/// execution performs no allocation. `col` is resized on first use and
-/// reused afterwards; `out` must be exactly the output length. Returns the
-/// output shape.
+/// [`conv2d`] bit for bit, with the output storage coming from the caller
+/// (per-worker arena). The activation panels pack directly from the feature
+/// map (implicit GEMM), so there is no column buffer to provide and
+/// steady-state execution performs no allocation beyond the thread-local
+/// GEMM pack scratch. Returns the output shape.
 pub fn conv2d_into(
     xs: Shape4,
     x: &[f32],
     w: &Tensor,
     b: &[f32],
     p: Conv2dParams,
-    col: &mut Vec<f32>,
     out: &mut [f32],
 ) -> Shape4 {
-    conv2d_fused_into(xs, x, w, b, false, p, col, out)
+    conv2d_fused_into(xs, x, w, b, false, p, out)
 }
 
 /// [`conv2d_into`] with an optional fused ReLU: bias and activation are
@@ -81,7 +85,6 @@ pub fn conv2d_fused_into(
     b: &[f32],
     relu: bool,
     p: Conv2dParams,
-    col: &mut Vec<f32>,
     out: &mut [f32],
 ) -> Shape4 {
     let ws = w.shape();
@@ -103,19 +106,10 @@ pub fn conv2d_fused_into(
         (_, true) => GemmEpilogue::BiasRelu(b),
     };
 
-    let ckk = geom.col_rows();
-    let cols = geom.col_cols();
-    // im2col fully overwrites and the GEMM store covers every element, so
-    // stale contents are harmless; resizing only reallocates until the
-    // steady-state size.
-    if col.len() != ckk * cols {
-        col.resize(ckk * cols, 0.0);
-    }
     for n in 0..xs.n {
         let x_n = &x[n * xs.chw()..(n + 1) * xs.chw()];
-        im2col(&geom, x_n, col);
         let y_n = &mut out[n * out_shape.chw()..(n + 1) * out_shape.chw()];
-        sgemm_fused(ws.n, ckk, cols, w.data(), col, y_n, epi);
+        sgemm_conv(ws.n, w.data(), &geom, x_n, y_n, epi);
     }
     out_shape
 }

@@ -55,7 +55,7 @@ pub const NR: usize = 32;
 
 /// Rows of `C` handled per parallel task (a multiple of `MR`); small enough
 /// to give rayon tasks to balance, large enough to amortise task dispatch.
-const MC: usize = 32;
+pub(crate) const MC: usize = 32;
 
 const _: () = assert!(MC.is_multiple_of(MR), "MC must be a multiple of MR");
 
@@ -76,24 +76,24 @@ pub enum GemmEpilogue<'a> {
 
 /// One micro-tile's position within the output matrix.
 #[derive(Debug, Clone, Copy)]
-struct Tile {
+pub(crate) struct Tile {
     /// Global row of the tile's first row (bias index base).
-    row: usize,
+    pub(crate) row: usize,
     /// Row offset of the tile within the current row-block slice.
-    ip0: usize,
+    pub(crate) ip0: usize,
     /// First column.
-    j0: usize,
+    pub(crate) j0: usize,
     /// Valid rows (`<= MR`; the rest is zero padding).
-    rows: usize,
+    pub(crate) rows: usize,
     /// Valid columns (`<= NR`).
-    cols: usize,
+    pub(crate) cols: usize,
 }
 
 thread_local! {
     /// Reusable packing scratch (A panels, B panels) for the f32 kernels.
-    static PACK_F32: RefCell<(Vec<f32>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+    pub(crate) static PACK_F32: RefCell<(Vec<f32>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
     /// Reusable packing scratch for the INT8 kernels.
-    static PACK_I8: RefCell<(Vec<i8>, Vec<i8>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+    pub(crate) static PACK_I8: RefCell<(Vec<i8>, Vec<i8>)> = const { RefCell::new((Vec::new(), Vec::new())) };
 }
 
 /// A pre-packed `A` operand: the `MR`-tall k-major row panels the micro-kernel
@@ -112,7 +112,7 @@ thread_local! {
 pub struct PackedA<T> {
     m: usize,
     k: usize,
-    panels: Vec<T>,
+    pub(crate) panels: Vec<T>,
 }
 
 impl<T: Zero> PackedA<T> {
@@ -155,7 +155,7 @@ impl<T: Zero> PackedA<T> {
 pub struct PackedA4 {
     m: usize,
     k: usize,
-    panels: Vec<u8>,
+    pub(crate) panels: Vec<u8>,
 }
 
 impl PackedA4 {
@@ -215,17 +215,22 @@ pub fn unpack_nibble_pairs(src: &[u8], dst: &mut [i8]) {
     }
 }
 
-fn packed_a_len(m: usize, k: usize) -> usize {
+/// Elements of `A`-panel scratch an `m x k` operand packs into (the `MR`-tall
+/// row panels, tail panel zero padded). Public so memory accounting (the IR
+/// plan's work-buffer bytes) can mirror what the kernels actually allocate.
+pub fn packed_a_len(m: usize, k: usize) -> usize {
     m.div_ceil(MR) * MR * k
 }
 
-fn packed_b_len(k: usize, n: usize) -> usize {
+/// Elements of `B`-panel scratch a `k x n` operand packs into (the `NR`-wide
+/// column panels, tail panel zero padded).
+pub fn packed_b_len(k: usize, n: usize) -> usize {
     n.div_ceil(NR) * NR * k
 }
 
 /// Packs `A` (via `get(i, kk)`) into `MR`-tall row panels, k-major, zero
 /// padding the tail panel's missing rows.
-fn pack_a<T: Zero>(m: usize, k: usize, get: impl Fn(usize, usize) -> T, buf: &mut [T]) {
+pub(crate) fn pack_a<T: Zero>(m: usize, k: usize, get: impl Fn(usize, usize) -> T, buf: &mut [T]) {
     for ip in 0..m.div_ceil(MR) {
         let i0 = ip * MR;
         let rows = MR.min(m - i0);
@@ -240,7 +245,7 @@ fn pack_a<T: Zero>(m: usize, k: usize, get: impl Fn(usize, usize) -> T, buf: &mu
 
 /// Packs `B` (via `get(kk, j)`) into `NR`-wide column panels, k-major, zero
 /// padding the tail panel's missing columns.
-fn pack_b<T: Zero>(k: usize, n: usize, get: impl Fn(usize, usize) -> T, buf: &mut [T]) {
+pub(crate) fn pack_b<T: Zero>(k: usize, n: usize, get: impl Fn(usize, usize) -> T, buf: &mut [T]) {
     for jp in 0..n.div_ceil(NR) {
         let j0 = jp * NR;
         let cols = NR.min(n - j0);
@@ -267,7 +272,7 @@ fn pack_b<T: Zero>(k: usize, n: usize, get: impl Fn(usize, usize) -> T, buf: &mu
 /// halving INT8 throughput. Compiled as an isolated `#[inline(never)]`
 /// function with direct stores, the same source autovectorizes the intended
 /// way (broadcast row scalar x widened B vector, accumulators in registers).
-fn block_driver_f32<T: Send>(
+pub(crate) fn block_driver_f32<T: Send>(
     k: usize,
     n: usize,
     pa: &[f32],
@@ -304,7 +309,7 @@ macro_rules! i8_block_fn {
     ($name:ident, $t:ty, ($($extra:ident: $ty:ty),*), $store:expr) => {
         #[allow(clippy::too_many_arguments)]
         #[inline(never)]
-        fn $name(
+        pub(crate) fn $name(
             k: usize,
             n: usize,
             row0: usize,
@@ -381,7 +386,7 @@ i8_block_fn!(
 /// as the i8 blocks (see [`block_driver_f32`]).
 #[allow(clippy::too_many_arguments)]
 #[inline(never)]
-fn i4_block_requant(
+pub(crate) fn i4_block_requant(
     k: usize,
     n: usize,
     row0: usize,
@@ -496,7 +501,7 @@ fn gemm_f32(
 
 /// Runs the tiled f32 driver over already-packed panels, applying `epi` at
 /// store time. Shared by the pack-per-call and pre-packed-A entry points.
-fn run_f32_blocks(
+pub(crate) fn run_f32_blocks(
     k: usize,
     n: usize,
     pa: &[f32],

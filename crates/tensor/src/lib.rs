@@ -18,6 +18,7 @@
 pub mod activation;
 pub mod conv;
 pub mod gemm;
+pub mod igemm;
 pub mod im2col;
 pub mod norm;
 pub mod pool;

@@ -5,10 +5,11 @@
 //! channel and belongs to exactly one kernel position `(ky, kx)`. That makes
 //! the forward pass four independent 1x1 convolutions — lowered here to a
 //! single GEMM per image (`[4*C_out, C_in] x [C_in, H*W]`, the input plane
-//! already *is* the column matrix) followed by a stride-2 scatter, instead of
-//! the former scalar accumulation loops.
+//! already *is* the column matrix) with the stride-2 scatter fused into the
+//! GEMM tile store (see [`crate::igemm`]), so no pre-scatter buffer is ever
+//! materialized.
 
-use crate::gemm::{sgemm_fused, GemmEpilogue};
+use crate::igemm::{igemm_tconv2x2, sgemm_tconv2x2};
 use crate::shape::Shape4;
 use crate::tensor::Tensor;
 use rayon::prelude::*;
@@ -16,24 +17,30 @@ use std::cell::RefCell;
 
 thread_local! {
     /// Per-thread scratch for [`tconv2x2_into`]: the `[4*C_out, C_in]`
-    /// repacked weights, the kidx-replicated bias, and the pre-scatter GEMM
-    /// output — reused across calls so steady-state execution stays
-    /// allocation-free.
-    static TCONV_WORK: RefCell<(Vec<f32>, Vec<f32>, Vec<f32>)> =
-        const { RefCell::new((Vec::new(), Vec::new(), Vec::new())) };
+    /// repacked weights and the kidx-replicated bias — reused across calls
+    /// so steady-state execution stays allocation-free.
+    static TCONV_WORK: RefCell<(Vec<f32>, Vec<f32>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+    /// Per-thread scratch for [`qtconv2x2_i8_into`] (the unpacked INT8
+    /// route): repacked weights and accumulator-scale bias.
+    static QTCONV_I8_WORK: RefCell<(Vec<i8>, Vec<i32>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
 }
 
 /// Repacks `[C_in, C_out, 2, 2]` transpose-conv weights into the
-/// `[4*C_out, C_in]` GEMM operand: row `kidx*C_out + co` holds the
-/// `(ky, kx)` tap of every input channel, so one GEMM computes all four
-/// kernel positions at once. Shared by the f32 and INT8 paths (and the
-/// `seneca-ir` weight-packing pass, which repacks once at model load).
+/// `[4*C_out, C_in]` GEMM operand: row `co*4 + kidx` holds the `(ky, kx)`
+/// tap of every input channel. The rows are **co-major** so that an
+/// `MC = 32`-row GEMM block spans whole output planes — which is what lets
+/// the scatter-fused tile store split the output race-free (see
+/// [`crate::igemm`]). Shared by the f32 and INT8 paths (and the `seneca-ir`
+/// weight-packing pass, which repacks once at model load). Row order only
+/// permutes GEMM output rows, so the scattered result is unchanged.
 pub fn repack_tconv_weights<T: Copy>(c_in: usize, c_out: usize, w: &[T], wk: &mut [T]) {
     assert_eq!(w.len(), c_in * c_out * 4, "weight size");
     assert!(wk.len() >= 4 * c_out * c_in, "repack buffer size");
-    for kidx in 0..4 {
-        for co in 0..c_out {
-            let row = &mut wk[(kidx * c_out + co) * c_in..][..c_in];
+    for co in 0..c_out {
+        for kidx in 0..4 {
+            let row = &mut wk[(co * 4 + kidx) * c_in..][..c_in];
             for (ci, v) in row.iter_mut().enumerate() {
                 *v = w[(ci * c_out + co) * 4 + kidx];
             }
@@ -41,9 +48,12 @@ pub fn repack_tconv_weights<T: Copy>(c_in: usize, c_out: usize, w: &[T], wk: &mu
     }
 }
 
-/// Stride-2 scatter of the `[4*C_out, H*W]` pre-scatter GEMM output `y` into
-/// one `[C_out, 2H, 2W]` image plane: position `(2iy+ky, 2ix+kx)` of plane
-/// `co` comes from GEMM row `kidx*C_out + co`, element `iy*W + ix`. Parallel
+/// Stride-2 scatter of a materialized `[4*C_out, H*W]` pre-scatter GEMM
+/// output `y` (co-major rows, matching [`repack_tconv_weights`]) into one
+/// `[C_out, 2H, 2W]` image plane: position `(2iy+ky, 2ix+kx)` of plane `co`
+/// comes from GEMM row `co*4 + kidx`, element `iy*W + ix`. The hot forward
+/// paths fuse this store into the GEMM tiles; this standalone version is the
+/// materialized reference the fused kernels are tested against. Parallel
 /// over output planes; writes are disjoint. Every output element is written
 /// exactly once, so `out` may hold stale data.
 pub fn scatter_tconv2x2<T: Copy + Send + Sync>(
@@ -60,7 +70,7 @@ pub fn scatter_tconv2x2<T: Copy + Send + Sync>(
     out.par_chunks_mut(oh * ow).enumerate().for_each(|(co, y_plane)| {
         for kidx in 0..4 {
             let (ky, kx) = (kidx / 2, kidx % 2);
-            let src = &y[(kidx * c_out + co) * hw..][..hw];
+            let src = &y[(co * 4 + kidx) * hw..][..hw];
             for iy in 0..h {
                 let srow = &src[iy * w..(iy + 1) * w];
                 let drow = &mut y_plane[(2 * iy + ky) * ow..][..ow];
@@ -88,7 +98,7 @@ pub fn tconv2x2(x: &Tensor, w: &Tensor, b: &[f32]) -> Tensor {
 
 /// Transpose convolution into a caller-owned output slice ([`tconv2x2`]
 /// semantics). The output buffer may hold stale data: every element is
-/// overwritten by the scatter. Returns the output shape.
+/// overwritten by the scatter-fused GEMM store. Returns the output shape.
 pub fn tconv2x2_into(xs: Shape4, x: &[f32], w: &Tensor, b: &[f32], out: &mut [f32]) -> Shape4 {
     let ws = w.shape();
     assert_eq!(x.len(), xs.len(), "input buffer/shape mismatch");
@@ -100,10 +110,9 @@ pub fn tconv2x2_into(xs: Shape4, x: &[f32], w: &Tensor, b: &[f32], out: &mut [f3
     let out_shape = Shape4::new(xs.n, c_out, xs.h * 2, xs.w * 2);
     assert_eq!(out.len(), out_shape.len(), "output buffer size");
     let (h, wd) = (xs.h, xs.w);
-    let hw = h * wd;
 
     TCONV_WORK.with(|cell| {
-        let (wk, bias4, y_tmp) = &mut *cell.borrow_mut();
+        let (wk, bias4) = &mut *cell.borrow_mut();
 
         let wk_len = 4 * c_out * xs.c;
         if wk.len() < wk_len {
@@ -111,30 +120,81 @@ pub fn tconv2x2_into(xs: Shape4, x: &[f32], w: &Tensor, b: &[f32], out: &mut [f3
         }
         repack_tconv_weights(xs.c, c_out, w.data(), wk);
 
-        // Bias replicated per kernel position so the GEMM epilogue can index
-        // it by row; each output pixel gets it exactly once.
-        let epi = if b.is_empty() {
-            GemmEpilogue::None
-        } else {
+        // Bias replicated per kernel position so the fused store can index
+        // it by GEMM row; each output pixel gets it exactly once.
+        if !b.is_empty() {
             if bias4.len() < 4 * c_out {
                 bias4.resize(4 * c_out, 0.0);
             }
             for (i, v) in bias4[..4 * c_out].iter_mut().enumerate() {
-                *v = b[i % c_out];
+                *v = b[i / 4];
             }
-            GemmEpilogue::Bias(&bias4[..4 * c_out])
-        };
-
-        if y_tmp.len() < 4 * c_out * hw {
-            y_tmp.resize(4 * c_out * hw, 0.0);
         }
+        let bias4 = if b.is_empty() { &[][..] } else { &bias4[..4 * c_out] };
 
         for n in 0..xs.n {
             let x_n = &x[n * xs.chw()..(n + 1) * xs.chw()];
-            // The `[C_in, H*W]` input plane is already the column matrix.
-            sgemm_fused(4 * c_out, xs.c, hw, &wk[..wk_len], x_n, &mut y_tmp[..4 * c_out * hw], epi);
             let out_n = &mut out[n * out_shape.chw()..(n + 1) * out_shape.chw()];
-            scatter_tconv2x2(c_out, h, wd, &y_tmp[..4 * c_out * hw], out_n);
+            // The `[C_in, H*W]` input plane is already the column matrix.
+            sgemm_tconv2x2(c_out, xs.c, &wk[..wk_len], x_n, h, wd, bias4, out_n);
+        }
+    });
+    out_shape
+}
+
+/// Quantized (INT8) transpose convolution of a whole batch into a
+/// caller-owned output slice, repacking the `[C_in, C_out, 2, 2]` weights
+/// per call (thread-local scratch). `bias` is at accumulator scale, length
+/// `C_out` (or empty). The GEMM, requantise-clamp epilogue, and stride-2
+/// scatter are all one fused pass. Returns the output shape.
+///
+/// Shared by `seneca-quant`'s eager graph executor and the IR executor's
+/// unpacked arm; the packed arms in `seneca-ir` call the
+/// [`crate::igemm::igemm_tconv2x2_packed`] family directly.
+#[allow(clippy::too_many_arguments)]
+pub fn qtconv2x2_i8_into(
+    xs: Shape4,
+    x: &[i8],
+    w: &[i8],
+    c_out: usize,
+    bias: &[i32],
+    shift: i32,
+    relu: bool,
+    out: &mut [i8],
+) -> Shape4 {
+    assert_eq!(x.len(), xs.len(), "input buffer/shape mismatch");
+    assert_eq!(w.len(), xs.c * c_out * 4, "weight size");
+    let out_shape = Shape4::new(xs.n, c_out, xs.h * 2, xs.w * 2);
+    assert_eq!(out.len(), out_shape.len(), "output buffer size");
+
+    QTCONV_I8_WORK.with(|cell| {
+        let (wk, bias4) = &mut *cell.borrow_mut();
+        let wk_len = 4 * c_out * xs.c;
+        if wk.len() < wk_len {
+            wk.resize(wk_len, 0);
+        }
+        repack_tconv_weights(xs.c, c_out, w, wk);
+        if bias4.len() < 4 * c_out {
+            bias4.resize(4 * c_out, 0);
+        }
+        for (i, v) in bias4[..4 * c_out].iter_mut().enumerate() {
+            *v = bias.get(i / 4).copied().unwrap_or(0);
+        }
+        for n in 0..xs.n {
+            let x_n = &x[n * xs.chw()..(n + 1) * xs.chw()];
+            let out_n = &mut out[n * out_shape.chw()..(n + 1) * out_shape.chw()];
+            igemm_tconv2x2(
+                c_out,
+                xs.c,
+                &wk[..wk_len],
+                x_n,
+                xs.h,
+                xs.w,
+                &bias4[..4 * c_out],
+                shift,
+                relu,
+                out_n,
+            );
         }
     });
     out_shape

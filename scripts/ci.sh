@@ -18,10 +18,10 @@ cargo test -q
 echo "== serve smoke (seneca-serve demo) =="
 cargo run --release -q -p seneca-serve --example serve_demo -- smoke
 
-echo "== ir smoke (pass pipeline clean; peak arena < total activations) =="
+echo "== ir smoke (pass pipeline clean; peak arena < total activations; implicit-GEMM peak < materialized route) =="
 cargo run --release -q -p seneca-bench --example ir_stats
 
-echo "== kernel smoke (packed GEMM beats reference; igemm bit-exact) =="
+echo "== kernel smoke (packed GEMM beats reference; igemm bit-exact; implicit conv bit-exact and not slower than materialized) =="
 cargo run --release -q -p seneca-bench --example kernel_stats -- smoke
 
 echo "== fleet smoke (2x batch overload: fleet up, interactive p99 in SLO, no cross-tenant misses) =="
