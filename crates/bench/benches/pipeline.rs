@@ -18,14 +18,15 @@ use seneca_tensor::{Shape4, Tensor};
 fn bench_phantom(c: &mut Criterion) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     let anatomy = Anatomy::sample(&mut rng);
-    let cfg = RasterConfig { size: 256, z_range: (0.0, 1.0), slices: 8, blur: true };
+    let cfg = RasterConfig { size: 256, z_range: (0.0, 1.0), slices: 8, ..RasterConfig::default() };
     c.bench_function("phantom/8slices@256", |b| b.iter(|| rasterize(&anatomy, &cfg, 1, 0)));
 }
 
 fn bench_preprocess(c: &mut Criterion) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(2);
     let anatomy = Anatomy::sample(&mut rng);
-    let cfg = RasterConfig { size: 512, z_range: (0.3, 0.35), slices: 1, blur: true };
+    let cfg =
+        RasterConfig { size: 512, z_range: (0.3, 0.35), slices: 1, ..RasterConfig::default() };
     let vol = rasterize(&anatomy, &cfg, 2, 0);
     let slice = vol.slice(0);
     c.bench_function("preprocess/512to256", |b| b.iter(|| preprocess(&slice, 2)));

@@ -9,6 +9,7 @@ pub mod fig6;
 pub mod fleet;
 pub mod mixed;
 pub mod profile;
+pub mod robustness;
 pub mod serve;
 pub mod table1;
 pub mod table2;
@@ -19,7 +20,7 @@ pub mod table5;
 use crate::ctx::ExperimentCtx;
 
 /// All experiment names in run order.
-pub const ALL: [&str; 17] = [
+pub const ALL: [&str; 18] = [
     "table1",
     "table2",
     "table3",
@@ -37,6 +38,7 @@ pub const ALL: [&str; 17] = [
     "fleet",
     "profile",
     "mixed",
+    "robustness",
 ];
 
 /// Dispatches one experiment by name. Returns false for unknown names.
@@ -59,6 +61,7 @@ pub fn run(name: &str, ctx: &mut ExperimentCtx) -> bool {
         "fleet" => fleet::run(ctx),
         "profile" => profile::run(ctx),
         "mixed" => mixed::run(ctx),
+        "robustness" => robustness::run(ctx),
         _ => return false,
     }
     true

@@ -54,6 +54,7 @@ impl SenecaConfig {
                 seed: 0xC70E,
                 lr_decay: 0.9,
                 verbose: true,
+                augment: None,
             },
             learning_rate: 1.5e-3,
             calibration_images: 500,
@@ -85,6 +86,7 @@ impl SenecaConfig {
                 seed: 0xC70E,
                 lr_decay: 0.93,
                 verbose: true,
+                augment: None,
             },
             learning_rate: 3e-3,
             calibration_images: 150,
@@ -112,6 +114,7 @@ impl SenecaConfig {
                 seed: 0xC70E,
                 lr_decay: 0.9,
                 verbose: false,
+                augment: None,
             },
             learning_rate: 2e-3,
             calibration_images: 24,

@@ -4,7 +4,7 @@
 //! per-organ Dice sample, which is what the paper's boxplots (Fig. 6) and
 //! mean±std columns (Table V) are built from.
 
-use crate::workflow::PreparedData;
+use crate::workflow::{PreparedData, TestPatient};
 use seneca_backend::Backend;
 use seneca_data::volume::Organ;
 use seneca_metrics::agg::{BoxplotStats, MeanStd};
@@ -74,9 +74,16 @@ pub fn evaluate_accuracy(predict: &Predictor<'_>, data: &PreparedData) -> Accura
 /// slices go through `infer_batch` as one batch, so backends with worker
 /// pools (the DPU runtime, the INT8 reference) parallelise within patients.
 pub fn evaluate_backend(backend: &dyn Backend, data: &PreparedData) -> AccuracyReport {
-    evaluate_batches(
+    evaluate_backend_on(backend, &data.test_by_patient)
+}
+
+/// Evaluates any [`Backend`] over an explicit patient list — the robustness
+/// suite evaluates the same deployment on many scenario-specific test sets,
+/// none of which are the prepared split.
+pub fn evaluate_backend_on(backend: &dyn Backend, patients: &[TestPatient]) -> AccuracyReport {
+    evaluate_batches_on(
         &|images| backend.infer_batch(images).into_iter().map(|p| p.labels).collect(),
-        data,
+        patients,
     )
 }
 
@@ -87,12 +94,20 @@ pub fn evaluate_backend(backend: &dyn Backend, data: &PreparedData) -> AccuracyR
 /// the tensors a predictor sees are *the* prepared tensors (stable buffer
 /// addresses across evaluation passes).
 pub fn evaluate_batches(predict: &BatchPredictor<'_>, data: &PreparedData) -> AccuracyReport {
+    evaluate_batches_on(predict, &data.test_by_patient)
+}
+
+/// Evaluates a batch predictor over an explicit patient list.
+pub fn evaluate_batches_on(
+    predict: &BatchPredictor<'_>,
+    patients: &[TestPatient],
+) -> AccuracyReport {
     let mut per_organ_pct: Vec<Vec<f64>> = vec![Vec::new(); 5];
     let mut global_pct = Vec::new();
     let mut tpr_pct = Vec::new();
     let mut tnr_pct = Vec::new();
 
-    for patient in &data.test_by_patient {
+    for patient in patients {
         let preds = predict(&patient.images);
         assert_eq!(preds.len(), patient.images.len(), "predictor batch length");
 

@@ -5,7 +5,9 @@ use rand::SeedableRng;
 use seneca_backend::{Backend, Fp32RefBackend, QuantRefBackend};
 use seneca_data::calibration::{manual_calibration, PAPER_MANUAL_TARGET};
 use seneca_data::dataset::{SplitKind, SyntheticCtOrg};
+use seneca_data::pathology::PathologyConfig;
 use seneca_data::preprocess::preprocess;
+use seneca_data::scenario::Scenario;
 use seneca_data::stats::{FrequencyAccumulator, OrganFrequencies};
 use seneca_data::volume::Slice2d;
 use seneca_dpu::arch::DpuArch;
@@ -161,6 +163,36 @@ impl Workflow {
         }
     }
 
+    /// Builds the test split under an acquisition [`Scenario`], optionally
+    /// with seeded pathology — the robustness suite's per-scenario
+    /// evaluation sets. Uses the same patients, strides and preprocessing
+    /// as [`Self::prepare_data`], so `(Scenario::nominal(), None)`
+    /// reproduces the prepared `test_by_patient` exactly; only the
+    /// acquisition (and the injected lesions) differ otherwise. FP32 and
+    /// every quantized deployment are evaluated on these same tensors, so
+    /// the measured gap is attributable to quantization alone.
+    pub fn scenario_test_patients(
+        &self,
+        scenario: &Scenario,
+        pathology: Option<&PathologyConfig>,
+    ) -> Vec<TestPatient> {
+        let ds = self.cohort();
+        let factor = self.config.downsample_factor();
+        let mut patients = Vec::new();
+        for id in ds.patients(SplitKind::Test) {
+            let vol = ds.scenario_volume(id, scenario, pathology);
+            let mut images = Vec::new();
+            let mut labels = Vec::new();
+            for z in (0..vol.depth).step_by(self.config.test_stride) {
+                let s = slice_to_sample(&preprocess(&vol.slice(z), factor));
+                images.push(s.image);
+                labels.push(s.labels);
+            }
+            patients.push(TestPatient { id, images, labels });
+        }
+        patients
+    }
+
     /// Stages B + C: build and train one Table II model.
     ///
     /// Two pragmatic adaptations of the paper's protocol for CPU-scale
@@ -282,6 +314,25 @@ mod tests {
         assert!(data.class_weights[2] > data.class_weights[5]);
         // Background is down-weighted.
         assert!(data.class_weights[0] < 0.2);
+    }
+
+    #[test]
+    fn nominal_scenario_test_set_matches_prepared_split() {
+        let (wf, data) = fast_workflow();
+        let nominal = wf.scenario_test_patients(&Scenario::nominal(), None);
+        assert_eq!(nominal.len(), data.test_by_patient.len());
+        for (a, b) in nominal.iter().zip(&data.test_by_patient) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.labels, b.labels);
+            for (ia, ib) in a.images.iter().zip(&b.images) {
+                assert_eq!(ia.data(), ib.data());
+            }
+        }
+        // A degraded scenario with pathology produces different inputs.
+        let sc = Scenario { dose: 0.25, slice_thickness: 2, fov: 0.85 };
+        let degraded = wf.scenario_test_patients(&sc, Some(&PathologyConfig::default()));
+        assert_eq!(degraded.len(), data.test_by_patient.len());
+        assert!(degraded[0].images.len() < data.test_by_patient[0].images.len());
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub fn artifacts_dir() -> PathBuf {
 pub fn config_fingerprint(cfg: &SenecaConfig) -> String {
     let c = &cfg.cohort;
     format!(
-        "p{}s{}z{}i{}ts{}e{}b{}lr{}sd{:x}",
+        "p{}s{}z{}i{}ts{}e{}b{}lr{}sd{:x}{}",
         c.n_patients,
         c.slice_size,
         c.slices_per_unit_z as u32,
@@ -32,6 +32,10 @@ pub fn config_fingerprint(cfg: &SenecaConfig) -> String {
         cfg.train.batch_size,
         (cfg.learning_rate * 1e6) as u64,
         cfg.seed ^ cfg.train.seed,
+        // Suffix only when augmentation is on, so pre-augmentation cache
+        // entries keep their names (and stay valid — `None` leaves the
+        // training RNG stream untouched).
+        if cfg.train.augment.is_some() { "-aug" } else { "" },
     )
 }
 

@@ -11,6 +11,7 @@
 //! cohort has realistic inter-patient variability while remaining fully
 //! deterministic.
 
+use crate::pathology::Lesion;
 use crate::volume::Organ;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -54,10 +55,13 @@ pub struct Anatomy {
     pub rib_phase: f32,
     /// Gaussian HU noise sigma.
     pub noise_sigma: f32,
+    /// Injected pathologies (empty = healthy patient). Lesions keep their
+    /// host organ's label and only shift HU — see [`crate::pathology`].
+    pub lesions: Vec<Lesion>,
 }
 
 impl Anatomy {
-    /// Samples a patient anatomy.
+    /// Samples a (healthy) patient anatomy.
     pub fn sample<R: Rng>(rng: &mut R) -> Self {
         Self {
             body_rx: 0.86 * rng.gen_range(0.94..1.06),
@@ -67,6 +71,7 @@ impl Anatomy {
             z_stretch: rng.gen_range(0.96..1.04),
             rib_phase: rng.gen_range(0.0..std::f32::consts::TAU),
             noise_sigma: rng.gen_range(9.0..14.0),
+            lesions: Vec::new(),
         }
     }
 
@@ -88,7 +93,27 @@ impl Anatomy {
         }
     }
 
-    /// Classifies a voxel: returns `(label, nominal HU)`.
+    /// Classifies a voxel including pathology: returns
+    /// `(label, nominal HU, lesion)`.
+    ///
+    /// The organ label is the *healthy* classification — lesion voxels keep
+    /// their host organ's label (the lesion channel folds into the organ
+    /// mask) — but a lesion hosted by that organ shifts the HU and sets the
+    /// lesion flag.
+    pub fn classify_voxel(&self, nx: f32, ny: f32, z: f32) -> (u8, f32, bool) {
+        let (label, hu) = self.classify(nx, ny, z);
+        if label != 0 {
+            for lesion in &self.lesions {
+                if label == lesion.organ.label() && lesion.contains(nx, ny, z) {
+                    return (label, hu + lesion.hu_offset, true);
+                }
+            }
+        }
+        (label, hu, false)
+    }
+
+    /// Classifies a voxel of the *healthy* anatomy: returns
+    /// `(label, nominal HU)`, ignoring any injected lesions.
     ///
     /// Priority order (first match wins): bones, lungs, liver, kidneys,
     /// bladder, brain, fat ring, soft tissue.
@@ -281,6 +306,29 @@ mod tests {
         let b = anatomy(11);
         assert_ne!(a.body_rx, b.body_rx);
         assert_ne!(a.rib_phase, b.rib_phase);
+    }
+
+    #[test]
+    fn lesions_shift_hu_but_keep_the_organ_label() {
+        let mut a = anatomy(2);
+        // Healthy liver voxel (see organs_appear_in_their_z_ranges).
+        let (l, hu_healthy) = a.classify(-0.30, 0.02, 0.57);
+        assert_eq!(l, Organ::Liver.label());
+        a.lesions.push(crate::pathology::Lesion {
+            organ: Organ::Liver,
+            center: (-0.30, 0.02, 0.57),
+            radii: (0.05, 0.05, 0.04),
+            hu_offset: -35.0,
+        });
+        let (l2, hu_lesion, is_lesion) = a.classify_voxel(-0.30, 0.02, 0.57);
+        assert_eq!(l2, Organ::Liver.label(), "lesion must fold into the organ mask");
+        assert!(is_lesion);
+        assert_eq!(hu_lesion, hu_healthy - 35.0);
+        // A lung voxel is untouched by a liver lesion even if the ellipsoid
+        // happened to overlap it geometrically.
+        let (l3, _, is3) = a.classify_voxel(-0.40, -0.08, 0.25);
+        assert_eq!(l3, Organ::Lungs.label());
+        assert!(!is3);
     }
 
     #[test]

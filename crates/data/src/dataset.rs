@@ -7,7 +7,9 @@
 //! makes the brain label massively under-represented (Table I: 0.18%).
 
 use crate::anatomy::Anatomy;
-use crate::phantom::{rasterize, RasterConfig};
+use crate::pathology::{seed_lesions, PathologyConfig};
+use crate::phantom::RasterConfig;
+use crate::scenario::{rasterize_scenario, Scenario};
 use crate::volume::{Slice2d, Volume};
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -127,23 +129,46 @@ impl SyntheticCtOrg {
         (0..self.config.n_patients).filter(|&id| self.split(id) == split).collect()
     }
 
-    /// Generates the full volume of one patient.
+    /// Generates the full volume of one patient (healthy, nominal
+    /// acquisition — this is what training and calibration see).
     pub fn volume(&self, patient_id: usize) -> Volume {
+        self.scenario_volume(patient_id, &Scenario::nominal(), None)
+    }
+
+    /// Generates one patient under an acquisition [`Scenario`], optionally
+    /// with seeded pathology. `(Scenario::nominal(), None)` reproduces
+    /// [`Self::volume`] bit for bit: lesion seeding uses its own RNG stream
+    /// (`seed ^ 0x1E51_0000 ^ patient_id`), so healthy anatomy sampling is
+    /// untouched, and nominal scenario multipliers are exact 1.0s.
+    pub fn scenario_volume(
+        &self,
+        patient_id: usize,
+        scenario: &Scenario,
+        pathology: Option<&PathologyConfig>,
+    ) -> Volume {
         assert!(patient_id < self.config.n_patients, "patient {patient_id} out of cohort");
         let mut rng = self.patient_rng(patient_id);
         let _ = rng.gen::<f64>(); // consumed by scan_kind
-        let anatomy = Anatomy::sample(&mut rng);
+        let mut anatomy = Anatomy::sample(&mut rng);
+        if let Some(cfg) = pathology {
+            let mut lrng = rand::rngs::StdRng::seed_from_u64(
+                self.config.seed ^ 0x1E51_0000 ^ patient_id as u64,
+            );
+            anatomy.lesions = seed_lesions(&anatomy, cfg, &mut lrng);
+        }
         let kind = self.scan_kind(patient_id);
         let (z0, z1) = kind.z_range();
         let slices = ((z1 - z0) * self.config.slices_per_unit_z).round().max(8.0) as usize;
-        rasterize(
+        rasterize_scenario(
             &anatomy,
             &RasterConfig {
                 size: self.config.slice_size,
                 z_range: (z0, z1),
                 slices,
                 blur: self.config.blur,
+                ..RasterConfig::default()
             },
+            scenario,
             self.config.seed ^ 0xABCD,
             patient_id,
         )
@@ -259,5 +284,48 @@ mod tests {
     fn volume_bounds_checked() {
         let ds = tiny_cohort();
         let _ = ds.volume(99);
+    }
+
+    #[test]
+    fn nominal_scenario_volume_matches_plain_volume() {
+        // volume() delegates to scenario_volume(); the healthy nominal path
+        // must stay bit-identical (zoo caches key off these voxels).
+        let ds = tiny_cohort();
+        let plain = ds.volume(4);
+        let nominal = ds.scenario_volume(4, &Scenario::nominal(), None);
+        assert_eq!(plain.hu, nominal.hu);
+        assert_eq!(plain.labels, nominal.labels);
+        assert!(nominal.lesion.is_empty());
+    }
+
+    #[test]
+    fn pathology_volumes_are_deterministic_and_lesion_bearing() {
+        let ds = tiny_cohort();
+        let cfg = PathologyConfig { min_lesions: 2, max_lesions: 3, ..Default::default() };
+        let sc = Scenario { dose: 0.5, slice_thickness: 2, fov: 0.9 };
+        let a = ds.scenario_volume(7, &sc, Some(&cfg));
+        let b = ds.scenario_volume(7, &sc, Some(&cfg));
+        assert_eq!(a.hu, b.hu);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.lesion, b.lesion);
+        // At least one patient in the cohort rasterises lesion voxels.
+        let total: u64 = (0..8)
+            .map(|id| ds.scenario_volume(id, &Scenario::nominal(), Some(&cfg)).lesion_voxels())
+            .sum();
+        assert!(total > 0, "no lesion voxels across 8 patients");
+    }
+
+    #[test]
+    fn pathology_keeps_healthy_label_geometry() {
+        // Lesions are folded into organ labels: the label field with
+        // pathology is identical to the healthy one (HU differs inside).
+        let ds = tiny_cohort();
+        let cfg = PathologyConfig { min_lesions: 3, max_lesions: 3, ..Default::default() };
+        let healthy = ds.volume(0);
+        let sick = ds.scenario_volume(0, &Scenario::nominal(), Some(&cfg));
+        assert_eq!(healthy.labels, sick.labels);
+        if sick.lesion_voxels() > 0 {
+            assert_ne!(healthy.hu, sick.hu);
+        }
     }
 }

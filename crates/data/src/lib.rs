@@ -18,6 +18,10 @@
 //!   rescaling, 1%/99% percentile saturation, brain-label removal;
 //! * [`calibration`] — the Table III calibration-set samplers (random vs
 //!   manually frequency-leveled);
+//! * [`pathology`] — parametric lesions (liver tumors, lung nodules, renal
+//!   cysts) injected inside host organs, labels folded into the organ mask;
+//! * [`scenario`] — acquisition scenarios (dose / slice thickness / FOV)
+//!   and the factorial grid driving the robustness experiment;
 //! * [`stats`] — organ pixel-frequency accounting (Table I);
 //! * [`nifti`] — minimal NIfTI-1 export so synthetic volumes open in
 //!   standard medical viewers (CT-ORG's native format).
@@ -26,8 +30,10 @@ pub mod anatomy;
 pub mod calibration;
 pub mod dataset;
 pub mod nifti;
+pub mod pathology;
 pub mod phantom;
 pub mod preprocess;
+pub mod scenario;
 pub mod stats;
 pub mod volume;
 

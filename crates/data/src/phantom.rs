@@ -21,17 +21,36 @@ pub struct RasterConfig {
     pub slices: usize,
     /// Apply partial-volume blur.
     pub blur: bool,
+    /// Multiplier on the anatomy's HU noise sigma (1 = nominal dose; a
+    /// quarter-dose scan doubles it — see [`crate::scenario`]).
+    pub noise_scale: f32,
+    /// In-plane field of view: the raster grid spans `[-fov, fov]` in
+    /// normalized coordinates (1 = full body; < 1 zooms into the centre at
+    /// the same matrix size, like a reduced reconstruction FOV).
+    pub fov: f32,
+}
+
+impl Default for RasterConfig {
+    fn default() -> Self {
+        Self { size: 128, z_range: (0.0, 1.0), slices: 56, blur: true, noise_scale: 1.0, fov: 1.0 }
+    }
 }
 
 /// Rasterises a patient volume. Deterministic given `(anatomy, cfg, seed)`.
 pub fn rasterize(anatomy: &Anatomy, cfg: &RasterConfig, seed: u64, patient_id: usize) -> Volume {
     assert!(cfg.slices >= 1 && cfg.size >= 8, "degenerate raster config");
+    assert!(cfg.noise_scale >= 0.0 && cfg.fov > 0.0, "degenerate acquisition settings");
     let mut vol = Volume::air(cfg.size, cfg.size, cfg.slices, patient_id);
     let n = cfg.size;
     let slice_len = n * n;
     let (z0, z1) = cfg.z_range;
+    let sigma = anatomy.noise_sigma * cfg.noise_scale;
+    let has_lesions = !anatomy.lesions.is_empty();
+    if has_lesions {
+        vol.lesion = vec![0u8; slice_len * cfg.slices];
+    }
 
-    let hu_slices: Vec<(Vec<f32>, Vec<u8>)> = (0..cfg.slices)
+    let hu_slices: Vec<(Vec<f32>, Vec<u8>, Vec<u8>)> = (0..cfg.slices)
         .into_par_iter()
         .map(|zi| {
             let z = if cfg.slices == 1 {
@@ -44,29 +63,36 @@ pub fn rasterize(anatomy: &Anatomy, cfg: &RasterConfig, seed: u64, patient_id: u
             );
             let mut hu = vec![0.0f32; slice_len];
             let mut labels = vec![0u8; slice_len];
+            let mut lesion = if has_lesions { vec![0u8; slice_len] } else { Vec::new() };
             for y in 0..n {
-                let ny = (y as f32 / (n - 1) as f32) * 2.0 - 1.0;
+                let ny = ((y as f32 / (n - 1) as f32) * 2.0 - 1.0) * cfg.fov;
                 for x in 0..n {
-                    let nx = (x as f32 / (n - 1) as f32) * 2.0 - 1.0;
-                    let (l, base_hu) = anatomy.classify(nx, ny, z);
+                    let nx = ((x as f32 / (n - 1) as f32) * 2.0 - 1.0) * cfg.fov;
+                    let (l, base_hu, in_lesion) = anatomy.classify_voxel(nx, ny, z);
                     labels[y * n + x] = l;
+                    if in_lesion {
+                        lesion[y * n + x] = 1;
+                    }
                     // Box-Muller Gaussian noise.
                     let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
                     let u2: f32 = rng.gen_range(0.0..1.0);
                     let g = (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
-                    hu[y * n + x] = base_hu + anatomy.noise_sigma * g;
+                    hu[y * n + x] = base_hu + sigma * g;
                 }
             }
             if cfg.blur {
                 hu = box_blur3(&hu, n, n);
             }
-            (hu, labels)
+            (hu, labels, lesion)
         })
         .collect();
 
-    for (zi, (hu, labels)) in hu_slices.into_iter().enumerate() {
+    for (zi, (hu, labels, lesion)) in hu_slices.into_iter().enumerate() {
         vol.hu[zi * slice_len..(zi + 1) * slice_len].copy_from_slice(&hu);
         vol.labels[zi * slice_len..(zi + 1) * slice_len].copy_from_slice(&labels);
+        if has_lesions {
+            vol.lesion[zi * slice_len..(zi + 1) * slice_len].copy_from_slice(&lesion);
+        }
     }
     vol
 }
@@ -102,7 +128,12 @@ mod tests {
         let anatomy = Anatomy::sample(&mut rng);
         rasterize(
             &anatomy,
-            &RasterConfig { size: 64, z_range: (-0.25, 1.0), slices: 40, blur: true },
+            &RasterConfig {
+                size: 64,
+                z_range: (-0.25, 1.0),
+                slices: 40,
+                ..RasterConfig::default()
+            },
             seed,
             3,
         )

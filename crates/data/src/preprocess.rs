@@ -10,6 +10,16 @@ use crate::volume::{Organ, Slice2d};
 /// Integer-factor area downsampling of intensities plus centre-sample label
 /// downsampling. `factor` must divide both dimensions.
 pub fn downsample(slice: &Slice2d, factor: usize) -> Slice2d {
+    downsample_excluding(slice, factor, None)
+}
+
+/// [`downsample`] with an optional label excluded from the majority vote.
+///
+/// Excluded pixels cast no vote at all (they neither win the window nor
+/// count toward background), so a label removed downstream — the brain in
+/// [`preprocess`] — cannot eat the votes of the organs it overlaps. A
+/// window consisting only of excluded pixels downsamples to background.
+pub fn downsample_excluding(slice: &Slice2d, factor: usize, exclude: Option<u8>) -> Slice2d {
     assert!(factor >= 1, "factor must be >= 1");
     if factor == 1 {
         return slice.clone();
@@ -38,16 +48,13 @@ pub fn downsample(slice: &Slice2d, factor: usize) -> Slice2d {
             for dy in 0..factor {
                 for dx in 0..factor {
                     let l = slice.labels[(y * factor + dy) * slice.width + x * factor + dx];
-                    counts[(l as usize).min(6)] += 1;
+                    debug_assert!(l <= 6, "corrupted slice: label {l} out of range (0..=6)");
+                    if Some(l) != exclude {
+                        counts[l as usize] += 1;
+                    }
                 }
             }
-            let best = counts
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, &c)| c)
-                .map(|(i, _)| i as u8)
-                .unwrap_or(0);
-            labels[y * w + x] = best;
+            labels[y * w + x] = majority_label(&counts);
         }
     }
     Slice2d {
@@ -58,6 +65,21 @@ pub fn downsample(slice: &Slice2d, factor: usize) -> Slice2d {
         patient_id: slice.patient_id,
         slice_index: slice.slice_index,
     }
+}
+
+/// The label with the highest count; exact ties resolve to the *lowest*
+/// label, so background beats organs and organ labels beat later ones.
+/// All-zero counts return background.
+pub fn majority_label(counts: &[u16; 7]) -> u8 {
+    let mut best = 0u8;
+    let mut best_count = counts[0];
+    for (label, &count) in counts.iter().enumerate().skip(1) {
+        if count > best_count {
+            best = label as u8;
+            best_count = count;
+        }
+    }
+    best
 }
 
 /// Returns the p-th percentile (0..=100) of `values` (nearest-rank).
@@ -93,10 +115,16 @@ pub fn remove_brain_label(slice: &mut Slice2d) {
     }
 }
 
-/// Full stage-A pipeline: downsample by `factor`, remove brain, saturate at
-/// 1% and rescale to `[-1, 1]`.
+/// Full stage-A pipeline: downsample by `factor` with the brain excluded
+/// from the label vote, remove any surviving brain labels (the `factor == 1`
+/// path), saturate at 1% and rescale to `[-1, 1]`.
+///
+/// The brain must come out *before* the majority vote: removing it after
+/// downsampling would zero whole windows that are majority-brain, and a
+/// window where brain narrowly outvotes another organ would lose that
+/// organ's contribution entirely.
 pub fn preprocess(slice: &Slice2d, factor: usize) -> Slice2d {
-    let mut s = downsample(slice, factor);
+    let mut s = downsample_excluding(slice, factor, Some(Organ::Brain.label()));
     remove_brain_label(&mut s);
     saturate_and_rescale(&mut s, 1.0);
     s
@@ -142,6 +170,95 @@ mod tests {
     fn downsample_requires_divisible_factor() {
         let s = test_slice(10, 10);
         let _ = downsample(&s, 3);
+    }
+
+    #[test]
+    fn downsample_ties_resolve_to_lowest_label() {
+        // Exactly tied window {3, 5, 3, 5}: lungs (3) and bones (5) have two
+        // votes each. The contract says the lowest label wins; the pre-fix
+        // `max_by_key` returned the *last* maximum, i.e. bones.
+        let s = Slice2d {
+            width: 2,
+            height: 2,
+            pixels: vec![0.0; 4],
+            labels: vec![3, 5, 3, 5],
+            patient_id: 0,
+            slice_index: 0,
+        };
+        let d = downsample(&s, 2);
+        assert_eq!(d.labels, vec![3]);
+        // Background ties with an organ: background wins.
+        let s = Slice2d {
+            width: 2,
+            height: 2,
+            pixels: vec![0.0; 4],
+            labels: vec![0, 1, 0, 1],
+            patient_id: 0,
+            slice_index: 0,
+        };
+        assert_eq!(downsample(&s, 2).labels, vec![0]);
+    }
+
+    #[test]
+    fn majority_label_basics() {
+        assert_eq!(majority_label(&[0, 0, 0, 0, 0, 0, 0]), 0);
+        assert_eq!(majority_label(&[1, 0, 0, 2, 0, 2, 0]), 3);
+        assert_eq!(majority_label(&[2, 2, 0, 0, 0, 0, 0]), 0);
+        assert_eq!(majority_label(&[0, 0, 4, 4, 0, 0, 4]), 2);
+    }
+
+    #[test]
+    fn brain_excluded_from_vote_before_downsampling() {
+        // 3x3 window: 4 brain, 3 lungs, 2 background. With the brain voting
+        // (pre-fix), brain wins the window and is then zeroed — the lungs'
+        // plurality among the *kept* labels is lost. Excluding brain from
+        // the vote, lungs (3 votes) beat background (2 votes).
+        let s = Slice2d {
+            width: 3,
+            height: 3,
+            pixels: vec![0.0; 9],
+            labels: vec![6, 6, 6, 6, 3, 3, 3, 0, 0],
+            patient_id: 0,
+            slice_index: 0,
+        };
+        let p = preprocess(&s, 3);
+        assert_eq!(p.labels, vec![3]);
+        // Majority-brain window with no organ contest still becomes
+        // background, not brain.
+        let s = Slice2d {
+            width: 3,
+            height: 3,
+            pixels: vec![0.0; 9],
+            labels: vec![6; 9],
+            patient_id: 0,
+            slice_index: 0,
+        };
+        assert_eq!(preprocess(&s, 3).labels, vec![0]);
+        // Plain downsample (no exclusion) still lets brain win its window.
+        let s = Slice2d {
+            width: 3,
+            height: 3,
+            pixels: vec![0.0; 9],
+            labels: vec![6, 6, 6, 6, 6, 3, 3, 0, 0],
+            patient_id: 0,
+            slice_index: 0,
+        };
+        assert_eq!(downsample(&s, 3).labels, vec![6]);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn corrupted_labels_panic_in_downsample() {
+        let s = Slice2d {
+            width: 2,
+            height: 2,
+            pixels: vec![0.0; 4],
+            labels: vec![0, 9, 0, 0],
+            patient_id: 0,
+            slice_index: 0,
+        };
+        let _ = downsample(&s, 2);
     }
 
     #[test]

@@ -94,6 +94,12 @@ pub struct Volume {
     pub hu: Vec<f32>,
     /// Organ labels.
     pub labels: Vec<u8>,
+    /// Lesion mask (1 = voxel belongs to an injected lesion), parallel to
+    /// `labels`. Lesion voxels keep their host organ's label — the lesion
+    /// channel is *folded into* the organ mask so Dice is scored on
+    /// lesion-bearing anatomy — and this mask records where they are.
+    /// Empty for healthy volumes (no per-voxel cost when unused).
+    pub lesion: Vec<u8>,
     /// Patient identifier within the synthetic cohort.
     pub patient_id: usize,
 }
@@ -124,8 +130,14 @@ impl Volume {
             depth,
             hu: vec![-1000.0; width * height * depth],
             labels: vec![0; width * height * depth],
+            lesion: Vec::new(),
             patient_id,
         }
+    }
+
+    /// Number of lesion voxels (0 for healthy volumes).
+    pub fn lesion_voxels(&self) -> u64 {
+        self.lesion.iter().filter(|&&m| m != 0).count() as u64
     }
 
     /// Number of voxels per slice.
@@ -148,10 +160,13 @@ impl Volume {
     }
 
     /// Counts labeled voxels per organ (index = label value, 0..=6).
+    /// Labels outside the organ range are a corrupted volume, not a seventh
+    /// organ: they panic instead of silently folding into label 6.
     pub fn label_histogram(&self) -> [u64; 7] {
         let mut h = [0u64; 7];
         for &l in &self.labels {
-            h[(l as usize).min(6)] += 1;
+            debug_assert!(l <= 6, "corrupted volume: label {l} out of range (0..=6)");
+            h[l as usize] += 1;
         }
         h
     }
@@ -159,10 +174,13 @@ impl Volume {
 
 impl Slice2d {
     /// Counts labeled pixels per organ (index = label value, 0..=6).
+    /// Out-of-range labels panic (corrupted data), mirroring
+    /// [`Volume::label_histogram`].
     pub fn label_histogram(&self) -> [u64; 7] {
         let mut h = [0u64; 7];
         for &l in &self.labels {
-            h[(l as usize).min(6)] += 1;
+            debug_assert!(l <= 6, "corrupted slice: label {l} out of range (0..=6)");
+            h[l as usize] += 1;
         }
         h
     }
@@ -222,5 +240,39 @@ mod tests {
     fn slice_bounds_checked() {
         let v = Volume::air(2, 2, 1, 0);
         let _ = v.slice(1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn corrupted_volume_labels_panic() {
+        // A label outside 0..=6 is data corruption; the histogram must not
+        // silently fold it into the brain bucket (debug: range assert,
+        // release: bounds check — either way, a panic, mirroring the
+        // corrupted-graph panics in seneca-ir).
+        let mut v = Volume::air(2, 2, 1, 0);
+        v.labels = vec![0, 1, 7, 5];
+        let _ = v.label_histogram();
+    }
+
+    #[test]
+    #[should_panic]
+    fn corrupted_slice_labels_panic() {
+        let s = Slice2d {
+            width: 2,
+            height: 1,
+            pixels: vec![0.0; 2],
+            labels: vec![0, 255],
+            patient_id: 0,
+            slice_index: 0,
+        };
+        let _ = s.label_histogram();
+    }
+
+    #[test]
+    fn lesion_mask_counts() {
+        let mut v = Volume::air(2, 2, 1, 0);
+        assert_eq!(v.lesion_voxels(), 0);
+        v.lesion = vec![0, 1, 1, 0];
+        assert_eq!(v.lesion_voxels(), 2);
     }
 }

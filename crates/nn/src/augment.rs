@@ -2,9 +2,16 @@
 //!
 //! Standard geometric/intensity augmentations for medical segmentation:
 //! horizontal flips (anatomically plausible for the near-symmetric trunk),
-//! small translations, intensity scale/shift jitter and Gaussian noise.
-//! Labels follow geometric transforms exactly; intensity transforms leave
-//! them untouched.
+//! small translations, smooth elastic deformation (the classic coarse
+//! displacement grid, bilinearly upsampled), intensity scale/shift jitter
+//! and Gaussian noise. Labels follow geometric transforms exactly (nearest
+//! neighbour for elastic); intensity transforms leave them untouched.
+//!
+//! For the training loop use [`Augmenter`]: it keeps scratch buffers across
+//! calls and mutates samples in place — the flip is a true in-place column
+//! swap, translation and elastic reuse one scratch image/label pair, and
+//! intensity jitter writes through, so steady-state augmentation performs
+//! no allocation at all.
 
 use crate::train::Sample;
 use rand::Rng;
@@ -24,6 +31,12 @@ pub struct AugmentConfig {
     pub shift_jitter: f32,
     /// Additive Gaussian noise sigma (post-normalisation units).
     pub noise_sigma: f32,
+    /// Probability of applying an elastic deformation.
+    pub elastic_prob: f64,
+    /// Maximum |displacement| of an elastic grid node, in pixels.
+    pub elastic_alpha: f32,
+    /// Spacing of the coarse elastic displacement grid, in pixels.
+    pub elastic_grid: usize,
 }
 
 impl Default for AugmentConfig {
@@ -34,6 +47,9 @@ impl Default for AugmentConfig {
             scale_jitter: 0.05,
             shift_jitter: 0.05,
             noise_sigma: 0.02,
+            elastic_prob: 0.3,
+            elastic_alpha: 2.5,
+            elastic_grid: 8,
         }
     }
 }
@@ -73,31 +89,185 @@ pub fn translate(s: &Sample, dx: isize, dy: isize) -> Sample {
     Sample { image, labels }
 }
 
-/// Applies the policy to one sample.
+/// Smooth elastic deformation: random displacements on a coarse `grid`-px
+/// lattice (uniform in `±alpha` px), bilinearly upsampled to a per-pixel
+/// warp field. The image is sampled bilinearly (out-of-bounds reads air),
+/// labels nearest-neighbour so classes never blend.
+pub fn elastic_deform<R: Rng>(s: &Sample, alpha: f32, grid: usize, rng: &mut R) -> Sample {
+    let mut out = s.clone();
+    let mut aug = Augmenter::new(AugmentConfig::default());
+    aug.elastic_in_place(&mut out, alpha, grid, rng);
+    out
+}
+
+/// Applies the policy to one sample (convenience wrapper over
+/// [`Augmenter`], which is what the training loop uses).
 pub fn augment<R: Rng>(s: &Sample, cfg: &AugmentConfig, rng: &mut R) -> Sample {
     let mut out = s.clone();
-    if rng.gen_bool(cfg.flip_prob) {
-        out = flip_horizontal(&out);
-    }
-    if cfg.max_shift > 0 {
-        let m = cfg.max_shift as isize;
-        let (dx, dy) = (rng.gen_range(-m..=m), rng.gen_range(-m..=m));
-        if dx != 0 || dy != 0 {
-            out = translate(&out, dx, dy);
-        }
-    }
-    let scale = 1.0 + rng.gen_range(-cfg.scale_jitter..=cfg.scale_jitter);
-    let shift = rng.gen_range(-cfg.shift_jitter..=cfg.shift_jitter);
-    for v in out.image.data_mut() {
-        let mut x = *v * scale + shift;
-        if cfg.noise_sigma > 0.0 {
-            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
-            let u2: f32 = rng.gen_range(0.0..1.0);
-            x += cfg.noise_sigma * (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
-        }
-        *v = x.clamp(-1.0, 1.0);
-    }
+    Augmenter::new(*cfg).apply(&mut out, rng);
     out
+}
+
+/// Reusable in-place augmentation engine.
+///
+/// Holds the scratch image/label pair and the elastic node buffers, so a
+/// training loop pays for their allocation once and then augments every
+/// sample of every epoch without touching the allocator.
+#[derive(Debug, Clone)]
+pub struct Augmenter {
+    /// The policy applied by [`Augmenter::apply`].
+    pub cfg: AugmentConfig,
+    scratch_img: Vec<f32>,
+    scratch_lab: Vec<u8>,
+    node_dx: Vec<f32>,
+    node_dy: Vec<f32>,
+}
+
+impl Augmenter {
+    /// Creates an engine for `cfg` (scratch grows lazily to the slice size).
+    pub fn new(cfg: AugmentConfig) -> Self {
+        Self {
+            cfg,
+            scratch_img: Vec::new(),
+            scratch_lab: Vec::new(),
+            node_dx: Vec::new(),
+            node_dy: Vec::new(),
+        }
+    }
+
+    /// Augments `s` in place. Deterministic given the RNG state.
+    pub fn apply<R: Rng>(&mut self, s: &mut Sample, rng: &mut R) {
+        let cfg = self.cfg;
+        if rng.gen_bool(cfg.flip_prob) {
+            flip_horizontal_in_place(s);
+        }
+        if cfg.max_shift > 0 {
+            let m = cfg.max_shift as isize;
+            let (dx, dy) = (rng.gen_range(-m..=m), rng.gen_range(-m..=m));
+            if dx != 0 || dy != 0 {
+                self.translate_in_place(s, dx, dy);
+            }
+        }
+        if cfg.elastic_prob > 0.0 && rng.gen_bool(cfg.elastic_prob) {
+            self.elastic_in_place(s, cfg.elastic_alpha, cfg.elastic_grid, rng);
+        }
+        let scale = 1.0 + rng.gen_range(-cfg.scale_jitter..=cfg.scale_jitter);
+        let shift = rng.gen_range(-cfg.shift_jitter..=cfg.shift_jitter);
+        for v in s.image.data_mut() {
+            let mut x = *v * scale + shift;
+            if cfg.noise_sigma > 0.0 {
+                let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                let u2: f32 = rng.gen_range(0.0..1.0);
+                x += cfg.noise_sigma * (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
+            }
+            *v = x.clamp(-1.0, 1.0);
+        }
+    }
+
+    fn translate_in_place(&mut self, s: &mut Sample, dx: isize, dy: isize) {
+        let shape = s.image.shape();
+        let (h, w) = (shape.h as isize, shape.w as isize);
+        let n = (h * w) as usize;
+        self.scratch_img.clear();
+        self.scratch_img.resize(n, -1.0); // air after [-1,1] rescale
+        self.scratch_lab.clear();
+        self.scratch_lab.resize(n, 0);
+        let img = s.image.data();
+        for y in 0..h {
+            let sy = y - dy;
+            if sy < 0 || sy >= h {
+                continue;
+            }
+            for x in 0..w {
+                let sx = x - dx;
+                if sx >= 0 && sx < w {
+                    self.scratch_img[(y * w + x) as usize] = img[(sy * w + sx) as usize];
+                    self.scratch_lab[(y * w + x) as usize] = s.labels[(sy * w + sx) as usize];
+                }
+            }
+        }
+        s.image.data_mut().copy_from_slice(&self.scratch_img);
+        s.labels.copy_from_slice(&self.scratch_lab);
+    }
+
+    fn elastic_in_place<R: Rng>(&mut self, s: &mut Sample, alpha: f32, grid: usize, rng: &mut R) {
+        assert!(grid >= 2, "elastic grid spacing must be >= 2 px");
+        assert!(alpha >= 0.0, "elastic amplitude must be non-negative");
+        let shape = s.image.shape();
+        let (h, w) = (shape.h, shape.w);
+        let n = h * w;
+        // Coarse node lattice covering [0, w) x [0, h) with one extra node
+        // past each border so every pixel has four surrounding nodes.
+        let gw = (w - 1) / grid + 2;
+        let gh = (h - 1) / grid + 2;
+        self.node_dx.clear();
+        self.node_dy.clear();
+        for _ in 0..gw * gh {
+            self.node_dx.push(rng.gen_range(-alpha..=alpha));
+            self.node_dy.push(rng.gen_range(-alpha..=alpha));
+        }
+        self.scratch_img.clear();
+        self.scratch_img.resize(n, -1.0);
+        self.scratch_lab.clear();
+        self.scratch_lab.resize(n, 0);
+        let img = s.image.data();
+        for y in 0..h {
+            let gy = y as f32 / grid as f32;
+            let iy = gy as usize; // floor (gy >= 0)
+            let fy = gy - iy as f32;
+            for x in 0..w {
+                let gx = x as f32 / grid as f32;
+                let ix = gx as usize;
+                let fx = gx - ix as f32;
+                let node = |f: &[f32]| {
+                    let a = f[iy * gw + ix];
+                    let b = f[iy * gw + ix + 1];
+                    let c = f[(iy + 1) * gw + ix];
+                    let d = f[(iy + 1) * gw + ix + 1];
+                    a * (1.0 - fx) * (1.0 - fy)
+                        + b * fx * (1.0 - fy)
+                        + c * (1.0 - fx) * fy
+                        + d * fx * fy
+                };
+                let sx = x as f32 + node(&self.node_dx);
+                let sy = y as f32 + node(&self.node_dy);
+                let i = y * w + x;
+                // Labels: nearest neighbour, background outside.
+                let (rx, ry) = (sx.round(), sy.round());
+                if rx >= 0.0 && ry >= 0.0 && (rx as usize) < w && (ry as usize) < h {
+                    self.scratch_lab[i] = s.labels[ry as usize * w + rx as usize];
+                }
+                // Image: bilinear, air outside.
+                if sx >= 0.0 && sy >= 0.0 && sx <= (w - 1) as f32 && sy <= (h - 1) as f32 {
+                    let (x0, y0) = (sx as usize, sy as usize);
+                    let (x1, y1) = ((x0 + 1).min(w - 1), (y0 + 1).min(h - 1));
+                    let (tx, ty) = (sx - x0 as f32, sy - y0 as f32);
+                    let v = img[y0 * w + x0] * (1.0 - tx) * (1.0 - ty)
+                        + img[y0 * w + x1] * tx * (1.0 - ty)
+                        + img[y1 * w + x0] * (1.0 - tx) * ty
+                        + img[y1 * w + x1] * tx * ty;
+                    self.scratch_img[i] = v;
+                }
+            }
+        }
+        s.image.data_mut().copy_from_slice(&self.scratch_img);
+        s.labels.copy_from_slice(&self.scratch_lab);
+    }
+}
+
+/// Horizontal flip without allocating: swaps columns of both the image and
+/// the label map.
+pub fn flip_horizontal_in_place(s: &mut Sample) {
+    let shape = s.image.shape();
+    let (h, w) = (shape.h, shape.w);
+    let img = s.image.data_mut();
+    for y in 0..h {
+        let row = y * w;
+        for x in 0..w / 2 {
+            img.swap(row + x, row + w - 1 - x);
+            s.labels.swap(row + x, row + w - 1 - x);
+        }
+    }
 }
 
 /// Expands a dataset with `factor - 1` augmented copies per sample.
@@ -155,7 +325,8 @@ mod tests {
     #[test]
     fn labels_follow_geometry_not_intensity() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        let cfg = AugmentConfig { flip_prob: 0.0, max_shift: 0, ..Default::default() };
+        let cfg =
+            AugmentConfig { flip_prob: 0.0, max_shift: 0, elastic_prob: 0.0, ..Default::default() };
         let s = sample();
         let a = augment(&s, &cfg, &mut rng);
         // No geometric change: labels identical even though intensities moved.
@@ -171,6 +342,58 @@ mod tests {
             let a = augment(&s, &AugmentConfig::default(), &mut rng);
             assert!(a.image.data().iter().all(|v| (-1.0..=1.0).contains(v)));
             assert!(a.labels.iter().all(|&l| l <= 6));
+        }
+    }
+
+    #[test]
+    fn in_place_flip_matches_the_copying_flip() {
+        let s = sample();
+        let copied = flip_horizontal(&s);
+        let mut inplace = s.clone();
+        flip_horizontal_in_place(&mut inplace);
+        assert_eq!(inplace.image, copied.image);
+        assert_eq!(inplace.labels, copied.labels);
+    }
+
+    #[test]
+    fn elastic_is_deterministic_and_identity_at_zero_amplitude() {
+        let mut img = Tensor::zeros(Shape4::new(1, 1, 16, 16));
+        let mut labels = vec![0u8; 256];
+        for y in 0..16 {
+            for x in 0..16 {
+                *img.at_mut(0, 0, y, x) = (x as f32 - 8.0) / 8.0;
+                labels[y * 16 + x] = ((x > 4 && x < 12 && y > 4 && y < 12) as u8) * 3;
+            }
+        }
+        let s = Sample { image: img, labels };
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(11);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(11);
+        let a = elastic_deform(&s, 2.0, 4, &mut r1);
+        let b = elastic_deform(&s, 2.0, 4, &mut r2);
+        assert_eq!(a.image, b.image);
+        assert_eq!(a.labels, b.labels);
+        // Zero amplitude: exact identity (bilinear weights collapse).
+        let mut r3 = rand::rngs::StdRng::seed_from_u64(12);
+        let id = elastic_deform(&s, 0.0, 4, &mut r3);
+        assert_eq!(id.labels, s.labels);
+        for (a, b) in id.image.data().iter().zip(s.image.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn augmenter_reuses_scratch_and_matches_the_wrapper() {
+        let cfg = AugmentConfig::default();
+        let mut aug = Augmenter::new(cfg);
+        for seed in 0..4 {
+            let s = sample();
+            let mut r1 = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut r2 = rand::rngs::StdRng::seed_from_u64(seed);
+            let via_fn = augment(&s, &cfg, &mut r1);
+            let mut via_engine = s.clone();
+            aug.apply(&mut via_engine, &mut r2);
+            assert_eq!(via_fn.image, via_engine.image, "seed {seed}");
+            assert_eq!(via_fn.labels, via_engine.labels, "seed {seed}");
         }
     }
 

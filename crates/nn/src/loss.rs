@@ -245,7 +245,7 @@ mod tests {
     fn worst_prediction_gives_high_ftl() {
         let shape = Shape4::new(1, 2, 4, 4);
         let labels = vec![0u8; 16];
-        let wrong = one_hot(&vec![1u8; 16], shape);
+        let wrong = one_hot(&[1u8; 16], shape);
         let loss = FocalTverskyLoss::paper_defaults(vec![1.0; 2]);
         let (v, _) = loss.forward_backward(&wrong, &labels);
         assert!(v > 0.5, "loss {v}");

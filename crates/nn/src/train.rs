@@ -1,5 +1,6 @@
 //! Mini-batch training loop (stage C of the SENECA workflow).
 
+use crate::augment::{AugmentConfig, Augmenter};
 use crate::loss::FocalTverskyLoss;
 use crate::optim::Optimizer;
 use crate::unet::UNet;
@@ -30,11 +31,22 @@ pub struct TrainConfig {
     pub lr_decay: f32,
     /// Print progress lines to stderr.
     pub verbose: bool,
+    /// On-the-fly per-sample augmentation (flips, shifts, elastic,
+    /// intensity jitter). `None` trains on raw samples and keeps the RNG
+    /// stream — and therefore cached trained models — byte-stable.
+    pub augment: Option<AugmentConfig>,
 }
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 8, batch_size: 4, seed: 0xC7_0E6, lr_decay: 0.9, verbose: false }
+        Self {
+            epochs: 8,
+            batch_size: 4,
+            seed: 0xC7_0E6,
+            lr_decay: 0.9,
+            verbose: false,
+            augment: None,
+        }
     }
 }
 
@@ -61,18 +73,27 @@ pub fn train(
     let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
     let mut order: Vec<usize> = (0..samples.len()).collect();
     let mut history = Vec::with_capacity(cfg.epochs);
+    let mut augmenter = cfg.augment.map(Augmenter::new);
 
     for epoch in 0..cfg.epochs {
         order.shuffle(&mut rng);
         let mut loss_sum = 0.0f64;
         let mut batches = 0usize;
         for chunk in order.chunks(cfg.batch_size) {
-            let images: Vec<Tensor> = chunk.iter().map(|&i| samples[i].image.clone()).collect();
-            let batch = Tensor::stack_batch(&images);
+            let mut images: Vec<Tensor> = Vec::with_capacity(chunk.len());
             let mut labels = Vec::with_capacity(chunk.len() * samples[chunk[0]].labels.len());
             for &i in chunk {
-                labels.extend_from_slice(&samples[i].labels);
+                if let Some(aug) = augmenter.as_mut() {
+                    let mut s = samples[i].clone();
+                    aug.apply(&mut s, &mut rng);
+                    labels.extend_from_slice(&s.labels);
+                    images.push(s.image);
+                } else {
+                    labels.extend_from_slice(&samples[i].labels);
+                    images.push(samples[i].image.clone());
+                }
             }
+            let batch = Tensor::stack_batch(&images);
 
             let (probs, cache) = net.forward(&batch, &mut rng);
             let (lval, dprobs) = loss.forward_backward(&probs, &labels);
@@ -148,7 +169,13 @@ mod tests {
             &samples,
             &loss,
             &mut opt,
-            &TrainConfig { epochs: 18, batch_size: 4, seed: 3, lr_decay: 0.95, verbose: false },
+            &TrainConfig {
+                epochs: 18,
+                batch_size: 4,
+                seed: 3,
+                lr_decay: 0.95,
+                ..Default::default()
+            },
         );
         assert_eq!(history.len(), 18);
         let first = history.first().unwrap().mean_loss;
@@ -177,11 +204,49 @@ mod tests {
             &samples,
             &loss,
             &mut opt,
-            &TrainConfig { epochs: 3, batch_size: 2, seed: 1, lr_decay: 0.5, verbose: false },
+            &TrainConfig { epochs: 3, batch_size: 2, seed: 1, lr_decay: 0.5, ..Default::default() },
         );
         assert!((history[0].lr - 1e-3).abs() < 1e-9);
         assert!((history[1].lr - 5e-4).abs() < 1e-9);
         assert!((history[2].lr - 2.5e-4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn augmented_training_still_learns() {
+        use crate::augment::AugmentConfig;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let samples = toy_quadrant_dataset(8, 16, 4, &mut rng);
+        let cfg =
+            UNetConfig { depth: 2, base_filters: 4, in_channels: 1, num_classes: 4, dropout: 0.05 };
+        let mut net = UNet::new(cfg, &mut rng);
+        let loss = FocalTverskyLoss::paper_defaults(vec![1.0; 4]);
+        let mut opt = Adam::new(2e-3);
+        // Quadrant labels are position-coded, so geometric augmentation is
+        // kept gentle: intensity jitter + light elastic only.
+        let aug = AugmentConfig {
+            flip_prob: 0.0,
+            max_shift: 0,
+            elastic_alpha: 1.0,
+            elastic_grid: 4,
+            ..Default::default()
+        };
+        let history = train(
+            &mut net,
+            &samples,
+            &loss,
+            &mut opt,
+            &TrainConfig {
+                epochs: 18,
+                batch_size: 4,
+                seed: 3,
+                lr_decay: 0.95,
+                augment: Some(aug),
+                ..Default::default()
+            },
+        );
+        let first = history.first().unwrap().mean_loss;
+        let last = history.last().unwrap().mean_loss;
+        assert!(last < first * 0.7, "augmented loss {first} -> {last}");
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Property tests for the augmentation pipeline.
+//!
+//! Two invariants the robustness suite depends on:
+//!
+//! * flips move labels *with* pixels — a pixel and its label stay glued
+//!   through any geometric transform (checked exactly: flipping is a
+//!   permutation, so the (intensity, label) multiset is preserved pairwise);
+//! * elastic deformation is approximately area-preserving — a smooth,
+//!   small-amplitude warp may shuffle boundary pixels but cannot create or
+//!   destroy an organ, so per-class pixel counts stay within a tolerance
+//!   proportional to the class size.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use seneca_nn::augment::{elastic_deform, flip_horizontal_in_place};
+use seneca_nn::train::Sample;
+use seneca_tensor::{Shape4, Tensor};
+
+/// Builds a slice-like sample with a few rectangular "organs" whose
+/// intensity is correlated with the label (as after preprocessing).
+fn labeled_sample(size: usize, n_blobs: usize, seed: u64) -> Sample {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut image = Tensor::full(Shape4::new(1, 1, size, size), -1.0);
+    let mut labels = vec![0u8; size * size];
+    for b in 0..n_blobs {
+        let label = (b % 6 + 1) as u8;
+        let w = rng.gen_range(2..=size / 2);
+        let h = rng.gen_range(2..=size / 2);
+        let x0 = rng.gen_range(0..size - w);
+        let y0 = rng.gen_range(0..size - h);
+        let base = -0.8 + 0.25 * label as f32;
+        for y in y0..y0 + h {
+            for x in x0..x0 + w {
+                labels[y * size + x] = label;
+                *image.at_mut(0, 0, y, x) = base + rng.gen_range(-0.05..0.05);
+            }
+        }
+    }
+    Sample { image, labels }
+}
+
+fn class_counts(labels: &[u8]) -> [usize; 7] {
+    let mut c = [0usize; 7];
+    for &l in labels {
+        c[l as usize] += 1;
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Flipping permutes pixels: every (intensity, label) pair survives, and
+    /// each pixel's label travels with its intensity to the mirrored slot.
+    #[test]
+    fn flip_moves_labels_with_pixels(
+        size in 8usize..22,
+        n_blobs in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let s = labeled_sample(size, n_blobs, seed);
+        let mut flipped = s.clone();
+        flip_horizontal_in_place(&mut flipped);
+        for y in 0..size {
+            for x in 0..size {
+                let src = y * size + (size - 1 - x);
+                prop_assert_eq!(flipped.labels[y * size + x], s.labels[src]);
+                prop_assert_eq!(flipped.image.at(0, 0, y, x), s.image.at(0, 0, y, size - 1 - x));
+            }
+        }
+        // Class histogram is exactly preserved (it is a permutation).
+        prop_assert_eq!(class_counts(&flipped.labels), class_counts(&s.labels));
+    }
+
+    /// A smooth small-amplitude elastic warp keeps per-class pixel counts
+    /// within a boundary-proportional tolerance: organs deform, they do not
+    /// appear or vanish.
+    #[test]
+    fn elastic_preserves_class_areas_within_tolerance(
+        size in 16usize..33,
+        n_blobs in 1usize..4,
+        alpha in 0.5f32..2.5,
+        seed in 0u64..1000,
+    ) {
+        let s = labeled_sample(size, n_blobs, seed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xE1A5);
+        let warped = elastic_deform(&s, alpha, 8, &mut rng);
+        let before = class_counts(&s.labels);
+        let after = class_counts(&warped.labels);
+        for (label, (&b, &a)) in before.iter().zip(&after).enumerate() {
+            let diff = b.abs_diff(a);
+            let tol = (0.35 * b as f64) as usize + 16;
+            prop_assert!(
+                diff <= tol,
+                "class {} count moved {} -> {} (tolerance {})",
+                label, b, a, tol
+            );
+            // A class present before stays present (no organ vanishes).
+            if b > 64 {
+                prop_assert!(a > 0, "class {} vanished under elastic warp", label);
+            }
+        }
+        // Label values never leave the valid range.
+        prop_assert!(warped.labels.iter().all(|&l| l <= 6));
+    }
+}

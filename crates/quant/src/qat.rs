@@ -167,7 +167,13 @@ mod tests {
             &samples,
             &loss,
             &mut opt,
-            &TrainConfig { epochs: 10, batch_size: 3, seed: 5, lr_decay: 0.95, verbose: false },
+            &TrainConfig {
+                epochs: 10,
+                batch_size: 3,
+                seed: 5,
+                lr_decay: 0.95,
+                ..Default::default()
+            },
         );
         let first = history.first().unwrap().mean_loss;
         let last = history.last().unwrap().mean_loss;

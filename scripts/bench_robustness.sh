@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Runs the robustness suite and copies its machine-readable result
+# (BENCH_robustness.json: pathology-bearing test patients swept over the
+# dose x slice-thickness x FOV scenario grid, FP32 vs INT8 manual/random
+# calibration vs the mixed W4/W8 plan) to the repo root.
+#
+#   scripts/bench_robustness.sh [fast|reduced|paper]   (default: fast)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+scale="${1:-fast}"
+export SENECA_ARTIFACTS="${SENECA_ARTIFACTS:-target/seneca-artifacts}"
+
+cargo run --release -q -p seneca-bench --bin reproduce -- robustness --scale "$scale"
+
+src="$SENECA_ARTIFACTS/experiments/BENCH_robustness.json"
+[ -f "$src" ] || { echo "expected $src after the robustness experiment" >&2; exit 1; }
+cp "$src" BENCH_robustness.json
+echo "BENCH_robustness.json updated (scale: $scale)"

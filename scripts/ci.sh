@@ -33,4 +33,7 @@ cargo run --release -q -p seneca-bench --features trace-gemm --bin reproduce -- 
 echo "== mixed smoke (16M W4/W8 plan cuts cycles and weight bytes above the agreement floor) =="
 cargo run --release -q -p seneca-bench --bin reproduce -- mixed --scale fast
 
+echo "== robustness smoke (lesion + scenario grid runs clean; small organs degrade most under INT8; calibration leveling recovers part) =="
+cargo run --release -q -p seneca-bench --bin reproduce -- robustness --scale fast
+
 echo "CI OK"
